@@ -1,0 +1,40 @@
+"""Figure 2: all six enumerations of the ``[[2, 2, 4]]`` machine.
+
+Checks the reordered rank of every core under every order against the
+figure, and each order's Slurm ``--distribution`` caption (including that
+``[1, 0, 2]`` has no Slurm equivalent).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig2_enumerations
+
+# new rank of each core (canonical core order), read off Figure 2.
+PAPER_FIG2 = {
+    (0, 1, 2): ([0, 4, 8, 12, 2, 6, 10, 14, 1, 5, 9, 13, 3, 7, 11, 15], "cyclic:cyclic"),
+    (0, 2, 1): ([0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15], "cyclic:block"),
+    (1, 0, 2): ([0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15], None),
+    (1, 2, 0): ([0, 2, 4, 6, 1, 3, 5, 7, 8, 10, 12, 14, 9, 11, 13, 15], "block:cyclic"),
+    (2, 0, 1): ([0, 1, 2, 3, 8, 9, 10, 11, 4, 5, 6, 7, 12, 13, 14, 15], "plane=4"),
+    (2, 1, 0): ([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15], "block:block"),
+}
+
+
+def test_fig2_enumerations_match_paper(once):
+    enums = once(fig2_enumerations)
+    print("\nFigure 2 enumerations of [[2,2,4]]:")
+    for e in enums:
+        label = e.slurm_distribution or "not possible with --distribution"
+        print(f"  order {list(e.order)}: {list(e.new_rank_of_core)}  [{label}]")
+        ranks, dist = PAPER_FIG2[e.order]
+        assert list(e.new_rank_of_core) == ranks, e.order
+        assert e.slurm_distribution == dist, e.order
+
+
+def test_fig2_subcommunicators_are_contiguous_blocks(once):
+    for e in once(fig2_enumerations, 4):
+        # Each color groups 4 consecutive reordered ranks (Figure 2 colors).
+        for core, (new, comm) in enumerate(
+            zip(e.new_rank_of_core, e.subcomm_of_core)
+        ):
+            assert comm == new // 4

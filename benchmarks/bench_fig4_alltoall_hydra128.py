@@ -1,0 +1,43 @@
+"""Figure 4: MPI_Alltoall on 16 Hydra nodes, 512 ranks, 128 per communicator.
+
+Same protocol as Figure 3 with only 4 large subcommunicators.  Because a
+128-rank communicator spans at least 4 nodes whatever the order, the
+spread/packed gap narrows relative to Figure 3, but the ordering of the
+two scenarios is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig4_data
+from repro.bench.report import assert_checks, check, print_checks, series_table
+
+
+def test_fig4_alltoall_16nodes_128percomm(once):
+    series = once(fig4_data)
+    print("\nFigure 4 (bandwidth MB/s; x1 = one comm, xN = 4 comms):")
+    print(series_table(series))
+    by_order = {s.order: s for s in series}
+    spread = by_order[(0, 1, 2, 3)]
+    packed = by_order[(3, 2, 1, 0)]
+    checks = [
+        check(
+            "spread order >= packed order with a single communicator",
+            spread.points[-1].bandwidth_single >= packed.points[-1].bandwidth_single,
+            f"{spread.points[-1].bandwidth_single/1e6:.0f} vs "
+            f"{packed.points[-1].bandwidth_single/1e6:.0f} MB/s",
+        ),
+        check(
+            "packed order >= spread order with 4 simultaneous communicators",
+            packed.points[-1].bandwidth_all >= spread.points[-1].bandwidth_all,
+            f"{packed.points[-1].bandwidth_all/1e6:.0f} vs "
+            f"{spread.points[-1].bandwidth_all/1e6:.0f} MB/s",
+        ),
+        check(
+            "contention hurts the spread order more than the packed one",
+            (spread.points[-1].bandwidth_single / spread.points[-1].bandwidth_all)
+            > (packed.points[-1].bandwidth_single / packed.points[-1].bandwidth_all),
+            "single/all degradation ratio ordering",
+        ),
+    ]
+    print_checks(checks)
+    assert_checks(checks)

@@ -1,0 +1,51 @@
+"""Figure 5: MPI_Alltoall on 16 LUMI nodes, 2048 ranks, 16 per communicator.
+
+The 5-level LUMI hierarchy ([[16,2,4,2,8]]).  Targets: the fully spread
+order [0,1,2,3,4] is best for large sizes with one communicator but
+collapses with 128 simultaneous communicators, where the packed Slurm
+default [4,3,2,1,0] wins; mid-size crossover where less-spread orders
+beat the fully spread one with a single communicator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import fig5_data
+from repro.bench.report import (
+    assert_checks,
+    check,
+    microbench_shape_checks,
+    print_checks,
+    series_table,
+)
+
+
+def test_fig5_alltoall_lumi_16percomm(once):
+    series = once(fig5_data)
+    print("\nFigure 5 (bandwidth MB/s; x1 = one comm, xN = 128 comms):")
+    print(series_table(series))
+    for s in series:
+        print("legend:", s.legend())
+    checks = microbench_shape_checks(
+        series,
+        spread_order=(0, 1, 2, 3, 4),
+        packed_order=(4, 3, 2, 1, 0),
+        contention_factor=4.0,
+    )
+    # Small sizes favour lower-latency (less spread) orders even with one
+    # communicator: the spread order must NOT win the smallest size.
+    by_order = {s.order: s for s in series}
+    spread_small = by_order[(0, 1, 2, 3, 4)].points[0].bandwidth_single
+    best_other_small = max(
+        s.points[0].bandwidth_single for s in series if s.order != (0, 1, 2, 3, 4)
+    )
+    checks.append(
+        check(
+            "spread order is not best at small sizes (latency-bound regime)",
+            spread_small <= best_other_small,
+            f"{spread_small/1e6:.1f} vs best other {best_other_small/1e6:.1f} MB/s",
+        )
+    )
+    print_checks(checks)
+    assert_checks(checks)

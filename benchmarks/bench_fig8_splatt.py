@@ -1,0 +1,83 @@
+"""Figure 8 + Section 4.2: Splatt CPD under all 24 rank reorderings.
+
+32 Hydra nodes, 1024 ranks, nell-1-shaped tensor, medium-grained CP-ALS
+(process grid (4,4,64): 64 layer communicators of 16 ranks, 8 of 256,
+plus world communicators -- exactly the population mpisee reported).
+
+Shape targets:
+- the best order improves on the Slurm default (block:cyclic, [1,3,2,0])
+  by roughly 30% with one NIC (paper: 32%);
+- with two NICs everything is faster and the gap narrows (paper: 19%);
+- CPD duration correlates with MPI_Alltoallv time in the 16-rank
+  communicators at Pearson r >= 0.9 (paper: 0.98 / 0.92).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig8_data
+from repro.bench.report import assert_checks, check, print_checks
+from repro.core.orders import format_order
+
+
+def _print_runs(data):
+    print(f"\nFigure 8 ({data.nics} NIC): CPD duration per order")
+    for run in sorted(data.runs, key=lambda r: r.duration):
+        mark = " <- Slurm default" if run.order == data.slurm_default_order else ""
+        print(
+            f"  {format_order(run.order)}  {run.duration:6.2f}s "
+            f"(compute {run.compute_time:.2f}, comm {run.comm_time:.2f}, "
+            f"a2av@16 {run.alltoallv_by_comm_size.get(16, 0):.2f}){mark}"
+        )
+
+
+def test_fig8_one_nic(once):
+    data = once(fig8_data, nics=1)
+    _print_runs(data)
+    checks = [
+        check(
+            "best order improves >= 20% over the Slurm default (paper: 32%)",
+            data.improvement_vs_default >= 0.20,
+            f"improvement {data.improvement_vs_default:.0%}",
+        ),
+        check(
+            "Slurm default is among the inefficient mappings (worst quartile)",
+            data.slurm_default.duration
+            >= sorted(r.duration for r in data.runs)[3 * len(data.runs) // 4 - 1],
+            f"default {data.slurm_default.duration:.2f}s vs "
+            f"worst {data.worst.duration:.2f}s",
+        ),
+        check(
+            "CPD time correlates with Alltoallv@16 time (paper: r=0.98)",
+            data.correlation_cpd_vs_a2av16 >= 0.9,
+            f"Pearson r = {data.correlation_cpd_vs_a2av16:.3f}",
+        ),
+    ]
+    print_checks(checks)
+    assert_checks(checks)
+
+
+def test_fig8_two_nics(once):
+    one = fig8_data(nics=1)
+    two = once(fig8_data, nics=2)
+    _print_runs(two)
+    mean_one = sum(r.duration for r in one.runs) / len(one.runs)
+    mean_two = sum(r.duration for r in two.runs) / len(two.runs)
+    checks = [
+        check(
+            "two NICs make every order faster on average (paper: 22.9 vs 27.4 s)",
+            mean_two < mean_one,
+            f"mean {mean_two:.2f}s vs {mean_one:.2f}s",
+        ),
+        check(
+            "the improvement over the Slurm default narrows with two NICs",
+            two.improvement_vs_default < one.improvement_vs_default,
+            f"{two.improvement_vs_default:.0%} vs {one.improvement_vs_default:.0%}",
+        ),
+        check(
+            "correlation with Alltoallv@16 persists (paper: r=0.92)",
+            two.correlation_cpd_vs_a2av16 >= 0.9,
+            f"Pearson r = {two.correlation_cpd_vs_a2av16:.3f}",
+        ),
+    ]
+    print_checks(checks)
+    assert_checks(checks)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper on the simulated
+platform, prints the series (run with ``-s`` to see them), asserts the
+paper's qualitative shapes, and reports the harness runtime through
+pytest-benchmark (rounds=1: the measured quantity is the simulation's own
+cost, which is deterministic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

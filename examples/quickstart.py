@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: mixed-radix decomposition, orders, and their metrics.
+
+Walks through Section 3 of the paper on the toy machine of Figure 1
+(two nodes x two sockets x four cores), reproducing Table 1 and the
+characterization metrics, then emits the launcher artifacts (rankfile and
+map_cpu list) that realize an order on a real job.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Hierarchy, MixedRadix, all_orders, ring_cost, signature
+from repro.core.coreselect import map_cpu_list
+from repro.core.orders import format_order
+from repro.launcher import distribution_to_order, order_to_distribution
+from repro.launcher.rankfile import rankfile_for_order
+
+
+def main() -> None:
+    # The machine of Figure 1: [[2, 2, 4]].
+    h = Hierarchy((2, 2, 4), names=("node", "socket", "core"))
+    mr = MixedRadix(h)
+    print(f"machine {h}: {h.size} cores, {h.depth} levels -> "
+          f"{len(all_orders(h.depth))} orders\n")
+
+    # Table 1: decompose rank 10 and re-enumerate it under every order.
+    rank = 10
+    coords = mr.decompose(rank)
+    print(f"rank {rank} has coordinates {list(coords)} (node, socket, core)")
+    print(f"{'order':<10}{'new rank':>9}   Slurm --distribution")
+    for order in all_orders(h.depth):
+        slurm = order_to_distribution(h, order) or "(not expressible)"
+        print(f"{format_order(order):<10}{mr.reorder(rank, order):>9}   {slurm}")
+
+    # Characterize orders for subcommunicators of 4 ranks (Figure 2 colors).
+    print("\norder signatures for 4-rank subcommunicators "
+          "(ring cost - % pairs per level, innermost first):")
+    for order in all_orders(h.depth):
+        print(" ", signature(h, order, 4).legend())
+
+    # Ring cost separates orders that map to the same cores (Section 3.3).
+    print(f"\nring cost [0,1,2] = {ring_cost(h, (0, 1, 2), 4)} "
+          f"vs [1,0,2] = {ring_cost(h, (1, 0, 2), 4)} "
+          "(same cores, different internal rank order)")
+
+    # Use case 1: a rankfile realizing cyclic:block transparently.
+    order = distribution_to_order(h, "cyclic:block")
+    print(f"\nrankfile for {format_order(order)} (cyclic:block):")
+    print(rankfile_for_order(h, order))
+
+    # Use case 2 (Algorithm 3): bind 2 processes per node, one per socket.
+    node = h.inner(1)  # the single-node hierarchy [[2, 4]]
+    cores = map_cpu_list(node, (0, 1), 2)
+    print(f"srun --cpu-bind=map_cpu:{','.join(map(str, cores))}  "
+          "# one process per socket")
+
+
+if __name__ == "__main__":
+    main()

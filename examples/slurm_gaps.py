@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""What Slurm's --distribution cannot express (Section 3.4's motivation).
+
+For increasingly deep hierarchies, compares the number of mixed-radix
+orders against the mappings reachable with ``--distribution``, and prints
+the equivalence-class structure that prunes the order space before any
+experiments run.
+
+Run:  python examples/slurm_gaps.py
+"""
+
+import math
+
+from repro.core.equivalence import equivalence_classes
+from repro.core.orders import all_orders, format_order
+from repro.launcher.slurm import expressible_distributions
+from repro.topology.hwloc import parse_synthetic
+
+
+def main() -> None:
+    machines = [
+        ("2-level toy", "node:2 core:8"),
+        ("Figure 1 machine", "node:2 socket:2 core:4"),
+        ("Hydra (fake split)", "node:16 socket:2 group:2 core:8"),
+        ("LUMI", "node:16 socket:2 numa:4 l3:2 core:8"),
+    ]
+    print(f"{'machine':<22}{'orders':>8}{'Slurm-expressible':>19}{'classes':>9}")
+    for label, desc in machines:
+        h = parse_synthetic(desc)
+        n_orders = math.factorial(h.depth)
+        expressible = {tuple(o) for o in expressible_distributions(h).values()}
+        comm = min(16, h.size)
+        classes = equivalence_classes(h, comm)
+        print(f"{label:<22}{n_orders:>8}{len(expressible):>19}{len(classes):>9}")
+
+    print("\nLUMI in detail: Slurm-expressible orders and what they miss")
+    h = parse_synthetic("node:16 socket:2 numa:4 l3:2 core:8")
+    expressible = expressible_distributions(h)
+    by_order: dict[tuple, list[str]] = {}
+    for dist, order in expressible.items():
+        by_order.setdefault(tuple(order), []).append(dist)
+    shown = 0
+    for order in all_orders(h.depth):
+        dists = by_order.get(tuple(order))
+        if dists:
+            print(f"  {format_order(order)}  <- {', '.join(sorted(dists))}")
+        elif shown < 5:
+            print(f"  {format_order(order)}  (mixed-radix only)")
+            shown += 1
+    remaining = math.factorial(h.depth) - len(by_order) - shown
+    print(f"  ... and {remaining} more orders only mixed-radix enumeration "
+          "can express (NUMA/L3 levels are untouchable via --distribution)")
+
+
+if __name__ == "__main__":
+    main()

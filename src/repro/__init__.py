@@ -1,0 +1,75 @@
+"""repro: mixed-radix enumeration of deeply hierarchical architectures.
+
+A reproduction of Swartvagher, Hunold, Träff & Vardas, *"Using Mixed-Radix
+Decomposition to Enumerate Computational Resources of Deeply Hierarchical
+Architectures"* (SC-W 2023), as a reusable library:
+
+- the paper's contribution -- rank reordering and core selection via
+  mixed-radix decomposition (:mod:`repro.core`);
+- every substrate its evaluation needs, built from scratch: machine
+  topologies (:mod:`repro.topology`), a flow-level network simulator
+  (:mod:`repro.netsim`), a simulated MPI with real collective algorithms
+  (:mod:`repro.simmpi`, :mod:`repro.collectives`), a Slurm-like launcher
+  (:mod:`repro.launcher`), the evaluation applications
+  (:mod:`repro.apps`), profiling (:mod:`repro.profiling`) and the
+  benchmark harness regenerating every figure (:mod:`repro.bench`).
+
+Quick start::
+
+    from repro import Hierarchy, MixedRadix, ring_cost
+
+    h = Hierarchy((2, 2, 4), names=("node", "socket", "core"))
+    mr = MixedRadix(h)
+    mr.reorder(10, (0, 2, 1))       # -> 5  (Table 1 of the paper)
+    ring_cost(h, (0, 1, 2), 4)      # -> 9  (Figure 2 discussion)
+"""
+
+from repro.core import (
+    CoreSelection,
+    Hierarchy,
+    MixedRadix,
+    OrderSignature,
+    RankReordering,
+    all_orders,
+    decompose,
+    equivalence_classes,
+    identity_order,
+    inverse_order,
+    map_cpu_list,
+    pair_level_percentages,
+    recompose,
+    reorder_ranks,
+    ring_cost,
+    signature,
+)
+from repro.topology import MachineTopology, hydra, lumi, lumi_node
+from repro.launcher import ProcessMapping, SlurmJob, distribution_to_order
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreSelection",
+    "Hierarchy",
+    "MixedRadix",
+    "OrderSignature",
+    "RankReordering",
+    "all_orders",
+    "decompose",
+    "equivalence_classes",
+    "identity_order",
+    "inverse_order",
+    "map_cpu_list",
+    "pair_level_percentages",
+    "recompose",
+    "reorder_ranks",
+    "ring_cost",
+    "signature",
+    "MachineTopology",
+    "hydra",
+    "lumi",
+    "lumi_node",
+    "ProcessMapping",
+    "SlurmJob",
+    "distribution_to_order",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Applications used in the paper's evaluation.
+
+- :mod:`repro.apps.nascg` -- a NAS-Parallel-Benchmarks-style conjugate
+  gradient: real sequential/distributed solvers for functional validation
+  plus the calibrated performance model behind the Figure 9 strong-scaling
+  study.
+- :mod:`repro.apps.splatt` -- a Splatt-style medium-grained CP-ALS sparse
+  tensor decomposition: real COO tensors and MTTKRP kernels, a 3-D process
+  grid with layer communicators, and the communication model behind the
+  Figure 8 rank-reordering study.
+"""

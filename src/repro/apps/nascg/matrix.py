@@ -1,0 +1,101 @@
+"""NPB CG problem classes and matrix generation.
+
+The NAS CG benchmark builds a random sparse symmetric positive-definite
+matrix ``A = I*shift + sum of outer products of sparse random vectors``
+(the ``makea`` routine) and runs an inverse power method around a CG
+solver.  We reproduce the class table and a faithful-in-spirit generator:
+``nonzer`` random nonzeros per generated vector, symmetrized outer
+products, diagonal shift -- yielding the same density
+(~``nonzer * (nonzer + 1)`` nonzeros per row) and conditioning behaviour.
+
+The huge classes are modeled, not materialized: the Figure 9 performance
+model only needs ``n``, ``nnz`` and the iteration counts, which
+:func:`CGClass.nnz_estimate` supplies; :func:`make_matrix` materializes
+the small classes for the functional solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass(frozen=True)
+class CGClass:
+    """One NPB problem class."""
+
+    name: str
+    n: int  # matrix dimension (NA)
+    nonzer: int  # nonzeros per generated vector (NONZER)
+    niter: int  # outer power-method iterations (NITER)
+    shift: float  # diagonal shift (SHIFT)
+
+    @property
+    def nnz_estimate(self) -> int:
+        """Approximate nonzeros of the assembled matrix.
+
+        NPB's ``makea`` yields about ``nonzer * (nonzer + 1)`` entries per
+        row (e.g. class A: 14000 x 11 x 12 ~ 1.85e6, matching the reported
+        1,853,104).
+        """
+        return self.n * self.nonzer * (self.nonzer + 1)
+
+    @property
+    def cg_iterations_per_outer(self) -> int:
+        """NPB runs 25 CG iterations inside every outer iteration."""
+        return 25
+
+
+CG_CLASSES: dict[str, CGClass] = {
+    "S": CGClass("S", 1400, 7, 15, 10.0),
+    "W": CGClass("W", 7000, 8, 15, 12.0),
+    "A": CGClass("A", 14000, 11, 15, 20.0),
+    "B": CGClass("B", 75000, 13, 75, 60.0),
+    "C": CGClass("C", 150000, 15, 75, 110.0),
+}
+
+
+def make_matrix(klass: CGClass | str, seed: int = 314159265) -> sparse.csr_matrix:
+    """Materialize the class's random SPD matrix (small classes only).
+
+    Builds ``sum_i x_i x_i^T`` over ``n`` sparse random vectors with
+    ``nonzer`` entries each, then adds the diagonal shift.  Memory grows
+    like ``n * nonzer^2``; refuse anything beyond class A.
+    """
+    if isinstance(klass, str):
+        klass = CG_CLASSES[klass]
+    if klass.n > 20000:
+        raise ValueError(
+            f"class {klass.name} (n={klass.n}) is too large to materialize; "
+            "use CGTimeModel for the performance study"
+        )
+    rng = np.random.default_rng(seed)
+    n, nz = klass.n, klass.nonzer
+    rows = []
+    cols = []
+    vals = []
+    for _ in range(n):
+        idx = rng.choice(n, size=nz, replace=False)
+        v = rng.random(nz) * 2 - 1
+        # outer product contribution x x^T (scaled down to keep cond low)
+        rows.append(np.repeat(idx, nz))
+        cols.append(np.tile(idx, nz))
+        vals.append(np.outer(v, v).ravel())
+    a = sparse.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsr()
+    a = a + sparse.identity(n, format="csr") * (klass.shift * nz)
+    a.sum_duplicates()
+    return a
+
+
+def tiny_matrix(n: int = 64, seed: int = 7) -> sparse.csr_matrix:
+    """A small well-conditioned SPD matrix for unit tests."""
+    rng = np.random.default_rng(seed)
+    density = min(0.2, 8.0 / n)
+    m = sparse.random(n, n, density=density, random_state=rng, format="csr")
+    a = (m + m.T) * 0.5
+    return a + sparse.identity(n, format="csr") * (abs(a).sum(axis=1).max() + 1.0)

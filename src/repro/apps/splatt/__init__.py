@@ -1,0 +1,33 @@
+"""Splatt-style sparse tensor decomposition (CP-ALS).
+
+Section 4.2 measures the CPD (canonical polyadic decomposition) operation
+of Splatt on the FROSTT ``nell-1`` tensor under all 24 rank reorderings of
+a 1024-process job on 32 Hydra nodes.  FROSTT data is unavailable offline,
+so :mod:`repro.apps.splatt.tensor` synthesizes mode-skewed sparse tensors
+with nell-1's aspect ratio; the numerics (:mod:`repro.apps.splatt.mttkrp`,
+:mod:`repro.apps.splatt.cpals`) are real, and the distributed execution
+(:mod:`repro.apps.splatt.parallel`) reproduces Splatt's medium-grained
+communicator structure: a 3-D process grid whose mode layers exchange
+factor rows with ``MPI_Alltoallv`` -- the operation whose duration the
+paper finds 0.92-0.98-correlated with total CPD time.
+"""
+
+from repro.apps.splatt.tensor import SparseTensor, synthetic_tensor, nell1_like
+from repro.apps.splatt.mttkrp import mttkrp
+from repro.apps.splatt.cpals import cp_als, CPResult
+from repro.apps.splatt.grid import choose_grid, layer_members
+from repro.apps.splatt.parallel import CPDModel, CPDRun, reordering_study
+
+__all__ = [
+    "SparseTensor",
+    "synthetic_tensor",
+    "nell1_like",
+    "mttkrp",
+    "cp_als",
+    "CPResult",
+    "choose_grid",
+    "layer_members",
+    "CPDModel",
+    "CPDRun",
+    "reordering_study",
+]

@@ -1,0 +1,85 @@
+"""Process grids and layer communicators (medium-grained decomposition).
+
+Splatt's medium-grained variant arranges ``p`` processes in an N-D grid
+chosen to balance the per-layer slice sizes; mode-``m`` *layer
+communicators* group the processes sharing the ``m``-th grid coordinate
+(``grid[m]`` layers of ``p / grid[m]`` processes each).  On nell-1 with
+1024 processes this yields exactly the communicator population mpisee
+reports in the paper: 64 communicators of 16 processes and 8 of 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+
+def _prime_factors(p: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= p:
+        while p % d == 0:
+            out.append(d)
+            p //= d
+        d += 1
+    if p > 1:
+        out.append(p)
+    return sorted(out, reverse=True)
+
+
+def choose_grid(dims: tuple[int, ...], p: int) -> tuple[int, ...]:
+    """Factor ``p`` over the modes, balancing per-layer slice sizes.
+
+    Greedy: hand each prime factor of ``p`` to the mode whose current
+    slice (``dims[m] / grid[m]``) is largest -- Splatt's heuristic of
+    cutting the longest remaining dimension.
+
+    >>> choose_grid((2_902_330, 2_143_368, 25_495_389), 1024)
+    (4, 4, 64)
+    """
+    grid = [1] * len(dims)
+    for f in _prime_factors(p):
+        m = int(np.argmax([d / g for d, g in zip(dims, grid)]))
+        grid[m] *= f
+    return tuple(grid)
+
+
+def grid_coords(rank: int, grid: tuple[int, ...]) -> tuple[int, ...]:
+    """Grid coordinates of a rank (last mode varies fastest)."""
+    coords = []
+    for g in reversed(grid):
+        coords.append(rank % g)
+        rank //= g
+    return tuple(reversed(coords))
+
+
+def grid_rank(coords: tuple[int, ...], grid: tuple[int, ...]) -> int:
+    rank = 0
+    for c, g in zip(coords, grid):
+        rank = rank * g + c
+    return rank
+
+
+def layer_members(grid: tuple[int, ...], mode: int, layer: int) -> np.ndarray:
+    """Ranks of mode-``mode``'s ``layer``-th layer communicator.
+
+    Members share the ``mode`` coordinate ``layer`` and span all other
+    coordinates, ordered by rank.
+    """
+    p = int(np.prod(grid))
+    if not 0 <= layer < grid[mode]:
+        raise ValueError(f"mode {mode} has {grid[mode]} layers")
+    ranks = np.arange(p, dtype=np.int64)
+    coords = ranks.copy()
+    # Extract the mode coordinate of every rank.
+    below = int(np.prod(grid[mode + 1 :])) if mode + 1 < len(grid) else 1
+    mode_coord = (coords // below) % grid[mode]
+    return ranks[mode_coord == layer]
+
+
+def all_layer_comms(grid: tuple[int, ...]) -> dict[int, list[np.ndarray]]:
+    """``{mode: [members of each layer]}`` for every mode."""
+    return {
+        m: [layer_members(grid, m, l) for l in range(grid[m])]
+        for m in range(len(grid))
+    }

@@ -1,0 +1,121 @@
+"""Sparse tensors in coordinate (COO) format.
+
+Synthetic generation follows the structure that makes FROSTT tensors hard:
+hugely unequal mode sizes and skewed fiber popularity (a few indices
+appear in many nonzeros).  Index popularity is drawn from a truncated
+Zipf-like distribution per mode, matching the load-imbalance behaviour a
+block-distributed decomposition sees on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+#: FROSTT nell-1 shape and density (Smith et al., 2017).
+NELL1_DIMS = (2_902_330, 2_143_368, 25_495_389)
+NELL1_NNZ = 143_599_552
+
+
+@dataclass(frozen=True)
+class SparseTensor:
+    """An N-mode sparse tensor (indices deduplicated, values summed)."""
+
+    dims: tuple[int, ...]
+    indices: np.ndarray  # (nnz, nmodes) int64
+    values: np.ndarray  # (nnz,) float64
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=np.int64)
+        vals = np.asarray(self.values, dtype=np.float64)
+        if idx.ndim != 2 or idx.shape[1] != len(self.dims):
+            raise ValueError("indices must have shape (nnz, nmodes)")
+        if vals.shape != (idx.shape[0],):
+            raise ValueError("values must match the number of index rows")
+        for m, d in enumerate(self.dims):
+            if idx.size and (idx[:, m].min() < 0 or idx[:, m].max() >= d):
+                raise ValueError(f"mode-{m} indices out of range")
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.dims)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @cached_property
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.values))
+
+    def mode_slice_counts(self, mode: int, n_slices: int) -> np.ndarray:
+        """Nonzeros per contiguous index block of ``mode`` (load profile)."""
+        edges = np.linspace(0, self.dims[mode], n_slices + 1).astype(np.int64)
+        block = np.searchsorted(edges[1:], self.indices[:, mode], side="right")
+        return np.bincount(block, minlength=n_slices)
+
+    def dense(self) -> np.ndarray:
+        """Materialize (tests only; guarded by size)."""
+        if int(np.prod(self.dims)) > 1_000_000:
+            raise ValueError("tensor too large to densify")
+        out = np.zeros(self.dims)
+        out[tuple(self.indices.T)] += self.values
+        return out
+
+
+def _dedupe(dims, idx, vals) -> SparseTensor:
+    flat = np.ravel_multi_index(tuple(idx.T), dims)
+    uniq, inverse = np.unique(flat, return_inverse=True)
+    summed = np.zeros(uniq.size)
+    np.add.at(summed, inverse, vals)
+    coords = np.stack(np.unravel_index(uniq, dims), axis=1).astype(np.int64)
+    return SparseTensor(tuple(dims), coords, summed)
+
+
+def synthetic_tensor(
+    dims: tuple[int, ...],
+    nnz: int,
+    skew: float = 1.1,
+    seed: int = 42,
+) -> SparseTensor:
+    """Random sparse tensor with Zipf-skewed index popularity.
+
+    ``skew`` is the Zipf exponent per mode (0 = uniform); larger values
+    concentrate nonzeros on low indices the way real FROSTT tensors
+    concentrate on popular entities.
+    """
+    rng = np.random.default_rng(seed)
+    cols = []
+    for d in dims:
+        if skew <= 0:
+            cols.append(rng.integers(0, d, size=nnz))
+        else:
+            # Inverse-CDF sampling of a truncated power law on [1, d].
+            u = rng.random(nnz)
+            if abs(skew - 1.0) < 1e-9:
+                sample = np.exp(u * np.log(d))
+            else:
+                one = 1.0 - skew
+                sample = (1 + u * (d**one - 1)) ** (1.0 / one)
+            cols.append(np.minimum(sample.astype(np.int64), d - 1))
+    idx = np.stack(cols, axis=1)
+    vals = rng.random(nnz) + 0.5
+    return _dedupe(dims, idx, vals)
+
+
+def nell1_like(scale: float = 1e-3, seed: int = 42) -> SparseTensor:
+    """A nell-1-shaped tensor scaled down by ``scale`` in every dimension.
+
+    Substitution for the unavailable FROSTT download: keeps the extreme
+    mode-size imbalance (2.9M x 2.1M x 25.5M) and a skewed density so the
+    medium-grained decomposition sees realistic load and traffic shapes.
+    ``nnz`` scales like ``scale`` (fiber count, not volume) to preserve
+    per-slice density.
+    """
+    dims = tuple(max(8, int(d * scale)) for d in NELL1_DIMS)
+    nnz = max(1000, int(NELL1_NNZ * scale))
+    return synthetic_tensor(dims, nnz, skew=1.05, seed=seed)

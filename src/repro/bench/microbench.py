@@ -1,0 +1,167 @@
+"""The Section 4.1 micro-benchmark protocol on the simulated cluster.
+
+Protocol (verbatim from the paper):
+
+1. Reorder ranks of ``MPI_COMM_WORLD`` in a new communicator.
+2. Create several subcommunicators, all containing the same number of
+   processes (contiguous blocks of reordered ranks).
+3. In the first subcommunicator only, measure the performance of the
+   collective operation.
+4. In all subcommunicators simultaneously, execute the collective and
+   measure its performance.
+
+Our simulator is deterministic, so instead of iterating inside a 0.5 s
+time window we evaluate one collective invocation exactly; the
+"simultaneous" scenario merges every subcommunicator's round ``i`` into
+one synchronized round, which is the steady state the paper's time window
+is designed to reach.
+
+The reported *collective bandwidth* matches the paper's definition: the
+figure-axis data size (communicator size x count x sizeof(datatype))
+divided by the average duration of one collective call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.base import rounds_to_schedule
+from repro.collectives.selector import rounds_for
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import OrderSignature, signature
+from repro.core.orders import Order
+from repro.core.reorder import RankReordering
+from repro.netsim.fabric import Fabric, RoundSchedule
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class MicrobenchPoint:
+    """One (data size, order) measurement."""
+
+    total_bytes: float
+    duration_single: float  # one subcommunicator active
+    duration_all: float  # all subcommunicators active simultaneously
+
+    @property
+    def bandwidth_single(self) -> float:
+        """Collective bandwidth (bytes/s) with one active communicator."""
+        return self.total_bytes / self.duration_single
+
+    @property
+    def bandwidth_all(self) -> float:
+        """Collective bandwidth (bytes/s) with all communicators active."""
+        return self.total_bytes / self.duration_all
+
+
+@dataclass(frozen=True)
+class MicrobenchSeries:
+    """A size sweep for one order (one curve of a paper figure)."""
+
+    order: Order
+    signature: OrderSignature
+    collective: str
+    algorithm: str
+    comm_size: int
+    n_comms: int
+    points: tuple[MicrobenchPoint, ...]
+
+    def legend(self) -> str:
+        return self.signature.legend()
+
+    def bandwidths_single(self) -> np.ndarray:
+        return np.array([p.bandwidth_single for p in self.points])
+
+    def bandwidths_all(self) -> np.ndarray:
+        return np.array([p.bandwidth_all for p in self.points])
+
+    def sizes(self) -> np.ndarray:
+        return np.array([p.total_bytes for p in self.points])
+
+
+def collective_schedule(
+    collective: str,
+    comm_cores: np.ndarray | Sequence[int],
+    total_bytes: float,
+    algorithm: str | None = None,
+) -> RoundSchedule:
+    """Round schedule of one collective on one communicator's cores."""
+    cores = np.asarray(comm_cores, dtype=np.int64)
+    rounds = rounds_for(collective, cores.size, total_bytes, algorithm)
+    return rounds_to_schedule(rounds, cores)
+
+
+def run_microbench(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    order: Sequence[int],
+    comm_size: int,
+    collective: str,
+    total_bytes: float,
+    algorithm: str | None = None,
+    fabric: Fabric | None = None,
+) -> MicrobenchPoint:
+    """Steps 1-4 of the protocol for one data size.
+
+    ``hierarchy`` is the *description* fed to the mixed-radix algorithm
+    (it may include fake levels); its size must equal the core count of
+    ``topology`` (one MPI process per core, canonical rank ``r`` bound to
+    core ``r``).
+    """
+    hierarchy.check_process_count(topology.n_cores)
+    fabric = fabric or Fabric(topology)
+    reordering = RankReordering(hierarchy, tuple(order), comm_size)
+    members = reordering.all_comm_members()  # canonical ranks == core IDs
+
+    single = collective_schedule(collective, members[0], total_bytes, algorithm)
+    duration_single = single.total_time(fabric)
+
+    schedules = [
+        collective_schedule(collective, members[c], total_bytes, algorithm)
+        for c in range(members.shape[0])
+    ]
+    merged = RoundSchedule.merge(schedules)
+    duration_all = merged.total_time(fabric)
+    return MicrobenchPoint(total_bytes, duration_single, duration_all)
+
+
+def size_sweep(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    order: Sequence[int],
+    comm_size: int,
+    collective: str,
+    sizes: Sequence[float],
+    algorithm: str | None = None,
+    fabric: Fabric | None = None,
+) -> MicrobenchSeries:
+    """One figure curve: the protocol across a size sweep."""
+    from repro.collectives.selector import select_algorithm
+
+    fabric = fabric or Fabric(topology)
+    points = tuple(
+        run_microbench(
+            topology, hierarchy, order, comm_size, collective, s, algorithm, fabric
+        )
+        for s in sizes
+    )
+    algo_label = algorithm or "+".join(
+        sorted({select_algorithm(collective, comm_size, s) for s in sizes})
+    )
+    return MicrobenchSeries(
+        order=tuple(order),
+        signature=signature(hierarchy, order, comm_size),
+        collective=collective,
+        algorithm=algo_label,
+        comm_size=comm_size,
+        n_comms=hierarchy.size // comm_size,
+        points=points,
+    )
+
+
+def paper_sizes(lo: float = 16e3, hi: float = 512e6, n: int = 11) -> list[float]:
+    """Log-spaced sizes spanning the paper's 16 KB - 512 MB x-axis."""
+    return list(np.logspace(np.log10(lo), np.log10(hi), n))

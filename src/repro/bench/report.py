@@ -1,0 +1,142 @@
+"""ASCII reporting and shape checks for the figure reproductions.
+
+The paper's claims are qualitative relations ("spread wins alone, packed
+wins under contention, by roughly these factors").  :class:`ShapeCheck`
+records one such relation with the measured evidence; the benchmark files
+print the tables and assert the checks, and EXPERIMENTS.md collects the
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+from repro.bench.microbench import MicrobenchSeries
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim and its measured verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def format_size(nbytes: float) -> str:
+    for unit, div in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if nbytes >= div:
+            return f"{nbytes / div:.0f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def series_table(series: Sequence[MicrobenchSeries], scenario: str = "both") -> str:
+    """One row per size, one column pair per order (MB/s)."""
+    if not series:
+        return "(no series)"
+    sizes = series[0].sizes()
+    headers = ["size"]
+    for s in series:
+        label = "-".join(str(i) for i in s.order)
+        if scenario in ("single", "both"):
+            headers.append(f"{label} x1")
+        if scenario in ("all", "both"):
+            headers.append(f"{label} xN")
+    widths = [10] + [max(12, len(h) + 1) for h in headers[1:]]
+    lines = ["".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for i, size in enumerate(sizes):
+        cells = [format_size(size).rjust(widths[0])]
+        col = 1
+        for s in series:
+            if scenario in ("single", "both"):
+                cells.append(f"{s.points[i].bandwidth_single / 1e6:.0f}".rjust(widths[col]))
+                col += 1
+            if scenario in ("all", "both"):
+                cells.append(f"{s.points[i].bandwidth_all / 1e6:.0f}".rjust(widths[col]))
+                col += 1
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def check(name: str, passed: bool, detail: str) -> ShapeCheck:
+    return ShapeCheck(name=name, passed=bool(passed), detail=detail)
+
+
+def ratio_check(
+    name: str, numerator: float, denominator: float, at_least: float
+) -> ShapeCheck:
+    r = numerator / denominator
+    return check(name, r >= at_least, f"ratio {r:.2f} (required >= {at_least})")
+
+
+def print_checks(checks: Iterable[ShapeCheck]) -> list[ShapeCheck]:
+    checks = list(checks)
+    for c in checks:
+        print(str(c))
+    return checks
+
+
+def assert_checks(checks: Iterable[ShapeCheck]) -> None:
+    failed = [c for c in checks if not c.passed]
+    if failed:
+        raise AssertionError(
+            "shape checks failed:\n" + "\n".join(str(c) for c in failed)
+        )
+
+
+# -- canonical shape checks shared by tests and benchmarks ---------------------
+
+
+def microbench_shape_checks(
+    series: Sequence[MicrobenchSeries],
+    spread_order: tuple[int, ...],
+    packed_order: tuple[int, ...],
+    contention_factor: float = 2.0,
+) -> list[ShapeCheck]:
+    """The Section 4.1.3 observations on one figure's series."""
+    by_order = {s.order: s for s in series}
+    spread = by_order[spread_order]
+    packed = by_order[packed_order]
+    large = -1  # largest size index
+    out = []
+    out.append(
+        ratio_check(
+            "spread order is best with a single communicator (large sizes)",
+            spread.points[large].bandwidth_single,
+            max(s.points[large].bandwidth_single for s in series if s.order != spread_order),
+            1.0,
+        )
+    )
+    out.append(
+        ratio_check(
+            "packed order is best when all communicators are active",
+            packed.points[large].bandwidth_all,
+            max(s.points[large].bandwidth_all for s in series if s.order != packed_order),
+            1.0,
+        )
+    )
+    out.append(
+        ratio_check(
+            "spread order collapses under full contention",
+            spread.points[large].bandwidth_single,
+            spread.points[large].bandwidth_all,
+            contention_factor,
+        )
+    )
+    packed_ratio = (
+        packed.points[large].bandwidth_all / packed.points[large].bandwidth_single
+    )
+    out.append(
+        check(
+            "packed order performance is scenario-independent",
+            0.8 <= packed_ratio <= 1.25,
+            f"all/single bandwidth ratio {packed_ratio:.2f} (required within 0.8-1.25)",
+        )
+    )
+    return out

@@ -1,0 +1,116 @@
+"""Generic parameter sweeps with tabular/CSV output.
+
+The figure generators are fixed to the paper's configurations; this module
+is the open-ended counterpart for downstream users: sweep any subset of
+{order, communicator size, collective, algorithm, data size, machine} on
+the fast model and collect tidy records suitable for CSV export or
+further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro.bench.microbench import run_microbench
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import signature
+from repro.core.orders import Order, all_orders, format_order
+from repro.netsim.fabric import Fabric
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One measurement of the sweep grid."""
+
+    machine: str
+    order: str
+    ring_cost: int
+    comm_size: int
+    n_comms: int
+    collective: str
+    algorithm: str
+    total_bytes: float
+    duration_single: float
+    duration_all: float
+    bandwidth_single: float
+    bandwidth_all: float
+
+
+def sweep(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    comm_sizes: Sequence[int],
+    collectives: Sequence[str] = ("alltoall",),
+    sizes: Sequence[float] = (1e6, 64e6),
+    orders: Sequence[Order] | None = None,
+    algorithm: str | None = None,
+) -> list[SweepRecord]:
+    """Evaluate the full cross product; returns one record per point."""
+    hierarchy.check_process_count(topology.n_cores)
+    fabric = Fabric(topology)
+    if orders is None:
+        orders = all_orders(hierarchy.depth)
+    records: list[SweepRecord] = []
+    for comm_size in comm_sizes:
+        if hierarchy.size % comm_size:
+            raise ValueError(
+                f"comm size {comm_size} does not divide {hierarchy.size}"
+            )
+        for order in orders:
+            sig = signature(hierarchy, order, comm_size)
+            for collective in collectives:
+                for total in sizes:
+                    point = run_microbench(
+                        topology, hierarchy, order, comm_size, collective,
+                        total, algorithm=algorithm, fabric=fabric,
+                    )
+                    from repro.collectives.selector import select_algorithm
+
+                    records.append(
+                        SweepRecord(
+                            machine=topology.name,
+                            order=format_order(order),
+                            ring_cost=sig.ring_cost,
+                            comm_size=comm_size,
+                            n_comms=hierarchy.size // comm_size,
+                            collective=collective,
+                            algorithm=algorithm
+                            or select_algorithm(collective, comm_size, total),
+                            total_bytes=total,
+                            duration_single=point.duration_single,
+                            duration_all=point.duration_all,
+                            bandwidth_single=point.bandwidth_single,
+                            bandwidth_all=point.bandwidth_all,
+                        )
+                    )
+    return records
+
+
+def to_csv(records: Sequence[SweepRecord]) -> str:
+    """Render records as CSV (header + one row per record)."""
+    if not records:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(asdict(records[0])))
+    writer.writeheader()
+    for rec in records:
+        writer.writerow(asdict(rec))
+    return buf.getvalue()
+
+
+def best_per_group(
+    records: Sequence[SweepRecord],
+    scenario: str = "all",
+) -> dict[tuple, SweepRecord]:
+    """Fastest record per (comm_size, collective, total_bytes) group."""
+    key_attr = "duration_all" if scenario == "all" else "duration_single"
+    best: dict[tuple, SweepRecord] = {}
+    for rec in records:
+        key = (rec.comm_size, rec.collective, rec.total_bytes)
+        if key not in best or getattr(rec, key_attr) < getattr(best[key], key_attr):
+            best[key] = rec
+    return best

@@ -1,0 +1,222 @@
+"""Command-line interface (``repro-mrd``).
+
+Operational front-end for the two use cases of Section 3:
+
+- ``orders``       enumerate / characterize orders for a hierarchy
+- ``reorder``      reorder a rank (or print the full permutation)
+- ``rankfile``     emit an OpenMPI rankfile realizing an order
+- ``map-cpu``      emit a ``--cpu-bind=map_cpu`` list (Algorithm 3)
+- ``distributions`` list the Slurm-expressible orders and their gaps
+- ``classes``      equivalence classes of orders for a communicator size
+- ``show``         draw an enumeration as an ASCII grid (Figure 2 style)
+- ``advise``       rank orders by predicted collective performance on a
+  simulated machine (``hydra``/``lumi`` presets or a generic model)
+
+Hierarchies are given as hwloc-style synthetic strings
+(``node:16 socket:2 core:8``), bare counts or the paper's bracket
+notation; orders as ``3-1-0-2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.coreselect import map_cpu_list
+from repro.core.equivalence import equivalence_classes
+from repro.core.metrics import signature
+from repro.core.mixed_radix import MixedRadix
+from repro.core.orders import all_orders, format_order, parse_order
+from repro.core.reorder import reorder_ranks
+from repro.launcher.rankfile import rankfile_for_order
+from repro.launcher.slurm import expressible_distributions
+from repro.topology.hwloc import parse_synthetic
+
+
+def _add_hierarchy_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--hierarchy",
+        "-H",
+        required=True,
+        help='hierarchy description, e.g. "node:2 socket:2 core:4" or "[[2,2,4]]"',
+    )
+
+
+def _cmd_orders(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    comm_size = args.comm_size or h.size
+    for order in all_orders(h.depth):
+        sig = signature(h, order, comm_size)
+        print(sig.legend())
+    return 0
+
+
+def _cmd_reorder(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    order = parse_order(args.order)
+    if args.rank is not None:
+        mr = MixedRadix(h)
+        coords = mr.decompose(args.rank)
+        print(f"rank {args.rank} coords {list(coords)} -> {mr.reorder(args.rank, order)}")
+    else:
+        new = reorder_ranks(h, order)
+        for r, n in enumerate(new):
+            print(f"{r} -> {n}")
+    return 0
+
+
+def _cmd_rankfile(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    order = parse_order(args.order)
+    sys.stdout.write(rankfile_for_order(h, order))
+    return 0
+
+
+def _cmd_map_cpu(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    order = parse_order(args.order)
+    cores = map_cpu_list(h, order, args.n)
+    print("map_cpu:" + ",".join(str(c) for c in cores))
+    return 0
+
+
+def _cmd_distributions(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    expressible = expressible_distributions(h)
+    by_order = {}
+    for dist, order in expressible.items():
+        by_order.setdefault(order, []).append(dist)
+    print(f"hierarchy {h}: {len(all_orders(h.depth))} orders, "
+          f"{len(by_order)} expressible with --distribution")
+    for order in all_orders(h.depth):
+        dists = by_order.get(order)
+        label = " | ".join(dists) if dists else "(mixed-radix only)"
+        print(f"  {format_order(order)}  {label}")
+    return 0
+
+
+def _cmd_classes(args: argparse.Namespace) -> int:
+    h = parse_synthetic(args.hierarchy)
+    comm_size = args.comm_size or h.size
+    classes = equivalence_classes(h, comm_size)
+    print(
+        f"{len(all_orders(h.depth))} orders -> {len(classes)} equivalence "
+        f"classes (comm size {comm_size})"
+    )
+    for key, sigs in classes.items():
+        members = ", ".join(format_order(s.order) for s in sigs)
+        print(f"  ring={key[0]:<5} pairs={key[1]}: {members}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.core.visualize import render_enumeration
+
+    h = parse_synthetic(args.hierarchy)
+    order = parse_order(args.order)
+    print(render_enumeration(h, order, comm_size=args.comm_size))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import advise
+    from repro.topology.machines import generic_cluster, hydra, lumi
+
+    h = parse_synthetic(args.hierarchy)
+    if args.machine == "hydra":
+        topology = hydra(h.radices[0])
+    elif args.machine == "lumi":
+        topology = lumi(h.radices[0])
+    else:
+        topology = generic_cluster(h.radices, h.names)
+    if topology.hierarchy.radices != h.radices:
+        raise SystemExit(
+            f"hierarchy {h} does not match the {args.machine} preset "
+            f"{topology.hierarchy}"
+        )
+    advice = advise(
+        topology,
+        h,
+        args.comm_size,
+        collective=args.collective,
+        scenario=args.scenario,
+    )
+    print(advice.report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mrd",
+        description="Mixed-radix enumeration of hierarchical compute resources",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("orders", help="enumerate and characterize all orders")
+    _add_hierarchy_arg(p)
+    p.add_argument("--comm-size", type=int, default=None)
+    p.set_defaults(func=_cmd_orders)
+
+    p = sub.add_parser("reorder", help="apply an order to ranks")
+    _add_hierarchy_arg(p)
+    p.add_argument("--order", "-o", required=True, help='e.g. "3-1-0-2"')
+    p.add_argument("--rank", type=int, default=None, help="single rank (else all)")
+    p.set_defaults(func=_cmd_reorder)
+
+    p = sub.add_parser("rankfile", help="emit an OpenMPI rankfile for an order")
+    _add_hierarchy_arg(p)
+    p.add_argument("--order", "-o", required=True)
+    p.set_defaults(func=_cmd_rankfile)
+
+    p = sub.add_parser("map-cpu", help="emit a --cpu-bind=map_cpu list (Alg. 3)")
+    _add_hierarchy_arg(p)
+    p.add_argument("--order", "-o", required=True)
+    p.add_argument("-n", type=int, required=True, help="cores (processes) per node")
+    p.set_defaults(func=_cmd_map_cpu)
+
+    p = sub.add_parser(
+        "distributions", help="compare orders against Slurm --distribution"
+    )
+    _add_hierarchy_arg(p)
+    p.set_defaults(func=_cmd_distributions)
+
+    p = sub.add_parser("classes", help="order equivalence classes")
+    _add_hierarchy_arg(p)
+    p.add_argument("--comm-size", type=int, default=None)
+    p.set_defaults(func=_cmd_classes)
+
+    p = sub.add_parser(
+        "show", help="draw an enumeration as an ASCII grid (Figure 2 style)"
+    )
+    _add_hierarchy_arg(p)
+    p.add_argument("--order", "-o", required=True)
+    p.add_argument("--comm-size", type=int, default=None)
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser(
+        "advise", help="rank orders by predicted collective performance"
+    )
+    _add_hierarchy_arg(p)
+    p.add_argument("--comm-size", type=int, required=True)
+    p.add_argument(
+        "--collective", default="alltoall",
+        choices=["alltoall", "allgather", "allreduce"],
+    )
+    p.add_argument("--scenario", default="all", choices=["all", "single"])
+    p.add_argument(
+        "--machine", default="generic", choices=["generic", "hydra", "lumi"],
+        help="calibrated preset (level 0 must be the node count) or a "
+        "generic gradient model",
+    )
+    p.set_defaults(func=_cmd_advise)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""MPI_Allgather algorithms: ring, recursive doubling, Bruck, neighbor.
+
+The ring sends blocks to the next-higher rank for ``p - 1`` rounds and is
+the large-message default; its performance depends directly on the
+distance between consecutive ranks -- the *ring cost* metric of Section
+3.3 -- which is why allgather is the collective where rank order inside a
+communicator matters most (Figure 7).  Recursive doubling (power-of-two
+only) and Bruck move doubling amounts over log rounds; neighbor exchange
+pairs even/odd ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, ceil_log2, check_power_of_two
+from repro.simmpi.communicator import Comm
+
+
+def ring_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Ring: one pattern (rank ``i`` -> ``i + 1``), repeated ``p - 1`` times."""
+    if p < 2:
+        return []
+    block = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    return [RoundSpec(ranks, (ranks + 1) % p, block, repeat=p - 1)]
+
+
+def recursive_doubling_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Recursive doubling: log2(p) exchanges of doubling size (p = 2^k)."""
+    check_power_of_two(p, "recursive-doubling allgather")
+    if p < 2:
+        return []
+    block = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    return [
+        RoundSpec(ranks, ranks ^ (1 << k), block * (1 << k))
+        for k in range(ceil_log2(p))
+    ]
+
+
+def bruck_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Bruck allgather: doubling sizes, works for any ``p``."""
+    if p < 2:
+        return []
+    block = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    rounds = []
+    gathered = 1
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        chunk = min(gathered, p - gathered)
+        rounds.append(RoundSpec(ranks, (ranks - step) % p, chunk * block))
+        gathered += chunk
+    return rounds
+
+
+def neighbor_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Neighbor exchange (even ``p``): p/2 rounds of pairwise swaps.
+
+    Round 0 pairs ``(2i, 2i+1)``; later rounds alternate pairing with the
+    left and right neighbour, each moving two blocks' worth of data.
+    """
+    if p < 2:
+        return []
+    if p % 2:
+        raise ValueError("neighbor-exchange allgather requires even p")
+    block = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    even = ranks % 2 == 0
+    rounds = [
+        RoundSpec(ranks, np.where(even, ranks + 1, ranks - 1), block)
+    ]
+    for r in range(1, p // 2):
+        if r % 2:
+            dst = np.where(even, (ranks - 1) % p, (ranks + 1) % p)
+        else:
+            dst = np.where(even, ranks + 1, ranks - 1)
+        rounds.append(RoundSpec(ranks, dst, 2 * block))
+    return rounds
+
+
+def ring_program(
+    comm: Comm, myblock: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional ring allgather; returns the ``(p, count)`` gathered array."""
+    p = comm.size
+    out = np.empty((p,) + myblock.shape, dtype=myblock.dtype)
+    out[comm.rank] = myblock
+    nbytes = myblock.nbytes
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    for r in range(p - 1):
+        send_idx = (comm.rank - r) % p
+        recv_idx = (comm.rank - r - 1) % p
+        out[recv_idx] = yield comm.sendrecv(right, nbytes, out[send_idx], left, tag=r)
+    return out
+
+
+def recursive_doubling_program(
+    comm: Comm, myblock: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional recursive-doubling allgather (power-of-two ``p``)."""
+    p = comm.size
+    check_power_of_two(p, "recursive-doubling allgather")
+    rank = comm.rank
+    out = np.empty((p,) + myblock.shape, dtype=myblock.dtype)
+    out[rank] = myblock
+    have_lo, have_n = rank, 1  # contiguous run of owned blocks (mod p)
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        partner = rank ^ step
+        # Own run is aligned: it covers [base, base + step) with
+        # base = rank with the low k bits cleared.
+        base = rank & ~(step - 1)
+        mine = out[base : base + step]
+        theirs_base = partner & ~(step - 1)
+        received = yield comm.sendrecv(
+            partner, mine.nbytes, mine.copy(), partner, tag=k
+        )
+        out[theirs_base : theirs_base + step] = received
+    return out
+
+
+def bruck_program(
+    comm: Comm, myblock: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional Bruck allgather (any ``p``)."""
+    p = comm.size
+    rank = comm.rank
+    # Work in rotated space: slot s holds the block of rank (rank + s) % p.
+    slots = np.empty((p,) + myblock.shape, dtype=myblock.dtype)
+    slots[0] = myblock
+    gathered = 1
+    k = 0
+    while gathered < p:
+        step = 1 << k
+        chunk = min(gathered, p - gathered)
+        outgoing = slots[:chunk].copy()
+        incoming = yield comm.sendrecv(
+            (rank - step) % p, outgoing.nbytes, outgoing, (rank + step) % p, tag=k
+        )
+        slots[gathered : gathered + chunk] = incoming
+        gathered += chunk
+        k += 1
+    out = np.empty_like(slots)
+    for s in range(p):
+        out[(rank + s) % p] = slots[s]
+    return out
+
+
+ROUNDS = {
+    "ring": ring_rounds,
+    "recursive_doubling": recursive_doubling_rounds,
+    "bruck": bruck_rounds,
+    "neighbor": neighbor_rounds,
+}
+
+PROGRAMS = {
+    "ring": ring_program,
+    "recursive_doubling": recursive_doubling_program,
+    "bruck": bruck_program,
+}

@@ -1,0 +1,173 @@
+"""MPI_Allreduce algorithms: recursive doubling, ring, Rabenseifner.
+
+Recursive doubling exchanges the full vector over log2(p) rounds (the
+small-message choice); the ring composes a reduce-scatter and an allgather
+over ``2(p-1)`` neighbour rounds (the bandwidth-optimal large-message
+choice, and like ring allgather sensitive to the communicator's ring
+cost); Rabenseifner's algorithm halves the exchanged volume each round via
+recursive-halving reduce-scatter followed by recursive-doubling allgather.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, ceil_log2, check_power_of_two
+from repro.simmpi.communicator import Comm
+
+ReduceOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _vector_bytes(p: int, total_bytes: float) -> float:
+    """Per-rank vector size under the paper's ``total = p * count`` convention."""
+    return total_bytes / p
+
+
+def recursive_doubling_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    check_power_of_two(p, "recursive-doubling allreduce")
+    if p < 2:
+        return []
+    v = _vector_bytes(p, total_bytes)
+    ranks = np.arange(p, dtype=np.int64)
+    return [RoundSpec(ranks, ranks ^ (1 << k), v) for k in range(ceil_log2(p))]
+
+
+def ring_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Reduce-scatter ring then allgather ring: one pattern, 2(p-1) rounds."""
+    if p < 2:
+        return []
+    v = _vector_bytes(p, total_bytes)
+    ranks = np.arange(p, dtype=np.int64)
+    return [RoundSpec(ranks, (ranks + 1) % p, v / p, repeat=2 * (p - 1))]
+
+
+def rabenseifner_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Recursive halving reduce-scatter + recursive doubling allgather."""
+    check_power_of_two(p, "Rabenseifner allreduce")
+    if p < 2:
+        return []
+    v = _vector_bytes(p, total_bytes)
+    ranks = np.arange(p, dtype=np.int64)
+    log = ceil_log2(p)
+    rounds = []
+    for k in range(log):  # halving: far partners first, big messages first
+        step = p >> (k + 1)
+        rounds.append(RoundSpec(ranks, ranks ^ step, v / (1 << (k + 1))))
+    for k in range(log):  # doubling: near partners first, small first
+        step = 1 << k
+        rounds.append(RoundSpec(ranks, ranks ^ step, v * step / p))
+    return rounds
+
+
+def recursive_doubling_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional recursive-doubling allreduce (power-of-two ``p``)."""
+    check_power_of_two(comm.size, "recursive-doubling allreduce")
+    acc = vector.copy()
+    for k in range(ceil_log2(comm.size)):
+        partner = comm.rank ^ (1 << k)
+        other = yield comm.sendrecv(partner, acc.nbytes, acc.copy(), partner, tag=k)
+        acc = op(acc, other)
+    return acc
+
+
+def ring_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional ring allreduce (any ``p``): reduce-scatter + allgather.
+
+    The vector is split into ``p`` chunks (padded to a multiple of ``p``
+    internally); chunk ``c`` is reduced onto rank ``(c + 1) % p`` after the
+    reduce-scatter phase, then circulated back around.
+    """
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        return vector.copy()
+    n = vector.shape[0]
+    pad = (-n) % p
+    work = np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
+    chunks = work.reshape(p, -1).copy()
+    right, left = (rank + 1) % p, (rank - 1) % p
+    # Reduce-scatter: in round r, send the chunk we just finished reducing.
+    for r in range(p - 1):
+        send_idx = (rank - r) % p
+        recv_idx = (rank - r - 1) % p
+        received = yield comm.sendrecv(
+            right, chunks[send_idx].nbytes, chunks[send_idx].copy(), left, tag=r
+        )
+        chunks[recv_idx] = op(chunks[recv_idx], received)
+    # Allgather: circulate the fully reduced chunks.
+    for r in range(p - 1):
+        send_idx = (rank + 1 - r) % p
+        recv_idx = (rank - r) % p
+        chunks[recv_idx] = yield comm.sendrecv(
+            right, chunks[send_idx].nbytes, chunks[send_idx].copy(), left, tag=p + r
+        )
+    out = chunks.reshape(-1)
+    return out[:n].copy()
+
+
+def rabenseifner_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional Rabenseifner allreduce (power-of-two ``p``).
+
+    Keeps the textbook structure: recursive halving where each partner
+    keeps one half and reduces it, then recursive doubling to regather.
+    """
+    p = comm.size
+    check_power_of_two(p, "Rabenseifner allreduce")
+    if p == 1:
+        return vector.copy()
+    rank = comm.rank
+    n = vector.shape[0]
+    pad = (-n) % p
+    work = np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
+    lo, hi = 0, work.shape[0]  # active window, multiples of the chunk size
+    log = ceil_log2(p)
+    for k in range(log):
+        step = p >> (k + 1)
+        partner = rank ^ step
+        mid = (lo + hi) // 2
+        if rank < partner:  # keep low half, send high half
+            send_sl, keep_sl = slice(mid, hi), slice(lo, mid)
+        else:
+            send_sl, keep_sl = slice(lo, mid), slice(mid, hi)
+        received = yield comm.sendrecv(
+            partner, work[send_sl].nbytes, work[send_sl].copy(), partner, tag=k
+        )
+        work[keep_sl] = op(work[keep_sl], received)
+        lo, hi = (lo, mid) if rank < partner else (mid, hi)
+    for k in range(log):  # regather, reversing the halving
+        step = 1 << k
+        partner = rank ^ step
+        width = hi - lo
+        if rank < partner:  # own window is the low half of the doubled one
+            new_lo, new_hi = lo, hi + width
+            their = slice(hi, hi + width)
+        else:
+            new_lo, new_hi = lo - width, hi
+            their = slice(lo - width, lo)
+        received = yield comm.sendrecv(
+            partner, work[lo:hi].nbytes, work[lo:hi].copy(), partner, tag=log + k
+        )
+        work[their] = received
+        lo, hi = new_lo, new_hi
+    return work[:n].copy()
+
+
+ROUNDS = {
+    "recursive_doubling": recursive_doubling_rounds,
+    "ring": ring_rounds,
+    "rabenseifner": rabenseifner_rounds,
+}
+
+PROGRAMS = {
+    "recursive_doubling": recursive_doubling_program,
+    "ring": ring_program,
+    "rabenseifner": rabenseifner_program,
+}

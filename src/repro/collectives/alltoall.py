@@ -1,0 +1,146 @@
+"""MPI_Alltoall algorithms: pairwise exchange, Bruck, linear flood.
+
+Pairwise exchange is the canonical large-message algorithm (``p - 1``
+rounds; in round ``r`` rank ``i`` sends to ``(i + r) % p`` and receives
+from ``(i - r) % p``); Bruck trades bandwidth for latency in
+``ceil(log2 p)`` rounds and wins for small messages.  The linear variant
+posts every pair at once -- the unsynchronized flood some implementations
+use -- and exists mainly as an ablation point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, ceil_log2
+from repro.simmpi.communicator import Comm
+
+
+def pairwise_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Pairwise exchange: p-1 rounds of one message per rank."""
+    if p < 2:
+        return []
+    per_pair = total_bytes / (p * p)
+    ranks = np.arange(p, dtype=np.int64)
+    return [
+        RoundSpec(ranks, (ranks + r) % p, per_pair) for r in range(1, p)
+    ]
+
+
+def bruck_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Bruck: ceil(log2 p) rounds, each moving about half the blocks."""
+    if p < 2:
+        return []
+    per_pair = total_bytes / (p * p)
+    ranks = np.arange(p, dtype=np.int64)
+    rounds = []
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        n_blocks = sum(1 for j in range(1, p) if (j >> k) & 1)
+        rounds.append(RoundSpec(ranks, (ranks + step) % p, n_blocks * per_pair))
+    return rounds
+
+
+def linear_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """All p(p-1) pairs in a single unsynchronized burst."""
+    if p < 2:
+        return []
+    per_pair = total_bytes / (p * p)
+    src, dst = np.nonzero(~np.eye(p, dtype=bool))
+    return [RoundSpec(src.astype(np.int64), dst.astype(np.int64), per_pair)]
+
+
+def pairwise_program(
+    comm: Comm, sendbuf: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional pairwise exchange.
+
+    ``sendbuf`` has shape ``(p, count)``; row ``j`` goes to rank ``j``.
+    Returns the ``(p, count)`` receive buffer.
+    """
+    p = comm.size
+    if sendbuf.shape[0] != p:
+        raise ValueError(f"sendbuf must have {p} rows, got {sendbuf.shape[0]}")
+    recvbuf = np.empty_like(sendbuf)
+    recvbuf[comm.rank] = sendbuf[comm.rank]
+    nbytes = sendbuf[0].nbytes
+    for r in range(1, p):
+        to = (comm.rank + r) % p
+        frm = (comm.rank - r) % p
+        recvbuf[frm] = yield comm.sendrecv(to, nbytes, sendbuf[to], frm, tag=r)
+    return recvbuf
+
+
+def bruck_program(
+    comm: Comm, sendbuf: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional Bruck alltoall (works for any ``p``).
+
+    Phase 1 rotates the local blocks so block ``j`` targets relative rank
+    ``j``; phase 2 forwards, at step ``k``, every block whose index has bit
+    ``k`` set; phase 3 rotates the result into place.
+    """
+    p = comm.size
+    rank = comm.rank
+    blocks = np.roll(sendbuf, -rank, axis=0).copy()
+    block_bytes = sendbuf[0].nbytes
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        idx = [j for j in range(1, p) if (j >> k) & 1]
+        outgoing = blocks[idx].copy()
+        incoming = yield comm.sendrecv(
+            (rank + step) % p,
+            len(idx) * block_bytes,
+            outgoing,
+            (rank - step) % p,
+            tag=k,
+        )
+        blocks[idx] = incoming
+    # Inverse rotation + reversal places block for rank j at row j.
+    recvbuf = np.empty_like(sendbuf)
+    for j in range(p):
+        recvbuf[j] = blocks[(rank - j) % p]
+    return recvbuf
+
+
+def linear_program(
+    comm: Comm, sendbuf: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional linear alltoall: post every isend/irecv, then wait.
+
+    The unsynchronized flood — all ``p - 1`` transfers of a rank are in
+    flight at once, exactly what :func:`linear_rounds` models as a single
+    contention round.
+    """
+    p = comm.size
+    if sendbuf.shape[0] != p:
+        raise ValueError(f"sendbuf must have {p} rows, got {sendbuf.shape[0]}")
+    recvbuf = np.empty_like(sendbuf)
+    recvbuf[comm.rank] = sendbuf[comm.rank]
+    nbytes = sendbuf[0].nbytes
+    recv_reqs = []
+    peers = [j for j in range(p) if j != comm.rank]
+    for j in peers:
+        recv_reqs.append((yield comm.irecv(j, tag=j)))
+    send_reqs = []
+    for j in peers:
+        send_reqs.append((yield comm.isend(j, nbytes, sendbuf[j], tag=comm.rank)))
+    data = yield comm.wait(*recv_reqs, *send_reqs)
+    for j, block in zip(peers, data[: len(peers)]):
+        recvbuf[j] = block
+    return recvbuf
+
+
+ROUNDS = {
+    "pairwise": pairwise_rounds,
+    "bruck": bruck_rounds,
+    "linear": linear_rounds,
+}
+
+PROGRAMS = {
+    "pairwise": pairwise_program,
+    "bruck": bruck_program,
+    "linear": linear_program,
+}

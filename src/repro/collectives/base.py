@@ -1,0 +1,62 @@
+"""Shared plumbing for collective algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.netsim.fabric import Round, RoundSchedule
+
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """One synchronized round of a collective, in communicator rank space.
+
+    ``src``/``dst`` are communicator ranks; ``nbytes`` is per-flow (scalar
+    or per-flow array); ``repeat`` collapses consecutive identical rounds
+    (a ring allgather is one pattern repeated ``p - 1`` times).
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    nbytes: np.ndarray | float
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", np.asarray(self.src, dtype=np.int64))
+        object.__setattr__(self, "dst", np.asarray(self.dst, dtype=np.int64))
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+
+
+def rounds_to_schedule(
+    rounds: Sequence[RoundSpec], member_cores: np.ndarray | Sequence[int]
+) -> RoundSchedule:
+    """Map communicator-rank rounds onto cores.
+
+    ``member_cores[comm_rank]`` is the core the communicator's rank is
+    bound to (the composition of the rank reordering and the process
+    launcher's core binding).
+    """
+    cores = np.asarray(member_cores, dtype=np.int64)
+    out = []
+    for spec in rounds:
+        if spec.src.size and (spec.src.max() >= cores.size or spec.dst.max() >= cores.size):
+            raise ValueError("round refers to ranks outside the communicator")
+        out.append(Round(cores[spec.src], cores[spec.dst], spec.nbytes, spec.repeat))
+    return RoundSchedule(out)
+
+
+def check_power_of_two(p: int, algorithm: str) -> None:
+    if p & (p - 1) or p < 1:
+        raise ValueError(
+            f"{algorithm} requires a power-of-two communicator, got {p}"
+        )
+
+
+def ceil_log2(p: int) -> int:
+    return int(p - 1).bit_length()

@@ -1,0 +1,222 @@
+"""Barrier, scan, reduce_scatter and alltoallv.
+
+- Dissemination barrier: ``ceil(log2 p)`` zero-payload notification rounds
+  (rank ``i`` signals ``(i + 2^k) % p``); used to synchronize the
+  micro-benchmark time window exactly as Section 4.1.1 describes.
+- Recursive-doubling inclusive scan (MPI_Scan), used by Splatt.
+- Reduce_scatter via recursive halving (power-of-two) and via ring.
+- Alltoallv as pairwise exchange over an arbitrary size matrix -- the
+  dominant operation in Splatt's layer communicators (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, ceil_log2, check_power_of_two
+from repro.simmpi.communicator import Comm
+
+ReduceOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Notification payload size for barrier rounds (a header-only message).
+_SIGNAL_BYTES = 1.0
+
+
+def barrier_rounds(p: int, total_bytes: float = 0.0) -> list[RoundSpec]:
+    """Dissemination barrier (``total_bytes`` ignored; kept for uniformity)."""
+    if p < 2:
+        return []
+    ranks = np.arange(p, dtype=np.int64)
+    return [
+        RoundSpec(ranks, (ranks + (1 << k)) % p, _SIGNAL_BYTES)
+        for k in range(ceil_log2(p))
+    ]
+
+
+def barrier_program(comm: Comm) -> Generator[Any, Any, None]:
+    """Functional dissemination barrier."""
+    p = comm.size
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        yield comm.sendrecv(
+            (comm.rank + step) % p, _SIGNAL_BYTES, None, (comm.rank - step) % p, tag=k
+        )
+    return None
+
+
+def scan_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Recursive-doubling scan: round ``k`` sends from ``i`` to ``i + 2^k``."""
+    if p < 2:
+        return []
+    v = total_bytes / p
+    rounds = []
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        src = np.arange(p - step, dtype=np.int64)
+        rounds.append(RoundSpec(src, src + step, v))
+    return rounds
+
+
+def scan_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional inclusive scan (recursive doubling)."""
+    p = comm.size
+    rank = comm.rank
+    acc = vector.copy()  # running inclusive prefix ending at this rank
+    partial = vector.copy()  # combined contribution of a trailing window
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        send_to = rank + step if rank + step < p else None
+        recv_from = rank - step if rank - step >= 0 else None
+        if send_to is not None and recv_from is not None:
+            received = yield comm.sendrecv(
+                send_to, partial.nbytes, partial.copy(), recv_from, tag=k
+            )
+        elif send_to is not None:
+            yield comm.send(send_to, partial.nbytes, partial.copy(), tag=k)
+            received = None
+        elif recv_from is not None:
+            received = yield comm.recv(recv_from, tag=k)
+        else:  # pragma: no cover - single-rank comm
+            received = None
+        if received is not None:
+            acc = op(received, acc)
+            partial = op(received, partial)
+    return acc
+
+
+def reduce_scatter_halving_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Recursive-halving reduce_scatter (power-of-two ``p``)."""
+    check_power_of_two(p, "recursive-halving reduce_scatter")
+    if p < 2:
+        return []
+    v = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    return [
+        RoundSpec(ranks, ranks ^ (p >> (k + 1)), v / (1 << (k + 1)))
+        for k in range(ceil_log2(p))
+    ]
+
+
+def reduce_scatter_ring_rounds(p: int, total_bytes: float) -> list[RoundSpec]:
+    """Ring reduce_scatter: p-1 neighbour rounds of one chunk."""
+    if p < 2:
+        return []
+    v = total_bytes / p
+    ranks = np.arange(p, dtype=np.int64)
+    return [RoundSpec(ranks, (ranks + 1) % p, v / p, repeat=p - 1)]
+
+
+def alltoallv_pairwise_rounds(sizes: np.ndarray) -> list[RoundSpec]:
+    """Pairwise alltoallv over a ``(p, p)`` byte matrix (``sizes[i, j]`` =
+    bytes rank ``i`` sends to rank ``j``; the diagonal is ignored)."""
+    sizes = np.asarray(sizes, dtype=float)
+    p = sizes.shape[0]
+    if sizes.shape != (p, p):
+        raise ValueError("sizes must be a square matrix")
+    if p < 2:
+        return []
+    ranks = np.arange(p, dtype=np.int64)
+    rounds = []
+    for r in range(1, p):
+        dst = (ranks + r) % p
+        nbytes = sizes[ranks, dst]
+        live = nbytes > 0
+        if live.any():
+            rounds.append(RoundSpec(ranks[live], dst[live], nbytes[live]))
+    return rounds
+
+
+def alltoallv_pairwise_program(
+    comm: Comm, send_blocks: list[np.ndarray]
+) -> Generator[Any, Any, list[np.ndarray]]:
+    """Functional pairwise alltoallv; ``send_blocks[j]`` goes to rank ``j``."""
+    p = comm.size
+    if len(send_blocks) != p:
+        raise ValueError(f"need {p} send blocks, got {len(send_blocks)}")
+    recv_blocks: list[np.ndarray] = [None] * p  # type: ignore[list-item]
+    recv_blocks[comm.rank] = send_blocks[comm.rank]
+    for r in range(1, p):
+        to = (comm.rank + r) % p
+        frm = (comm.rank - r) % p
+        recv_blocks[frm] = yield comm.sendrecv(
+            to, send_blocks[to].nbytes, send_blocks[to], frm, tag=r
+        )
+    return recv_blocks
+
+
+def reduce_scatter_halving_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional recursive-halving reduce_scatter (power-of-two ``p``).
+
+    Returns this rank's fully reduced chunk (``len(vector) / p`` elements,
+    padded internally when not divisible).
+    """
+    p = comm.size
+    check_power_of_two(p, "recursive-halving reduce_scatter")
+    rank = comm.rank
+    n = vector.shape[0]
+    pad = (-n) % p
+    work = np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
+    lo, hi = 0, work.shape[0]
+    for k in range(ceil_log2(p)):
+        step = p >> (k + 1)
+        partner = rank ^ step
+        mid = (lo + hi) // 2
+        if rank < partner:
+            send_sl, keep = slice(mid, hi), (lo, mid)
+        else:
+            send_sl, keep = slice(lo, mid), (mid, hi)
+        received = yield comm.sendrecv(
+            partner, work[send_sl].nbytes, work[send_sl].copy(), partner, tag=k
+        )
+        lo, hi = keep
+        work[lo:hi] = op(work[lo:hi], received)
+    return work[lo:hi].copy()
+
+
+def reduce_scatter_ring_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional ring reduce_scatter (any ``p``).
+
+    Rank ``i`` ends up owning chunk ``(i + 1) % p`` of the reduced vector
+    (the standard ring rotation; callers needing MPI's chunk-``i``
+    placement can rotate once more).
+    """
+    p = comm.size
+    rank = comm.rank
+    n = vector.shape[0]
+    pad = (-n) % p
+    work = np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
+    chunks = work.reshape(p, -1).copy()
+    if p == 1:
+        return chunks[0][:n].copy()
+    right, left = (rank + 1) % p, (rank - 1) % p
+    for r in range(p - 1):
+        send_idx = (rank - r) % p
+        recv_idx = (rank - r - 1) % p
+        received = yield comm.sendrecv(
+            right, chunks[send_idx].nbytes, chunks[send_idx].copy(), left, tag=r
+        )
+        chunks[recv_idx] = op(chunks[recv_idx], received)
+    return chunks[(rank + 1) % p].copy()
+
+
+ROUNDS = {
+    "barrier_dissemination": barrier_rounds,
+    "scan_recursive_doubling": scan_rounds,
+    "reduce_scatter_halving": reduce_scatter_halving_rounds,
+    "reduce_scatter_ring": reduce_scatter_ring_rounds,
+}
+
+PROGRAMS = {
+    "barrier_dissemination": barrier_program,
+    "scan_recursive_doubling": scan_program,
+    "reduce_scatter_halving": reduce_scatter_halving_program,
+    "reduce_scatter_ring": reduce_scatter_ring_program,
+}

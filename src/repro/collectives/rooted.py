@@ -1,0 +1,264 @@
+"""Rooted collectives: bcast, reduce, gather, scatter (binomial trees).
+
+The paper's micro-benchmarks deliberately exclude rooted collectives (the
+root choice adds a dimension), but the Splatt application uses
+``MPI_Bcast``, ``MPI_Reduce`` and ``MPI_Gather``, so the substrate
+implements them.  All four use the classic binomial tree on *relative*
+ranks (``rel = (rank - root) % p``); bcast/reduce move the full vector per
+edge while gather/scatter move subtree-sized aggregates.
+
+Size convention: consistent with the non-rooted collectives,
+``total_bytes = p * count``; bcast/reduce vectors are ``total_bytes / p``
+long and gather/scatter blocks are ``total_bytes / p`` per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, ceil_log2
+from repro.simmpi.communicator import Comm
+
+ReduceOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def bcast_rounds(p: int, total_bytes: float, root: int = 0) -> list[RoundSpec]:
+    """Binomial bcast: round ``k`` doubles the informed set."""
+    if p < 2:
+        return []
+    v = total_bytes / p
+    rounds = []
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        senders_rel = np.arange(min(step, max(p - step, 0)), dtype=np.int64)
+        dst_rel = senders_rel + step
+        keep = dst_rel < p
+        rounds.append(
+            RoundSpec(
+                (senders_rel[keep] + root) % p, (dst_rel[keep] + root) % p, v
+            )
+        )
+    return rounds
+
+
+def reduce_rounds(p: int, total_bytes: float, root: int = 0) -> list[RoundSpec]:
+    """Binomial reduce: the mirror image of bcast (leaves send first)."""
+    if p < 2:
+        return []
+    rounds = bcast_rounds(p, total_bytes, root)
+    return [RoundSpec(r.dst, r.src, r.nbytes) for r in reversed(rounds)]
+
+
+def gather_rounds(p: int, total_bytes: float, root: int = 0) -> list[RoundSpec]:
+    """Binomial gather: subtree aggregates flow toward the root.
+
+    In the round with step ``2^k``, relative ranks that are odd multiples
+    of ``2^k`` ship their accumulated subtree (up to ``2^k`` blocks) to the
+    parent ``rel - 2^k``; small steps go first.
+    """
+    if p < 2:
+        return []
+    block = total_bytes / p
+    rounds = []
+    for k in range(ceil_log2(p)):
+        step = 1 << k
+        senders_rel = np.arange(step, p, 2 * step, dtype=np.int64)
+        sizes = np.minimum(step, p - senders_rel).astype(float) * block
+        rounds.append(
+            RoundSpec(
+                (senders_rel + root) % p,
+                (senders_rel - step + root) % p,
+                sizes,
+            )
+        )
+    return rounds
+
+
+def scatter_rounds(p: int, total_bytes: float, root: int = 0) -> list[RoundSpec]:
+    """Binomial scatter: gather's mirror (root sends halves outward)."""
+    if p < 2:
+        return []
+    rounds = gather_rounds(p, total_bytes, root)
+    return [RoundSpec(r.dst, r.src, r.nbytes) for r in reversed(rounds)]
+
+
+def bcast_program(
+    comm: Comm, vector: np.ndarray | None, root: int = 0
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional binomial bcast; non-roots pass ``vector=None``."""
+    p = comm.size
+    rel = (comm.rank - root) % p
+    data = None
+    if rel == 0:
+        if vector is None:
+            raise ValueError("root must supply the vector")
+        data = vector.copy()
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = rel - mask
+            data = yield comm.recv((parent + root) % p, tag=mask)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask:
+        child = rel + mask
+        if child < p:
+            yield comm.send((child + root) % p, data.nbytes, data, tag=mask)
+        mask >>= 1
+    return data
+
+
+def reduce_program(
+    comm: Comm, vector: np.ndarray, op: ReduceOp = np.add, root: int = 0
+) -> Generator[Any, Any, np.ndarray | None]:
+    """Functional binomial reduce; returns the result at root, else None."""
+    p = comm.size
+    rel = (comm.rank - root) % p
+    acc = vector.copy()
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = rel - mask
+            yield comm.send((parent + root) % p, acc.nbytes, acc, tag=mask)
+            return None
+        child = rel | mask
+        if child < p:
+            other = yield comm.recv((child + root) % p, tag=mask)
+            acc = op(acc, other)
+        mask <<= 1
+    return acc
+
+
+def gather_program(
+    comm: Comm, block: np.ndarray, root: int = 0
+) -> Generator[Any, Any, np.ndarray | None]:
+    """Functional binomial gather; root returns the ``(p, count)`` array.
+
+    Subtree payloads travel as contiguous relative-rank ranges
+    ``[rel, rel + 2^k)``.
+    """
+    p = comm.size
+    rel = (comm.rank - root) % p
+    buf = np.empty((p,) + block.shape, dtype=block.dtype)
+    buf[rel] = block
+    have = 1  # contiguous blocks [rel, rel + have)
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = rel - mask
+            yield comm.send(
+                (parent + root) % p, buf[rel : rel + have].nbytes,
+                buf[rel : rel + have].copy(), tag=mask,
+            )
+            return None
+        child = rel | mask
+        if child < p:
+            received = yield comm.recv((child + root) % p, tag=mask)
+            n = received.shape[0]
+            buf[child : child + n] = received
+            have = child + n - rel
+        mask <<= 1
+    # rel == 0 (the root): reindex from relative to communicator ranks.
+    out = np.empty_like(buf)
+    for r in range(p):
+        out[r] = buf[(r - root) % p]
+    return out
+
+
+def scatter_program(
+    comm: Comm, blocks: np.ndarray | None, root: int = 0
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional binomial scatter; root supplies ``(p, count)`` blocks."""
+    p = comm.size
+    rel = (comm.rank - root) % p
+    buf: np.ndarray | None = None
+    have = 0
+    if rel == 0:
+        if blocks is None:
+            raise ValueError("root must supply the blocks")
+        buf = np.stack([blocks[(r + root) % p] for r in range(p)])
+        have = p
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            buf = yield comm.recv(((rel - mask) + root) % p, tag=mask)
+            have = buf.shape[0]
+            break
+        mask <<= 1
+    if mask >= p:
+        mask = 1 << (ceil_log2(p) - 1) if p > 1 else 0
+    else:
+        mask >>= 1
+    while mask:
+        child = rel + mask
+        if child < p and child - rel < have:
+            lo = child - rel
+            hi = min(have, lo + mask)
+            yield comm.send(
+                (child + root) % p, buf[lo:hi].nbytes, buf[lo:hi].copy(), tag=mask
+            )
+            have = lo
+        mask >>= 1
+    return buf[0].copy()
+
+
+def bcast_scatter_allgather_rounds(
+    p: int, total_bytes: float, root: int = 0
+) -> list[RoundSpec]:
+    """Van-de-Geijn bcast: binomial scatter of 1/p chunks, then a ring
+    allgather -- the bandwidth-optimal large-message broadcast."""
+    if p < 2:
+        return []
+    from repro.collectives.allgather import ring_rounds
+
+    v = total_bytes / p  # the broadcast vector
+    # Scatter 1/p-sized chunks of the vector: scatter_rounds' block size
+    # is total/p, so dividing its volumes by p yields chunks of v/p.
+    scatter = [
+        RoundSpec(r.src, r.dst, np.asarray(r.nbytes, dtype=float) / p)
+        for r in scatter_rounds(p, total_bytes, root)
+    ]
+    ring = [
+        RoundSpec((r.src + root) % p, (r.dst + root) % p, v / p, repeat=r.repeat)
+        for r in ring_rounds(p, total_bytes / p)
+    ]
+    return scatter + ring
+
+
+def bcast_scatter_allgather_program(
+    comm: Comm, vector: np.ndarray | None, root: int = 0
+) -> Generator[Any, Any, np.ndarray]:
+    """Functional Van-de-Geijn bcast (vector length divisible by ``p``)."""
+    from repro.collectives.allgather import ring_program
+
+    p = comm.size
+    if comm.rank == root:
+        if vector is None:
+            raise ValueError("root must supply the vector")
+        if vector.shape[0] % p:
+            raise ValueError("vector length must divide by the comm size")
+        blocks = vector.reshape(p, -1)
+    else:
+        blocks = None
+    myblock = yield from scatter_program(comm, blocks, root=root)
+    gathered = yield from ring_program(comm, myblock)
+    return gathered.reshape(-1)
+
+
+ROUNDS = {
+    "bcast_binomial": bcast_rounds,
+    "reduce_binomial": reduce_rounds,
+    "gather_binomial": gather_rounds,
+    "scatter_binomial": scatter_rounds,
+}
+
+PROGRAMS = {
+    "bcast_binomial": bcast_program,
+    "reduce_binomial": reduce_program,
+    "gather_binomial": gather_program,
+    "scatter_binomial": scatter_program,
+    "bcast_scatter_allgather": bcast_scatter_allgather_program,
+}

@@ -1,0 +1,100 @@
+"""Size-based algorithm selection, in the spirit of OpenMPI's ``tuned``.
+
+The paper leaves algorithm choice to the MPI library ("we do not force a
+specific algorithm...; results with a fixed algorithm show similar
+trends").  :func:`select_algorithm` reproduces typical decision rules:
+latency-optimal log-round algorithms for small payloads, bandwidth-optimal
+pairwise/ring algorithms for large ones, with power-of-two-only algorithms
+guarded.  ``benchmarks/bench_ablation_algorithms.py`` quantifies how much
+the choice matters per mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.collectives import allgather, allreduce, alltoall, misc, rooted
+from repro.collectives.base import RoundSpec
+
+RoundsFn = Callable[[int, float], list[RoundSpec]]
+
+#: Registry of every rounds-face algorithm: ``(collective, name) -> fn``.
+_REGISTRY: dict[tuple[str, str], RoundsFn] = {}
+for _name, _fn in alltoall.ROUNDS.items():
+    _REGISTRY[("alltoall", _name)] = _fn
+for _name, _fn in allgather.ROUNDS.items():
+    _REGISTRY[("allgather", _name)] = _fn
+for _name, _fn in allreduce.ROUNDS.items():
+    _REGISTRY[("allreduce", _name)] = _fn
+for _name, _fn in rooted.ROUNDS.items():
+    _collective, _algo = _name.rsplit("_", 1)
+    _REGISTRY[(_collective, _algo)] = _fn
+_REGISTRY[("bcast", "scatter_allgather")] = rooted.bcast_scatter_allgather_rounds
+_REGISTRY[("barrier", "dissemination")] = misc.barrier_rounds
+_REGISTRY[("scan", "recursive_doubling")] = misc.scan_rounds
+_REGISTRY[("reduce_scatter", "halving")] = misc.reduce_scatter_halving_rounds
+_REGISTRY[("reduce_scatter", "ring")] = misc.reduce_scatter_ring_rounds
+
+
+def list_algorithms(collective: str | None = None) -> list[tuple[str, str]]:
+    """All registered ``(collective, algorithm)`` pairs."""
+    return sorted(
+        key for key in _REGISTRY if collective is None or key[0] == collective
+    )
+
+
+def get_algorithm(collective: str, algorithm: str) -> RoundsFn:
+    """Look up a rounds-face algorithm by name."""
+    try:
+        return _REGISTRY[(collective, algorithm)]
+    except KeyError:
+        known = ", ".join(a for c, a in list_algorithms(collective))
+        raise KeyError(
+            f"unknown algorithm {algorithm!r} for {collective!r} "
+            f"(known: {known or 'none'})"
+        ) from None
+
+
+def _is_pow2(p: int) -> bool:
+    return p >= 1 and not p & (p - 1)
+
+
+def select_algorithm(collective: str, p: int, total_bytes: float) -> str:
+    """Pick an algorithm the way a tuned MPI library would.
+
+    ``total_bytes`` follows the paper's convention (communicator size x
+    per-rank count); per-rank payload is ``total_bytes / p``.
+    """
+    per_rank = total_bytes / max(p, 1)
+    if collective == "alltoall":
+        return "bruck" if per_rank <= 4096 and p >= 8 else "pairwise"
+    if collective == "allgather":
+        if per_rank <= 1024 and p >= 8:
+            return "bruck"
+        if _is_pow2(p) and per_rank <= 65536:
+            return "recursive_doubling"
+        return "ring"
+    if collective == "allreduce":
+        if per_rank <= 65536:
+            return "recursive_doubling" if _is_pow2(p) else "ring"
+        return "rabenseifner" if _is_pow2(p) else "ring"
+    if collective == "reduce_scatter":
+        return "halving" if _is_pow2(p) else "ring"
+    if collective in ("bcast", "reduce", "gather", "scatter"):
+        return "binomial"
+    if collective == "barrier":
+        return "dissemination"
+    if collective == "scan":
+        return "recursive_doubling"
+    raise KeyError(f"unknown collective {collective!r}")
+
+
+def rounds_for(
+    collective: str,
+    p: int,
+    total_bytes: float,
+    algorithm: str | None = None,
+) -> list[RoundSpec]:
+    """Rounds of ``collective`` on ``p`` ranks, auto-selecting by default."""
+    name = algorithm or select_algorithm(collective, p, total_bytes)
+    return get_algorithm(collective, name)(p, total_bytes)

@@ -1,0 +1,137 @@
+"""Order recommendation ("which order should I use?").
+
+The paper's conclusion sketches this as future work: *"This knowledge
+could help to predict which order is the most suitable for the used system
+and applications."*  The advisor operationalizes it with the machinery this
+library already has:
+
+1. prune the ``depth!`` orders to one representative per equivalence class
+   (Section 3.3's metrics);
+2. score each representative on the fast contention model for the user's
+   workload — collective, subcommunicator size, data sizes, and whether
+   communicators run alone or concurrently;
+3. return a ranking with the predicted durations and, for convenience,
+   the Slurm ``--distribution`` equivalent when one exists.
+
+Scoring a representative costs milliseconds, so exhaustive scoring of the
+pruned space is practical even for 6-level hierarchies (720 orders, a few
+dozen classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.microbench import run_microbench
+from repro.core.equivalence import equivalence_classes
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import OrderSignature
+from repro.core.orders import Order
+from repro.launcher.slurm import order_to_distribution
+from repro.netsim.fabric import Fabric
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One scored equivalence class of orders."""
+
+    order: Order  # representative
+    equivalent_orders: tuple[Order, ...]
+    signature: OrderSignature
+    predicted_seconds: float
+    slurm_distribution: str | None
+
+    def legend(self) -> str:
+        slurm = f" [{self.slurm_distribution}]" if self.slurm_distribution else ""
+        return (
+            f"{self.signature.legend()}{slurm} "
+            f"-> {self.predicted_seconds * 1e3:.3f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Ranked recommendations (fastest first) plus context."""
+
+    recommendations: tuple[Recommendation, ...]
+    collective: str
+    comm_size: int
+    scenario: str
+
+    @property
+    def best(self) -> Recommendation:
+        return self.recommendations[0]
+
+    @property
+    def worst(self) -> Recommendation:
+        return self.recommendations[-1]
+
+    def spread_factor(self) -> float:
+        """Predicted worst/best duration ratio — how much the choice matters."""
+        return self.worst.predicted_seconds / self.best.predicted_seconds
+
+    def report(self) -> str:
+        lines = [
+            f"advice for {self.collective} in {self.comm_size}-rank "
+            f"communicators ({self.scenario} scenario):"
+        ]
+        for i, rec in enumerate(self.recommendations):
+            n = len(rec.equivalent_orders)
+            extra = f" (+{n - 1} equivalent)" if n > 1 else ""
+            lines.append(f"  {i + 1}. {rec.legend()}{extra}")
+        lines.append(f"worst/best factor: {self.spread_factor():.2f}x")
+        return "\n".join(lines)
+
+
+def advise(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    comm_size: int,
+    collective: str = "alltoall",
+    total_bytes: Sequence[float] = (1e6, 64e6),
+    scenario: str = "all",
+    algorithm: str | None = None,
+    orders: Sequence[Order] | None = None,
+) -> Advice:
+    """Rank order equivalence classes by predicted collective duration.
+
+    ``scenario`` is ``"all"`` (every subcommunicator runs the collective
+    concurrently — the common production case) or ``"single"``.  The score
+    is the summed duration across ``total_bytes`` (one slow size cannot
+    hide a pathological small-size regime).
+    """
+    if scenario not in ("all", "single"):
+        raise ValueError("scenario must be 'all' or 'single'")
+    hierarchy.check_process_count(topology.n_cores)
+    fabric = Fabric(topology)
+    classes = equivalence_classes(hierarchy, comm_size, orders=orders)
+    recs = []
+    for sigs in classes.values():
+        rep = sigs[0]
+        total = 0.0
+        for nbytes in total_bytes:
+            point = run_microbench(
+                topology, hierarchy, rep.order, comm_size, collective,
+                nbytes, algorithm=algorithm, fabric=fabric,
+            )
+            total += (
+                point.duration_all if scenario == "all" else point.duration_single
+            )
+        recs.append(
+            Recommendation(
+                order=rep.order,
+                equivalent_orders=tuple(s.order for s in sigs),
+                signature=rep,
+                predicted_seconds=total,
+                slurm_distribution=order_to_distribution(hierarchy, rep.order),
+            )
+        )
+    recs.sort(key=lambda r: r.predicted_seconds)
+    return Advice(
+        recommendations=tuple(recs),
+        collective=collective,
+        comm_size=comm_size,
+        scenario=scenario,
+    )

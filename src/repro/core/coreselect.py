@@ -1,0 +1,170 @@
+"""Use case 2 (Section 3.4): core selection for partial-node jobs.
+
+When a job uses fewer processes than there are cores on the allocated
+nodes, Slurm's ``--cpu-bind=map_cpu:<list>`` option accepts an explicit
+list of physical core IDs, applied identically to every node.  Algorithm 3
+generates that list from a *single-node* hierarchy and an order: it assigns
+the first ``n`` reordered ranks to physical cores and emits the cores in
+reordered-rank order (so the list position is the on-node MPI rank).
+
+Different orders may select the same *set* of cores in different
+sequences; :func:`distinct_core_sets` groups them, since the paper's CG
+experiment (Figure 9) colors bars by core set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.mixed_radix import decompose_many, recompose_many
+from repro.core.orders import Order
+
+
+def map_cpu_list(
+    node_hierarchy: Hierarchy, order: Sequence[int], n_cores: int
+) -> list[int]:
+    """Algorithm 3: physical core IDs for ``--cpu-bind=map_cpu``.
+
+    Position ``r`` of the returned list is the physical core that on-node
+    rank ``r`` binds to.
+
+    >>> lumi_node = Hierarchy((2, 4, 2, 8))
+    >>> map_cpu_list(lumi_node, (0, 1, 2, 3), 2)
+    [0, 64]
+    """
+    total = node_hierarchy.size
+    if not 1 <= n_cores <= total:
+        raise ValueError(f"n_cores must be in 1..{total}, got {n_cores}")
+    cores = np.arange(total, dtype=np.int64)
+    coords = decompose_many(node_hierarchy, cores)
+    new_ranks = recompose_many(node_hierarchy, coords, order)
+    out = np.full(n_cores, -1, dtype=np.int64)
+    sel = new_ranks < n_cores
+    out[new_ranks[sel]] = cores[sel]
+    return [int(c) for c in out]
+
+
+@dataclass(frozen=True)
+class CoreSelection:
+    """A core selection produced by Algorithm 3 for one order.
+
+    Attributes
+    ----------
+    node_hierarchy: the single-node hierarchy fed to Algorithm 3.
+    order: the level permutation used.
+    n_cores: number of cores (= on-node MPI processes).
+    """
+
+    node_hierarchy: Hierarchy
+    order: Order
+    n_cores: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+
+    @cached_property
+    def cores(self) -> tuple[int, ...]:
+        """Physical core IDs in on-node rank order."""
+        return tuple(map_cpu_list(self.node_hierarchy, self.order, self.n_cores))
+
+    @property
+    def core_set(self) -> frozenset[int]:
+        """The unordered set of selected cores (bar color in Figure 9)."""
+        return frozenset(self.cores)
+
+    def core_id_label(self) -> str:
+        """Compressed ID-range label like ``"0-3,8-11,64-67,72-75"``.
+
+        Matches the annotations on the right of the Figure 9 bars.
+        """
+        ids = sorted(self.core_set)
+        parts: list[str] = []
+        start = prev = ids[0]
+        for c in ids[1:] + [None]:  # type: ignore[list-item]
+            if c is not None and c == prev + 1:
+                prev = c
+                continue
+            parts.append(str(start) if start == prev else f"{start}-{prev}")
+            if c is not None:
+                start = prev = c
+        return ",".join(parts)
+
+    def map_cpu_argument(self) -> str:
+        """The literal value for ``--cpu-bind=map_cpu:...``."""
+        return "map_cpu:" + ",".join(str(c) for c in self.cores)
+
+    def selected_hierarchy(self) -> Hierarchy:
+        """Hierarchy formed by the selected cores (Section 3.4).
+
+        The level radix becomes the number of *distinct* children used under
+        each used parent; levels reduced to one child are dropped, so e.g.
+        selecting the whole first socket of each of 2 nodes on a
+        ``[[2, 2, 4]]`` machine yields ``[[2, 4]]``.  Raises when the
+        selection is not homogeneous (different sub-counts per parent).
+        """
+        coords = decompose_many(self.node_hierarchy, np.array(sorted(self.core_set)))
+        radices: list[int] = []
+        names: list[str] = []
+        depth = self.node_hierarchy.depth
+        for level in range(depth):
+            if level == 0:
+                counts = {len(np.unique(coords[:, 0]))}
+                used = len(np.unique(coords[:, 0]))
+            else:
+                groups: dict[tuple[int, ...], set[int]] = {}
+                for row in coords:
+                    groups.setdefault(tuple(row[:level]), set()).add(int(row[level]))
+                counts = {len(v) for v in groups.values()}
+                if len(counts) != 1:
+                    raise ValueError(
+                        "core selection is not homogeneous at level "
+                        f"{self.node_hierarchy.names[level]}"
+                    )
+                used = counts.pop()
+            if used > 1:
+                radices.append(used)
+                names.append(self.node_hierarchy.names[level])
+        if not radices:
+            raise ValueError(
+                "selection of a single core does not form a hierarchy"
+            )
+        return Hierarchy(tuple(radices), tuple(names))
+
+
+def distinct_core_sets(
+    node_hierarchy: Hierarchy, orders: Iterable[Sequence[int]], n_cores: int
+) -> dict[frozenset[int], list[CoreSelection]]:
+    """Group orders by the core *set* they select.
+
+    Orders in the same group bind the job to the same cores but assign MPI
+    ranks differently; Figure 9 gives same-set orders the same bar color.
+    The dict preserves first-seen order of the sets.
+    """
+    groups: dict[frozenset[int], list[CoreSelection]] = {}
+    for order in orders:
+        sel = CoreSelection(node_hierarchy, tuple(order), n_cores)
+        groups.setdefault(sel.core_set, []).append(sel)
+    return groups
+
+
+def distinct_selections(
+    node_hierarchy: Hierarchy, orders: Iterable[Sequence[int]], n_cores: int
+) -> list[CoreSelection]:
+    """Selections with pairwise-distinct core *lists* (set AND rank order).
+
+    This is the exact population of bars in Figure 9: orders producing the
+    identical ordered list are redundant and collapsed to the first one.
+    """
+    seen: set[tuple[int, ...]] = set()
+    out: list[CoreSelection] = []
+    for order in orders:
+        sel = CoreSelection(node_hierarchy, tuple(order), n_cores)
+        if sel.cores not in seen:
+            seen.add(sel.cores)
+            out.append(sel)
+    return out

@@ -1,0 +1,166 @@
+"""Dynamic and mixed orderings (the conclusion's generalizations).
+
+The paper closes with: *"being able to follow an order for a set of
+communicators and another order for remaining communicators and to have
+subcommunicators with different sizes."*  This module provides both:
+
+- :class:`MixedReordering` -- partition the machine's resources at some
+  hierarchy level and apply a different order inside each partition (e.g.
+  pack the communicators of the first half of the nodes, spread the
+  rest);
+- :func:`heterogeneous_subcommunicators` -- carve subcommunicators of
+  *different* sizes out of a reordered world (contiguous blocks of
+  reordered ranks, sizes summing to the world size).
+
+Both produce the same artifacts as the homogeneous machinery (member
+tables, signatures) so the metrics, microbenchmark harness and launcher
+back-ends apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import (
+    OrderSignature,
+    pair_level_percentages_of_coords,
+    ring_cost_of_coords,
+)
+from repro.core.mixed_radix import decompose_many
+from repro.core.orders import Order
+from repro.core.reorder import reorder_ranks
+
+
+@dataclass(frozen=True)
+class MixedReordering:
+    """Different orders for different partitions of the top level.
+
+    ``split_at`` components of level 0 (e.g. nodes) are enumerated with
+    ``first_order``; the rest with ``second_order``.  Both orders apply to
+    the *sub-machine* (the partition is itself a smaller machine of the
+    same shape), and reordered ranks of the second partition are offset so
+    the overall numbering stays a permutation.
+    """
+
+    hierarchy: Hierarchy
+    split_at: int
+    first_order: Order
+    second_order: Order
+
+    def __post_init__(self) -> None:
+        if not 0 < self.split_at < self.hierarchy.radices[0]:
+            raise ValueError(
+                f"split_at must cut level 0 (1..{self.hierarchy.radices[0] - 1})"
+            )
+        object.__setattr__(self, "first_order", tuple(self.first_order))
+        object.__setattr__(self, "second_order", tuple(self.second_order))
+
+    def _partition_hierarchies(self) -> tuple[Hierarchy, Hierarchy]:
+        h = self.hierarchy
+        first = Hierarchy((self.split_at,) + h.radices[1:], h.names) if self.split_at >= 2 else None
+        rest = h.radices[0] - self.split_at
+        second = Hierarchy((rest,) + h.radices[1:], h.names) if rest >= 2 else None
+        return first, second
+
+    @cached_property
+    def new_rank(self) -> np.ndarray:
+        """``new_rank[canonical_rank]`` under the mixed enumeration."""
+        h = self.hierarchy
+        per_top = h.size // h.radices[0]
+        boundary = self.split_at * per_top
+        out = np.empty(h.size, dtype=np.int64)
+        first_h, second_h = self._partition_hierarchies()
+        # First partition.
+        if first_h is not None:
+            out[:boundary] = reorder_ranks(first_h, self.first_order)
+        else:  # single top-level component: reorder its inner hierarchy
+            inner = h.inner(1)
+            inner_order = _project_order(self.first_order)
+            out[:boundary] = reorder_ranks(inner, inner_order)
+        # Second partition, offset past the first.
+        if second_h is not None:
+            out[boundary:] = boundary + reorder_ranks(second_h, self.second_order)
+        else:
+            inner = h.inner(1)
+            inner_order = _project_order(self.second_order)
+            out[boundary:] = boundary + reorder_ranks(inner, inner_order)
+        return out
+
+    @cached_property
+    def canonical_rank(self) -> np.ndarray:
+        inv = np.empty(self.hierarchy.size, dtype=np.int64)
+        inv[self.new_rank] = np.arange(self.hierarchy.size)
+        return inv
+
+    def comm_members(self, comm_size: int) -> np.ndarray:
+        """``(n_comms, comm_size)`` canonical ranks, blocks of new ranks."""
+        if self.hierarchy.size % comm_size:
+            raise ValueError("comm size must divide the world size")
+        return self.canonical_rank.reshape(-1, comm_size)
+
+
+def _project_order(order: Order) -> Order:
+    """Drop level 0 from an order and renumber (for 1-component partitions)."""
+    out = [level - 1 for level in order if level != 0]
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class HeterogeneousLayout:
+    """Subcommunicators of different sizes over one reordered world."""
+
+    hierarchy: Hierarchy
+    order: Order
+    comm_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        sizes = tuple(int(s) for s in self.comm_sizes)
+        if any(s < 1 for s in sizes):
+            raise ValueError("communicator sizes must be positive")
+        if sum(sizes) != self.hierarchy.size:
+            raise ValueError(
+                f"sizes sum to {sum(sizes)}, world has {self.hierarchy.size}"
+            )
+        object.__setattr__(self, "comm_sizes", sizes)
+        object.__setattr__(self, "order", tuple(self.order))
+
+    @cached_property
+    def _canonical(self) -> np.ndarray:
+        new = reorder_ranks(self.hierarchy, self.order)
+        inv = np.empty(self.hierarchy.size, dtype=np.int64)
+        inv[new] = np.arange(self.hierarchy.size)
+        return inv
+
+    def comm_members(self, index: int) -> np.ndarray:
+        """Canonical ranks of the ``index``-th communicator."""
+        lo = sum(self.comm_sizes[:index])
+        return self._canonical[lo : lo + self.comm_sizes[index]]
+
+    def all_members(self) -> list[np.ndarray]:
+        return [self.comm_members(i) for i in range(len(self.comm_sizes))]
+
+    def signatures(self) -> list[OrderSignature]:
+        """Per-communicator signature (ring cost + pair percentages)."""
+        out = []
+        for members in self.all_members():
+            coords = decompose_many(self.hierarchy, members)
+            out.append(
+                OrderSignature(
+                    self.order,
+                    ring_cost_of_coords(coords),
+                    pair_level_percentages_of_coords(coords),
+                )
+            )
+        return out
+
+
+def heterogeneous_subcommunicators(
+    hierarchy: Hierarchy, order: Sequence[int], comm_sizes: Sequence[int]
+) -> HeterogeneousLayout:
+    """Convenience constructor for :class:`HeterogeneousLayout`."""
+    return HeterogeneousLayout(hierarchy, tuple(order), tuple(comm_sizes))

@@ -1,0 +1,100 @@
+"""Order equivalence classes (Section 3.3).
+
+For a fixed hierarchy and subcommunicator size, several of the ``depth!``
+orders produce mappings that cannot be distinguished by performance (absent
+inter-communicator traffic): they place every subcommunicator on
+same-shaped resources with the same internal rank layout.  The paper's
+example: on ``[[2, 2, 4]]`` the orders ``[2, 0, 1]`` and ``[2, 1, 0]``
+merely exchange which socket two of the communicators use.
+
+We group orders by their :class:`~repro.core.metrics.OrderSignature`
+(ring cost + pair-percentages of the first subcommunicator).  On
+homogeneous hierarchies all subcommunicators of an order share one
+signature, so the first communicator suffices; :func:`equivalence_classes`
+optionally verifies that with ``check_all_comms=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import (
+    OrderSignature,
+    pair_level_percentages_of_coords,
+    ring_cost_of_coords,
+)
+from repro.core.mixed_radix import decompose_many
+from repro.core.orders import Order, all_orders
+from repro.core.reorder import RankReordering
+
+
+def _comm_signatures(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> list[tuple]:
+    reordering = RankReordering(hierarchy, tuple(order), comm_size)
+    keys = []
+    for c in range(reordering.n_comms):
+        coords = decompose_many(hierarchy, reordering.comm_members(c))
+        keys.append(
+            (
+                ring_cost_of_coords(coords),
+                tuple(round(p, 6) for p in pair_level_percentages_of_coords(coords)),
+            )
+        )
+    return keys
+
+
+def equivalence_classes(
+    hierarchy: Hierarchy,
+    comm_size: int,
+    orders: Iterable[Sequence[int]] | None = None,
+    check_all_comms: bool = False,
+) -> dict[tuple, list[OrderSignature]]:
+    """Group orders whose mappings are performance-equivalent.
+
+    Returns ``{signature_key: [OrderSignature, ...]}``; each value list is
+    one equivalence class, in input order.  With ``check_all_comms`` the key
+    is the sorted multiset of *all* subcommunicators' signatures instead of
+    the first communicator's only (strictly finer, slower).
+    """
+    if orders is None:
+        orders = all_orders(hierarchy.depth)
+    classes: dict[tuple, list[OrderSignature]] = {}
+    for order in orders:
+        order = tuple(order)
+        reordering = RankReordering(hierarchy, order, comm_size)
+        coords = decompose_many(hierarchy, reordering.comm_members(0))
+        sig = OrderSignature(
+            order,
+            ring_cost_of_coords(coords),
+            pair_level_percentages_of_coords(coords),
+        )
+        if check_all_comms:
+            key = tuple(sorted(_comm_signatures(hierarchy, order, comm_size)))
+        else:
+            key = sig.key
+        classes.setdefault(key, []).append(sig)
+    return classes
+
+
+def representative_orders(
+    hierarchy: Hierarchy,
+    comm_size: int,
+    orders: Iterable[Sequence[int]] | None = None,
+) -> list[Order]:
+    """One order per equivalence class (the first seen in each class).
+
+    This is the pruned search space the paper suggests: for the Figure 3
+    setup it reduces 24 orders to a handful of genuinely distinct mappings.
+    """
+    classes = equivalence_classes(hierarchy, comm_size, orders)
+    return [sigs[0].order for sigs in classes.values()]
+
+
+def pruning_factor(hierarchy: Hierarchy, comm_size: int) -> float:
+    """``depth! / #classes`` -- how much dedup shrinks the search space."""
+    import math
+
+    classes = equivalence_classes(hierarchy, comm_size)
+    return math.factorial(hierarchy.depth) / len(classes)

@@ -1,0 +1,180 @@
+"""Hierarchy descriptions.
+
+A *hierarchy* describes how many sub-components each level of a machine
+contains, from the outermost level to the innermost one.  The paper denotes
+a machine with two nodes, two sockets per node and four cores per socket as
+``[[2, 2, 4]]`` (Figure 1).  The product of all radices is the total number
+of enumerated units (cores, and therefore MPI ranks when running one process
+per core).
+
+Hierarchies are *descriptions*, not measurements: as Section 3.2 points out,
+it can be useful to provide a hierarchy that differs from the physical one,
+e.g. splitting a 16-core socket into two *fake* groups of 8 to expose more
+ordering possibilities, or prepending network levels (switches, cabinets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """An immutable mixed-radix hierarchy description.
+
+    Parameters
+    ----------
+    radices:
+        Number of sub-components at each level, outermost first.  Every
+        radix must be an integer >= 2 (a level with a single component
+        carries no information and would silently inflate the order count).
+    names:
+        Optional human-readable level names, outermost first (e.g.
+        ``("node", "socket", "core")``).  Defaults to ``level0``, ...
+
+    Examples
+    --------
+    >>> h = Hierarchy((2, 2, 4), names=("node", "socket", "core"))
+    >>> h.size
+    16
+    >>> h.depth
+    3
+    """
+
+    radices: tuple[int, ...]
+    names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        radices = tuple(int(r) for r in self.radices)
+        if len(radices) == 0:
+            raise ValueError("hierarchy must have at least one level")
+        for r in radices:
+            if r < 2:
+                raise ValueError(
+                    f"every hierarchy radix must be >= 2, got {r} in {radices}"
+                )
+        object.__setattr__(self, "radices", radices)
+        names = tuple(self.names) or tuple(f"level{i}" for i in range(len(radices)))
+        if len(names) != len(radices):
+            raise ValueError(
+                f"got {len(names)} level names for {len(radices)} levels"
+            )
+        object.__setattr__(self, "names", names)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of levels (``|h|`` in the paper)."""
+        return len(self.radices)
+
+    @property
+    def size(self) -> int:
+        """Total number of units: the product of all radices."""
+        return math.prod(self.radices)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.radices)
+
+    def __getitem__(self, i: int) -> int:
+        return self.radices[i]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(r) for r in self.radices)
+        return f"[[{inner}]]"
+
+    # -- derived hierarchies ----------------------------------------------
+
+    def permuted(self, order: Sequence[int]) -> "Hierarchy":
+        """Hierarchy whose level ``i`` is this hierarchy's level ``order[i]``.
+
+        This is the "permuted hierarchy" column of Table 1 in the paper.
+        """
+        _check_order(order, self.depth)
+        return Hierarchy(
+            tuple(self.radices[i] for i in order),
+            tuple(self.names[i] for i in order),
+        )
+
+    def with_fake_level(self, level: int, split: int) -> "Hierarchy":
+        """Split ``level`` into a fake level of ``split`` groups.
+
+        A radix ``r`` at ``level`` becomes two levels ``(split, r // split)``.
+        Section 3.2: *"a socket containing 16 cores can be faked as
+        containing 2 components with 8 cores each"*.
+        """
+        r = self.radices[level]
+        if split < 2 or r % split != 0 or r // split < 2:
+            raise ValueError(
+                f"cannot split radix {r} at level {level} into {split} groups"
+            )
+        radices = (
+            self.radices[:level] + (split, r // split) + self.radices[level + 1 :]
+        )
+        names = (
+            self.names[:level]
+            + (f"{self.names[level]}-group", self.names[level])
+            + self.names[level + 1 :]
+        )
+        return Hierarchy(radices, names)
+
+    def with_prefix(self, radices: Sequence[int], names: Sequence[str] | None = None) -> "Hierarchy":
+        """Prepend outer levels (e.g. network switches, cabinets)."""
+        radices = tuple(int(r) for r in radices)
+        if names is None:
+            names = tuple(f"net{i}" for i in range(len(radices)))
+        return Hierarchy(radices + self.radices, tuple(names) + self.names)
+
+    def inner(self, start_level: int) -> "Hierarchy":
+        """The sub-hierarchy below (and including) ``start_level``."""
+        if not 0 <= start_level < self.depth:
+            raise IndexError(start_level)
+        return Hierarchy(self.radices[start_level:], self.names[start_level:])
+
+    # -- validation helpers -----------------------------------------------
+
+    def check_process_count(self, nprocs: int) -> None:
+        """Constraint (1) of Section 3.2.
+
+        The product of all radices must equal the number of MPI processes
+        (one process per enumerated unit).
+        """
+        if nprocs != self.size:
+            raise ValueError(
+                f"hierarchy {self} enumerates {self.size} units but the job "
+                f"has {nprocs} processes; provide a hierarchy whose radix "
+                f"product equals the process count"
+            )
+
+    def strides(self) -> tuple[int, ...]:
+        """Multiplier of each level's coordinate in the canonical numbering.
+
+        ``strides()[i]`` is the product of all radices *below* level ``i``;
+        the canonical (initial) rank of coordinates ``c`` is
+        ``sum(c[i] * strides()[i])``.
+        """
+        out = [1] * self.depth
+        for i in range(self.depth - 2, -1, -1):
+            out[i] = out[i + 1] * self.radices[i + 1]
+        return tuple(out)
+
+
+def _check_order(order: Sequence[int], depth: int) -> None:
+    if sorted(order) != list(range(depth)):
+        raise ValueError(
+            f"order {tuple(order)} is not a permutation of 0..{depth - 1}"
+        )
+
+
+def homogeneous_hierarchy(counts: Iterable[tuple[str, int]]) -> Hierarchy:
+    """Build a hierarchy from ``(name, count)`` pairs, outermost first."""
+    pairs = list(counts)
+    return Hierarchy(
+        tuple(c for _, c in pairs),
+        tuple(n for n, _ in pairs),
+    )

@@ -1,0 +1,160 @@
+"""Characterization metrics for orderings (Section 3.3).
+
+Two metrics describe how an order maps a subcommunicator onto the machine:
+
+*Ring cost* -- the cost of sending a message around the communicator in
+rank order (rank 0 -> 1 -> ... -> p-1).  Each hop costs 1 when the two
+processes share the lowest hierarchy level, plus 1 for every additional
+level the message must cross.  Low ring cost = contiguous rank assignment,
+high ring cost = round-robin assignment.
+
+*Percentages of process pairs per level* -- for each hierarchy level, the
+share of communicator process pairs whose closest common level is that
+level (pairs "fitting into a smaller level" are excluded).  High
+percentages at inner levels = packed mapping; at outer levels = spread.
+
+Both metrics are computed on the *first* subcommunicator (reordered ranks
+``0 .. comm_size-1``), exactly as the paper's figure legends do, and can be
+combined into an :class:`OrderSignature` to detect redundant orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.mixed_radix import decompose_many, recompose_many
+
+
+def hop_cost(coords_a: Sequence[int], coords_b: Sequence[int]) -> int:
+    """Communication cost between two cores given their coordinates.
+
+    Cost 0 for the same core, 1 inside the same lowest level, +1 for every
+    extra level crossed: ``depth - j`` where ``j`` is the outermost level at
+    which the coordinates differ.
+    """
+    if len(coords_a) != len(coords_b):
+        raise ValueError("coordinate vectors must have equal depth")
+    depth = len(coords_a)
+    for j in range(depth):
+        if coords_a[j] != coords_b[j]:
+            return depth - j
+    return 0
+
+
+def _first_comm_coords(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> np.ndarray:
+    """Coordinates of the first subcommunicator's members, by new rank.
+
+    Row ``k`` holds the coordinates of the core whose *reordered* rank is
+    ``k`` (for ``k < comm_size``); subcommunicators are blocks of contiguous
+    reordered ranks, per Section 3.2.
+    """
+    if comm_size < 1 or hierarchy.size % comm_size != 0:
+        raise ValueError(
+            f"communicator size {comm_size} must divide {hierarchy.size}"
+        )
+    ranks = np.arange(hierarchy.size, dtype=np.int64)
+    coords = decompose_many(hierarchy, ranks)
+    new_ranks = recompose_many(hierarchy, coords, order)
+    members = np.argsort(new_ranks)[:comm_size]  # canonical rank per new rank
+    return coords[members]
+
+
+def ring_cost_of_coords(coords: np.ndarray) -> int:
+    """Ring cost of a communicator given member coordinates in rank order."""
+    depth = coords.shape[1]
+    if coords.shape[0] < 2:
+        return 0
+    a = coords[:-1]
+    b = coords[1:]
+    diff = a != b
+    # First differing level per hop; hops with identical coords cost 0.
+    any_diff = diff.any(axis=1)
+    first = np.argmax(diff, axis=1)
+    costs = np.where(any_diff, depth - first, 0)
+    return int(costs.sum())
+
+
+def ring_cost(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> int:
+    """Ring cost of the first subcommunicator under ``order``."""
+    return ring_cost_of_coords(_first_comm_coords(hierarchy, order, comm_size))
+
+
+def pair_level_percentages_of_coords(coords: np.ndarray) -> tuple[float, ...]:
+    """Percentages of process pairs per level, innermost level first."""
+    n, depth = coords.shape
+    if n < 2:
+        return tuple(0.0 for _ in range(depth))
+    counts = np.zeros(depth, dtype=np.int64)
+    # Pairwise comparison; communicators in the paper are <= a few hundred
+    # ranks, so the O(n^2 * depth) broadcast is fine.
+    for j in range(depth):
+        same_above = (
+            np.ones((n, n), dtype=bool)
+            if j == 0
+            else np.all(
+                coords[:, None, :j] == coords[None, :, :j], axis=2
+            )
+        )
+        differ_here = coords[:, None, j] != coords[None, :, j]
+        sel = same_above & differ_here
+        counts[j] = np.triu(sel, k=1).sum()
+    total = n * (n - 1) // 2
+    # counts[j] = pairs whose first difference is level j (cost depth-j);
+    # report innermost (cost 1) first.
+    return tuple(float(100.0 * counts[depth - 1 - k] / total) for k in range(depth))
+
+
+def pair_level_percentages(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> tuple[float, ...]:
+    """Pair percentages of the first subcommunicator, innermost first."""
+    return pair_level_percentages_of_coords(
+        _first_comm_coords(hierarchy, order, comm_size)
+    )
+
+
+@dataclass(frozen=True)
+class OrderSignature:
+    """Ring cost + pair percentages of the first subcommunicator.
+
+    Two orders with identical signatures map the communicator onto
+    same-shaped resources with the same internal rank layout and are
+    expected to perform identically absent inter-communicator traffic
+    (Section 3.3).
+    """
+
+    order: tuple[int, ...]
+    ring_cost: int
+    pair_percentages: tuple[float, ...]
+
+    def legend(self) -> str:
+        """The paper's figure-legend format:
+        ``0-1-2-3 (60 - 0.0, 0.0, 0.0, 100.0)``."""
+        pcts = ", ".join(f"{p:.1f}" for p in self.pair_percentages)
+        label = "-".join(str(i) for i in self.order)
+        return f"{label} ({self.ring_cost} - {pcts})"
+
+    @property
+    def key(self) -> tuple:
+        """Hashable equivalence key (excludes the order itself)."""
+        return (self.ring_cost, tuple(round(p, 6) for p in self.pair_percentages))
+
+
+def signature(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> OrderSignature:
+    """Compute the :class:`OrderSignature` of ``order``."""
+    coords = _first_comm_coords(hierarchy, order, comm_size)
+    return OrderSignature(
+        tuple(order),
+        ring_cost_of_coords(coords),
+        pair_level_percentages_of_coords(coords),
+    )

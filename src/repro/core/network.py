@@ -1,0 +1,124 @@
+"""Network-level hierarchy descriptions and their constraints (§3.2).
+
+The hierarchy handed to the mixed-radix algorithms may extend above the
+compute nodes — switches, islands, cabinets.  Section 3.2 spells out when
+that is legitimate:
+
+1. the allocated compute nodes must be *contiguous leaves* of the network
+   tree;
+2. their number must equal the total number of nodes attached to the
+   selected switches (``[[2, 3, 16, ...]]`` network prefix ⇒ exactly
+   ``2 * 3 * 16 = 96`` nodes);
+3. the allocation must *entirely fill* every selected switch (a switch
+   cannot contain nodes that are not part of the job).
+
+:class:`NetworkedHierarchy` captures a job allocation against a network
+tree and validates all three rules, producing the combined hierarchy the
+reordering algorithms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.hierarchy import Hierarchy
+
+
+@dataclass(frozen=True)
+class NetworkedHierarchy:
+    """A job's hierarchy including network levels above the nodes.
+
+    Parameters
+    ----------
+    network_levels:
+        ``(name, radix)`` pairs describing the network tree from the top
+        down to (excluding) the node level; e.g.
+        ``[("island", 2), ("switch", 3), ("switch_ports", 16)]``.
+    node_hierarchy:
+        The within-node hierarchy (sockets, ..., cores).
+    allocated_nodes:
+        The global node indices granted to the job, in network-tree leaf
+        order.
+    """
+
+    network_levels: tuple[tuple[str, int], ...]
+    node_hierarchy: Hierarchy
+    allocated_nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        levels = tuple((str(n), int(r)) for n, r in self.network_levels)
+        if not levels:
+            raise ValueError("need at least one network level")
+        for name, r in levels:
+            if r < 2:
+                raise ValueError(f"network level {name!r} needs radix >= 2")
+        object.__setattr__(self, "network_levels", levels)
+        nodes = tuple(int(n) for n in self.allocated_nodes)
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("allocation lists a node twice")
+        object.__setattr__(self, "allocated_nodes", nodes)
+        self._validate()
+
+    @property
+    def total_network_nodes(self) -> int:
+        """Leaf count of the full network tree."""
+        total = 1
+        for _, r in self.network_levels:
+            total *= r
+        return total
+
+    def _validate(self) -> None:
+        nodes = self.allocated_nodes
+        n = len(nodes)
+        # Rule 2: the product of the network radices that the hierarchy
+        # claims must equal the allocated node count...
+        if n != self.total_network_nodes:
+            raise ValueError(
+                f"the network prefix describes {self.total_network_nodes} "
+                f"nodes but the job has {n}; describe only the selected "
+                "sub-tree (Section 3.2 constraint)"
+            )
+        # Rule 1: contiguous leaves.
+        if list(nodes) != list(range(nodes[0], nodes[0] + n)):
+            raise ValueError(
+                "allocated nodes must be contiguous leaves of the network "
+                f"tree, got {nodes[:8]}..."
+            )
+        # Rule 3: the allocation must start on a switch boundary of every
+        # selected level (selected switches entirely filled).
+        block = 1
+        for name, radix in reversed(self.network_levels):
+            block *= radix
+            if nodes[0] % block:
+                raise ValueError(
+                    f"allocation must start on a {name} boundary "
+                    f"(multiple of {block}), got first node {nodes[0]}"
+                )
+
+    def combined_hierarchy(self) -> Hierarchy:
+        """Network levels + node hierarchy as one mixed-radix base."""
+        names = tuple(n for n, _ in self.network_levels) + self.node_hierarchy.names
+        radices = (
+            tuple(r for _, r in self.network_levels) + self.node_hierarchy.radices
+        )
+        return Hierarchy(radices, names)
+
+    @property
+    def n_processes(self) -> int:
+        """One process per core across the allocation."""
+        return len(self.allocated_nodes) * self.node_hierarchy.size
+
+
+def describe_allocation(
+    network_levels: Sequence[tuple[str, int]],
+    node_hierarchy: Hierarchy,
+    first_node: int,
+    n_nodes: int,
+) -> NetworkedHierarchy:
+    """Convenience constructor for a contiguous allocation."""
+    return NetworkedHierarchy(
+        tuple(network_levels),
+        node_hierarchy,
+        tuple(range(first_node, first_node + n_nodes)),
+    )

@@ -1,0 +1,137 @@
+"""Orders: permutations of hierarchy levels.
+
+An *order* ``sigma`` (a permutation of ``0..depth-1``) selects which
+hierarchy level is enumerated fastest (``sigma[0]``), second fastest
+(``sigma[1]``), and so on.  For a hierarchy of depth ``n`` there are ``n!``
+orders; the paper generates them with Heap's algorithm or
+``itertools.permutations`` -- we provide both (Heap's explicitly, since the
+paper cites it) plus Lehmer-code ranking for reproducible sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Sequence
+
+Order = tuple[int, ...]
+
+
+def identity_order(depth: int) -> Order:
+    """The order producing the *original* enumeration.
+
+    The canonical numbering enumerates the innermost level fastest, so the
+    identity order is ``(depth-1, ..., 1, 0)`` (the paper notes the original
+    enumeration of Figure 1 is order ``[2, 1, 0]``).
+    """
+    return tuple(range(depth - 1, -1, -1))
+
+
+def is_order(order: Sequence[int], depth: int | None = None) -> bool:
+    """True when ``order`` is a permutation of ``0..len(order)-1``."""
+    n = len(order) if depth is None else depth
+    return len(order) == n and sorted(order) == list(range(n))
+
+
+def parse_order(text: str) -> Order:
+    """Parse ``"3-1-0-2"`` / ``"3,1,0,2"`` / ``"[3, 1, 0, 2]"`` notations."""
+    cleaned = text.strip().strip("[]()")
+    for sep in ("-", ",", " "):
+        if sep in cleaned:
+            parts = [p for p in cleaned.split(sep) if p.strip()]
+            break
+    else:
+        parts = list(cleaned)
+    order = tuple(int(p) for p in parts)
+    if not is_order(order):
+        raise ValueError(f"{text!r} is not a permutation")
+    return order
+
+
+def format_order(order: Sequence[int]) -> str:
+    """Dash notation used in the paper's figures, e.g. ``"3-1-0-2"``."""
+    return "-".join(str(i) for i in order)
+
+
+def all_orders(depth: int) -> list[Order]:
+    """All ``depth!`` orders, in lexicographic order."""
+    return [tuple(p) for p in itertools.permutations(range(depth))]
+
+
+def heap_permutations(depth: int) -> Iterator[Order]:
+    """Generate all permutations with Heap's algorithm (Heap, 1963).
+
+    Yields each of the ``depth!`` permutations exactly once, in Heap's
+    characteristic minimal-swap sequence (each successive permutation
+    differs from the previous by one transposition).  The paper cites this
+    algorithm for enumerating orders; we keep the non-recursive formulation.
+    """
+    a = list(range(depth))
+    c = [0] * depth
+    yield tuple(a)
+    i = 1
+    while i < depth:
+        if c[i] < i:
+            if i % 2 == 0:
+                a[0], a[i] = a[i], a[0]
+            else:
+                a[c[i]], a[i] = a[i], a[c[i]]
+            yield tuple(a)
+            c[i] += 1
+            i = 1
+        else:
+            c[i] = 0
+            i += 1
+
+
+def inverse_order(order: Sequence[int]) -> Order:
+    """The permutation ``inv`` with ``inv[order[i]] = i``.
+
+    Applying an order and then its inverse restores the canonical ranks.
+    """
+    inv = [0] * len(order)
+    for i, level in enumerate(order):
+        inv[level] = i
+    return tuple(inv)
+
+
+def compose_orders(first: Sequence[int], second: Sequence[int]) -> Order:
+    """Permutation equivalent to applying ``first`` then ``second``.
+
+    ``compose_orders(f, s)[i] == f[s[i]]``.
+    """
+    if len(first) != len(second):
+        raise ValueError("orders must have equal length")
+    return tuple(first[s] for s in second)
+
+
+def order_to_lehmer(order: Sequence[int]) -> int:
+    """Lexicographic index of ``order`` among all permutations (Lehmer code)."""
+    n = len(order)
+    seen: list[int] = []
+    index = 0
+    for i, v in enumerate(order):
+        smaller = v - sum(1 for s in seen if s < v)
+        index += smaller * math.factorial(n - 1 - i)
+        seen.append(v)
+    return index
+
+
+def order_from_lehmer(index: int, depth: int) -> Order:
+    """Inverse of :func:`order_to_lehmer`."""
+    if not 0 <= index < math.factorial(depth):
+        raise ValueError(f"index {index} out of range for depth {depth}")
+    pool = list(range(depth))
+    out = []
+    for i in range(depth, 0, -1):
+        f = math.factorial(i - 1)
+        q, index = divmod(index, f)
+        out.append(pool.pop(q))
+    return tuple(out)
+
+
+def swap_adjacent(order: Sequence[int], i: int) -> Order:
+    """Order with positions ``i`` and ``i+1`` exchanged (neighbour move)."""
+    lst = list(order)
+    lst[i], lst[i + 1] = lst[i + 1], lst[i]
+    return tuple(lst)

@@ -1,0 +1,120 @@
+"""Use case 1 (Section 3.2): rank reordering and subcommunicators.
+
+The paper reorders ``MPI_COMM_WORLD`` either by calling ``MPI_Comm_split``
+with the reordered rank as key, or through a rankfile.  This module provides
+the pure mapping machinery both mechanisms need:
+
+- :func:`reorder_ranks` -- the full permutation ``new_rank[old_rank]``;
+- :class:`RankReordering` -- both directions of the permutation plus the
+  subcommunicator layout built on top of the reordered communicator;
+- :func:`subcommunicator_members` -- which cores (canonical ranks) belong
+  to each subcommunicator, in subcommunicator rank order.
+
+Subcommunicators are blocks of contiguous reordered ranks: the process with
+reordered rank ``r`` belongs to subcommunicator ``r // comm_size`` with rank
+``r % comm_size`` inside it (the colored blocks of Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.mixed_radix import decompose, decompose_many, recompose, recompose_many
+
+
+def reorder_rank(
+    hierarchy: Hierarchy, rank: int, order: Sequence[int]
+) -> int:
+    """Reordered rank of a single canonical ``rank`` under ``order``."""
+    return recompose(hierarchy, decompose(hierarchy, rank), order)
+
+
+def reorder_ranks(hierarchy: Hierarchy, order: Sequence[int]) -> np.ndarray:
+    """Vector ``new[r]`` = reordered rank of canonical rank ``r``.
+
+    The result is a permutation of ``0 .. hierarchy.size - 1``.
+    """
+    ranks = np.arange(hierarchy.size, dtype=np.int64)
+    coords = decompose_many(hierarchy, ranks)
+    return recompose_many(hierarchy, coords, order)
+
+
+@dataclass(frozen=True)
+class RankReordering:
+    """A reordering of a world communicator plus its subcommunicator layout.
+
+    Parameters
+    ----------
+    hierarchy:
+        Machine hierarchy; its size must equal the world size.
+    order:
+        Level permutation (``order[0]`` enumerated fastest).
+    comm_size:
+        Size of the subcommunicators carved out of the reordered world
+        (must divide the world size).  Use ``comm_size == hierarchy.size``
+        for a single world-sized communicator.
+    """
+
+    hierarchy: Hierarchy
+    order: tuple[int, ...]
+    comm_size: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+        if self.comm_size < 1 or self.hierarchy.size % self.comm_size != 0:
+            raise ValueError(
+                f"comm_size {self.comm_size} must divide world size "
+                f"{self.hierarchy.size}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.hierarchy.size
+
+    @property
+    def n_comms(self) -> int:
+        return self.world_size // self.comm_size
+
+    @cached_property
+    def new_rank(self) -> np.ndarray:
+        """``new_rank[canonical_rank] -> reordered rank``."""
+        return reorder_ranks(self.hierarchy, self.order)
+
+    @cached_property
+    def canonical_rank(self) -> np.ndarray:
+        """``canonical_rank[reordered_rank] -> canonical rank`` (inverse)."""
+        inv = np.empty(self.world_size, dtype=np.int64)
+        inv[self.new_rank] = np.arange(self.world_size, dtype=np.int64)
+        return inv
+
+    def color_key(self, canonical_rank: int) -> tuple[int, int]:
+        """The ``(color, key)`` a process passes to ``MPI_Comm_split``."""
+        r = int(self.new_rank[canonical_rank])
+        return r // self.comm_size, r % self.comm_size
+
+    def comm_members(self, comm_index: int) -> np.ndarray:
+        """Canonical ranks of subcommunicator ``comm_index`` in sub-rank order."""
+        if not 0 <= comm_index < self.n_comms:
+            raise IndexError(comm_index)
+        lo = comm_index * self.comm_size
+        return self.canonical_rank[lo : lo + self.comm_size]
+
+    def all_comm_members(self) -> np.ndarray:
+        """``(n_comms, comm_size)`` canonical ranks of every subcommunicator."""
+        return self.canonical_rank.reshape(self.n_comms, self.comm_size)
+
+    def comm_coords(self, comm_index: int) -> np.ndarray:
+        """Coordinates of each member of a subcommunicator, in sub-rank order."""
+        return decompose_many(self.hierarchy, self.comm_members(comm_index))
+
+
+def subcommunicator_members(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> np.ndarray:
+    """``(n_comms, comm_size)`` canonical ranks per subcommunicator."""
+    return RankReordering(hierarchy, tuple(order), comm_size).all_comm_members()

@@ -1,0 +1,88 @@
+"""ASCII rendering of enumerations (Figure 1/2-style diagrams).
+
+The paper explains orders with grid pictures: cores drawn in machine
+layout, annotated with their reordered ranks, colored by subcommunicator.
+:func:`render_enumeration` produces the terminal version — one row per
+second-innermost component, columns per core, subcommunicator separators
+— so examples and the CLI can show what an order *does* without plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.reorder import RankReordering
+
+
+def render_enumeration(
+    hierarchy: Hierarchy,
+    order: Sequence[int],
+    comm_size: int | None = None,
+    max_rows: int = 32,
+) -> str:
+    """Draw the machine with each core's reordered rank.
+
+    One text row per innermost *group* (the level above the cores); rows
+    are labelled with the full coordinate path.  With ``comm_size``,
+    ranks are suffixed with a subcommunicator letter (the Figure 2
+    colors): rank 5 in communicator 1 renders as ``5b``.
+    """
+    comm_size = comm_size or hierarchy.size
+    reordering = RankReordering(hierarchy, tuple(order), comm_size)
+    new_rank = reordering.new_rank
+    depth = hierarchy.depth
+    cores_per_row = hierarchy.radices[-1]
+    n_rows = hierarchy.size // cores_per_row
+
+    width = len(str(hierarchy.size - 1)) + (1 if comm_size < hierarchy.size else 0)
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    lines = [f"order {'-'.join(str(i) for i in order)} on {hierarchy}:"]
+    strides = hierarchy.strides()
+    for row in range(min(n_rows, max_rows)):
+        first_core = row * cores_per_row
+        # Coordinate path of this row (all levels except the innermost).
+        path = []
+        rest = first_core
+        for level in range(depth - 1):
+            path.append(f"{hierarchy.names[level]}{rest // strides[level]}")
+            rest %= strides[level]
+        cells = []
+        for c in range(first_core, first_core + cores_per_row):
+            r = int(new_rank[c])
+            if comm_size < hierarchy.size:
+                suffix = letters[(r // comm_size) % len(letters)]
+                cells.append(f"{r}{suffix}".rjust(width))
+            else:
+                cells.append(str(r).rjust(width))
+        lines.append(f"  {'/'.join(path):<24} {' '.join(cells)}")
+    if n_rows > max_rows:
+        lines.append(f"  ... ({n_rows - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def render_core_selection(
+    node_hierarchy: Hierarchy, cores: Sequence[int], max_width: int = 96
+) -> str:
+    """Mark selected cores on a single node (Figure 9's annotations).
+
+    Selected cores print their on-node rank position, idle cores print
+    ``.``; grouped by the level above the cores.
+    """
+    selected = {int(c): i for i, c in enumerate(cores)}
+    per_group = node_hierarchy.radices[-1]
+    n_groups = node_hierarchy.size // per_group
+    width = max(2, len(str(len(cores) - 1)))
+    lines = []
+    for g in range(n_groups):
+        cells = []
+        for c in range(g * per_group, (g + 1) * per_group):
+            cells.append(
+                str(selected[c]).rjust(width) if c in selected else ".".rjust(width)
+            )
+        lines.append(" ".join(cells))
+    label_width = max(len(line) for line in lines)
+    header = f"{len(cores)} of {node_hierarchy.size} cores " \
+             f"({node_hierarchy.names[-2]}-grouped rows)"
+    return "\n".join([header[: max_width]] + lines)

@@ -1,0 +1,27 @@
+"""Slurm-like process launcher substrate.
+
+Models the mapping machinery of Section 3.4: ``--distribution``
+block/cyclic/plane policies (:mod:`repro.launcher.slurm`), explicit
+``--cpu-bind=map_cpu`` core lists, OpenMPI-style rankfiles
+(:mod:`repro.launcher.rankfile`), and the resulting process-to-core
+mappings (:mod:`repro.launcher.mapping`).
+"""
+
+from repro.launcher.mapping import ProcessMapping
+from repro.launcher.slurm import (
+    SlurmJob,
+    distribution_to_order,
+    expressible_distributions,
+    order_to_distribution,
+)
+from repro.launcher.rankfile import emit_rankfile, parse_rankfile
+
+__all__ = [
+    "ProcessMapping",
+    "SlurmJob",
+    "distribution_to_order",
+    "expressible_distributions",
+    "order_to_distribution",
+    "emit_rankfile",
+    "parse_rankfile",
+]

@@ -1,0 +1,97 @@
+"""Process-to-core mappings.
+
+A :class:`ProcessMapping` is the end product of every launch mechanism in
+this package (distribution policies, map_cpu lists, rankfiles, explicit
+orders): an array ``core_of[world_rank]`` binding each MPI process to a
+physical core of a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.mixed_radix import decompose_many
+from repro.core.reorder import reorder_ranks
+
+
+@dataclass(frozen=True)
+class ProcessMapping:
+    """Binding of ``n`` world ranks to cores of a machine hierarchy."""
+
+    hierarchy: Hierarchy  # the full machine (all cores, used or not)
+    core_of: np.ndarray  # core_of[rank] -> core ID
+
+    def __post_init__(self) -> None:
+        core_of = np.asarray(self.core_of, dtype=np.int64)
+        if core_of.ndim != 1:
+            raise ValueError("core_of must be one-dimensional")
+        if core_of.size and (core_of.min() < 0 or core_of.max() >= self.hierarchy.size):
+            raise ValueError("mapping refers to cores outside the machine")
+        if np.unique(core_of).size != core_of.size:
+            raise ValueError("mapping binds two ranks to the same core")
+        object.__setattr__(self, "core_of", core_of)
+
+    @property
+    def n_ranks(self) -> int:
+        return int(self.core_of.size)
+
+    @cached_property
+    def coords_of(self) -> np.ndarray:
+        """``(n_ranks, depth)`` machine coordinates of each rank's core."""
+        return decompose_many(self.hierarchy, self.core_of)
+
+    def rank_on_core(self, core: int) -> int | None:
+        """World rank bound to ``core``, or None when the core is idle."""
+        hits = np.nonzero(self.core_of == core)[0]
+        return int(hits[0]) if hits.size else None
+
+    @staticmethod
+    def from_order(hierarchy: Hierarchy, order: Sequence[int]) -> "ProcessMapping":
+        """Full-machine mapping induced by a mixed-radix order.
+
+        The process whose *reordered* rank is ``r`` sits on the core whose
+        canonical number reorders to ``r`` -- i.e. the mapping a rankfile
+        generated from the order would realize.
+        """
+        new_of_canonical = reorder_ranks(hierarchy, order)
+        core_of = np.empty(hierarchy.size, dtype=np.int64)
+        core_of[new_of_canonical] = np.arange(hierarchy.size, dtype=np.int64)
+        return ProcessMapping(hierarchy, core_of)
+
+    @staticmethod
+    def from_map_cpu(
+        machine_hierarchy: Hierarchy,
+        n_nodes: int,
+        cpu_list: Sequence[int],
+    ) -> "ProcessMapping":
+        """Slurm ``--cpu-bind=map_cpu:<list>`` semantics.
+
+        The same per-node core list applies on every allocated node; global
+        ranks are distributed over nodes in blocks of ``len(cpu_list)``
+        (local rank ``l`` of node ``k`` binds to ``cpu_list[l]``).
+        ``machine_hierarchy`` must have the node level outermost.
+        """
+        cores_per_node = machine_hierarchy.size // machine_hierarchy.radices[0]
+        if machine_hierarchy.radices[0] < n_nodes:
+            raise ValueError("machine has fewer nodes than requested")
+        cpu_list = list(cpu_list)
+        if any(not 0 <= c < cores_per_node for c in cpu_list):
+            raise ValueError("cpu list refers to cores outside a node")
+        core_of = np.array(
+            [
+                node * cores_per_node + local_core
+                for node in range(n_nodes)
+                for local_core in cpu_list
+            ],
+            dtype=np.int64,
+        )
+        return ProcessMapping(machine_hierarchy, core_of)
+
+    def comm_world_cores(self) -> np.ndarray:
+        """Cores in world-rank order (alias, for harness readability)."""
+        return self.core_of

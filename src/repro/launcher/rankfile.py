@@ -1,0 +1,73 @@
+"""OpenMPI-style rankfiles.
+
+Section 3.2's second reordering mechanism: a file assigning each
+``MPI_COMM_WORLD`` rank to a host and slot, transparent to the
+application.  We emit and parse the OpenMPI format::
+
+    rank 0=node0 slot=0
+    rank 1=node0 slot=16
+    ...
+
+Slots are node-local core IDs; hosts are ``node<k>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.launcher.mapping import ProcessMapping
+
+_LINE = re.compile(
+    r"^rank\s+(?P<rank>\d+)\s*=\s*(?P<host>\S+?)(?P<node>\d+)\s+slot=(?P<slot>\d+)\s*$"
+)
+
+
+def emit_rankfile(mapping: ProcessMapping, host_prefix: str = "node") -> str:
+    """Render a mapping as an OpenMPI rankfile (node level = level 0)."""
+    cores_per_node = mapping.hierarchy.size // mapping.hierarchy.radices[0]
+    lines = []
+    for rank, core in enumerate(mapping.core_of):
+        node, slot = divmod(int(core), cores_per_node)
+        lines.append(f"rank {rank}={host_prefix}{node} slot={slot}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_rankfile(text: str, hierarchy: Hierarchy) -> ProcessMapping:
+    """Parse a rankfile back into a :class:`ProcessMapping`.
+
+    Ranks may appear in any order but must be dense (0..n-1).
+    """
+    cores_per_node = hierarchy.size // hierarchy.radices[0]
+    entries: dict[int, int] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE.match(line)
+        if not m:
+            raise ValueError(f"rankfile line {lineno} is malformed: {line!r}")
+        rank = int(m.group("rank"))
+        node = int(m.group("node"))
+        slot = int(m.group("slot"))
+        if slot >= cores_per_node:
+            raise ValueError(
+                f"rankfile line {lineno}: slot {slot} exceeds node size"
+            )
+        if rank in entries:
+            raise ValueError(f"rankfile assigns rank {rank} twice")
+        entries[rank] = node * cores_per_node + slot
+    if sorted(entries) != list(range(len(entries))):
+        raise ValueError("rankfile ranks are not dense (0..n-1)")
+    core_of = np.array([entries[r] for r in range(len(entries))], dtype=np.int64)
+    return ProcessMapping(hierarchy, core_of)
+
+
+def rankfile_for_order(
+    hierarchy: Hierarchy, order: Sequence[int], host_prefix: str = "node"
+) -> str:
+    """Rankfile realizing a mixed-radix order on the whole machine."""
+    return emit_rankfile(ProcessMapping.from_order(hierarchy, order), host_prefix)

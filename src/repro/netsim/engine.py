@@ -1,0 +1,87 @@
+"""Minimal discrete-event core: a monotone event queue.
+
+The simulated-MPI runtime and the flow network need a priority queue of
+timestamped events with deterministic tie-breaking (insertion order) and
+support for event cancellation.  ``heapq`` plus a sequence counter plus
+lazy deletion covers all of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Timestamped FIFO-stable priority queue with cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._alive = 0
+
+    def __len__(self) -> int:
+        return self._alive
+
+    def __bool__(self) -> bool:
+        return self._alive > 0
+
+    def push(self, time: float, payload: Any) -> _Entry:
+        """Schedule ``payload`` at ``time``; returns a cancellable handle."""
+        if time < 0:
+            raise ValueError(f"negative event time {time}")
+        entry = _Entry(time, next(self._counter), payload)
+        heapq.heappush(self._heap, entry)
+        self._alive += 1
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Lazily remove a scheduled event."""
+        if not entry.cancelled:
+            entry.cancelled = True
+            self._alive -= 1
+
+    def peek_time(self) -> float:
+        """Time of the next live event (raises ``IndexError`` when empty)."""
+        self._drop_cancelled()
+        return self._heap[0].time
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return ``(time, payload)`` of the next live event."""
+        self._drop_cancelled()
+        entry = heapq.heappop(self._heap)
+        self._alive -= 1
+        return entry.time, entry.payload
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+
+
+def run_until_idle(
+    queue: EventQueue, handler: Callable[[float, Any], None], max_events: int = 10_000_000
+) -> float:
+    """Drain the queue, dispatching each event to ``handler``.
+
+    Returns the time of the last event (0.0 for an empty queue).  The event
+    cap guards against runaway schedules in tests.
+    """
+    t = 0.0
+    for _ in range(max_events):
+        if not queue:
+            return t
+        t, payload = queue.pop()
+        handler(t, payload)
+    raise RuntimeError(f"event cap ({max_events}) exceeded; likely a livelock")

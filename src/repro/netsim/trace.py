@@ -1,0 +1,121 @@
+"""Execution traces and ASCII timelines.
+
+Both network models can narrate what they did: the round model records one
+:class:`RoundTrace` per evaluated round (duration, flow count, bottleneck
+level), the DES emits per-flow records already (``Simulator`` listeners).
+The timeline renderer turns either into a terminal-friendly Gantt strip,
+which the examples use to make contention visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.netsim.fabric import Fabric, Round, RoundSchedule
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """One evaluated round."""
+
+    index: int
+    start: float
+    duration: float
+    n_flows: int
+    bottleneck_level: str  # name of the level whose links bound the round
+
+
+class TracingFabric(Fabric):
+    """A fabric that records every evaluated round (cache disabled so
+    repeats are visible in the trace)."""
+
+    def __init__(self, topology):
+        super().__init__(topology)
+        self.traces: list[RoundTrace] = []
+        self._clock = 0.0
+
+    def reset(self) -> None:
+        self.traces.clear()
+        self._clock = 0.0
+
+    def schedule_trace(self, schedule: RoundSchedule) -> list[RoundTrace]:
+        """Evaluate a schedule round by round, recording each."""
+        self.reset()
+        index = 0
+        for rnd in schedule.rounds:
+            for _ in range(rnd.repeat):
+                duration = self._round_time_impl(rnd)
+                self.traces.append(
+                    RoundTrace(
+                        index=index,
+                        start=self._clock,
+                        duration=duration,
+                        n_flows=rnd.n_flows,
+                        bottleneck_level=self._bottleneck_level(rnd),
+                    )
+                )
+                self._clock += duration
+                index += 1
+        return self.traces
+
+    def _bottleneck_level(self, rnd: Round) -> str:
+        """Name of the level whose capacity limits the slowest flow."""
+        topo = self.topology
+        lca = topo.lca_level(rnd.src, rnd.dst)
+        live = lca < topo.depth
+        if not live.any():
+            return "none"
+        # Re-derive the slowest flow and its binding level.
+        src, dst, lca = rnd.src[live], rnd.dst[live], lca[live]
+        nb = np.broadcast_to(np.asarray(rnd.nbytes, dtype=float), rnd.src.shape)[live]
+        best_level = "none"
+        worst_time = -1.0
+        # Scalar pass over a bounded set (levels x flows is small in traces).
+        counts: dict[tuple[int, int, bool], int] = {}
+        strides = topo.strides
+        for level in range(topo.depth):
+            m = lca <= level
+            for s in src[m]:
+                key = (level, int(s) // strides[level], True)
+                counts[key] = counts.get(key, 0) + 1
+            for d in dst[m]:
+                key = (level, int(d) // strides[level], False)
+                counts[key] = counts.get(key, 0) + 1
+        for i in range(src.size):
+            share = np.inf
+            binding = 0
+            for level in range(int(lca[i]), topo.depth):
+                cap = topo.link_bw[level]
+                n = max(
+                    counts[(level, int(src[i]) // strides[level], True)],
+                    counts[(level, int(dst[i]) // strides[level], False)],
+                )
+                if cap / n < share:
+                    share = cap / n
+                    binding = level
+            t = topo.hop_latency(np.array([lca[i]]))[0] + nb[i] / share
+            if t > worst_time:
+                worst_time = t
+                best_level = topo.hierarchy.names[binding]
+        return best_level
+
+
+def ascii_timeline(
+    traces: Sequence[RoundTrace], width: int = 64, label: str = "round"
+) -> str:
+    """Render round traces as a proportional ASCII strip."""
+    if not traces:
+        return "(empty trace)"
+    total = traces[-1].start + traces[-1].duration
+    lines = [f"total {total * 1e3:.3f} ms over {len(traces)} {label}s"]
+    for t in traces:
+        frac = t.duration / total if total else 0.0
+        bar = "#" * max(1, int(round(frac * width)))
+        lines.append(
+            f"{t.index:>4} |{bar:<{width}}| {t.duration * 1e6:8.1f} us  "
+            f"{t.n_flows:>5} flows  [{t.bottleneck_level}]"
+        )
+    return "\n".join(lines)

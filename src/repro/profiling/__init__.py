@@ -1,0 +1,21 @@
+"""mpisee-style profiling: per-communicator accounting and correlation.
+
+The paper uses mpisee (Vardas et al., 2022) to attribute Splatt's time to
+individual communicators and operations, then correlates CPD duration with
+``MPI_Alltoallv`` time across rank orderings (Pearson 0.98 / 0.92).
+:class:`~repro.profiling.mpisee.CommProfiler` reproduces the accounting
+(both as an explicit recorder for the model-based apps and as a
+:class:`~repro.simmpi.runtime.Simulator` listener for DES runs);
+:mod:`repro.profiling.correlation` provides the statistics.
+"""
+
+from repro.profiling.mpisee import CommProfiler, FlowProfiler, ProfileEntry
+from repro.profiling.correlation import pearson, spearman
+
+__all__ = [
+    "CommProfiler",
+    "FlowProfiler",
+    "ProfileEntry",
+    "pearson",
+    "spearman",
+]

@@ -1,0 +1,51 @@
+"""Correlation statistics for the Section 4.2 analysis.
+
+The paper reports Pearson's r between CPD duration and ``MPI_Alltoallv``
+time in the 16-process communicators, across the 24 rank orderings (0.98
+with one NIC, 0.92 with two).  Implemented directly (no scipy dependency
+in the hot path) with a scipy cross-check in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson's product-moment correlation coefficient."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D and equally long")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc @ xc) * (yc @ yc))
+    if denom == 0:
+        raise ValueError("correlation undefined for constant input")
+    return float((xc @ yc) / denom)
+
+
+def _ranks(v: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share their mean rank)."""
+    order = np.argsort(v, kind="stable")
+    ranks = np.empty(v.size, dtype=float)
+    i = 0
+    sorted_v = v[order]
+    while i < v.size:
+        j = i
+        while j + 1 < v.size and sorted_v[j + 1] == sorted_v[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman's rank correlation (Pearson on average ranks)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    return pearson(_ranks(x), _ranks(y))

@@ -1,0 +1,95 @@
+"""Per-communicator time accounting (what mpisee does for real MPI).
+
+Two front-ends share one ledger:
+
+- :class:`CommProfiler` -- explicit recording by the model-based
+  applications (operation, communicator size, seconds);
+- :class:`FlowProfiler` -- a listener for
+  :class:`~repro.simmpi.runtime.Simulator` that attributes every completed
+  transfer to its communicator (via the message key's comm ID) so DES runs
+  are profiled without instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Accumulated time of one (operation, communicator-size) bucket."""
+
+    op: str
+    comm_size: int
+    n_comms: int
+    seconds: float
+    calls: int
+
+
+@dataclass
+class CommProfiler:
+    """mpisee-style ledger keyed by operation and communicator size."""
+
+    _acc: dict[tuple[str, int], list] = field(default_factory=dict)
+
+    def record(self, op: str, comm_size: int, seconds: float, n_comms: int = 1) -> None:
+        """Add ``seconds`` to the ``(op, comm_size)`` bucket."""
+        key = (op, comm_size)
+        slot = self._acc.setdefault(key, [0.0, 0, 0])
+        slot[0] += seconds
+        slot[1] += 1
+        slot[2] = max(slot[2], n_comms)
+
+    def entries(self) -> list[ProfileEntry]:
+        """All buckets, largest total time first."""
+        out = [
+            ProfileEntry(op=op, comm_size=size, n_comms=v[2], seconds=v[0], calls=v[1])
+            for (op, size), v in self._acc.items()
+        ]
+        return sorted(out, key=lambda e: -e.seconds)
+
+    def seconds(self, op: str | None = None, comm_size: int | None = None) -> float:
+        """Total time matching the filters."""
+        total = 0.0
+        for (o, s), v in self._acc.items():
+            if op is not None and o != op:
+                continue
+            if comm_size is not None and s != comm_size:
+                continue
+            total += v[0]
+        return total
+
+    def communicator_sizes(self) -> list[int]:
+        return sorted({s for (_, s) in self._acc if s > 0})
+
+    def report(self) -> str:
+        """ASCII table in mpisee's spirit."""
+        lines = [f"{'operation':<16} {'comm size':>9} {'#comms':>6} {'calls':>7} {'seconds':>10}"]
+        for e in self.entries():
+            lines.append(
+                f"{e.op:<16} {e.comm_size:>9} {e.n_comms:>6} {e.calls:>7} {e.seconds:>10.4f}"
+            )
+        return "\n".join(lines)
+
+
+class FlowProfiler:
+    """Simulator listener attributing transfer time to communicators.
+
+    Register comm IDs with :meth:`watch` (mapping them to a label and
+    size); unknown comm IDs accumulate under ``"p2p"``.  Transfer time is
+    the wall-clock span of each flow; concurrent flows of one collective
+    therefore overlap, and per-op totals are *occupancy*, not a sum of
+    spans -- same caveat as any message-level profiler.
+    """
+
+    def __init__(self) -> None:
+        self.profiler = CommProfiler()
+        self._watched: dict[int, tuple[str, int]] = {}
+
+    def watch(self, comm_id: int, op: str, comm_size: int) -> None:
+        self._watched[comm_id] = (op, comm_size)
+
+    def __call__(self, record) -> None:  # repro.simmpi.runtime.FlowRecord
+        comm_id = record.key[0]
+        op, size = self._watched.get(comm_id, ("p2p", 0))
+        self.profiler.record(op=op, comm_size=size, seconds=record.end - record.start)

@@ -1,0 +1,163 @@
+"""Communicators and groups.
+
+A :class:`Group` is an ordered tuple of world ranks; a :class:`Comm` binds
+a group to one member's position in it plus a communicator ID used to scope
+message tags (messages never match across communicators, mirroring MPI
+semantics).  ``split`` reproduces ``MPI_Comm_split``: processes supply a
+``(color, key)`` pair and obtain the communicator of their color with ranks
+sorted by key (ties broken by previous rank, as the standard requires) --
+exactly the mechanism the paper uses to install a reordered world
+communicator and to carve subcommunicators out of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
+
+_comm_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Group:
+    """Ordered set of world ranks."""
+
+    world_ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ranks = tuple(int(r) for r in self.world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("group contains duplicate ranks")
+        object.__setattr__(self, "world_ranks", ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        return self.world_ranks.index(world_rank)
+
+    def translate(self, group_rank: int) -> int:
+        return self.world_ranks[group_rank]
+
+
+class Comm:
+    """One process's handle on a communicator.
+
+    All point-to-point helpers *return operation descriptors*; a rank
+    program uses them as ``data = yield comm.recv(src)``.
+    """
+
+    def __init__(self, group: Group, my_group_rank: int, comm_id: int | None = None):
+        self.group = group
+        self.rank = my_group_rank
+        if not 0 <= my_group_rank < group.size:
+            raise ValueError(f"rank {my_group_rank} outside group of size {group.size}")
+        self.comm_id = next(_comm_ids) if comm_id is None else comm_id
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def world_rank(self) -> int:
+        return self.group.translate(self.rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comm(id={self.comm_id}, rank={self.rank}/{self.size})"
+
+    # -- point-to-point op builders (comm-local ranks) ----------------------
+
+    def send(self, dst: int, nbytes: float, payload: Any = None, tag: int = 0) -> Send:
+        return Send(self.group.translate(dst), nbytes, payload, (self.comm_id, tag))
+
+    def recv(self, src: int, tag: int = 0) -> Recv:
+        return Recv(self.group.translate(src), (self.comm_id, tag))
+
+    def sendrecv(
+        self,
+        dst: int,
+        nbytes: float,
+        payload: Any,
+        src: int,
+        tag: int = 0,
+    ) -> Sendrecv:
+        return Sendrecv(
+            self.group.translate(dst),
+            nbytes,
+            payload,
+            self.group.translate(src),
+            (self.comm_id, tag),
+            (self.comm_id, tag),
+        )
+
+    def isend(self, dst: int, nbytes: float, payload: Any = None, tag: int = 0) -> Isend:
+        """Nonblocking send; yielding returns a :class:`Request`."""
+        return Isend(self.group.translate(dst), nbytes, payload, (self.comm_id, tag))
+
+    def irecv(self, src: int, tag: int = 0) -> Irecv:
+        """Nonblocking receive; yielding returns a :class:`Request`."""
+        return Irecv(self.group.translate(src), (self.comm_id, tag))
+
+    @staticmethod
+    def wait(*requests: Request) -> Wait:
+        """Block on requests; yielding returns their ``data`` list."""
+        return Wait(*requests)
+
+    @staticmethod
+    def compute(seconds: float) -> Compute:
+        return Compute(seconds)
+
+    # -- communicator construction ------------------------------------------
+
+    @staticmethod
+    def world(n: int) -> list["Comm"]:
+        """Handles on a fresh world communicator of size ``n`` (one per rank)."""
+        group = Group(tuple(range(n)))
+        comm_id = next(_comm_ids)
+        return [Comm(group, r, comm_id) for r in range(n)]
+
+    @staticmethod
+    def split(
+        comms: Sequence["Comm"], color_key: Mapping[int, tuple[int, int]]
+    ) -> dict[int, "Comm"]:
+        """Collective ``MPI_Comm_split`` over per-rank handles.
+
+        ``color_key`` maps each member's *current* rank to its
+        ``(color, key)``.  Returns ``{old_rank: new Comm}``; ranks passing a
+        negative color (``MPI_UNDEFINED``) are omitted.  All handles must
+        belong to the same communicator.
+        """
+        if not comms:
+            return {}
+        base = comms[0]
+        if any(c.comm_id != base.comm_id for c in comms):
+            raise ValueError("split requires handles on one communicator")
+        if set(color_key) != {c.rank for c in comms}:
+            raise ValueError("every member must supply a (color, key)")
+        by_color: dict[int, list[tuple[int, int]]] = {}
+        for rank, (color, key) in color_key.items():
+            if color >= 0:
+                by_color.setdefault(color, []).append((key, rank))
+        out: dict[int, Comm] = {}
+        handles = {c.rank: c for c in comms}
+        for color, members in by_color.items():
+            members.sort()  # by key, then by previous rank
+            world = tuple(handles[rank].world_rank for _, rank in members)
+            group = Group(world)
+            comm_id = next(_comm_ids)
+            for new_rank, (_, old_rank) in enumerate(members):
+                out[old_rank] = Comm(group, new_rank, comm_id)
+        return out
+
+    @staticmethod
+    def from_members(world_ranks: Sequence[int]) -> list["Comm"]:
+        """Handles on a communicator whose rank ``i`` is ``world_ranks[i]``."""
+        group = Group(tuple(world_ranks))
+        comm_id = next(_comm_ids)
+        return [Comm(group, r, comm_id) for r in range(group.size)]

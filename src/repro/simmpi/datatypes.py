@@ -1,0 +1,31 @@
+"""MPI-style datatypes (size bookkeeping only).
+
+The simulator moves NumPy payloads; datatypes exist so message sizes can be
+expressed as ``count * datatype.size`` the way the paper's benchmarks do
+(``MPI_BYTE`` throughout Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    name: str
+    size: int  # bytes
+    numpy_dtype: np.dtype
+
+    def extent(self, count: int) -> int:
+        """Total bytes of ``count`` elements."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.size * count
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))

@@ -1,0 +1,93 @@
+"""Hardware-aware communicator splitting (``MPI_Comm_split_type``).
+
+Section 3.2 cites the MPI-4 *guided* mode of ``MPI_Comm_split_type``
+(Goglin et al., 2018) as one way to obtain the hierarchy description: split
+the world once per hardware level and count the resulting communicator
+sizes.  This module implements that mechanism on the simulated MPI:
+
+- :func:`split_type` -- split a communicator so each sub-communicator's
+  members share one component of a named hardware level (the guided mode;
+  ``"core"`` .. ``"node"`` instead of ``MPI_COMM_TYPE_HW_GUIDED``'s info
+  keys);
+- :func:`discover_hierarchy` -- recover a :class:`Hierarchy` purely from
+  repeated splits, the way an application without hwloc would, validating
+  that the description the mixed-radix algorithms need is obtainable
+  in-band.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.simmpi.communicator import Comm
+from repro.topology.machine import MachineTopology
+
+
+def split_type(
+    comms: Sequence[Comm],
+    topology: MachineTopology,
+    rank_to_core: Mapping[int, int] | Sequence[int],
+    level_name: str,
+) -> dict[int, Comm]:
+    """Split so members share the ``level_name`` component they run on.
+
+    ``rank_to_core`` maps world ranks to cores (the launcher's binding).
+    Returns ``{current_rank: new Comm}``; new ranks are ordered by current
+    rank, as the standard's split_type specifies.
+    """
+    names = list(topology.hierarchy.names)
+    if level_name not in names:
+        raise ValueError(
+            f"unknown level {level_name!r}; this machine has {names}"
+        )
+    level = names.index(level_name)
+    stride = topology.strides[level]
+    color_key = {}
+    for comm in comms:
+        core = rank_to_core[comm.world_rank]
+        color_key[comm.rank] = (int(core) // stride, comm.rank)
+    return Comm.split(list(comms), color_key)
+
+
+def discover_hierarchy(
+    topology: MachineTopology,
+    rank_to_core: Sequence[int],
+) -> Hierarchy:
+    """Recover the machine hierarchy with split_type only (guided mode).
+
+    Requires the full machine to be populated one rank per core (the
+    paper's setting); the radix of each level is the ratio of successive
+    per-level communicator sizes.  The result equals
+    ``topology.hierarchy`` -- the point is that an MPI application can
+    obtain it without hwloc.
+    """
+    n = topology.n_cores
+    cores = np.asarray(rank_to_core)
+    if sorted(cores.tolist()) != list(range(n)):
+        raise ValueError(
+            "hierarchy discovery needs exactly one rank on every core"
+        )
+    world = Comm.world(n)
+    sizes = [n]
+    comms = {c.rank: c for c in world}
+    current: Sequence[Comm] = world
+    for name in topology.hierarchy.names:
+        split = split_type(current, topology, cores, name)
+        any_comm = next(iter(split.values()))
+        sizes.append(any_comm.size)
+        # Continue splitting within one component's communicator only;
+        # homogeneity (Section 3.2 constraint 2) makes them identical.
+        current = None  # rebuilt below
+        # Collect the handles of the members of component 0 at this level.
+        members = [split[r] for r in sorted(split) if True]
+        # Deduplicate to one communicator: keep handles whose group equals
+        # the first one's.
+        first_group = members[0].group.world_ranks
+        current = [m for m in members if m.group.world_ranks == first_group]
+    radices = tuple(
+        sizes[i] // sizes[i + 1] for i in range(len(sizes) - 1)
+    )
+    return Hierarchy(radices, topology.hierarchy.names)

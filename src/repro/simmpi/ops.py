@@ -1,0 +1,119 @@
+"""Operations a rank program may yield to the simulator.
+
+Rank programs are generators; each ``yield`` hands the runtime an operation
+descriptor and suspends the rank until the operation completes.  The value
+sent back into the generator is the operation's result (the received
+payload for :class:`Recv`/:class:`Sendrecv`, ``None`` otherwise).
+
+Addressing is in *world* ranks; :class:`~repro.simmpi.communicator.Comm`
+helpers translate communicator-local ranks and scope tags per communicator,
+so programs normally never construct these directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Tag value matching any tag (like ``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+
+@dataclass
+class Send:
+    """Blocking synchronous send of ``nbytes`` (payload optional)."""
+
+    dst: int  # world rank
+    nbytes: float
+    payload: Any = None
+    key: tuple = (0, 0)  # (comm_id, tag)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("message size must be non-negative")
+
+
+@dataclass
+class Recv:
+    """Blocking receive; completes with the matched send's payload."""
+
+    src: int  # world rank
+    key: tuple = (0, 0)
+
+
+@dataclass
+class Sendrecv:
+    """Combined send+receive, the deadlock-free workhorse of the
+    round-structured collective algorithms (ring, pairwise, recursive
+    doubling all issue symmetric exchanges)."""
+
+    dst: int
+    nbytes: float
+    payload: Any
+    src: int
+    send_key: tuple = (0, 0)
+    recv_key: tuple = (0, 0)
+
+
+@dataclass
+class Compute:
+    """Local computation consuming ``seconds`` of the rank's virtual time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("compute time must be non-negative")
+
+
+@dataclass
+class Request:
+    """Handle on a pending nonblocking operation (like ``MPI_Request``).
+
+    ``data`` holds the received payload once a receive request completes.
+    """
+
+    kind: str  # "send" | "recv"
+    done: bool = False
+    data: Any = None
+
+
+@dataclass
+class Isend:
+    """Nonblocking send; yielding it returns a :class:`Request` immediately."""
+
+    dst: int
+    nbytes: float
+    payload: Any = None
+    key: tuple = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("message size must be non-negative")
+
+
+@dataclass
+class Irecv:
+    """Nonblocking receive; yielding it returns a :class:`Request`."""
+
+    src: int
+    key: tuple = (0, 0)
+
+
+@dataclass
+class Wait:
+    """Block until every request completes; yields back the list of
+    ``Request.data`` values (``None`` for sends), in request order."""
+
+    requests: tuple
+
+    def __init__(self, *requests: Request):
+        flat: list[Request] = []
+        for r in requests:
+            if isinstance(r, Request):
+                flat.append(r)
+            else:
+                flat.extend(r)
+        if not flat:
+            raise ValueError("Wait needs at least one request")
+        object.__setattr__(self, "requests", tuple(flat))

@@ -1,0 +1,342 @@
+"""The discrete-event simulator driving rank programs.
+
+Every rank is a generator; the simulator advances ranks until they block on
+an operation, matches sends to receives (FIFO per ``(src, dst, comm, tag)``
+channel, like MPI ordering semantics), turns matched pairs into network
+flows, and lets the exact max-min model of
+:class:`~repro.netsim.flows.FlowNetwork` decide how long each flow takes
+under whatever traffic is concurrently in flight.  Payloads are delivered
+to the receiver when the flow completes, so algorithms running on top are
+functionally correct, not just timed.
+
+Flow lifecycle: a matched message waits ``latency`` seconds (pipeline
+setup, determined by the deepest level it crosses), then transfers its
+bytes at the flow's current max-min rate, recomputed whenever any flow
+starts or ends.  Ranks have *local* clocks (a rank busy computing does not
+advance others); the global clock is the event clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Mapping
+
+import numpy as np
+
+from repro.netsim.engine import EventQueue
+from repro.netsim.flows import Flow, FlowNetwork
+from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
+from repro.topology.machine import MachineTopology
+
+RankProgram = Generator[Any, Any, Any]
+
+#: Relative slack when deciding a flow has finished transferring.
+_EPS = 1e-12
+
+
+class DeadlockError(RuntimeError):
+    """No runnable rank, no pending event, yet programs are unfinished."""
+
+
+@dataclass
+class _Half:
+    """One matched or pending half-operation (a send or a receive)."""
+
+    kind: str  # "send" | "recv"
+    rank: int  # world rank owning this half
+    peer: int  # world rank of the other side
+    key: tuple
+    nbytes: float = 0.0
+    payload: Any = None
+    post_time: float = 0.0
+    request: Request | None = None  # set for nonblocking halves
+
+
+@dataclass
+class _RankState:
+    gen: RankProgram
+    local_time: float = 0.0
+    blocking: set[int] = field(default_factory=set)  # ids of pending halves
+    recv_result: Any = None
+    finished: bool = False
+    return_value: Any = None
+    waiting: tuple | None = None  # Requests a Wait op is blocked on
+
+
+@dataclass
+class FlowRecord:
+    """Completed-transfer record handed to listeners (profiling hooks)."""
+
+    src_rank: int
+    dst_rank: int
+    src_core: int
+    dst_core: int
+    nbytes: float
+    start: float
+    end: float
+    key: tuple
+
+
+class Simulator:
+    """Discrete-event executor for a set of rank programs.
+
+    Parameters
+    ----------
+    topology:
+        Machine model providing link structure and latencies.
+    rank_to_core:
+        ``rank_to_core[world_rank]`` = core ID the rank is bound to.
+    listeners:
+        Callables invoked with a :class:`FlowRecord` on every completed
+        transfer (used by the mpisee-style profiler).
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        rank_to_core: Iterable[int],
+        listeners: Iterable[Callable[[FlowRecord], None]] = (),
+    ):
+        self.topology = topology
+        self.rank_to_core = np.asarray(list(rank_to_core), dtype=np.int64)
+        if self.rank_to_core.size and (
+            self.rank_to_core.min() < 0 or self.rank_to_core.max() >= topology.n_cores
+        ):
+            raise ValueError("rank_to_core refers to cores outside the machine")
+        self.network = FlowNetwork(topology)
+        self.listeners = list(listeners)
+        self.now = 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, programs: Mapping[int, RankProgram]) -> dict[int, Any]:
+        """Execute all rank programs to completion; returns return values.
+
+        Raises :class:`DeadlockError` when progress stalls (e.g. a send
+        without a matching receive).
+        """
+        self.now = 0.0
+        self._ranks = {r: _RankState(gen=g) for r, g in programs.items()}
+        for r in self._ranks:
+            if not 0 <= r < self.rank_to_core.size:
+                raise ValueError(f"program rank {r} has no core binding")
+        self._events = EventQueue()
+        self._half_ids = iter(range(1, 1 << 62))
+        self._pending_sends: dict[tuple, deque] = {}
+        self._pending_recvs: dict[tuple, deque] = {}
+        self._half_owner: dict[int, tuple[int, _Half]] = {}
+        self._active: list[tuple[Flow, _Half, _Half, int, int, float]] = []
+        self._last_progress_time = 0.0
+
+        for rank in sorted(self._ranks):
+            self._advance(rank, 0.0, None)
+
+        self._loop()
+
+        unfinished = [r for r, s in self._ranks.items() if not s.finished]
+        if unfinished:
+            raise DeadlockError(
+                f"ranks {unfinished[:8]}{'...' if len(unfinished) > 8 else ''} "
+                "blocked with no pending events (unmatched send/recv?)"
+            )
+        return {r: s.return_value for r, s in self._ranks.items()}
+
+    @property
+    def finish_times(self) -> dict[int, float]:
+        """Per-rank completion times of the last :meth:`run`."""
+        return {r: s.local_time for r, s in self._ranks.items()}
+
+    # -- event loop -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 50_000_000:  # pragma: no cover - runaway protection
+                raise RuntimeError("event cap exceeded")
+            t_event = self._events.peek_time() if self._events else np.inf
+            t_flow, flow_idx = self._next_completion()
+            t = min(t_event, t_flow)
+            if not np.isfinite(t):
+                return  # no events, no flows: run() checks completion
+            self._progress_flows(t)
+            self.now = t
+            if t_flow <= t_event and flow_idx >= 0:
+                self._complete_flow(flow_idx)
+            else:
+                _, payload = self._events.pop()
+                kind = payload[0]
+                if kind == "resume":
+                    _, rank, value = payload
+                    self._advance(rank, t, value)
+                elif kind == "start":
+                    _, entry = payload
+                    entry[0].start_time = t
+                    self._active.append(entry)
+                    self._reprice()
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(kind)
+
+    def _next_completion(self) -> tuple[float, int]:
+        best_t, best_i = np.inf, -1
+        for i, (flow, *_rest) in enumerate(self._active):
+            if flow.rate <= 0:
+                continue
+            t = self.now + flow.remaining / flow.rate
+            if t < best_t:
+                best_t, best_i = t, i
+        return best_t, best_i
+
+    def _progress_flows(self, t: float) -> None:
+        dt = t - self.now
+        if dt <= 0:
+            return
+        for flow, *_ in self._active:
+            if np.isfinite(flow.rate):
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+
+    def _reprice(self) -> None:
+        self.network.apply_rates([f for f, *_ in self._active])
+
+    # -- rank advancement -------------------------------------------------------
+
+    def _advance(self, rank: int, time: float, value: Any) -> None:
+        state = self._ranks[rank]
+        state.local_time = max(state.local_time, time)
+        while True:
+            try:
+                # gen.send(None) on a fresh generator equals next(gen).
+                op = state.gen.send(value)
+            except StopIteration as stop:
+                state.finished = True
+                state.return_value = stop.value
+                return
+            value = None
+            if isinstance(op, Compute):
+                self._events.push(
+                    state.local_time + op.seconds,
+                    ("resume", rank, None),
+                )
+                state.local_time += op.seconds
+                return
+            if isinstance(op, Send):
+                half = _Half("send", rank, op.dst, op.key, op.nbytes, op.payload, state.local_time)
+                self._post(rank, state, [half])
+                return
+            if isinstance(op, Recv):
+                half = _Half("recv", rank, op.src, op.key, post_time=state.local_time)
+                self._post(rank, state, [half])
+                return
+            if isinstance(op, Sendrecv):
+                s = _Half("send", rank, op.dst, op.send_key, op.nbytes, op.payload, state.local_time)
+                r = _Half("recv", rank, op.src, op.recv_key, post_time=state.local_time)
+                self._post(rank, state, [s, r])
+                return
+            if isinstance(op, Isend):
+                req = Request("send")
+                half = _Half(
+                    "send", rank, op.dst, op.key, op.nbytes, op.payload,
+                    state.local_time, request=req,
+                )
+                self._post(rank, state, [half], blocking=False)
+                value = req  # yielded back immediately; keep advancing
+                continue
+            if isinstance(op, Irecv):
+                req = Request("recv")
+                half = _Half(
+                    "recv", rank, op.src, op.key, post_time=state.local_time,
+                    request=req,
+                )
+                self._post(rank, state, [half], blocking=False)
+                value = req
+                continue
+            if isinstance(op, Wait):
+                pending = [r for r in op.requests if not r.done]
+                if not pending:
+                    value = [r.data for r in op.requests]
+                    continue
+                state.waiting = op.requests
+                for req in pending:
+                    state.blocking.add(id(req))
+                return
+            raise TypeError(f"rank {rank} yielded unsupported op {op!r}")
+
+    def _post(
+        self, rank: int, state: _RankState, halves: list[_Half], blocking: bool = True
+    ) -> None:
+        for half in halves:
+            hid = next(self._half_ids)
+            if blocking:
+                state.blocking.add(hid)
+            self._half_owner[hid] = (rank, half)
+            if half.kind == "send":
+                chan = (half.rank, half.peer, half.key)
+                match = self._pending_recvs.get(chan)
+                if match:
+                    rid = match.popleft()
+                    self._start_flow(hid, rid)
+                else:
+                    self._pending_sends.setdefault(chan, deque()).append(hid)
+            else:
+                chan = (half.peer, half.rank, half.key)
+                match = self._pending_sends.get(chan)
+                if match:
+                    sid = match.popleft()
+                    self._start_flow(sid, hid)
+                else:
+                    self._pending_recvs.setdefault(chan, deque()).append(hid)
+
+    # -- flows ---------------------------------------------------------------
+
+    def _start_flow(self, send_id: int, recv_id: int) -> None:
+        send_rank, send_half = self._half_owner[send_id]
+        recv_rank, recv_half = self._half_owner[recv_id]
+        src_core = int(self.rank_to_core[send_rank])
+        dst_core = int(self.rank_to_core[recv_rank])
+        match_time = max(send_half.post_time, recv_half.post_time, self.now)
+        lat = self.network.latency(src_core, dst_core)
+        flow = Flow(src_core, dst_core, nbytes=max(send_half.nbytes, _EPS))
+        entry = (flow, send_half, recv_half, send_id, recv_id, match_time)
+        self._events.push(match_time + lat, ("start", entry))
+
+    def _complete_flow(self, idx: int) -> None:
+        flow, send_half, recv_half, send_id, recv_id, match_time = self._active.pop(idx)
+        self._reprice()
+        for listener in self.listeners:
+            listener(
+                FlowRecord(
+                    src_rank=send_half.rank,
+                    dst_rank=recv_half.rank,
+                    src_core=flow.src,
+                    dst_core=flow.dst,
+                    nbytes=send_half.nbytes,
+                    start=match_time,
+                    end=self.now,
+                    key=send_half.key,
+                )
+            )
+        self._finish_half(send_id, None)
+        self._finish_half(recv_id, send_half.payload)
+
+    def _finish_half(self, hid: int, result: Any) -> None:
+        rank, half = self._half_owner.pop(hid)
+        state = self._ranks[rank]
+        if half.request is not None:
+            half.request.done = True
+            if half.kind == "recv":
+                half.request.data = result
+            state.blocking.discard(id(half.request))
+            if state.blocking or state.waiting is None:
+                return
+            requests = state.waiting
+            state.waiting = None
+            self._advance(rank, self.now, [r.data for r in requests])
+            return
+        state.blocking.discard(hid)
+        if half.kind == "recv":
+            state.recv_result = result
+        if not state.blocking:
+            value = state.recv_result
+            state.recv_result = None
+            self._advance(rank, self.now, value)

@@ -1,0 +1,79 @@
+"""MPI-Sessions-style process sets named after mixed-radix orders.
+
+The paper's conclusion proposes exactly this integration: *"MPI runtimes
+could offer the possible rank orderings as process sets available as MPI
+sessions, introduced in the Version 4 of the MPI standard."*
+
+A :class:`SessionModel` exposes, for a machine hierarchy, the process sets
+
+- ``mpi://WORLD`` and ``mpi://SELF`` (the standard's mandatory sets), and
+- ``mpi://order/<o0>-<o1>-...`` for every level permutation, whose member
+  ordering is the mixed-radix enumeration under that order,
+
+and creates communicators from them, mirroring the
+``Session_get_psets / Group_from_pset / Comm_create_from_group`` flow.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.orders import all_orders, format_order, parse_order
+from repro.core.reorder import RankReordering
+from repro.simmpi.communicator import Comm, Group
+
+
+class SessionModel:
+    """Process sets derived from a machine hierarchy."""
+
+    def __init__(self, hierarchy: Hierarchy):
+        self.hierarchy = hierarchy
+
+    # -- pset catalogue ------------------------------------------------------
+
+    def pset_names(self) -> list[str]:
+        """All available process-set names (like ``Session_get_psets``)."""
+        names = ["mpi://WORLD", "mpi://SELF"]
+        names += [
+            f"mpi://order/{format_order(order)}"
+            for order in all_orders(self.hierarchy.depth)
+        ]
+        return names
+
+    def pset_members(self, name: str, self_rank: int = 0) -> tuple[int, ...]:
+        """Canonical world ranks of a process set, in set order.
+
+        For order psets, position ``i`` of the set is the process whose
+        reordered rank is ``i`` -- creating a communicator from the set
+        therefore *is* the paper's rank reordering.
+        """
+        if name == "mpi://WORLD":
+            return tuple(range(self.hierarchy.size))
+        if name == "mpi://SELF":
+            return (self_rank,)
+        prefix = "mpi://order/"
+        if not name.startswith(prefix):
+            raise KeyError(f"unknown process set {name!r}")
+        order = parse_order(name[len(prefix):])
+        reordering = RankReordering(self.hierarchy, order, self.hierarchy.size)
+        return tuple(int(r) for r in reordering.canonical_rank)
+
+    # -- communicator construction --------------------------------------------
+
+    def comm_from_pset(self, name: str) -> list[Comm]:
+        """All ranks' handles on a communicator created from a pset
+        (``Group_from_pset`` + ``Comm_create_from_group``)."""
+        members = self.pset_members(name)
+        group = Group(members)
+        comm_id = None
+        handles = []
+        for new_rank in range(group.size):
+            comm = Comm(group, new_rank, comm_id)
+            comm_id = comm.comm_id
+            handles.append(comm)
+        return handles
+
+    def handle_for(self, name: str, world_rank: int) -> Comm:
+        """One process's handle on the pset communicator."""
+        members = self.pset_members(name, self_rank=world_rank)
+        group = Group(members)
+        return Comm(group, group.rank_of(world_rank))

@@ -1,0 +1,36 @@
+"""Hardware topology substrate.
+
+The paper's experiments ran on two physical clusters (Hydra and LUMI).
+This subpackage models such machines as annotated hierarchies: a
+:class:`~repro.core.hierarchy.Hierarchy` plus per-level network link
+parameters (bandwidth and latency of the links crossed at each level) and
+per-level memory-bandwidth capacities (used by the application compute
+models).  Presets calibrated to the paper's machine descriptions live in
+:mod:`repro.topology.machines`; hwloc-style *synthetic topology strings*
+("node:16 socket:2 numa:4 core:8") are parsed by :mod:`repro.topology.hwloc`.
+"""
+
+from repro.topology.machine import LevelParams, MachineTopology
+from repro.topology.machines import (
+    generic_cluster,
+    hydra,
+    hydra_node,
+    lumi,
+    lumi_node,
+)
+from repro.topology.hwloc import parse_synthetic, format_synthetic
+from repro.topology.tree import TopologyTree, TopologyNode
+
+__all__ = [
+    "LevelParams",
+    "MachineTopology",
+    "generic_cluster",
+    "hydra",
+    "hydra_node",
+    "lumi",
+    "lumi_node",
+    "parse_synthetic",
+    "format_synthetic",
+    "TopologyTree",
+    "TopologyNode",
+]

@@ -1,0 +1,57 @@
+"""hwloc-style synthetic topology strings.
+
+Real deployments discover the hierarchy with hwloc (Broquedis et al., 2010)
+or via ``MPI_Comm_split_type``; offline we accept hwloc's *synthetic
+topology* notation, the same format ``lstopo --input`` understands::
+
+    node:16 socket:2 numa:4 l3:2 core:8
+
+Each ``name:count`` pair is one level, outermost first.  The parser also
+accepts bare counts (``16 2 4 2 8``) and the paper's bracket notation
+(``[[16, 2, 4, 2, 8]]``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.hierarchy import Hierarchy
+
+_PAIR = re.compile(r"^(?P<name>[A-Za-z_][\w-]*):(?P<count>\d+)$")
+
+
+def parse_synthetic(text: str) -> Hierarchy:
+    """Parse a synthetic topology description into a :class:`Hierarchy`.
+
+    >>> parse_synthetic("node:2 socket:2 core:4").radices
+    (2, 2, 4)
+    >>> parse_synthetic("[[2, 2, 4]]").radices
+    (2, 2, 4)
+    """
+    cleaned = text.strip()
+    if cleaned.startswith("[[") and cleaned.endswith("]]"):
+        radices = tuple(int(p) for p in cleaned[2:-2].split(","))
+        return Hierarchy(radices)
+    tokens = cleaned.replace(",", " ").split()
+    if not tokens:
+        raise ValueError("empty topology description")
+    names: list[str] = []
+    radices: list[int] = []
+    for tok in tokens:
+        m = _PAIR.match(tok)
+        if m:
+            names.append(m.group("name"))
+            radices.append(int(m.group("count")))
+        elif tok.isdigit():
+            names.append(f"level{len(names)}")
+            radices.append(int(tok))
+        else:
+            raise ValueError(f"cannot parse topology token {tok!r}")
+    return Hierarchy(tuple(radices), tuple(names))
+
+
+def format_synthetic(hierarchy: Hierarchy) -> str:
+    """Inverse of :func:`parse_synthetic` (always the ``name:count`` form)."""
+    return " ".join(
+        f"{name}:{radix}" for name, radix in zip(hierarchy.names, hierarchy.radices)
+    )

@@ -1,0 +1,134 @@
+"""Explicit topology trees.
+
+The hierarchy/array representation used everywhere else is compact and
+vectorizes well, but some consumers (rankfile emission, pretty-printing,
+hwloc-style traversal, LCA queries on individual pairs) want an explicit
+tree.  :class:`TopologyTree` materializes one from a
+:class:`~repro.core.hierarchy.Hierarchy`; nodes know their level name,
+index-within-parent, global component index and core range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.hierarchy import Hierarchy
+
+
+@dataclass
+class TopologyNode:
+    """One component of the machine (a node, socket, NUMA domain, ...)."""
+
+    level: int  # -1 for the synthetic root
+    level_name: str
+    index_in_parent: int
+    global_index: int  # index among same-level components
+    first_core: int
+    n_cores: int
+    children: list["TopologyNode"] = field(default_factory=list)
+    parent: "TopologyNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def core_range(self) -> range:
+        return range(self.first_core, self.first_core + self.n_cores)
+
+    def walk(self) -> Iterator["TopologyNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologyNode({self.level_name}#{self.global_index}, "
+            f"cores {self.first_core}..{self.first_core + self.n_cores - 1})"
+        )
+
+
+class TopologyTree:
+    """Materialized tree over a hierarchy's components."""
+
+    def __init__(self, hierarchy: Hierarchy):
+        self.hierarchy = hierarchy
+        strides = hierarchy.strides()
+        counters = [0] * hierarchy.depth
+        self.root = TopologyNode(
+            level=-1,
+            level_name="machine",
+            index_in_parent=0,
+            global_index=0,
+            first_core=0,
+            n_cores=hierarchy.size,
+        )
+        self._leaves: list[TopologyNode] = []
+
+        def build(parent: TopologyNode, level: int, first_core: int) -> None:
+            if level == hierarchy.depth:
+                return
+            for i in range(hierarchy.radices[level]):
+                child = TopologyNode(
+                    level=level,
+                    level_name=hierarchy.names[level],
+                    index_in_parent=i,
+                    global_index=counters[level],
+                    first_core=first_core + i * strides[level],
+                    n_cores=strides[level],
+                    parent=parent,
+                )
+                counters[level] += 1
+                parent.children.append(child)
+                build(child, level + 1, child.first_core)
+                if child.is_leaf:
+                    self._leaves.append(child)
+
+        build(self.root, 0, 0)
+
+    @property
+    def leaves(self) -> list[TopologyNode]:
+        """Cores, in canonical enumeration order."""
+        return self._leaves
+
+    def leaf(self, core: int) -> TopologyNode:
+        return self._leaves[core]
+
+    def ancestors(self, core: int) -> list[TopologyNode]:
+        """Ancestors of a core from its leaf up to (excluding) the root."""
+        out = []
+        node: TopologyNode | None = self.leaf(core)
+        while node is not None and node.level >= 0:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def lca(self, core_a: int, core_b: int) -> TopologyNode:
+        """Lowest common ancestor component of two cores."""
+        anc_a = {id(n): n for n in self.ancestors(core_a)}
+        for node in self.ancestors(core_b):
+            if id(node) in anc_a:
+                return node
+        return self.root
+
+    def render(self, max_cores: int = 64) -> str:
+        """ASCII rendering (truncated for big machines)."""
+        lines: list[str] = []
+
+        def rec(node: TopologyNode, depth: int) -> None:
+            if node.level >= 0:
+                lines.append(
+                    "  " * depth
+                    + f"{node.level_name} {node.index_in_parent}"
+                    + (f" (cores {node.first_core}-{node.first_core + node.n_cores - 1})" if node.is_leaf else "")
+                )
+            if len(lines) > max_cores:
+                return
+            for child in node.children:
+                rec(child, depth + (node.level >= 0))
+
+        rec(self.root, 0)
+        if len(lines) > max_cores:
+            lines = lines[:max_cores] + ["..."]
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Unit tests for the NAS CG application (matrix, solver, model)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps.nascg.matrix import CG_CLASSES, make_matrix, tiny_matrix
+from repro.apps.nascg.parallel import (
+    CGTimeModel,
+    grid_shape,
+    perfect_scaling_reference,
+    slurm_default_cores,
+    strong_scaling,
+)
+from repro.apps.nascg.solver import cg_benchmark, cg_solve
+from repro.core.hierarchy import Hierarchy
+from repro.topology.machines import lumi_node
+
+LUMI_NODE_H = Hierarchy((2, 4, 2, 8), ("socket", "numa", "l3", "core"))
+
+
+class TestClasses:
+    def test_class_table(self):
+        assert CG_CLASSES["C"].n == 150_000
+        assert CG_CLASSES["C"].nonzer == 15
+        assert CG_CLASSES["C"].niter == 75
+        assert CG_CLASSES["A"].n == 14_000
+
+    def test_nnz_estimate_matches_npb_class_a(self):
+        # NPB reports 1,853,104 nonzeros for class A; the estimate's
+        # n*nonzer*(nonzer+1) = 1,848,000 is within 0.5%.
+        est = CG_CLASSES["A"].nnz_estimate
+        assert est == pytest.approx(1_853_104, rel=0.005)
+
+    def test_inner_iterations(self):
+        assert CG_CLASSES["S"].cg_iterations_per_outer == 25
+
+
+class TestMatrix:
+    def test_tiny_matrix_is_spd(self):
+        a = tiny_matrix(32)
+        dense = a.toarray()
+        assert np.allclose(dense, dense.T)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_make_matrix_small_class(self):
+        a = make_matrix("S")
+        assert a.shape == (1400, 1400)
+        assert abs(a - a.T).max() < 1e-12
+
+    def test_make_matrix_refuses_large(self):
+        with pytest.raises(ValueError, match="too large"):
+            make_matrix("C")
+
+    def test_deterministic(self):
+        a = make_matrix("S", seed=1)
+        b = make_matrix("S", seed=1)
+        assert (a != b).nnz == 0
+
+
+class TestSolver:
+    def test_cg_solves_small_system(self):
+        a = tiny_matrix(64)
+        b = np.random.default_rng(0).normal(size=64)
+        z, res = cg_solve(a, b, iterations=60)
+        assert res < 1e-8 * np.linalg.norm(b)
+        assert np.allclose(a @ z, b, atol=1e-6)
+
+    def test_residual_decreases_with_iterations(self):
+        a = tiny_matrix(64)
+        b = np.ones(64)
+        _, res5 = cg_solve(a, b, iterations=5)
+        _, res25 = cg_solve(a, b, iterations=25)
+        assert res25 <= res5
+
+    def test_benchmark_outer_loop(self):
+        a = tiny_matrix(128)
+        result = cg_benchmark(a, niter=5, shift=10.0, inner_iterations=15)
+        assert result.iterations == 5
+        assert np.isfinite(result.zeta)
+        assert result.residual < 1.0
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)), (16, (4, 4)), (128, (8, 16))],
+    )
+    def test_npb_grid(self, p, expected):
+        assert grid_shape(p) == expected
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            grid_shape(6)
+
+
+class TestTimeModel:
+    def test_packed_slower_than_spread(self):
+        model = CGTimeModel(lumi_node(), "C")
+        packed, *_ = model.run_time(list(range(8)))
+        spread, *_ = model.run_time([0, 8, 16, 24, 32, 40, 48, 56])
+        assert packed > 2 * spread
+
+    def test_breakdown_sums(self):
+        model = CGTimeModel(lumi_node(), "C")
+        total, compute, comm = model.run_time([0, 8])
+        assert total == pytest.approx(compute + comm)
+        assert compute > 0 and comm > 0
+
+    def test_comm_rounds_exist_for_multirank(self):
+        model = CGTimeModel(lumi_node(), "C")
+        assert model.comm_rounds_per_iteration(4)
+        assert model.comm_rounds_per_iteration(1) == []
+
+    def test_class_scales_duration(self):
+        model_c = CGTimeModel(lumi_node(), "C")
+        model_a = CGTimeModel(lumi_node(), "A")
+        tc, *_ = model_c.run_time([0, 8])
+        ta, *_ = model_a.run_time([0, 8])
+        assert tc > ta
+
+
+class TestStrongScaling:
+    def test_fig9_shapes(self):
+        res = strong_scaling(lumi_node(), LUMI_NODE_H, [4, 8, 16, 32], "C")
+        # Slurm default (packed) is worst or near-worst.
+        for p in (4, 8, 16):
+            runs = res[p]
+            default = next(r for r in runs if r.is_slurm_default)
+            worst = max(r.duration for r in runs)
+            assert default.duration >= 0.9 * worst
+        # Best 8-proc beats packed 32-proc (paper: 8.1 s vs 9.4 s).
+        best8 = min(r.duration for r in res[8])
+        slurm32 = next(r for r in res[32] if r.is_slurm_default).duration
+        assert best8 < slurm32
+
+    def test_bar_counts_match_fig9(self):
+        res = strong_scaling(lumi_node(), LUMI_NODE_H, [2, 4, 8], "A")
+        assert len(res[2]) == 4
+        assert len(res[4]) == 8
+        assert len(res[8]) == 12
+
+    def test_perfect_scaling_reference(self):
+        res = strong_scaling(lumi_node(), LUMI_NODE_H, [2, 4], "A")
+        ref = perfect_scaling_reference(res)
+        assert ref[4] == pytest.approx(ref[2] / 2)
+
+    def test_slurm_default_cores(self):
+        assert slurm_default_cores(4) == (0, 1, 2, 3)

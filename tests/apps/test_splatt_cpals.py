@@ -1,0 +1,106 @@
+"""Unit tests for CP-ALS and the process-grid machinery."""
+
+import numpy as np
+import pytest
+
+from repro.apps.splatt.cpals import cp_als
+from repro.apps.splatt.grid import (
+    all_layer_comms,
+    choose_grid,
+    grid_coords,
+    grid_rank,
+    layer_members,
+)
+from repro.apps.splatt.tensor import NELL1_DIMS, synthetic_tensor
+
+
+class TestCPALS:
+    def test_fit_improves(self):
+        t = synthetic_tensor((15, 12, 10), nnz=400, skew=0.5, seed=2)
+        result = cp_als(t, rank=6, iterations=12)
+        assert result.fits[-1] >= result.fits[0]
+        assert -1.0 <= result.fit <= 1.0
+
+    def test_exact_rank_one_recovery(self):
+        # A genuinely rank-1 tensor must be fit almost perfectly.
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 1.0])
+        c = np.array([1.0, 4.0])
+        dense = np.einsum("i,j,k->ijk", a, b, c)
+        idx = np.argwhere(dense != 0)
+        t = __class__._tensor_from_dense(dense)
+        result = cp_als(t, rank=1, iterations=25, seed=4)
+        assert result.fit > 0.999
+
+    @staticmethod
+    def _tensor_from_dense(dense):
+        from repro.apps.splatt.tensor import SparseTensor
+
+        idx = np.argwhere(dense != 0)
+        return SparseTensor(dense.shape, idx, dense[tuple(idx.T)])
+
+    def test_factor_shapes_and_normalization(self):
+        t = synthetic_tensor((8, 9, 10), nnz=100, seed=1)
+        result = cp_als(t, rank=4, iterations=3)
+        for m, f in enumerate(result.factors):
+            assert f.shape == (t.dims[m], 4)
+            assert np.allclose(np.linalg.norm(f, axis=0), 1.0)
+        assert result.lambdas.shape == (4,)
+
+    def test_tolerance_stops_early(self):
+        t = synthetic_tensor((6, 6, 6), nnz=50, seed=0)
+        result = cp_als(t, rank=2, iterations=50, tol=1e-3)
+        assert result.iterations < 50
+
+    def test_rejects_bad_rank(self):
+        t = synthetic_tensor((4, 4), nnz=10, seed=0)
+        with pytest.raises(ValueError):
+            cp_als(t, rank=0)
+
+
+class TestGrid:
+    def test_nell1_grid_matches_paper_structure(self):
+        # 1024 ranks on nell-1 -> (4, 4, 64): 64 comms of 16, 8 of 256,
+        # exactly the population mpisee reported (Section 4.2).
+        grid = choose_grid(NELL1_DIMS, 1024)
+        assert grid == (4, 4, 64)
+        layers = all_layer_comms(grid)
+        sizes = sorted(
+            (len(layers[m]), layers[m][0].size) for m in range(3)
+        )
+        assert sizes == [(4, 256), (4, 256), (64, 16)]
+
+    def test_grid_product_is_p(self):
+        for p in (8, 24, 100, 1024):
+            grid = choose_grid((100, 200, 300), p)
+            assert int(np.prod(grid)) == p
+
+    def test_grid_balances_slices(self):
+        grid = choose_grid((1000, 1000, 1000), 64)
+        assert sorted(grid) == [4, 4, 4]
+
+    def test_coords_roundtrip(self):
+        grid = (4, 4, 64)
+        for rank in (0, 1, 63, 64, 500, 1023):
+            assert grid_rank(grid_coords(rank, grid), grid) == rank
+
+    def test_layer_members_share_coordinate(self):
+        grid = (2, 3, 4)
+        for mode in range(3):
+            for layer in range(grid[mode]):
+                members = layer_members(grid, mode, layer)
+                assert members.size == 24 // grid[mode]
+                for r in members:
+                    assert grid_coords(int(r), grid)[mode] == layer
+
+    def test_layers_partition_ranks(self):
+        grid = (2, 3, 4)
+        for mode in range(3):
+            union = np.concatenate(
+                [layer_members(grid, mode, l) for l in range(grid[mode])]
+            )
+            assert sorted(union.tolist()) == list(range(24))
+
+    def test_layer_bounds(self):
+        with pytest.raises(ValueError):
+            layer_members((2, 2), 0, 2)

@@ -1,0 +1,98 @@
+"""Unit tests for the distributed CPD model (Figure 8 machinery).
+
+Full-scale checks live in benchmarks/bench_fig8_splatt.py; here we use a
+reduced 4-node machine (128 ranks) so every test runs in milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.splatt.parallel import CPDModel, reordering_study
+from repro.core.hierarchy import Hierarchy
+from repro.core.orders import all_orders
+from repro.profiling.correlation import pearson
+from repro.topology.machines import hydra
+
+H4 = Hierarchy((4, 2, 2, 8), ("node", "socket", "group", "core"))
+DIMS = (290_000, 214_000, 2_550_000)  # nell-1 / 10 aspect ratio
+NNZ = 14_000_000
+
+
+def _model(nics=1, **kw):
+    kw.setdefault("iterations", 10)
+    return CPDModel(hydra(4, nics=nics), H4, dims=DIMS, nnz=NNZ, **kw)
+
+
+class TestModel:
+    def test_grid_follows_dims(self):
+        m = _model()
+        assert int(np.prod(m.grid)) == 128
+        # Longest mode gets the most layers.
+        assert np.argmax(m.grid) == np.argmax(DIMS)
+
+    def test_run_breakdown_sums(self):
+        m = _model()
+        run = m.run((3, 2, 1, 0))
+        assert run.duration == pytest.approx(run.compute_time + run.comm_time)
+        assert run.compute_time > 0 and run.comm_time > 0
+
+    def test_compute_time_order_independent(self):
+        m = _model()
+        a = m.run((3, 2, 1, 0))
+        b = m.run((0, 1, 2, 3))
+        assert a.compute_time == pytest.approx(b.compute_time)
+        assert a.duration != b.duration  # comm differs
+
+    def test_profile_populated(self):
+        m = _model()
+        run = m.run((1, 3, 2, 0))
+        ops = {e.op for e in run.profile.entries()}
+        assert "MPI_Alltoallv" in ops
+        assert "MPI_Allreduce" in ops
+        assert "compute" in ops
+        assert run.profile.seconds(op="MPI_Alltoallv") == pytest.approx(
+            sum(run.alltoallv_by_comm_size.values())
+        )
+
+    def test_volumes_positive_and_bounded(self):
+        m = _model()
+        for mode in range(3):
+            v = m.alltoallv_volume_per_rank(mode)
+            assert 0 < v <= m.dims[mode] / m.grid[mode] * m.cp_rank * 8
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            CPDModel(hydra(4), H4, dims=DIMS, nnz=NNZ, row_overlap=(0.1, 0.2))
+
+    def test_scalar_overlap_broadcast(self):
+        m = CPDModel(hydra(4), H4, dims=DIMS, nnz=NNZ, row_overlap=0.25)
+        assert m.row_overlap == (0.25, 0.25, 0.25)
+
+    def test_iterations_scale_linearly(self):
+        m10 = _model(iterations=10)
+        m20 = _model(iterations=20)
+        assert m20.run((3, 2, 1, 0)).duration == pytest.approx(
+            2 * m10.run((3, 2, 1, 0)).duration
+        )
+
+
+class TestStudy:
+    def test_study_covers_all_orders(self):
+        runs = reordering_study(
+            hydra(4), H4, dims=DIMS, nnz=NNZ, iterations=5
+        )
+        assert len(runs) == 24
+        assert {r.order for r in runs} == set(all_orders(4))
+
+    def test_correlation_with_small_comm_alltoallv(self):
+        runs = reordering_study(hydra(4), H4, dims=DIMS, nnz=NNZ, iterations=5)
+        smallest = min(min(r.alltoallv_by_comm_size) for r in runs)
+        d = [r.duration for r in runs]
+        a = [r.alltoallv_by_comm_size[smallest] for r in runs]
+        assert pearson(d, a) > 0.8
+
+    def test_two_nics_speed_up_every_order(self):
+        one = reordering_study(hydra(4, nics=1), H4, dims=DIMS, nnz=NNZ, iterations=5)
+        two = reordering_study(hydra(4, nics=2), H4, dims=DIMS, nnz=NNZ, iterations=5)
+        for r1, r2 in zip(one, two):
+            assert r2.duration <= r1.duration * (1 + 1e-9)

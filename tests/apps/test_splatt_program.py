@@ -1,0 +1,88 @@
+"""The distributed CP-ALS must match the sequential decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.apps.splatt.cpals import cp_als
+from repro.apps.splatt.program import (
+    partition_tensor,
+    run_distributed_cp_als,
+)
+from repro.apps.splatt.tensor import synthetic_tensor
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 2), names=("node", "socket", "core"))
+
+
+def _tensor(seed=4):
+    return synthetic_tensor((12, 10, 16), nnz=300, skew=0.5, seed=seed)
+
+
+class TestPartition:
+    def test_blocks_cover_all_nonzeros(self):
+        t = _tensor()
+        blocks = partition_tensor(t, (2, 2, 2))
+        assert sum(b.nnz for b in blocks) == t.nnz
+        assert len(blocks) == 8
+
+    def test_block_indices_within_slices(self):
+        t = _tensor()
+        grid = (2, 2, 2)
+        blocks = partition_tensor(t, grid)
+        edges = [
+            np.linspace(0, d, g + 1).astype(int)
+            for d, g in zip(t.dims, grid)
+        ]
+        for b, block in enumerate(blocks):
+            coords = np.unravel_index(b, grid)
+            for m in range(3):
+                lo, hi = edges[m][coords[m]], edges[m][coords[m] + 1]
+                if block.nnz:
+                    assert block.indices[:, m].min() >= lo
+                    assert block.indices[:, m].max() < hi
+
+    def test_uneven_dims_still_partition(self):
+        t = synthetic_tensor((7, 9, 11), nnz=150, seed=1)
+        blocks = partition_tensor(t, (2, 2, 2))
+        assert sum(b.nnz for b in blocks) == t.nnz
+
+
+class TestDistributedCPALS:
+    @pytest.mark.parametrize("grid", [(2, 2, 2), (1, 2, 4), (4, 2, 1)])
+    def test_matches_sequential(self, grid):
+        t = _tensor()
+        results, _ = run_distributed_cp_als(
+            t, grid, rank_r=4, iterations=5, topology=TOPO,
+            rank_to_core=list(range(8)), seed=9,
+        )
+        seq = cp_als(t, rank=4, iterations=5, seed=9)
+        factors, lambdas = results[0]
+        for m in range(3):
+            assert np.allclose(factors[m], seq.factors[m], atol=1e-8)
+        assert np.allclose(lambdas, seq.lambdas, atol=1e-8)
+
+    def test_all_ranks_agree(self):
+        t = _tensor(seed=7)
+        results, _ = run_distributed_cp_als(
+            t, (2, 2, 2), rank_r=3, iterations=3, topology=TOPO,
+            rank_to_core=list(range(8)), seed=2,
+        )
+        ref_factors, ref_lambdas = results[0]
+        for r in range(1, 8):
+            factors, lambdas = results[r]
+            assert np.allclose(lambdas, ref_lambdas)
+            for m in range(3):
+                assert np.allclose(factors[m], ref_factors[m])
+
+    def test_mapping_changes_time_not_factors(self):
+        t = _tensor(seed=3)
+        res_a, sim_a = run_distributed_cp_als(
+            t, (2, 2, 2), 3, 3, TOPO, list(range(8)), seed=1
+        )
+        spread = [0, 4, 1, 5, 2, 6, 3, 7]
+        res_b, sim_b = run_distributed_cp_als(
+            t, (2, 2, 2), 3, 3, TOPO, spread, seed=1
+        )
+        for m in range(3):
+            assert np.allclose(res_a[0][0][m], res_b[0][0][m])
+        assert sim_a.now != sim_b.now

@@ -1,0 +1,110 @@
+"""Unit tests for sparse tensors and MTTKRP."""
+
+import numpy as np
+import pytest
+
+from repro.apps.splatt.mttkrp import mttkrp, mttkrp_flops
+from repro.apps.splatt.tensor import (
+    NELL1_DIMS,
+    NELL1_NNZ,
+    SparseTensor,
+    nell1_like,
+    synthetic_tensor,
+)
+
+
+class TestSparseTensor:
+    def test_basic(self):
+        t = SparseTensor(
+            (2, 3), np.array([[0, 0], [1, 2]]), np.array([1.0, 2.0])
+        )
+        assert t.nnz == 2
+        assert t.nmodes == 2
+        assert t.norm == pytest.approx(np.sqrt(5.0))
+
+    def test_index_bounds_checked(self):
+        with pytest.raises(ValueError):
+            SparseTensor((2, 2), np.array([[0, 2]]), np.array([1.0]))
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            SparseTensor((2, 2), np.array([[0, 0]]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            SparseTensor((2, 2, 2), np.array([[0, 0]]), np.array([1.0]))
+
+    def test_dense_roundtrip(self):
+        t = synthetic_tensor((4, 5, 6), nnz=30, skew=0.0, seed=1)
+        dense = t.dense()
+        assert dense.shape == (4, 5, 6)
+        assert np.count_nonzero(dense) == t.nnz
+
+    def test_dense_guards_size(self):
+        t = nell1_like(scale=2e-3)
+        with pytest.raises(ValueError):
+            t.dense()
+
+    def test_mode_slice_counts(self):
+        t = synthetic_tensor((8, 8), nnz=50, skew=0.0, seed=2)
+        counts = t.mode_slice_counts(0, 4)
+        assert counts.sum() == t.nnz
+        assert counts.size == 4
+
+
+class TestSynthetic:
+    def test_deduplication(self):
+        t = synthetic_tensor((3, 3), nnz=500, skew=0.0, seed=0)
+        flat = t.indices[:, 0] * 3 + t.indices[:, 1]
+        assert np.unique(flat).size == t.nnz  # all coordinates distinct
+
+    def test_skew_concentrates_low_indices(self):
+        uniform = synthetic_tensor((1000, 1000), 5000, skew=0.0, seed=5)
+        skewed = synthetic_tensor((1000, 1000), 5000, skew=1.4, seed=5)
+        assert np.median(skewed.indices[:, 0]) < np.median(uniform.indices[:, 0])
+
+    def test_deterministic(self):
+        a = synthetic_tensor((10, 10), 50, seed=7)
+        b = synthetic_tensor((10, 10), 50, seed=7)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_nell1_like_preserves_aspect_ratio(self):
+        t = nell1_like(scale=1e-3)
+        for m in range(3):
+            assert t.dims[m] == pytest.approx(NELL1_DIMS[m] * 1e-3, rel=0.01)
+        assert t.nnz <= NELL1_NNZ * 1e-3
+
+
+class TestMTTKRP:
+    def _small(self):
+        t = synthetic_tensor((5, 6, 7), nnz=40, skew=0.0, seed=3)
+        rng = np.random.default_rng(1)
+        factors = [rng.normal(size=(d, 3)) for d in t.dims]
+        return t, factors
+
+    def test_matches_dense_reference(self):
+        t, factors = self._small()
+        dense = t.dense()
+        for mode in range(3):
+            got = mttkrp(t, factors, mode)
+            # Dense reference: unfold and multiply by the Khatri-Rao
+            # product of the other factors.
+            others = [factors[u] for u in range(3) if u != mode]
+            kr = np.einsum("ir,jr->ijr", others[0], others[1]).reshape(-1, 3)
+            unfolded = np.moveaxis(dense, mode, 0).reshape(t.dims[mode], -1)
+            expected = unfolded @ kr
+            assert np.allclose(got, expected), mode
+
+    def test_output_shape(self):
+        t, factors = self._small()
+        assert mttkrp(t, factors, 1).shape == (6, 3)
+
+    def test_validates_factor_shapes(self):
+        t, factors = self._small()
+        with pytest.raises(ValueError):
+            mttkrp(t, factors[:2], 0)
+        factors[1] = factors[1][:, :2]
+        with pytest.raises(ValueError):
+            mttkrp(t, factors, 0)
+
+    def test_flop_model(self):
+        t, _ = self._small()
+        assert mttkrp_flops(t, 8) == t.nnz * 8 * 3

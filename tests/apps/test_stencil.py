@@ -1,0 +1,102 @@
+"""Unit tests for the halo-exchange stencil application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import (
+    StencilModel,
+    gather_blocks,
+    jacobi_rank_program,
+    jacobi_reference,
+    scatter_blocks,
+)
+from repro.core.hierarchy import Hierarchy
+from repro.simmpi import Comm, Simulator
+from repro.simmpi.cart import CartTopology, best_cart_reorder
+from repro.topology.machines import generic_cluster
+
+H = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+TOPO = generic_cluster((2, 2, 4), names=H.names)
+
+
+def _run_jacobi(dims, grid, iterations, order=(2, 1, 0)):
+    cart = CartTopology(H, dims, order)
+    p = int(np.prod(dims))
+    blocks = scatter_blocks(grid, dims)
+    comms = Comm.world(p)
+    sim = Simulator(TOPO, cart.core_of.tolist()[:p] if p == 16 else list(range(p)))
+    results = sim.run(
+        {
+            r: jacobi_rank_program(comms[r], cart, blocks[r], iterations)
+            for r in range(p)
+        }
+    )
+    return gather_blocks([results[r] for r in range(p)], dims, grid.shape), sim
+
+
+class TestJacobiFunctional:
+    @pytest.mark.parametrize("dims", [(4, 4), (2, 8), (8, 2)])
+    def test_matches_sequential_reference(self, dims):
+        rng = np.random.default_rng(1)
+        grid = rng.random((10, 10))
+        ref = jacobi_reference(grid, 6)
+        got, _ = _run_jacobi(dims, grid, 6)
+        assert np.allclose(got, ref[1:-1, 1:-1])
+
+    def test_boundary_preserved(self):
+        grid = np.zeros((6, 6))
+        grid[0, :] = 1.0  # hot top boundary
+        ref = jacobi_reference(grid, 4)
+        got, _ = _run_jacobi((4, 4), grid, 4)
+        assert np.allclose(got, ref[1:-1, 1:-1])
+        assert got.max() > 0  # heat diffused inward
+
+    def test_zero_iterations_identity(self):
+        rng = np.random.default_rng(2)
+        grid = rng.random((6, 6))
+        got, _ = _run_jacobi((4, 4), grid, 0)
+        assert np.allclose(got, grid[1:-1, 1:-1])
+
+    def test_uneven_partition_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_blocks(np.zeros((9, 9)), (4, 4))
+
+    def test_placement_changes_time_not_values(self):
+        rng = np.random.default_rng(3)
+        grid = rng.random((10, 10))
+        a, sim_a = _run_jacobi((4, 4), grid, 3, order=(2, 1, 0))
+        b, sim_b = _run_jacobi((4, 4), grid, 3, order=(0, 1, 2))
+        assert np.allclose(a, b)
+        assert sim_a.now != sim_b.now
+
+
+class TestStencilModel:
+    def test_exchange_rounds_cover_both_directions(self):
+        model = StencilModel(TOPO, H, (4, 4))
+        cart = CartTopology(H, (4, 4), (2, 1, 0))
+        rounds = model.exchange_rounds(cart)
+        assert len(rounds) == 4  # 2 dims x 2 directions (non-periodic)
+        # Interior ranks appear in all four rounds.
+        total_flows = sum(r.src.size for r in rounds)
+        assert total_flows == 2 * 2 * 12  # 12 forward edges per dim, doubled
+
+    def test_rank_orders_sorted(self):
+        model = StencilModel(TOPO, H, (4, 4))
+        ranked = model.rank_orders()
+        times = [t for _, t in ranked]
+        assert times == sorted(times)
+        assert len(ranked) == 6
+
+    def test_best_cart_reorder_agrees_with_model_direction(self):
+        """The hop-cost-optimal layout is never the model's worst."""
+        model = StencilModel(TOPO, H, (4, 4))
+        ranked = model.rank_orders()
+        best_by_hops = best_cart_reorder(H, (4, 4)).order
+        position = [o for o, _ in ranked].index(tuple(best_by_hops))
+        assert position < len(ranked) - 1
+
+    def test_face_volume_scales_with_extent(self):
+        small = StencilModel(TOPO, H, (4, 4), local_extent=64)
+        big = StencilModel(TOPO, H, (4, 4), local_extent=256)
+        cart = CartTopology(H, (4, 4), (2, 1, 0))
+        assert big.exchange_time(cart) > small.exchange_time(cart)

@@ -1,0 +1,65 @@
+"""Smoke tests of the figure data generators (small inputs).
+
+Full-scale generation and the shape assertions live in ``benchmarks/``;
+these tests pin the generators' structure so harness regressions surface
+in the fast suite.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    FIG3_ORDERS,
+    fig2_enumerations,
+    fig3_data,
+    fig9_data,
+    table1_rows,
+)
+
+
+class TestTable1:
+    def test_six_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert {r.order for r in rows} == {
+            (0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0)
+        }
+
+    def test_other_rank(self):
+        rows = table1_rows(rank=0)
+        assert all(r.new_rank == 0 for r in rows)
+
+
+class TestFig2:
+    def test_all_orders_enumerated(self):
+        enums = fig2_enumerations()
+        assert len(enums) == 6
+        for e in enums:
+            assert sorted(e.new_rank_of_core) == list(range(16))
+
+    def test_exactly_one_order_is_slurm_inexpressible(self):
+        enums = fig2_enumerations()
+        missing = [e.order for e in enums if e.slurm_distribution is None]
+        assert missing == [(1, 0, 2)]
+
+
+class TestFig3:
+    def test_series_structure_with_custom_sizes(self):
+        series = fig3_data(sizes=[1e6, 16e6])
+        assert len(series) == len(FIG3_ORDERS)
+        for s in series:
+            assert len(s.points) == 2
+            assert s.comm_size == 16
+            assert s.n_comms == 32
+
+
+class TestFig9:
+    def test_small_class_small_counts(self):
+        data = fig9_data(proc_counts=(2, 4), klass="A")
+        assert set(data.results) == {2, 4}
+        assert len(data.results[2]) == 4  # bar count from Figure 9
+        assert data.perfect[4] == pytest.approx(data.perfect[2] / 2)
+        assert data.slurm_default(2).cores == (0, 1)
+
+    def test_best_never_slower_than_default(self):
+        data = fig9_data(proc_counts=(4,), klass="A")
+        assert data.best(4).duration <= data.slurm_default(4).duration

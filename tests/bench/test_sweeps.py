@@ -1,0 +1,95 @@
+"""Unit tests for the generic sweep utility."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.sweeps import best_per_group, sweep, to_csv
+from repro.core.hierarchy import Hierarchy
+from repro.topology.machines import hydra
+
+H = Hierarchy((4, 2, 2, 8), ("node", "socket", "group", "core"))
+TOPO = hydra(4)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return sweep(
+        TOPO, H, comm_sizes=[16, 32],
+        collectives=["alltoall", "allgather"],
+        sizes=[1e6, 16e6],
+        orders=[(0, 1, 2, 3), (3, 2, 1, 0)],
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, records):
+        assert len(records) == 2 * 2 * 2 * 2  # comm x coll x size x order
+
+    def test_record_fields(self, records):
+        rec = records[0]
+        assert rec.machine == TOPO.name
+        assert rec.duration_all >= rec.duration_single > 0
+        assert rec.bandwidth_single == pytest.approx(
+            rec.total_bytes / rec.duration_single
+        )
+
+    def test_algorithm_resolved(self, records):
+        assert all(r.algorithm for r in records)
+
+    def test_bad_comm_size(self):
+        with pytest.raises(ValueError, match="divide"):
+            sweep(TOPO, H, comm_sizes=[17])
+
+    def test_world_size_checked(self):
+        with pytest.raises(ValueError):
+            sweep(TOPO, Hierarchy((2, 2)), comm_sizes=[2])
+
+
+class TestCSV:
+    def test_roundtrip(self, records):
+        text = to_csv(records)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(records)
+        assert rows[0]["order"] == records[0].order
+        assert float(rows[3]["total_bytes"]) == records[3].total_bytes
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestBestPerGroup:
+    def test_one_winner_per_group(self, records):
+        best = best_per_group(records)
+        assert len(best) == 2 * 2 * 2  # comm x coll x size
+        for (comm, coll, size), rec in best.items():
+            assert rec.comm_size == comm
+            assert rec.collective == coll
+            assert rec.total_bytes == size
+
+    def test_winner_is_fastest(self, records):
+        best = best_per_group(records, scenario="all")
+        for key, winner in best.items():
+            rivals = [
+                r
+                for r in records
+                if (r.comm_size, r.collective, r.total_bytes) == key
+            ]
+            assert winner.duration_all == min(r.duration_all for r in rivals)
+
+    def test_scenarios_can_disagree(self):
+        """The paper's central tension: the single-communicator winner is
+        not the concurrent winner (spread vs packed).  Needs the Figure 3
+        regime (16-rank comms on >= 8 nodes)."""
+        topo = hydra(8)
+        h = Hierarchy((8, 2, 2, 8))
+        recs = sweep(
+            topo, h, comm_sizes=[16], collectives=["alltoall"],
+            sizes=[32e6], orders=[(0, 1, 2, 3), (3, 2, 1, 0)],
+        )
+        best_all = best_per_group(recs, scenario="all")
+        best_single = best_per_group(recs, scenario="single")
+        key = (16, "alltoall", 32e6)
+        assert best_all[key].order == "3-2-1-0"
+        assert best_single[key].order == "0-1-2-3"

@@ -1,0 +1,47 @@
+"""Shared helpers for collective tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import Comm, Simulator
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 2, 4), names=("node", "socket", "numa", "core"))
+
+
+def run_programs(make_program, p, cores=None, topology=None):
+    """Run one collective program per rank; returns ``{rank: result}``."""
+    topology = topology or TOPO
+    if cores is None:
+        cores = list(range(p))
+    comms = Comm.world(p)
+    sim = Simulator(topology, cores)
+    return sim.run({r: make_program(comms[r], r) for r in range(p)})
+
+
+def total_round_bytes(rounds) -> float:
+    total = 0.0
+    for spec in rounds:
+        nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
+        total += float(nb.sum()) * spec.repeat
+    return total
+
+
+def flows_are_within_comm(rounds, p: int) -> bool:
+    return all(
+        spec.src.min() >= 0
+        and spec.dst.min() >= 0
+        and spec.src.max() < p
+        and spec.dst.max() < p
+        for spec in rounds
+        if spec.src.size
+    )
+
+
+def no_rank_sends_twice_per_round(rounds) -> bool:
+    """Round-structured algorithms issue at most one send per rank/round."""
+    for spec in rounds:
+        if len(np.unique(spec.src)) != spec.src.size:
+            return False
+    return True

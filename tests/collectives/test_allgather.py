@@ -1,0 +1,113 @@
+"""Unit tests for allgather algorithms (both faces)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather import (
+    bruck_program,
+    bruck_rounds,
+    neighbor_rounds,
+    recursive_doubling_program,
+    recursive_doubling_rounds,
+    ring_program,
+    ring_rounds,
+)
+from tests.collectives.helpers import (
+    flows_are_within_comm,
+    run_programs,
+    total_round_bytes,
+)
+
+
+def _blocks(p, count=4):
+    return {r: np.arange(count) + 100 * r for r in range(p)}
+
+
+def _expected(blocks, p):
+    return np.stack([blocks[r] for r in range(p)])
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("p", [2, 3, 4, 6, 8, 16])
+    def test_ring(self, p):
+        blocks = _blocks(p)
+        results = run_programs(lambda c, r: ring_program(c, blocks[r]), p)
+        for r in range(p):
+            assert np.array_equal(results[r], _expected(blocks, p))
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_recursive_doubling(self, p):
+        blocks = _blocks(p)
+        results = run_programs(
+            lambda c, r: recursive_doubling_program(c, blocks[r]), p
+        )
+        for r in range(p):
+            assert np.array_equal(results[r], _expected(blocks, p))
+
+    def test_recursive_doubling_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            run_programs(
+                lambda c, r: recursive_doubling_program(c, np.zeros(2)), 6
+            )
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 12])
+    def test_bruck(self, p):
+        blocks = _blocks(p)
+        results = run_programs(lambda c, r: bruck_program(c, blocks[r]), p)
+        for r in range(p):
+            assert np.array_equal(results[r], _expected(blocks, p))
+
+    def test_multidimensional_blocks(self):
+        p = 4
+        blocks = {r: np.full((2, 3), r) for r in range(p)}
+        results = run_programs(lambda c, r: ring_program(c, blocks[r]), p)
+        assert results[0].shape == (p, 2, 3)
+
+
+class TestRounds:
+    def test_ring_is_one_repeated_pattern(self):
+        rounds = ring_rounds(8, 800.0)
+        assert len(rounds) == 1
+        assert rounds[0].repeat == 7
+        src, dst = rounds[0].src, rounds[0].dst
+        assert np.array_equal(dst, (src + 1) % 8)
+
+    def test_ring_total_bytes(self):
+        p, total = 8, 4096.0
+        # Each rank forwards p-1 blocks of total/p bytes.
+        assert total_round_bytes(ring_rounds(p, total)) == pytest.approx(
+            total * (p - 1)
+        )
+
+    def test_recursive_doubling_sizes_double(self):
+        p, total = 16, 16.0 * 128
+        rounds = recursive_doubling_rounds(p, total)
+        sizes = [float(np.asarray(r.nbytes)) for r in rounds]
+        assert sizes == [total / p * (1 << k) for k in range(4)]
+
+    def test_recursive_doubling_partners_xor(self):
+        rounds = recursive_doubling_rounds(8, 8.0)
+        for k, spec in enumerate(rounds):
+            assert np.array_equal(spec.dst, spec.src ^ (1 << k))
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 12])
+    def test_bruck_gathers_everything(self, p):
+        total = float(p * 64)
+        rounds = bruck_rounds(p, total)
+        gathered = total / p + total_round_bytes(rounds) / p
+        assert gathered == pytest.approx(total)
+
+    def test_neighbor_requires_even_p(self):
+        with pytest.raises(ValueError):
+            neighbor_rounds(5, 5.0)
+
+    def test_neighbor_round_count(self):
+        rounds = neighbor_rounds(8, 8.0)
+        assert len(rounds) == 4
+        assert flows_are_within_comm(rounds, 8)
+
+    @pytest.mark.parametrize(
+        "fn", [ring_rounds, bruck_rounds, recursive_doubling_rounds]
+    )
+    def test_trivial_comm(self, fn):
+        assert fn(1, 10.0) == []

@@ -1,0 +1,125 @@
+"""Unit tests for allreduce algorithms (both faces)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allreduce import (
+    rabenseifner_program,
+    rabenseifner_rounds,
+    recursive_doubling_program,
+    recursive_doubling_rounds,
+    ring_program,
+    ring_rounds,
+)
+from tests.collectives.helpers import run_programs, total_round_bytes
+
+
+def _vectors(p, n=12):
+    return {r: np.arange(n, dtype=float) * (r + 1) for r in range(p)}
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_recursive_doubling_sum(self, p):
+        vecs = _vectors(p)
+        expected = sum(vecs.values())
+        results = run_programs(
+            lambda c, r: recursive_doubling_program(c, vecs[r]), p
+        )
+        for r in range(p):
+            assert np.allclose(results[r], expected)
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 12])
+    def test_ring_sum_any_p(self, p):
+        vecs = _vectors(p)
+        expected = sum(vecs.values())
+        results = run_programs(lambda c, r: ring_program(c, vecs[r]), p)
+        for r in range(p):
+            assert np.allclose(results[r], expected)
+
+    def test_ring_vector_not_divisible_by_p(self):
+        p = 4
+        vecs = {r: np.arange(10, dtype=float) + r for r in range(p)}
+        expected = sum(vecs.values())
+        results = run_programs(lambda c, r: ring_program(c, vecs[r]), p)
+        for r in range(p):
+            assert np.allclose(results[r], expected)
+            assert results[r].shape == (10,)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_rabenseifner_sum(self, p):
+        vecs = _vectors(p, n=16)
+        expected = sum(vecs.values())
+        results = run_programs(lambda c, r: rabenseifner_program(c, vecs[r]), p)
+        for r in range(p):
+            assert np.allclose(results[r], expected)
+
+    def test_rabenseifner_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            run_programs(lambda c, r: rabenseifner_program(c, np.ones(6)), 6)
+
+    def test_custom_operator(self):
+        p = 4
+        vecs = {r: np.full(5, float(r + 1)) for r in range(p)}
+        results = run_programs(
+            lambda c, r: recursive_doubling_program(c, vecs[r], op=np.maximum), p
+        )
+        for r in range(p):
+            assert np.allclose(results[r], 4.0)
+
+    def test_single_rank(self):
+        vecs = _vectors(1)
+        results = run_programs(lambda c, r: ring_program(c, vecs[r]), 1)
+        assert np.allclose(results[0], vecs[0])
+
+    def test_algorithms_agree(self):
+        p = 8
+        vecs = _vectors(p)
+        a = run_programs(lambda c, r: ring_program(c, vecs[r]), p)
+        b = run_programs(lambda c, r: recursive_doubling_program(c, vecs[r]), p)
+        c_ = run_programs(lambda c, r: rabenseifner_program(c, vecs[r]), p)
+        for r in range(p):
+            assert np.allclose(a[r], b[r])
+            assert np.allclose(a[r], c_[r])
+
+
+class TestRounds:
+    def test_recursive_doubling_full_vector_per_round(self):
+        p, total = 8, 8.0 * 1024
+        rounds = recursive_doubling_rounds(p, total)
+        assert len(rounds) == 3
+        for spec in rounds:
+            assert float(np.asarray(spec.nbytes)) == pytest.approx(total / p)
+
+    def test_ring_has_2p_minus_2_rounds(self):
+        rounds = ring_rounds(8, 8.0 * 1024)
+        assert sum(r.repeat for r in rounds) == 14
+
+    def test_ring_bandwidth_optimality(self):
+        """Ring moves ~2v bytes per rank; recursive doubling log2(p)*v."""
+        p, total = 16, 16.0 * 4096
+        v = total / p
+        ring_bytes = total_round_bytes(ring_rounds(p, total)) / p
+        rd_bytes = total_round_bytes(recursive_doubling_rounds(p, total)) / p
+        assert ring_bytes == pytest.approx(2 * v * (p - 1) / p)
+        assert rd_bytes == pytest.approx(np.log2(p) * v)
+        assert ring_bytes < rd_bytes
+
+    def test_rabenseifner_round_structure(self):
+        p, total = 8, 8.0 * 1024
+        v = total / p
+        rounds = rabenseifner_rounds(p, total)
+        assert len(rounds) == 6  # log2(8) halving + log2(8) doubling
+        sizes = [float(np.asarray(r.nbytes)) for r in rounds]
+        assert sizes[:3] == [v / 2, v / 4, v / 8]
+        assert sizes[3:] == [v / 8, v / 4, v / 2]
+
+    def test_rabenseifner_moves_less_than_recursive_doubling(self):
+        p, total = 16, 16.0 * 8192
+        assert total_round_bytes(rabenseifner_rounds(p, total)) < total_round_bytes(
+            recursive_doubling_rounds(p, total)
+        )
+
+    @pytest.mark.parametrize("fn", [ring_rounds, recursive_doubling_rounds])
+    def test_trivial_comm(self, fn):
+        assert fn(1, 10.0) == []

@@ -1,0 +1,115 @@
+"""Unit tests for alltoall algorithms (both faces)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.alltoall import (
+    bruck_program,
+    bruck_rounds,
+    linear_rounds,
+    pairwise_program,
+    pairwise_rounds,
+)
+from tests.collectives.helpers import (
+    flows_are_within_comm,
+    no_rank_sends_twice_per_round,
+    run_programs,
+    total_round_bytes,
+)
+
+
+def _sendbufs(p, count=3):
+    return {r: (np.arange(p * count).reshape(p, count) + 1000 * r) for r in range(p)}
+
+
+def _expected(sendbufs, p, r):
+    return np.stack([sendbufs[j][r] for j in range(p)])
+
+
+class TestPairwiseProgram:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+    def test_correct_for_any_p(self, p):
+        bufs = _sendbufs(p)
+        results = run_programs(lambda c, r: pairwise_program(c, bufs[r]), p)
+        for r in range(p):
+            assert np.array_equal(results[r], _expected(bufs, p, r)), r
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            run_programs(lambda c, r: pairwise_program(c, np.zeros((3, 2))), 4)
+
+    def test_self_block_preserved(self):
+        bufs = _sendbufs(4)
+        results = run_programs(lambda c, r: pairwise_program(c, bufs[r]), 4)
+        for r in range(4):
+            assert np.array_equal(results[r][r], bufs[r][r])
+
+
+class TestBruckProgram:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 12, 16])
+    def test_correct_for_any_p(self, p):
+        bufs = _sendbufs(p)
+        results = run_programs(lambda c, r: bruck_program(c, bufs[r]), p)
+        for r in range(p):
+            assert np.array_equal(results[r], _expected(bufs, p, r)), r
+
+    def test_matches_pairwise(self):
+        p = 6
+        bufs = _sendbufs(p)
+        a = run_programs(lambda c, r: pairwise_program(c, bufs[r]), p)
+        b = run_programs(lambda c, r: bruck_program(c, bufs[r]), p)
+        for r in range(p):
+            assert np.array_equal(a[r], b[r])
+
+
+class TestRounds:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_pairwise_round_structure(self, p):
+        rounds = pairwise_rounds(p, float(p * p * 64))
+        assert len(rounds) == p - 1
+        assert flows_are_within_comm(rounds, p)
+        assert no_rank_sends_twice_per_round(rounds)
+        # Over all rounds each ordered pair appears exactly once.
+        pairs = set()
+        for spec in rounds:
+            pairs.update(zip(spec.src.tolist(), spec.dst.tolist()))
+        assert len(pairs) == p * (p - 1)
+
+    def test_pairwise_total_bytes(self):
+        p, total = 8, 8 * 8 * 100.0
+        # Everything except the p self-blocks travels.
+        assert total_round_bytes(pairwise_rounds(p, total)) == pytest.approx(
+            total * (p - 1) / p
+        )
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 6, 12])
+    def test_bruck_round_count_logarithmic(self, p):
+        rounds = bruck_rounds(p, float(p * p))
+        assert len(rounds) == int(np.ceil(np.log2(p)))
+        assert flows_are_within_comm(rounds, p)
+
+    def test_bruck_total_bytes_exceed_pairwise(self):
+        # Bruck forwards blocks multiple times: more volume, fewer rounds.
+        p, total = 16, 16.0 * 16 * 1024
+        assert total_round_bytes(bruck_rounds(p, total)) > total_round_bytes(
+            pairwise_rounds(p, total)
+        )
+
+    def test_bruck_block_counts_match_bit_population(self):
+        p, total = 8, 8.0 * 8
+        per_pair = total / (p * p)
+        rounds = bruck_rounds(p, total)
+        for k, spec in enumerate(rounds):
+            n_blocks = sum(1 for j in range(1, p) if (j >> k) & 1)
+            assert float(np.asarray(spec.nbytes)) == pytest.approx(
+                n_blocks * per_pair
+            )
+
+    def test_linear_single_round_all_pairs(self):
+        rounds = linear_rounds(4, 16.0 * 16)
+        assert len(rounds) == 1
+        assert rounds[0].src.size == 12
+
+    @pytest.mark.parametrize("fn", [pairwise_rounds, bruck_rounds, linear_rounds])
+    def test_trivial_comm(self, fn):
+        assert fn(1, 100.0) == []

@@ -1,0 +1,147 @@
+"""Unit tests for barrier, scan, reduce_scatter and alltoallv."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.misc import (
+    alltoallv_pairwise_program,
+    alltoallv_pairwise_rounds,
+    barrier_program,
+    barrier_rounds,
+    reduce_scatter_halving_rounds,
+    reduce_scatter_ring_rounds,
+    scan_program,
+    scan_rounds,
+)
+from tests.collectives.helpers import run_programs, total_round_bytes
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+    def test_completes(self, p):
+        results = run_programs(lambda c, r: barrier_program(c), p)
+        assert all(v is None for v in results.values())
+
+    def test_round_count(self):
+        assert len(barrier_rounds(16)) == 4
+        assert len(barrier_rounds(9)) == 4
+
+    def test_signal_payloads_tiny(self):
+        for spec in barrier_rounds(8):
+            assert float(np.asarray(spec.nbytes)) <= 8.0
+
+    def test_synchronizes_clocks(self):
+        """After the barrier, no rank's exit time precedes another rank's
+        entry time (the defining property of a barrier)."""
+        from repro.simmpi import Comm, Simulator
+        from tests.collectives.helpers import TOPO
+
+        p = 4
+        comms = Comm.world(p)
+        entry = {}
+
+        def prog(c):
+            yield c.compute(0.01 * (c.rank + 1))  # skewed arrivals
+            entry[c.rank] = c.rank  # marker only
+            yield from barrier_program(c)
+            return None
+
+        sim = Simulator(TOPO, list(range(p)))
+        sim.run({r: prog(comms[r]) for r in range(p)})
+        finish = sim.finish_times
+        # Everyone leaves after the slowest arrival (0.04s).
+        assert all(t >= 0.04 for t in finish.values())
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 13])
+    def test_inclusive_prefix_sums(self, p):
+        vecs = {r: np.full(3, float(r + 1)) for r in range(p)}
+        results = run_programs(lambda c, r: scan_program(c, vecs[r]), p)
+        for r in range(p):
+            assert np.allclose(results[r], sum(vecs[j] for j in range(r + 1)))
+
+    def test_non_commutative_order(self):
+        """Scan must combine in rank order (tested with concatenation-like
+        op via matrices where order matters)."""
+        p = 4
+        mats = {r: np.array([[1.0, r + 1], [0.0, 1.0]]) for r in range(p)}
+        results = run_programs(
+            lambda c, r: scan_program(c, mats[r], op=lambda a, b: a @ b), p
+        )
+        for r in range(p):
+            expected = np.eye(2)
+            for j in range(r + 1):
+                expected = expected @ mats[j]
+            assert np.allclose(results[r], expected), r
+
+    def test_rounds_structure(self):
+        rounds = scan_rounds(8, 8.0 * 64)
+        assert len(rounds) == 3
+        for k, spec in enumerate(rounds):
+            assert np.array_equal(spec.dst, spec.src + (1 << k))
+
+
+class TestReduceScatterRounds:
+    def test_halving_sizes(self):
+        p, total = 8, 8.0 * 1024
+        v = total / p
+        rounds = reduce_scatter_halving_rounds(p, total)
+        sizes = [float(np.asarray(r.nbytes)) for r in rounds]
+        assert sizes == [v / 2, v / 4, v / 8]
+
+    def test_halving_requires_pow2(self):
+        with pytest.raises(ValueError):
+            reduce_scatter_halving_rounds(6, 6.0)
+
+    def test_ring_round_count(self):
+        rounds = reduce_scatter_ring_rounds(8, 8.0)
+        assert sum(r.repeat for r in rounds) == 7
+
+
+class TestAlltoallv:
+    def test_program_irregular_sizes(self):
+        p = 4
+        bufs = {
+            r: [np.full(r + j + 1, 10 * r + j, dtype=float) for j in range(p)]
+            for r in range(p)
+        }
+        results = run_programs(lambda c, r: alltoallv_pairwise_program(c, bufs[r]), p)
+        for r in range(p):
+            for j in range(p):
+                assert np.array_equal(results[r][j], bufs[j][r]), (r, j)
+
+    def test_program_rejects_wrong_block_count(self):
+        with pytest.raises(ValueError):
+            run_programs(
+                lambda c, r: alltoallv_pairwise_program(c, [np.zeros(1)]), 3
+            )
+
+    def test_rounds_use_size_matrix(self):
+        sizes = np.array(
+            [
+                [0, 10, 20, 0],
+                [1, 0, 0, 4],
+                [0, 0, 0, 0],
+                [7, 0, 9, 0],
+            ],
+            dtype=float,
+        )
+        rounds = alltoallv_pairwise_rounds(sizes)
+        total = total_round_bytes(rounds)
+        assert total == pytest.approx(sizes.sum())
+
+    def test_rounds_skip_zero_flows(self):
+        sizes = np.zeros((4, 4))
+        sizes[0, 1] = 5.0
+        rounds = alltoallv_pairwise_rounds(sizes)
+        assert len(rounds) == 1
+        assert rounds[0].src.tolist() == [0]
+
+    def test_rounds_reject_non_square(self):
+        with pytest.raises(ValueError):
+            alltoallv_pairwise_rounds(np.zeros((3, 4)))
+
+    def test_diagonal_ignored(self):
+        sizes = np.eye(4) * 100
+        assert alltoallv_pairwise_rounds(sizes) == []

@@ -1,0 +1,135 @@
+"""Property-based tests on collective algorithms.
+
+Two families of invariants:
+
+1. *Functional*: every allreduce algorithm computes the same sum, every
+   allgather assembles the same array, alltoall is an involution of the
+   block matrix transpose -- for random sizes, communicator sizes and
+   payloads.
+2. *Structural* (rounds face): flows stay inside the communicator, no
+   rank sends twice per round, and conservation laws on total bytes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.allgather import bruck_rounds as ag_bruck_rounds
+from repro.collectives.allgather import ring_program as ag_ring
+from repro.collectives.allgather import ring_rounds as ag_ring_rounds
+from repro.collectives.allreduce import ring_program as ar_ring
+from repro.collectives.alltoall import bruck_program, pairwise_program
+from repro.collectives.alltoall import pairwise_rounds
+from repro.collectives.misc import scan_program
+from repro.collectives.rooted import bcast_rounds, gather_rounds
+from tests.collectives.helpers import (
+    flows_are_within_comm,
+    no_rank_sends_twice_per_round,
+    run_programs,
+    total_round_bytes,
+)
+
+comm_sizes = st.integers(2, 10)
+small_counts = st.integers(1, 6)
+
+
+@given(p=comm_sizes, count=small_counts, seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_alltoall_is_block_transpose(p, count, seed):
+    rng = np.random.default_rng(seed)
+    bufs = {r: rng.integers(0, 1000, size=(p, count)) for r in range(p)}
+    results = run_programs(lambda c, r: pairwise_program(c, bufs[r]), p)
+    for i in range(p):
+        for j in range(p):
+            assert np.array_equal(results[i][j], bufs[j][i])
+
+
+@given(p=comm_sizes, count=small_counts, seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_bruck_equals_pairwise(p, count, seed):
+    rng = np.random.default_rng(seed)
+    bufs = {r: rng.integers(0, 1000, size=(p, count)) for r in range(p)}
+    a = run_programs(lambda c, r: pairwise_program(c, bufs[r].copy()), p)
+    b = run_programs(lambda c, r: bruck_program(c, bufs[r].copy()), p)
+    for r in range(p):
+        assert np.array_equal(a[r], b[r])
+
+
+@given(p=comm_sizes, count=small_counts, seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_allgather_assembles_all_blocks(p, count, seed):
+    rng = np.random.default_rng(seed)
+    blocks = {r: rng.normal(size=count) for r in range(p)}
+    results = run_programs(lambda c, r: ag_ring(c, blocks[r]), p)
+    expected = np.stack([blocks[r] for r in range(p)])
+    for r in range(p):
+        assert np.allclose(results[r], expected)
+
+
+@given(p=comm_sizes, count=st.integers(1, 9), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_allreduce_matches_numpy_sum(p, count, seed):
+    rng = np.random.default_rng(seed)
+    vecs = {r: rng.normal(size=count) for r in range(p)}
+    expected = sum(vecs.values())
+    results = run_programs(lambda c, r: ar_ring(c, vecs[r]), p)
+    for r in range(p):
+        assert np.allclose(results[r], expected)
+
+
+@given(p=comm_sizes, seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_scan_prefix_property(p, seed):
+    rng = np.random.default_rng(seed)
+    vecs = {r: rng.normal(size=3) for r in range(p)}
+    results = run_programs(lambda c, r: scan_program(c, vecs[r]), p)
+    running = np.zeros(3)
+    for r in range(p):
+        running = running + vecs[r]
+        assert np.allclose(results[r], running)
+
+
+@given(p=st.integers(2, 24), scale=st.floats(1.0, 1e6))
+@settings(max_examples=40, deadline=None)
+def test_pairwise_rounds_structural_invariants(p, scale):
+    rounds = pairwise_rounds(p, p * p * scale)
+    assert flows_are_within_comm(rounds, p)
+    assert no_rank_sends_twice_per_round(rounds)
+    assert total_round_bytes(rounds) <= p * p * scale
+
+
+@given(p=st.integers(2, 24), scale=st.floats(8.0, 1e6))
+@settings(max_examples=40, deadline=None)
+def test_allgather_rounds_conservation(p, scale):
+    """Every rank must end up holding total bytes; each algorithm's
+    received volume per rank is total - total/p."""
+    total = p * scale
+    for rounds in (ag_ring_rounds(p, total), ag_bruck_rounds(p, total)):
+        received_per_rank = total_round_bytes(rounds) / p
+        assert np.isclose(received_per_rank, total - total / p, rtol=1e-9)
+
+
+@given(p=st.integers(2, 33), root=st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_bcast_rounds_reach_everyone(p, root):
+    root = root % p
+    informed = {root}
+    for spec in bcast_rounds(p, float(p), root=root):
+        for s, d in zip(spec.src.tolist(), spec.dst.tolist()):
+            assert s in informed
+            informed.add(d)
+    assert informed == set(range(p))
+
+
+@given(p=st.integers(2, 33))
+@settings(max_examples=30, deadline=None)
+def test_gather_rounds_volume_bounds(p):
+    """Binomial gather forwards: total traffic is bounded below by the
+    p-1 blocks that must reach the root at least once, and above by
+    every block travelling all ceil(log2 p) tree levels."""
+    total = float(p * 16)
+    block = total / p
+    rounds = gather_rounds(p, total)
+    moved = total_round_bytes(rounds)
+    assert moved >= (p - 1) * block - 1e-9
+    assert moved <= np.ceil(np.log2(p)) * p * block + 1e-9

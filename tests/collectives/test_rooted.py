@@ -1,0 +1,144 @@
+"""Unit tests for rooted collectives (binomial bcast/reduce/gather/scatter)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.rooted import (
+    bcast_program,
+    bcast_rounds,
+    gather_program,
+    gather_rounds,
+    reduce_program,
+    reduce_rounds,
+    scatter_program,
+    scatter_rounds,
+)
+from tests.collectives.helpers import run_programs, total_round_bytes
+
+PS = [2, 3, 4, 5, 7, 8, 16]
+ROOTS = [0, 1]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("root", ROOTS)
+    def test_everyone_receives(self, p, root):
+        if root >= p:
+            pytest.skip("root outside comm")
+        data = np.arange(9.0)
+        results = run_programs(
+            lambda c, r: bcast_program(c, data if r == root else None, root=root),
+            p,
+        )
+        for r in range(p):
+            assert np.array_equal(results[r], data)
+
+    def test_root_must_supply_data(self):
+        with pytest.raises(ValueError):
+            run_programs(lambda c, r: bcast_program(c, None, root=0), 2)
+
+    def test_round_count_logarithmic(self):
+        rounds = bcast_rounds(16, 16.0)
+        assert len(rounds) == 4
+
+    def test_informed_set_doubles(self):
+        rounds = bcast_rounds(8, 8.0)
+        informed = {0}
+        for spec in rounds:
+            for s, d in zip(spec.src.tolist(), spec.dst.tolist()):
+                assert s in informed
+                informed.add(d)
+        assert informed == set(range(8))
+
+    def test_rounds_respect_root(self):
+        rounds = bcast_rounds(4, 4.0, root=2)
+        first = rounds[0]
+        assert first.src.tolist() == [2]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("root", ROOTS)
+    def test_sum_at_root(self, p, root):
+        if root >= p:
+            pytest.skip("root outside comm")
+        vecs = {r: np.full(4, float(r + 1)) for r in range(p)}
+        results = run_programs(
+            lambda c, r: reduce_program(c, vecs[r], root=root), p
+        )
+        assert np.allclose(results[root], sum(vecs.values()))
+        for r in range(p):
+            if r != root:
+                assert results[r] is None
+
+    def test_rounds_mirror_bcast(self):
+        b = bcast_rounds(8, 8.0)
+        r = reduce_rounds(8, 8.0)
+        assert len(b) == len(r)
+        assert np.array_equal(r[0].src, b[-1].dst)
+        assert np.array_equal(r[0].dst, b[-1].src)
+
+
+class TestGather:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("root", ROOTS)
+    def test_root_collects_in_rank_order(self, p, root):
+        if root >= p:
+            pytest.skip("root outside comm")
+        blocks = {r: np.full(3, r) for r in range(p)}
+        results = run_programs(
+            lambda c, r: gather_program(c, blocks[r], root=root), p
+        )
+        expected = np.stack([blocks[r] for r in range(p)])
+        assert np.array_equal(results[root], expected)
+
+    def test_round_sizes_are_subtree_sizes(self):
+        # Binomial gather forwards blocks through the tree: each of the
+        # log2(p) rounds moves p/2 blocks in aggregate (subtree halves).
+        p, total = 8, 8.0 * 10
+        block = total / p
+        rounds = gather_rounds(p, total)
+        assert total_round_bytes(rounds) == pytest.approx(
+            np.log2(p) * (p / 2) * block
+        )
+        sizes_last = np.asarray(rounds[-1].nbytes)
+        assert float(sizes_last.max()) == pytest.approx((p / 2) * block)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("root", ROOTS)
+    def test_each_rank_gets_its_block(self, p, root):
+        if root >= p:
+            pytest.skip("root outside comm")
+        blocks = np.stack([np.full(3, 10 + r) for r in range(p)])
+        results = run_programs(
+            lambda c, r: scatter_program(
+                c, blocks if r == root else None, root=root
+            ),
+            p,
+        )
+        for r in range(p):
+            assert np.array_equal(results[r], blocks[r]), (p, root, r)
+
+    def test_root_must_supply_blocks(self):
+        with pytest.raises(ValueError):
+            run_programs(lambda c, r: scatter_program(c, None), 2)
+
+    def test_rounds_mirror_gather(self):
+        g = gather_rounds(8, 8.0)
+        s = scatter_rounds(8, 8.0)
+        assert total_round_bytes(g) == pytest.approx(total_round_bytes(s))
+
+
+def test_bcast_gather_roundtrip():
+    """Scatter then gather is the identity on the root's data."""
+    p = 8
+    blocks = np.arange(p * 2.0).reshape(p, 2)
+    scattered = run_programs(
+        lambda c, r: scatter_program(c, blocks if r == 0 else None), p
+    )
+    gathered = run_programs(
+        lambda c, r: gather_program(c, scattered[r]), p
+    )
+    assert np.array_equal(gathered[0], blocks)

@@ -1,0 +1,92 @@
+"""Unit tests for algorithm selection and the registry."""
+
+import pytest
+
+from repro.collectives.selector import (
+    get_algorithm,
+    list_algorithms,
+    rounds_for,
+    select_algorithm,
+)
+
+
+class TestRegistry:
+    def test_all_collectives_registered(self):
+        collectives = {c for c, _ in list_algorithms()}
+        assert collectives >= {
+            "alltoall",
+            "allgather",
+            "allreduce",
+            "bcast",
+            "reduce",
+            "gather",
+            "scatter",
+            "barrier",
+            "scan",
+            "reduce_scatter",
+        }
+
+    def test_get_algorithm(self):
+        fn = get_algorithm("alltoall", "pairwise")
+        assert callable(fn)
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="pairwise"):
+            get_algorithm("alltoall", "nope")
+
+    def test_list_filtered(self):
+        allgathers = list_algorithms("allgather")
+        assert ("allgather", "ring") in allgathers
+        assert all(c == "allgather" for c, _ in allgathers)
+
+
+class TestSelection:
+    def test_alltoall_small_uses_bruck(self):
+        assert select_algorithm("alltoall", 64, 64 * 1024) == "bruck"
+
+    def test_alltoall_large_uses_pairwise(self):
+        assert select_algorithm("alltoall", 64, 64 * 1e6) == "pairwise"
+
+    def test_alltoall_small_comm_uses_pairwise(self):
+        assert select_algorithm("alltoall", 4, 1024) == "pairwise"
+
+    def test_allgather_regimes(self):
+        assert select_algorithm("allgather", 64, 64 * 512) == "bruck"
+        assert select_algorithm("allgather", 64, 64 * 32768) == "recursive_doubling"
+        assert select_algorithm("allgather", 64, 64 * 1e7) == "ring"
+
+    def test_allgather_non_pow2_avoids_recursive_doubling(self):
+        assert select_algorithm("allgather", 48, 48 * 32768) == "ring"
+
+    def test_allreduce_regimes(self):
+        assert select_algorithm("allreduce", 64, 64 * 1024) == "recursive_doubling"
+        assert select_algorithm("allreduce", 64, 64 * 1e7) == "rabenseifner"
+        assert select_algorithm("allreduce", 48, 48 * 1e7) == "ring"
+
+    def test_rooted_and_misc(self):
+        assert select_algorithm("bcast", 8, 1.0) == "binomial"
+        assert select_algorithm("barrier", 8, 0.0) == "dissemination"
+        assert select_algorithm("scan", 8, 8.0) == "recursive_doubling"
+
+    def test_unknown_collective(self):
+        with pytest.raises(KeyError):
+            select_algorithm("alltoallw", 8, 1.0)
+
+    def test_selected_algorithm_always_valid_for_p(self):
+        """The selector never picks a power-of-two-only algorithm for a
+        non-power-of-two communicator."""
+        for p in (3, 5, 6, 12, 48, 100):
+            for coll in ("alltoall", "allgather", "allreduce"):
+                for total in (p * 64.0, p * 1e5, p * 1e8):
+                    rounds = rounds_for(coll, p, total)  # must not raise
+                    assert isinstance(rounds, list)
+
+
+class TestRoundsFor:
+    def test_explicit_algorithm_override(self):
+        rounds = rounds_for("alltoall", 8, 8.0 * 8, algorithm="bruck")
+        assert len(rounds) == 3
+
+    def test_auto_selection(self):
+        rounds = rounds_for("alltoall", 8, 8 * 1e7)
+        assert len(rounds) == 7  # pairwise

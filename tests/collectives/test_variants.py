@@ -1,0 +1,142 @@
+"""Tests for the extended algorithm variants: linear alltoall (nonblocking),
+Van-de-Geijn bcast, reduce_scatter programs."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.alltoall import linear_program, pairwise_program
+from repro.collectives.misc import (
+    reduce_scatter_halving_program,
+    reduce_scatter_ring_program,
+)
+from repro.collectives.rooted import (
+    bcast_scatter_allgather_program,
+    bcast_scatter_allgather_rounds,
+)
+from repro.collectives.selector import get_algorithm
+from tests.collectives.helpers import run_programs, total_round_bytes
+
+
+class TestLinearAlltoall:
+    @pytest.mark.parametrize("p", [2, 4, 7, 8])
+    def test_matches_pairwise(self, p):
+        bufs = {r: np.arange(p * 3).reshape(p, 3) + 100 * r for r in range(p)}
+        a = run_programs(lambda c, r: pairwise_program(c, bufs[r]), p)
+        b = run_programs(lambda c, r: linear_program(c, bufs[r]), p)
+        for r in range(p):
+            assert np.array_equal(a[r], b[r])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            run_programs(lambda c, r: linear_program(c, np.zeros((2, 1))), 3)
+
+
+class TestVanDeGeijnBcast:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_everyone_receives(self, p, root):
+        vec = np.arange(float(4 * p))
+        results = run_programs(
+            lambda c, r: bcast_scatter_allgather_program(
+                c, vec if r == root else None, root=root
+            ),
+            p,
+        )
+        for r in range(p):
+            assert np.array_equal(results[r], vec), r
+
+    def test_rounds_registered_in_selector(self):
+        fn = get_algorithm("bcast", "scatter_allgather")
+        rounds = fn(8, 8.0 * 1024)
+        assert rounds
+
+    def test_root_critical_path_beats_binomial(self):
+        """The point of the algorithm: the busiest rank sends ~2v instead
+        of the binomial root's v*log2(p)."""
+        from repro.collectives.rooted import bcast_rounds
+
+        def max_send_volume(rounds, p):
+            per_rank = np.zeros(p)
+            for spec in rounds:
+                nb = np.broadcast_to(
+                    np.asarray(spec.nbytes, dtype=float), spec.src.shape
+                )
+                np.add.at(per_rank, spec.src, nb * spec.repeat)
+            return per_rank.max()
+
+        p, total = 16, 16.0 * 65536
+        vdg = max_send_volume(bcast_scatter_allgather_rounds(p, total), p)
+        binomial = max_send_volume(bcast_rounds(p, total), p)
+        assert vdg < binomial
+        v = total / p
+        assert vdg == pytest.approx(2 * v * (p - 1) / p, rel=0.2)
+
+    def test_vector_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            run_programs(
+                lambda c, r: bcast_scatter_allgather_program(
+                    c, np.arange(5.0) if r == 0 else None
+                ),
+                4,
+            )
+
+
+class TestReduceScatterPrograms:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_halving_chunks_correct(self, p):
+        n = 4 * p
+        vecs = {r: np.arange(float(n)) * (r + 1) for r in range(p)}
+        expected = sum(vecs.values())
+        results = run_programs(
+            lambda c, r: reduce_scatter_halving_program(c, vecs[r]), p
+        )
+        chunk = n // p
+        for r in range(p):
+            # Recursive halving leaves rank r with chunk r (bit path).
+            got = results[r]
+            assert got.shape == (chunk,)
+            # Find which chunk it is and verify the values.
+            starts = [np.allclose(got, expected[s : s + chunk]) for s in range(0, n, chunk)]
+            assert any(starts), r
+        # Together the ranks own every chunk exactly once.
+        owned = []
+        for r in range(p):
+            for ci in range(p):
+                if np.allclose(results[r], expected[ci * chunk : (ci + 1) * chunk]):
+                    owned.append(ci)
+                    break
+        assert sorted(owned) == list(range(p))
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 6, 8])
+    def test_ring_chunk_placement(self, p):
+        n = 2 * p
+        vecs = {r: np.full(n, float(r + 1)) for r in range(p)}
+        expected = sum(vecs.values())
+        results = run_programs(
+            lambda c, r: reduce_scatter_ring_program(c, vecs[r]), p
+        )
+        chunk = n // p
+        for r in range(p):
+            owner_chunk = (r + 1) % p
+            assert np.allclose(
+                results[r], expected[owner_chunk * chunk : (owner_chunk + 1) * chunk]
+            )
+
+    def test_halving_requires_pow2(self):
+        with pytest.raises(ValueError):
+            run_programs(
+                lambda c, r: reduce_scatter_halving_program(c, np.ones(6)), 3
+            )
+
+    def test_padding_for_indivisible_vectors(self):
+        p = 4
+        vecs = {r: np.arange(7.0) + r for r in range(p)}
+        results = run_programs(
+            lambda c, r: reduce_scatter_ring_program(c, vecs[r]), p
+        )
+        # Padded to 8; chunks of 2; total reduced correctly.
+        expected = sum(vecs.values())
+        padded = np.concatenate([expected, [0.0]])
+        for r in range(p):
+            owner_chunk = (r + 1) % p
+            assert np.allclose(results[r], padded[owner_chunk * 2 : owner_chunk * 2 + 2])

@@ -1,0 +1,57 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.simmpi import Comm, Simulator
+from repro.topology.machines import generic_cluster, hydra, lumi_node
+
+
+@pytest.fixture
+def fig1_hierarchy() -> Hierarchy:
+    """The paper's Figure 1 machine: [[2, 2, 4]]."""
+    return Hierarchy((2, 2, 4), names=("node", "socket", "core"))
+
+
+@pytest.fixture
+def hydra_hierarchy() -> Hierarchy:
+    """16 Hydra nodes with the fake socket split: [[16, 2, 2, 8]]."""
+    return Hierarchy((16, 2, 2, 8), names=("node", "socket", "group", "core"))
+
+
+@pytest.fixture
+def small_topology():
+    """A 2-node Hydra (64 cores), compact enough for DES runs."""
+    return hydra(2)
+
+
+@pytest.fixture
+def node_topology():
+    """One LUMI node ([[2, 4, 2, 8]], 128 cores)."""
+    return lumi_node()
+
+
+@pytest.fixture
+def tiny_topology():
+    """A deliberately small generic machine: [[2, 2, 4]], 16 cores."""
+    return generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+def run_collective(topology, cores, make_program, p=None):
+    """Run one program per rank through the simulator; returns (results, sim).
+
+    ``make_program(comm)`` builds the rank program from its Comm handle.
+    """
+    p = p if p is not None else len(cores)
+    comms = Comm.world(p)
+    sim = Simulator(topology, list(cores))
+    results = sim.run({r: make_program(comms[r]) for r in range(p)})
+    return results, sim
+
+
+def random_cores(topology, p, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice(topology.n_cores, size=p, replace=False)

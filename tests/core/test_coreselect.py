@@ -1,0 +1,117 @@
+"""Unit tests for Algorithm 3 (core selection / map_cpu lists).
+
+Expected core lists are read off the annotations of Figure 9 (LUMI node,
+[[2, 4, 2, 8]], physical core IDs 0-127).
+"""
+
+import pytest
+
+from repro.core.coreselect import (
+    CoreSelection,
+    distinct_core_sets,
+    distinct_selections,
+    map_cpu_list,
+)
+from repro.core.hierarchy import Hierarchy
+from repro.core.orders import all_orders
+
+LUMI_NODE = Hierarchy((2, 4, 2, 8), ("socket", "numa", "l3", "core"))
+
+
+class TestMapCpuList:
+    # Figure 9, "2 proc." block.
+    FIG9_2PROC = {
+        (0, 1, 2, 3): [0, 64],
+        (1, 0, 2, 3): [0, 16],
+        (2, 0, 1, 3): [0, 8],
+        (3, 0, 1, 2): [0, 1],
+    }
+
+    @pytest.mark.parametrize("order,expected", sorted(FIG9_2PROC.items()))
+    def test_fig9_two_processes(self, order, expected):
+        assert map_cpu_list(LUMI_NODE, order, 2) == expected
+
+    def test_fig9_four_processes_examples(self):
+        assert sorted(map_cpu_list(LUMI_NODE, (0, 1, 2, 3), 4)) == [0, 16, 64, 80]
+        assert sorted(map_cpu_list(LUMI_NODE, (2, 1, 0, 3), 4)) == [0, 8, 16, 24]
+        assert sorted(map_cpu_list(LUMI_NODE, (2, 3, 0, 1), 4)) == [0, 1, 8, 9]
+
+    def test_full_node_is_permutation(self):
+        cores = map_cpu_list(LUMI_NODE, (1, 3, 0, 2), 128)
+        assert sorted(cores) == list(range(128))
+
+    def test_identity_order_packs_first_cores(self):
+        assert map_cpu_list(LUMI_NODE, (3, 2, 1, 0), 8) == list(range(8))
+
+    @pytest.mark.parametrize("n", [0, 129, -1])
+    def test_rejects_bad_count(self, n):
+        with pytest.raises(ValueError):
+            map_cpu_list(LUMI_NODE, (0, 1, 2, 3), n)
+
+    def test_position_is_on_node_rank(self):
+        # The list position is the on-node MPI rank (Section 3.4).
+        cores = map_cpu_list(LUMI_NODE, (0, 1, 2, 3), 4)
+        assert cores == [0, 64, 16, 80]  # rank 0 socket0, rank 1 socket1...
+
+
+class TestCoreSelection:
+    def test_core_set_and_label(self):
+        sel = CoreSelection(LUMI_NODE, (2, 1, 0, 3), 8)
+        assert sel.core_set == frozenset({0, 8, 16, 24, 32, 40, 48, 56})
+        assert sel.core_id_label() == "0,8,16,24,32,40,48,56"
+
+    def test_label_compresses_ranges(self):
+        sel = CoreSelection(LUMI_NODE, (3, 2, 1, 0), 16)
+        assert sel.core_id_label() == "0-15"
+
+    def test_fig9_label_example(self):
+        # Figure 9 annotation "0-3,64-67" for order [0,3,1,2] at 8 procs.
+        sel = CoreSelection(LUMI_NODE, (0, 3, 1, 2), 8)
+        assert sel.core_id_label() == "0-3,64-67"
+
+    def test_map_cpu_argument(self):
+        sel = CoreSelection(LUMI_NODE, (3, 0, 1, 2), 2)
+        assert sel.map_cpu_argument() == "map_cpu:0,1"
+
+    def test_selected_hierarchy_drops_trivial_levels(self):
+        # Selecting the first socket of each node on [[2,2,4]] -> [[2,4]]
+        # (the Section 3.4 example).
+        machine_node = Hierarchy((2, 4), ("socket", "core"))
+        sel = CoreSelection(machine_node, (1, 0), 4)  # hmm: one per socket x2
+        h = sel.selected_hierarchy()
+        assert h.size == 4
+
+    def test_selected_hierarchy_two_per_socket(self):
+        # Two cores per socket on a 2-socket/4-core node -> [[2, 2]].
+        node = Hierarchy((2, 4), ("socket", "core"))
+        sel = CoreSelection(node, (0, 1), 4)  # socket-cyclic
+        h = sel.selected_hierarchy()
+        assert h.radices == (2, 2)
+        assert h.names == ("socket", "core")
+
+    def test_selected_hierarchy_rejects_single_core(self):
+        sel = CoreSelection(LUMI_NODE, (0, 1, 2, 3), 1)
+        with pytest.raises(ValueError):
+            sel.selected_hierarchy()
+
+
+class TestDistinct:
+    def test_distinct_sets_group_orders(self):
+        groups = distinct_core_sets(LUMI_NODE, all_orders(4), 2)
+        # Figure 9 shows exactly 4 distinct pairs at 2 processes.
+        assert len(groups) == 4
+        assert frozenset({0, 64}) in groups
+        assert frozenset({0, 1}) in groups
+
+    def test_distinct_selections_counts_match_fig9(self):
+        # Bars per process count in Figure 9: orders with distinct
+        # ordered core lists.
+        expected = {2: 4, 4: 8, 8: 12, 128: 24}
+        for p, count in expected.items():
+            sels = distinct_selections(LUMI_NODE, all_orders(4), p)
+            assert len(sels) == count, p
+
+    def test_distinct_selections_are_unique(self):
+        sels = distinct_selections(LUMI_NODE, all_orders(4), 16)
+        lists = [s.cores for s in sels]
+        assert len(set(lists)) == len(lists)

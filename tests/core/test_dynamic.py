@@ -1,0 +1,99 @@
+"""Unit tests for dynamic/mixed orderings (the conclusion's extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import (
+    HeterogeneousLayout,
+    MixedReordering,
+    heterogeneous_subcommunicators,
+)
+from repro.core.hierarchy import Hierarchy
+from repro.core.reorder import RankReordering
+
+H = Hierarchy((4, 2, 4), ("node", "socket", "core"))
+
+
+class TestMixedReordering:
+    def test_is_permutation(self):
+        mr = MixedReordering(H, 2, (0, 1, 2), (2, 1, 0))
+        assert sorted(mr.new_rank.tolist()) == list(range(32))
+
+    def test_partitions_do_not_mix(self):
+        mr = MixedReordering(H, 2, (0, 1, 2), (2, 1, 0))
+        boundary = 2 * 8  # two nodes' worth of cores
+        assert mr.new_rank[:boundary].max() < boundary
+        assert mr.new_rank[boundary:].min() >= boundary
+
+    def test_each_partition_follows_its_order(self):
+        mr = MixedReordering(H, 2, (0, 1, 2), (2, 1, 0))
+        sub = Hierarchy((2, 2, 4))
+        first = RankReordering(sub, (0, 1, 2), sub.size).new_rank
+        assert np.array_equal(mr.new_rank[:16], first)
+        # Second partition: identity order, offset by 16.
+        assert np.array_equal(mr.new_rank[16:], 16 + np.arange(16))
+
+    def test_single_component_partition_uses_inner_order(self):
+        mr = MixedReordering(H, 1, (0, 1, 2), (2, 1, 0))
+        assert sorted(mr.new_rank.tolist()) == list(range(32))
+        # First node alone: order (0,1,2) projects to inner (0,1) --
+        # socket-cyclic enumeration of 8 cores.
+        assert mr.new_rank[:8].tolist() == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_canonical_rank_inverse(self):
+        mr = MixedReordering(H, 2, (1, 0, 2), (0, 2, 1))
+        assert np.array_equal(
+            mr.new_rank[mr.canonical_rank], np.arange(H.size)
+        )
+
+    def test_comm_members_partition_world(self):
+        mr = MixedReordering(H, 2, (0, 1, 2), (2, 1, 0))
+        members = mr.comm_members(8)
+        assert sorted(members.ravel().tolist()) == list(range(32))
+
+    @pytest.mark.parametrize("split", [0, 4, 5])
+    def test_split_bounds(self, split):
+        with pytest.raises(ValueError):
+            MixedReordering(H, split, (0, 1, 2), (2, 1, 0))
+
+    def test_comm_size_must_divide(self):
+        mr = MixedReordering(H, 2, (0, 1, 2), (2, 1, 0))
+        with pytest.raises(ValueError):
+            mr.comm_members(5)
+
+
+class TestHeterogeneousLayout:
+    def test_members_partition_world(self):
+        layout = heterogeneous_subcommunicators(H, (2, 1, 0), [16, 8, 4, 4])
+        everyone = np.concatenate(layout.all_members())
+        assert sorted(everyone.tolist()) == list(range(32))
+
+    def test_sizes_respected(self):
+        layout = heterogeneous_subcommunicators(H, (0, 1, 2), [24, 8])
+        assert layout.comm_members(0).size == 24
+        assert layout.comm_members(1).size == 8
+
+    def test_signatures_per_communicator(self):
+        layout = heterogeneous_subcommunicators(H, (2, 1, 0), [16, 16])
+        sigs = layout.signatures()
+        assert len(sigs) == 2
+        # Identity order, contiguous blocks: both comms fully packed into
+        # two nodes each; metrics must match each other.
+        assert sigs[0].ring_cost == sigs[1].ring_cost
+        assert sigs[0].pair_percentages == sigs[1].pair_percentages
+
+    def test_sizes_must_sum_to_world(self):
+        with pytest.raises(ValueError, match="sum"):
+            HeterogeneousLayout(H, (2, 1, 0), (16, 8))
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HeterogeneousLayout(H, (2, 1, 0), (32, 0))
+
+    def test_unequal_sizes_get_unequal_spreads(self):
+        # A 16-rank comm cannot be as packed as a 4-rank one under the
+        # packed order: its pairs reach higher levels.
+        layout = heterogeneous_subcommunicators(H, (2, 1, 0), [16, 4, 4, 8])
+        sigs = layout.signatures()
+        big, small = sigs[0], sigs[1]
+        assert big.pair_percentages[-1] > small.pair_percentages[-1]

@@ -1,0 +1,77 @@
+"""Unit tests for order equivalence classes (Section 3.3)."""
+
+import math
+
+from repro.core.equivalence import (
+    equivalence_classes,
+    pruning_factor,
+    representative_orders,
+)
+from repro.core.hierarchy import Hierarchy
+from repro.core.orders import all_orders
+
+
+class TestClasses:
+    def test_paper_example_201_and_210_equivalent(self, fig1_hierarchy):
+        # Section 3.3: [2,0,1] and [2,1,0] are similar on [[2,2,4]] with
+        # 4-rank communicators.
+        classes = equivalence_classes(fig1_hierarchy, 4)
+        for sigs in classes.values():
+            orders = {s.order for s in sigs}
+            if (2, 0, 1) in orders:
+                assert (2, 1, 0) in orders
+                break
+        else:
+            raise AssertionError("[2,0,1] not found in any class")
+
+    def test_paper_example_012_and_102_not_equivalent(self, fig1_hierarchy):
+        # Same pair percentages but different ring costs (9 vs 7).
+        classes = equivalence_classes(fig1_hierarchy, 4)
+        cls_of = {}
+        for key, sigs in classes.items():
+            for s in sigs:
+                cls_of[s.order] = key
+        assert cls_of[(0, 1, 2)] != cls_of[(1, 0, 2)]
+
+    def test_every_order_in_exactly_one_class(self, hydra_hierarchy):
+        classes = equivalence_classes(hydra_hierarchy, 16)
+        members = [s.order for sigs in classes.values() for s in sigs]
+        assert sorted(members) == sorted(all_orders(4))
+
+    def test_class_members_share_signature(self, hydra_hierarchy):
+        for sigs in equivalence_classes(hydra_hierarchy, 16).values():
+            keys = {s.key for s in sigs}
+            assert len(keys) == 1
+
+    def test_check_all_comms_is_finer_or_equal(self, hydra_hierarchy):
+        coarse = equivalence_classes(hydra_hierarchy, 16)
+        fine = equivalence_classes(hydra_hierarchy, 16, check_all_comms=True)
+        assert len(fine) >= len(coarse)
+
+    def test_explicit_order_subset(self, fig1_hierarchy):
+        subset = [(0, 1, 2), (1, 0, 2)]
+        classes = equivalence_classes(fig1_hierarchy, 4, orders=subset)
+        members = [s.order for sigs in classes.values() for s in sigs]
+        assert sorted(members) == sorted(subset)
+
+
+class TestRepresentatives:
+    def test_one_per_class(self, hydra_hierarchy):
+        classes = equivalence_classes(hydra_hierarchy, 16)
+        reps = representative_orders(hydra_hierarchy, 16)
+        assert len(reps) == len(classes)
+        assert len(set(reps)) == len(reps)
+
+    def test_pruning_factor_above_one(self, hydra_hierarchy):
+        assert pruning_factor(hydra_hierarchy, 16) > 1.0
+
+    def test_pruning_factor_formula(self, fig1_hierarchy):
+        classes = equivalence_classes(fig1_hierarchy, 4)
+        assert pruning_factor(fig1_hierarchy, 4) == math.factorial(3) / len(classes)
+
+
+def test_deep_hierarchy_classes_reasonable():
+    # LUMI: 120 orders must compress substantially for 16-rank comms.
+    lumi = Hierarchy((16, 2, 4, 2, 8))
+    classes = equivalence_classes(lumi, 16)
+    assert 1 < len(classes) < 120

@@ -1,0 +1,143 @@
+"""Unit tests for the Section 3.3 characterization metrics.
+
+All expected values below are stated verbatim in the paper (Figure 2
+discussion and the legends of Figures 3 and 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import (
+    hop_cost,
+    pair_level_percentages,
+    ring_cost,
+    ring_cost_of_coords,
+    signature,
+)
+
+LUMI16 = Hierarchy((16, 2, 4, 2, 8))
+
+
+class TestHopCost:
+    def test_same_core(self):
+        assert hop_cost((1, 0, 2), (1, 0, 2)) == 0
+
+    def test_same_lowest_level(self):
+        assert hop_cost((1, 0, 2), (1, 0, 3)) == 1
+
+    def test_one_level_crossed(self):
+        assert hop_cost((1, 0, 2), (1, 1, 2)) == 2
+
+    def test_outermost(self):
+        assert hop_cost((0, 0, 0), (1, 0, 0)) == 3
+
+    def test_rejects_depth_mismatch(self):
+        with pytest.raises(ValueError):
+            hop_cost((0, 0), (0, 0, 0))
+
+
+class TestRingCost:
+    def test_fig2_order_012(self, fig1_hierarchy):
+        # Paper: "[0, 1, 2] has a ring cost of 9".
+        assert ring_cost(fig1_hierarchy, (0, 1, 2), 4) == 9
+
+    def test_fig2_order_102(self, fig1_hierarchy):
+        # Paper: "[1, 0, 2] has a ring cost of 7".
+        assert ring_cost(fig1_hierarchy, (1, 0, 2), 4) == 7
+
+    # Figure 3 legend (Hydra [[16,2,2,8]], 16-rank communicators).
+    FIG3 = {
+        (0, 1, 2, 3): 60,
+        (2, 1, 0, 3): 40,
+        (1, 3, 0, 2): 45,
+        (1, 3, 2, 0): 45,
+        (3, 1, 0, 2): 17,
+        (3, 2, 1, 0): 16,
+    }
+
+    @pytest.mark.parametrize("order,expected", sorted(FIG3.items()))
+    def test_fig3_legend(self, hydra_hierarchy, order, expected):
+        assert ring_cost(hydra_hierarchy, order, 16) == expected
+
+    # Figure 5 legend (LUMI [[16,2,4,2,8]], 16-rank communicators).
+    FIG5 = {
+        (0, 1, 2, 3, 4): 75,
+        (1, 2, 3, 0, 4): 60,
+        (3, 2, 1, 4, 0): 38,
+        (3, 4, 0, 1, 2): 30,
+        (4, 3, 2, 1, 0): 16,
+    }
+
+    @pytest.mark.parametrize("order,expected", sorted(FIG5.items()))
+    def test_fig5_legend(self, order, expected):
+        assert ring_cost(LUMI16, order, 16) == expected
+
+    def test_single_member_communicator(self, fig1_hierarchy):
+        assert ring_cost(fig1_hierarchy, (2, 1, 0), 1) == 0
+
+    def test_rejects_non_dividing_comm_size(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            ring_cost(fig1_hierarchy, (2, 1, 0), 5)
+
+    def test_of_coords_zero_hops_for_duplicates(self):
+        coords = np.array([[0, 0, 1], [0, 0, 1]])
+        assert ring_cost_of_coords(coords) == 0
+
+
+class TestPairPercentages:
+    def test_fig2_packed(self, fig1_hierarchy):
+        # Paper: order [2, 1, 0] gives [100, 0, 0].
+        assert pair_level_percentages(fig1_hierarchy, (2, 1, 0), 4) == (
+            100.0,
+            0.0,
+            0.0,
+        )
+
+    def test_fig2_order_102(self, fig1_hierarchy):
+        # Paper: order [1, 0, 2] gives [0, 33.3, 66.7].
+        pcts = pair_level_percentages(fig1_hierarchy, (1, 0, 2), 4)
+        assert pcts[0] == 0.0
+        assert pcts[1] == pytest.approx(33.33, abs=0.01)
+        assert pcts[2] == pytest.approx(66.67, abs=0.01)
+
+    FIG3 = {
+        (0, 1, 2, 3): (0.0, 0.0, 0.0, 100.0),
+        (2, 1, 0, 3): (0.0, 6.7, 13.3, 80.0),
+        (1, 3, 0, 2): (46.7, 0.0, 53.3, 0.0),
+        (3, 2, 1, 0): (46.7, 53.3, 0.0, 0.0),
+    }
+
+    @pytest.mark.parametrize("order,expected", sorted(FIG3.items()))
+    def test_fig3_legend(self, hydra_hierarchy, order, expected):
+        pcts = pair_level_percentages(hydra_hierarchy, order, 16)
+        assert pcts == pytest.approx(expected, abs=0.05)
+
+    def test_percentages_sum_to_100(self, hydra_hierarchy):
+        from repro.core.orders import all_orders
+
+        for order in all_orders(4):
+            pcts = pair_level_percentages(hydra_hierarchy, order, 32)
+            assert sum(pcts) == pytest.approx(100.0)
+
+
+class TestSignature:
+    def test_legend_format(self, hydra_hierarchy):
+        sig = signature(hydra_hierarchy, (0, 1, 2, 3), 16)
+        assert sig.legend() == "0-1-2-3 (60 - 0.0, 0.0, 0.0, 100.0)"
+
+    def test_key_excludes_order(self, hydra_hierarchy):
+        # [1,3,0,2] and [1,3,2,0] share the signature key (same mapping
+        # and internal order) -- the Figure 3 legend lists both.
+        a = signature(hydra_hierarchy, (1, 3, 0, 2), 16)
+        b = signature(hydra_hierarchy, (1, 3, 2, 0), 16)
+        assert a.key == b.key
+        assert a.order != b.order
+
+    def test_metrics_are_independent(self, hydra_hierarchy):
+        # Section 3.3: ring cost distinguishes orders with equal pair
+        # percentages.
+        a = signature(hydra_hierarchy, (1, 3, 2, 0), 16)
+        b = signature(hydra_hierarchy, (3, 1, 0, 2), 16)
+        assert a.pair_percentages == b.pair_percentages
+        assert a.ring_cost != b.ring_cost

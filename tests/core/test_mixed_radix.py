@@ -1,0 +1,134 @@
+"""Unit tests for Algorithms 1 and 2 (mixed-radix decompose/recompose)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.mixed_radix import (
+    MixedRadix,
+    decompose,
+    decompose_many,
+    recompose,
+    recompose_many,
+)
+from repro.core.orders import all_orders, identity_order
+
+
+class TestDecompose:
+    def test_paper_example_rank10(self, fig1_hierarchy):
+        # Figure 1: rank 10 is node 1, socket 0, core 2.
+        assert decompose(fig1_hierarchy, 10) == (1, 0, 2)
+
+    def test_knuth_time_example(self):
+        # Knuth's example from Section 3.1: 2,020,952 seconds equals
+        # 3 weeks, 2 days, 9 hours, 22 minutes, 32 seconds.
+        h = (4, 7, 24, 60, 60)  # weeks capped at 4 to satisfy radix rule
+        assert decompose(h, 2_020_952) == (3, 2, 9, 22, 32)
+
+    def test_all_ranks_unique(self, fig1_hierarchy):
+        seen = {decompose(fig1_hierarchy, r) for r in range(16)}
+        assert len(seen) == 16
+
+    def test_first_and_last(self, fig1_hierarchy):
+        assert decompose(fig1_hierarchy, 0) == (0, 0, 0)
+        assert decompose(fig1_hierarchy, 15) == (1, 1, 3)
+
+    @pytest.mark.parametrize("rank", [-1, 16, 1000])
+    def test_out_of_range(self, fig1_hierarchy, rank):
+        with pytest.raises(ValueError):
+            decompose(fig1_hierarchy, rank)
+
+    def test_accepts_plain_sequence(self):
+        assert decompose([2, 2, 4], 10) == (1, 0, 2)
+
+
+class TestRecompose:
+    # Table 1 of the paper: rank 10 (coords (1, 0, 2)) on [[2, 2, 4]].
+    TABLE1 = {
+        (0, 1, 2): 9,
+        (0, 2, 1): 5,
+        (1, 0, 2): 10,
+        (1, 2, 0): 12,
+        (2, 0, 1): 6,
+        (2, 1, 0): 10,
+    }
+
+    @pytest.mark.parametrize("order,expected", sorted(TABLE1.items()))
+    def test_table1(self, fig1_hierarchy, order, expected):
+        assert recompose(fig1_hierarchy, (1, 0, 2), order) == expected
+
+    def test_identity_order_restores_rank(self, fig1_hierarchy):
+        ident = identity_order(3)
+        for r in range(16):
+            coords = decompose(fig1_hierarchy, r)
+            assert recompose(fig1_hierarchy, coords, ident) == r
+
+    def test_rejects_non_permutation(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            recompose(fig1_hierarchy, (0, 0, 0), (0, 1, 1))
+
+    def test_rejects_wrong_coord_count(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            recompose(fig1_hierarchy, (0, 0), (0, 1, 2))
+
+    def test_rejects_out_of_range_coord(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            recompose(fig1_hierarchy, (0, 0, 4), (0, 1, 2))
+
+    def test_every_order_is_a_bijection(self, fig1_hierarchy):
+        for order in all_orders(3):
+            image = {
+                recompose(fig1_hierarchy, decompose(fig1_hierarchy, r), order)
+                for r in range(16)
+            }
+            assert image == set(range(16)), order
+
+
+class TestVectorized:
+    def test_decompose_many_matches_scalar(self, hydra_hierarchy):
+        ranks = np.arange(hydra_hierarchy.size)
+        coords = decompose_many(hydra_hierarchy, ranks)
+        for r in (0, 1, 31, 32, 100, 511):
+            assert tuple(coords[r]) == decompose(hydra_hierarchy, r)
+
+    def test_recompose_many_matches_scalar(self, hydra_hierarchy):
+        order = (2, 0, 3, 1)
+        ranks = np.arange(hydra_hierarchy.size)
+        coords = decompose_many(hydra_hierarchy, ranks)
+        out = recompose_many(hydra_hierarchy, coords, order)
+        for r in (0, 7, 63, 255, 511):
+            assert out[r] == recompose(
+                hydra_hierarchy, decompose(hydra_hierarchy, r), order
+            )
+
+    def test_decompose_many_rejects_out_of_range(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            decompose_many(fig1_hierarchy, [0, 16])
+
+    def test_recompose_many_requires_2d(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            recompose_many(fig1_hierarchy, np.zeros(3, dtype=np.int64), (0, 1, 2))
+
+    def test_empty_input(self, fig1_hierarchy):
+        assert decompose_many(fig1_hierarchy, []).shape == (0, 3)
+
+
+class TestMixedRadixWrapper:
+    def test_reorder_roundtrip_through_inverse(self, fig1_hierarchy):
+        from repro.core.orders import inverse_order
+
+        mr = MixedRadix(fig1_hierarchy)
+        order = (0, 2, 1)
+        # Applying an order then recomposing with the identity of the
+        # permuted hierarchy must be invertible rank-by-rank.
+        fwd = mr.reorder_all(order)
+        assert sorted(fwd.tolist()) == list(range(16))
+
+    def test_accepts_raw_radices(self):
+        mr = MixedRadix((2, 2, 4))
+        assert mr.reorder(10, (0, 2, 1)) == 5
+
+    def test_reorder_all_identity(self, fig1_hierarchy):
+        mr = MixedRadix(fig1_hierarchy)
+        out = mr.reorder_all(identity_order(3))
+        assert np.array_equal(out, np.arange(16))

@@ -1,0 +1,75 @@
+"""Unit tests for network-level hierarchy constraints (Section 3.2)."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.network import NetworkedHierarchy, describe_allocation
+
+NODE = Hierarchy((2, 2, 8), ("socket", "group", "core"))
+
+
+class TestValidAllocations:
+    def test_paper_example_96_nodes(self):
+        # [[2, 3, 16, 2, 2, 8]]: the first three numbers describe the
+        # network, so the job must have exactly 96 contiguous nodes.
+        alloc = describe_allocation(
+            [("island", 2), ("switch", 3), ("ports", 16)], NODE, 0, 96
+        )
+        combined = alloc.combined_hierarchy()
+        assert combined.radices == (2, 3, 16, 2, 2, 8)
+        assert alloc.n_processes == 96 * 32
+
+    def test_single_switch(self):
+        alloc = describe_allocation([("switch", 16)], NODE, 16, 16)
+        assert alloc.combined_hierarchy().radices == (16, 2, 2, 8)
+
+    def test_aligned_offset(self):
+        # Nodes 48..95 fill switches 3..5 exactly (16 nodes each).
+        describe_allocation([("switch", 3), ("ports", 16)], NODE, 48, 48)
+
+
+class TestConstraintViolations:
+    def test_wrong_node_count(self):
+        with pytest.raises(ValueError, match="96"):
+            describe_allocation(
+                [("island", 2), ("switch", 3), ("ports", 16)], NODE, 0, 95
+            )
+
+    def test_non_contiguous_nodes(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            NetworkedHierarchy(
+                (("switch", 2), ("ports", 2)), NODE, (0, 1, 2, 4)
+            )
+
+    def test_duplicate_nodes(self):
+        with pytest.raises(ValueError, match="twice"):
+            NetworkedHierarchy((("ports", 2),), NODE, (3, 3))
+
+    def test_unaligned_start_partially_fills_switch(self):
+        # Starting at node 8 with 16-port switches straddles two switches.
+        with pytest.raises(ValueError, match="boundary"):
+            describe_allocation([("ports", 16)], NODE, 8, 16)
+
+    def test_unaligned_at_higher_level(self):
+        # 32 nodes = 2 switches, but starting at switch 1 of a 2-switch
+        # island misaligns the island level.
+        with pytest.raises(ValueError, match="boundary"):
+            describe_allocation([("island", 2), ("ports", 16)], NODE, 16, 32)
+
+    def test_degenerate_radix(self):
+        with pytest.raises(ValueError, match="radix"):
+            describe_allocation([("switch", 1)], NODE, 0, 1)
+
+    def test_needs_a_level(self):
+        with pytest.raises(ValueError, match="at least one"):
+            NetworkedHierarchy((), NODE, (0,))
+
+
+def test_combined_hierarchy_feeds_reordering():
+    """The validated hierarchy plugs straight into the reordering API."""
+    from repro.core.reorder import reorder_ranks
+
+    alloc = describe_allocation([("switch", 2), ("ports", 2)], NODE, 0, 4)
+    h = alloc.combined_hierarchy()
+    new = reorder_ranks(h, tuple(range(h.depth - 1, -1, -1)))
+    assert sorted(new.tolist()) == list(range(h.size))

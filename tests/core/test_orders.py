@@ -1,0 +1,110 @@
+"""Unit tests for order (permutation) utilities."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.orders import (
+    all_orders,
+    compose_orders,
+    format_order,
+    heap_permutations,
+    identity_order,
+    inverse_order,
+    is_order,
+    order_from_lehmer,
+    order_to_lehmer,
+    parse_order,
+    swap_adjacent,
+)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+    def test_all_orders_count(self, depth):
+        orders = all_orders(depth)
+        assert len(orders) == math.factorial(depth)
+        assert len(set(orders)) == len(orders)
+
+    def test_all_orders_lexicographic(self):
+        orders = all_orders(3)
+        assert orders == sorted(orders)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5, 6])
+    def test_heap_generates_every_permutation_once(self, depth):
+        perms = list(heap_permutations(depth))
+        assert len(perms) == math.factorial(depth)
+        assert set(perms) == set(itertools.permutations(range(depth)))
+
+    def test_heap_successive_differ_by_one_transposition(self):
+        prev = None
+        for perm in heap_permutations(4):
+            if prev is not None:
+                diffs = sum(a != b for a, b in zip(prev, perm))
+                assert diffs == 2, (prev, perm)
+            prev = perm
+
+
+class TestIdentityAndInverse:
+    def test_identity_is_reversed_range(self):
+        # The original enumeration of Figure 1 is order [2, 1, 0].
+        assert identity_order(3) == (2, 1, 0)
+        assert identity_order(5) == (4, 3, 2, 1, 0)
+
+    @pytest.mark.parametrize("order", all_orders(4))
+    def test_inverse_composes_to_range(self, order):
+        inv = inverse_order(order)
+        assert compose_orders(order, inv) == tuple(range(4))
+
+    def test_inverse_of_inverse(self):
+        order = (2, 0, 3, 1)
+        assert inverse_order(inverse_order(order)) == order
+
+    def test_compose_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_orders((0, 1), (0, 1, 2))
+
+
+class TestLehmer:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+    def test_roundtrip(self, depth):
+        for i, order in enumerate(all_orders(depth)):
+            assert order_to_lehmer(order) == i
+            assert order_from_lehmer(i, depth) == order
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            order_from_lehmer(6, 3)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text", ["3-1-0-2", "3,1,0,2", "[3, 1, 0, 2]", "(3,1,0,2)", "3 1 0 2"]
+    )
+    def test_parse_notations(self, text):
+        assert parse_order(text) == (3, 1, 0, 2)
+
+    def test_parse_compact_digits(self):
+        assert parse_order("3102") == (3, 1, 0, 2)
+
+    def test_parse_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            parse_order("0-0-1")
+
+    def test_format_matches_paper_figures(self):
+        assert format_order((1, 3, 2, 0)) == "1-3-2-0"
+
+    def test_format_parse_roundtrip(self):
+        for order in all_orders(4):
+            assert parse_order(format_order(order)) == order
+
+
+class TestHelpers:
+    def test_is_order(self):
+        assert is_order((2, 0, 1))
+        assert not is_order((0, 0, 1))
+        assert not is_order((0, 1), depth=3)
+
+    def test_swap_adjacent(self):
+        assert swap_adjacent((0, 1, 2, 3), 1) == (0, 2, 1, 3)

@@ -1,0 +1,104 @@
+"""Unit tests for rank reordering and subcommunicator construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.reorder import (
+    RankReordering,
+    reorder_rank,
+    reorder_ranks,
+    subcommunicator_members,
+)
+
+
+class TestReorderRanks:
+    def test_is_permutation(self, fig1_hierarchy):
+        new = reorder_ranks(fig1_hierarchy, (0, 2, 1))
+        assert sorted(new.tolist()) == list(range(16))
+
+    def test_identity_order(self, fig1_hierarchy):
+        new = reorder_ranks(fig1_hierarchy, (2, 1, 0))
+        assert np.array_equal(new, np.arange(16))
+
+    def test_matches_scalar(self, fig1_hierarchy):
+        order = (1, 2, 0)
+        new = reorder_ranks(fig1_hierarchy, order)
+        for r in range(16):
+            assert new[r] == reorder_rank(fig1_hierarchy, r, order)
+
+    def test_fig2_cyclic_cyclic(self, fig1_hierarchy):
+        # Figure 2a: order [0,1,2] assigns new ranks 0,4,8,12 to the
+        # first socket's cores.
+        new = reorder_ranks(fig1_hierarchy, (0, 1, 2))
+        assert new[:4].tolist() == [0, 4, 8, 12]
+
+
+class TestRankReordering:
+    def test_inverse_consistency(self, hydra_hierarchy):
+        r = RankReordering(hydra_hierarchy, (2, 0, 3, 1), 16)
+        assert np.array_equal(
+            r.new_rank[r.canonical_rank], np.arange(hydra_hierarchy.size)
+        )
+        assert np.array_equal(
+            r.canonical_rank[r.new_rank], np.arange(hydra_hierarchy.size)
+        )
+
+    def test_color_key_split_semantics(self, fig1_hierarchy):
+        # Section 3.2: color = quotient, key = new rank within block.
+        r = RankReordering(fig1_hierarchy, (0, 1, 2), 4)
+        for canonical in range(16):
+            color, key = r.color_key(canonical)
+            assert color == r.new_rank[canonical] // 4
+            assert key == r.new_rank[canonical] % 4
+
+    def test_comm_members_cover_world(self, hydra_hierarchy):
+        r = RankReordering(hydra_hierarchy, (1, 3, 2, 0), 64)
+        members = r.all_comm_members()
+        assert members.shape == (8, 64)
+        assert sorted(members.ravel().tolist()) == list(range(512))
+
+    def test_fig2_first_comm_spread(self, fig1_hierarchy):
+        # Order [0,1,2] spreads the first 4-rank communicator over the
+        # first core of every socket (Figure 2a, blue); node varies
+        # fastest, so sub-rank order is core 0 (n0/s0), 8 (n1/s0),
+        # 4 (n0/s1), 12 (n1/s1).
+        members = RankReordering(fig1_hierarchy, (0, 1, 2), 4).comm_members(0)
+        assert members.tolist() == [0, 8, 4, 12]
+        assert sorted(members.tolist()) == [0, 4, 8, 12]
+
+    def test_fig2_first_comm_packed(self, fig1_hierarchy):
+        # Order [2,1,0] keeps it inside the first socket (Figure 2f).
+        members = RankReordering(fig1_hierarchy, (2, 1, 0), 4).comm_members(0)
+        assert members.tolist() == [0, 1, 2, 3]
+
+    def test_comm_members_ordered_by_new_rank(self, fig1_hierarchy):
+        r = RankReordering(fig1_hierarchy, (1, 0, 2), 4)
+        members = r.comm_members(0)
+        new_of_members = r.new_rank[members]
+        assert new_of_members.tolist() == [0, 1, 2, 3]
+
+    def test_rejects_bad_comm_size(self, fig1_hierarchy):
+        with pytest.raises(ValueError):
+            RankReordering(fig1_hierarchy, (2, 1, 0), 5)
+
+    def test_comm_index_bounds(self, fig1_hierarchy):
+        r = RankReordering(fig1_hierarchy, (2, 1, 0), 4)
+        with pytest.raises(IndexError):
+            r.comm_members(4)
+
+    def test_world_sized_comm(self, fig1_hierarchy):
+        r = RankReordering(fig1_hierarchy, (0, 2, 1), 16)
+        assert r.n_comms == 1
+        assert sorted(r.comm_members(0).tolist()) == list(range(16))
+
+    def test_comm_coords_shape(self, fig1_hierarchy):
+        r = RankReordering(fig1_hierarchy, (0, 1, 2), 4)
+        assert r.comm_coords(0).shape == (4, 3)
+
+
+def test_subcommunicator_members_helper(fig1_hierarchy):
+    members = subcommunicator_members(fig1_hierarchy, (2, 1, 0), 4)
+    assert members.shape == (4, 4)
+    assert members[0].tolist() == [0, 1, 2, 3]
+    assert members[3].tolist() == [12, 13, 14, 15]

@@ -1,0 +1,93 @@
+"""Unit tests for space-filling-curve enumeration baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.sfc import hilbert_enumeration, morton_enumeration
+
+
+class TestMorton:
+    @pytest.mark.parametrize(
+        "radices", [(2, 2), (2, 2, 4), (4, 4), (16, 2, 2, 8), (3, 5)]
+    )
+    def test_is_permutation(self, radices):
+        h = Hierarchy(radices)
+        new = morton_enumeration(h)
+        assert sorted(new.tolist()) == list(range(h.size))
+
+    def test_2x2_is_z_pattern(self):
+        # Classic Z: (0,0), (0,1), (1,0), (1,1) in canonical order get
+        # Morton positions 0, 1, 2, 3 with innermost-first interleave.
+        h = Hierarchy((2, 2))
+        assert morton_enumeration(h).tolist() == [0, 1, 2, 3]
+
+    def test_interleaves_levels(self):
+        # On (2, 4): canonical rank 4 (coords (1, 0)) must come before
+        # canonical rank 2 (coords (0, 2)): bit interleaving visits the
+        # outer level's bit before the inner level's high bit.
+        h = Hierarchy((2, 4))
+        new = morton_enumeration(h)
+        assert new[4] < new[2]
+
+    def test_deterministic(self):
+        h = Hierarchy((4, 2, 8))
+        assert np.array_equal(morton_enumeration(h), morton_enumeration(h))
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("radices", [(2, 2), (4, 4), (2, 2, 4), (8, 8)])
+    def test_is_permutation(self, radices):
+        h = Hierarchy(radices)
+        new = hilbert_enumeration(h)
+        assert sorted(new.tolist()) == list(range(h.size))
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_square_grid_adjacency(self, side):
+        """The defining Hilbert property: consecutive curve positions are
+        grid neighbours (Manhattan distance 1)."""
+        h = Hierarchy((side, side))
+        new = hilbert_enumeration(h)
+        visit = np.argsort(new)
+        coords = np.stack(np.unravel_index(visit, (side, side)), axis=1)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_3d_cube_adjacency(self):
+        h = Hierarchy((4, 4, 4))
+        new = hilbert_enumeration(h)
+        visit = np.argsort(new)
+        coords = np.stack(np.unravel_index(visit, (4, 4, 4)), axis=1)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_non_pow2_radix_still_permutes(self):
+        h = Hierarchy((3, 4))
+        new = hilbert_enumeration(h)
+        assert sorted(new.tolist()) == list(range(12))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            hilbert_enumeration(Hierarchy((256, 256, 256)))
+
+
+class TestAsBaseline:
+    def test_curves_preserve_more_locality_than_spread_order(self):
+        """The point of the comparison: SFC subcommunicators have lower
+        ring cost than the fully spread mixed-radix order."""
+        from repro.core.metrics import ring_cost_of_coords
+        from repro.core.mixed_radix import decompose_many
+        from repro.core.reorder import RankReordering
+
+        h = Hierarchy((16, 2, 2, 8))
+        spread = RankReordering(h, (0, 1, 2, 3), 16)
+        spread_rc = ring_cost_of_coords(
+            decompose_many(h, spread.comm_members(0))
+        )
+        for enum in (morton_enumeration, hilbert_enumeration):
+            new = enum(h)
+            inv = np.empty(h.size, dtype=np.int64)
+            inv[new] = np.arange(h.size)
+            members = inv[:16]
+            rc = ring_cost_of_coords(decompose_many(h, members))
+            assert rc < spread_rc

@@ -1,0 +1,52 @@
+"""Unit tests for ASCII enumeration rendering."""
+
+from repro.core.coreselect import map_cpu_list
+from repro.core.hierarchy import Hierarchy
+from repro.core.visualize import render_core_selection, render_enumeration
+
+FIG1 = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+
+
+class TestRenderEnumeration:
+    def test_identity_order_rows(self):
+        text = render_enumeration(FIG1, (2, 1, 0))
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 socket rows
+        assert "node0/socket0" in lines[1]
+        assert lines[1].split()[-4:] == ["0", "1", "2", "3"]
+
+    def test_fig2a_cyclic_cyclic(self):
+        # Figure 2a: first socket row reads 0 4 8 12 under order [0,1,2].
+        text = render_enumeration(FIG1, (0, 1, 2))
+        first_row = text.splitlines()[1]
+        assert first_row.split()[-4:] == ["0", "4", "8", "12"]
+
+    def test_subcommunicator_letters(self):
+        text = render_enumeration(FIG1, (2, 1, 0), comm_size=4)
+        assert "0a" in text
+        assert "4b" in text
+        assert "15d" in text
+
+    def test_row_cap(self):
+        big = Hierarchy((8, 8, 8))
+        text = render_enumeration(big, (2, 1, 0), max_rows=4)
+        assert "more rows" in text
+
+    def test_header_mentions_order(self):
+        assert "order 1-0-2" in render_enumeration(FIG1, (1, 0, 2))
+
+
+class TestRenderCoreSelection:
+    def test_marks_selected_positions(self):
+        node = Hierarchy((2, 4), ("socket", "core"))
+        cores = map_cpu_list(node, (0, 1), 4)  # 0, 4, 1, 5
+        text = render_core_selection(node, cores)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 socket rows
+        assert lines[1].split() == ["0", "2", ".", "."]
+        assert lines[2].split() == ["1", "3", ".", "."]
+
+    def test_header_counts(self):
+        node = Hierarchy((2, 4))
+        text = render_core_selection(node, [0, 1])
+        assert text.startswith("2 of 8 cores")

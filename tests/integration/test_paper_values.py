@@ -1,0 +1,186 @@
+"""Every concrete number the paper states, checked in one place.
+
+Table 1, the Figure 2 ring costs/percentages and Slurm captions, the
+Figure 3/5 legend metrics, the mpisee communicator census of Section 4.2,
+and the Figure 9 core-ID annotations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.splatt.grid import all_layer_comms, choose_grid
+from repro.apps.splatt.tensor import NELL1_DIMS
+from repro.core.coreselect import map_cpu_list
+from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import signature
+from repro.core.mixed_radix import MixedRadix
+from repro.launcher.slurm import distribution_to_order, order_to_distribution
+
+FIG1 = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+HYDRA = Hierarchy((16, 2, 2, 8), ("node", "socket", "group", "core"))
+LUMI = Hierarchy((16, 2, 4, 2, 8), ("node", "socket", "numa", "l3", "core"))
+LUMI_NODE = Hierarchy((2, 4, 2, 8), ("socket", "numa", "l3", "core"))
+
+
+def test_table1_complete():
+    mr = MixedRadix(FIG1)
+    assert mr.decompose(10) == (1, 0, 2)
+    table = {
+        (0, 1, 2): ((1, 0, 2), (2, 2, 4), 9),
+        (0, 2, 1): ((1, 2, 0), (2, 4, 2), 5),
+        (1, 0, 2): ((0, 1, 2), (2, 2, 4), 10),
+        (1, 2, 0): ((0, 2, 1), (2, 4, 2), 12),
+        (2, 0, 1): ((2, 1, 0), (4, 2, 2), 6),
+        (2, 1, 0): ((2, 0, 1), (4, 2, 2), 10),
+    }
+    coords = mr.decompose(10)
+    for order, (perm_coords, perm_h, new_rank) in table.items():
+        assert tuple(coords[i] for i in order) == perm_coords
+        assert FIG1.permuted(order).radices == perm_h
+        assert mr.reorder(10, order) == new_rank
+
+
+def test_fig2_ring_costs_and_percentages():
+    a = signature(FIG1, (0, 1, 2), 4)
+    b = signature(FIG1, (1, 0, 2), 4)
+    assert a.ring_cost == 9 and b.ring_cost == 7
+    assert signature(FIG1, (2, 1, 0), 4).pair_percentages == (100.0, 0.0, 0.0)
+    assert signature(FIG1, (1, 0, 2), 4).pair_percentages == pytest.approx(
+        (0.0, 100 / 3, 200 / 3)
+    )
+
+
+def test_fig2_slurm_captions():
+    captions = {
+        (0, 1, 2): "cyclic:cyclic",
+        (0, 2, 1): "cyclic:block",
+        (1, 0, 2): None,
+        (1, 2, 0): "block:cyclic",
+        (2, 0, 1): "plane=4",
+        (2, 1, 0): "block:block",
+    }
+    for order, caption in captions.items():
+        assert order_to_distribution(FIG1, order) == caption, order
+
+
+FIG3_LEGEND = {
+    (0, 1, 2, 3): (60, (0.0, 0.0, 0.0, 100.0)),
+    (2, 1, 0, 3): (40, (0.0, 6.7, 13.3, 80.0)),
+    (1, 3, 0, 2): (45, (46.7, 0.0, 53.3, 0.0)),
+    (1, 3, 2, 0): (45, (46.7, 0.0, 53.3, 0.0)),
+    (3, 1, 0, 2): (17, (46.7, 0.0, 53.3, 0.0)),
+    (3, 2, 1, 0): (16, (46.7, 53.3, 0.0, 0.0)),
+}
+
+
+@pytest.mark.parametrize("order,expected", sorted(FIG3_LEGEND.items()))
+def test_fig3_legend_metrics(order, expected):
+    sig = signature(HYDRA, order, 16)
+    assert sig.ring_cost == expected[0]
+    assert sig.pair_percentages == pytest.approx(expected[1], abs=0.05)
+
+
+FIG5_LEGEND = {
+    (0, 1, 2, 3, 4): (75, (0.0, 0.0, 0.0, 0.0, 100.0)),
+    (1, 2, 3, 0, 4): (60, (0.0, 6.7, 40.0, 53.3, 0.0)),
+    (3, 2, 1, 4, 0): (38, (0.0, 6.7, 40.0, 53.3, 0.0)),
+    (3, 4, 0, 1, 2): (30, (46.7, 53.3, 0.0, 0.0, 0.0)),
+    (4, 3, 2, 1, 0): (16, (46.7, 53.3, 0.0, 0.0, 0.0)),
+}
+
+
+@pytest.mark.parametrize("order,expected", sorted(FIG5_LEGEND.items()))
+def test_fig5_legend_metrics(order, expected):
+    sig = signature(LUMI, order, 16)
+    assert sig.ring_cost == expected[0]
+    assert sig.pair_percentages == pytest.approx(expected[1], abs=0.05)
+
+
+FIG4_LEGEND = {
+    (0, 1, 2, 3): (508, (0.8, 1.6, 3.1, 94.5)),
+    (2, 1, 0, 3): (348, (0.8, 1.6, 3.1, 94.5)),
+    (1, 3, 0, 2): (388, (5.5, 0.0, 6.3, 88.2)),
+    (3, 1, 0, 2): (164, (5.5, 0.0, 6.3, 88.2)),
+    (1, 3, 2, 0): (384, (5.5, 6.3, 12.6, 75.6)),
+    (3, 2, 1, 0): (152, (5.5, 6.3, 12.6, 75.6)),
+}
+
+
+@pytest.mark.parametrize("order,expected", sorted(FIG4_LEGEND.items()))
+def test_fig4_legend_metrics(order, expected):
+    sig = signature(HYDRA, order, 128)
+    assert sig.ring_cost == expected[0]
+    assert sig.pair_percentages == pytest.approx(expected[1], abs=0.05)
+
+
+FIG6_LEGEND = {
+    (0, 1, 2, 3): (252, (0.0, 1.6, 3.2, 95.2)),
+    (2, 1, 0, 3): (172, (0.0, 1.6, 3.2, 95.2)),
+    (1, 3, 0, 2): (192, (11.1, 0.0, 12.7, 76.2)),
+    (3, 1, 0, 2): (80, (11.1, 0.0, 12.7, 76.2)),
+    (1, 3, 2, 0): (190, (11.1, 12.7, 25.4, 50.8)),
+    (3, 2, 1, 0): (74, (11.1, 12.7, 25.4, 50.8)),
+}
+
+
+@pytest.mark.parametrize("order,expected", sorted(FIG6_LEGEND.items()))
+def test_fig6_legend_metrics(order, expected):
+    sig = signature(HYDRA, order, 64)
+    assert sig.ring_cost == expected[0]
+    assert sig.pair_percentages == pytest.approx(expected[1], abs=0.05)
+
+
+FIG7_LEGEND = {
+    (0, 1, 2, 3, 4): (1275, (0.0, 0.4, 2.4, 3.1, 94.1)),
+    (1, 2, 3, 0, 4): (1035, (0.0, 0.4, 2.4, 3.1, 94.1)),
+    (3, 4, 0, 1, 2): (555, (2.7, 3.1, 0.0, 0.0, 94.1)),
+    (3, 2, 1, 4, 0): (669, (2.7, 3.1, 18.8, 25.1, 50.2)),
+    (4, 3, 2, 1, 0): (305, (2.7, 3.1, 18.8, 25.1, 50.2)),
+}
+
+
+@pytest.mark.parametrize("order,expected", sorted(FIG7_LEGEND.items()))
+def test_fig7_legend_metrics(order, expected):
+    sig = signature(LUMI, order, 256)
+    assert sig.ring_cost == expected[0]
+    assert sig.pair_percentages == pytest.approx(expected[1], abs=0.05)
+
+
+def test_slurm_defaults_per_platform():
+    # Hydra default (Figs 3/4/8): block:cyclic = [1,3,2,0].
+    assert distribution_to_order(HYDRA, "block:cyclic") == (1, 3, 2, 0)
+    # LUMI default (Figs 5/7): block:block = [4,3,2,1,0].
+    assert distribution_to_order(LUMI, "block:block") == (4, 3, 2, 1, 0)
+
+
+def test_mpisee_communicator_census():
+    # Section 4.2: 1024 ranks on nell-1 -> 64 comms of 16 and 8 of 256.
+    grid = choose_grid(NELL1_DIMS, 1024)
+    layers = all_layer_comms(grid)
+    census: dict[int, int] = {}
+    for mode in range(3):
+        for members in layers[mode]:
+            census[members.size] = census.get(members.size, 0) + 1
+    assert census == {16: 64, 256: 8}
+
+
+def test_fig9_core_annotations():
+    # The "2 proc." and "4 proc." core-ID annotations of Figure 9.
+    assert map_cpu_list(LUMI_NODE, (0, 1, 2, 3), 2) == [0, 64]
+    assert map_cpu_list(LUMI_NODE, (1, 0, 2, 3), 2) == [0, 16]
+    assert map_cpu_list(LUMI_NODE, (2, 0, 1, 3), 2) == [0, 8]
+    assert map_cpu_list(LUMI_NODE, (3, 0, 1, 2), 2) == [0, 1]
+    assert sorted(map_cpu_list(LUMI_NODE, (2, 1, 0, 3), 4)) == [0, 8, 16, 24]
+    assert sorted(map_cpu_list(LUMI_NODE, (0, 1, 2, 3), 4)) == [0, 16, 64, 80]
+    # 8 proc., one core per L3 of the first socket ("0,8,16,...,56").
+    assert sorted(map_cpu_list(LUMI_NODE, (2, 1, 0, 3), 8)) == [
+        0, 8, 16, 24, 32, 40, 48, 56,
+    ]
+
+
+def test_network_hierarchy_example():
+    # Section 3.2: [[2, 3, 16, 2, 2, 8]] implies 96 compute nodes.
+    h = Hierarchy((2, 3, 16, 2, 2, 8))
+    n_nodes = 2 * 3 * 16
+    assert n_nodes == 96
+    assert h.size == 96 * 2 * 2 * 8

@@ -1,0 +1,80 @@
+"""Unit tests for process-to-core mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.launcher.mapping import ProcessMapping
+
+H = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+
+
+class TestValidation:
+    def test_rejects_out_of_range_core(self):
+        with pytest.raises(ValueError):
+            ProcessMapping(H, np.array([0, 16]))
+
+    def test_rejects_duplicate_binding(self):
+        with pytest.raises(ValueError):
+            ProcessMapping(H, np.array([3, 3]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ProcessMapping(H, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestFromOrder:
+    def test_identity_order(self):
+        m = ProcessMapping.from_order(H, (2, 1, 0))
+        assert np.array_equal(m.core_of, np.arange(16))
+
+    def test_rank_lands_on_core_that_reorders_to_it(self):
+        from repro.core.reorder import reorder_ranks
+
+        order = (0, 2, 1)
+        m = ProcessMapping.from_order(H, order)
+        new = reorder_ranks(H, order)
+        for rank in range(16):
+            assert new[m.core_of[rank]] == rank
+
+    def test_full_machine_coverage(self):
+        m = ProcessMapping.from_order(H, (1, 0, 2))
+        assert sorted(m.core_of.tolist()) == list(range(16))
+
+
+class TestFromMapCpu:
+    def test_same_list_every_node(self):
+        m = ProcessMapping.from_map_cpu(H, 2, [0, 4])
+        assert m.core_of.tolist() == [0, 4, 8, 12]
+
+    def test_partial_nodes(self):
+        m = ProcessMapping.from_map_cpu(H, 1, [1, 3])
+        assert m.core_of.tolist() == [1, 3]
+
+    def test_rejects_core_outside_node(self):
+        with pytest.raises(ValueError):
+            ProcessMapping.from_map_cpu(H, 2, [0, 8])
+
+    def test_rejects_too_many_nodes(self):
+        with pytest.raises(ValueError):
+            ProcessMapping.from_map_cpu(H, 3, [0])
+
+
+class TestQueries:
+    def test_coords_of(self):
+        m = ProcessMapping.from_map_cpu(H, 2, [0, 4])
+        assert m.coords_of.tolist() == [
+            [0, 0, 0],
+            [0, 1, 0],
+            [1, 0, 0],
+            [1, 1, 0],
+        ]
+
+    def test_rank_on_core(self):
+        m = ProcessMapping.from_map_cpu(H, 1, [5, 2])
+        assert m.rank_on_core(5) == 0
+        assert m.rank_on_core(2) == 1
+        assert m.rank_on_core(0) is None
+
+    def test_n_ranks(self):
+        assert ProcessMapping.from_map_cpu(H, 2, [0, 1, 2]).n_ranks == 6

@@ -1,0 +1,63 @@
+"""Unit tests for rankfile emission and parsing."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.launcher.mapping import ProcessMapping
+from repro.launcher.rankfile import emit_rankfile, parse_rankfile, rankfile_for_order
+
+H = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+
+
+class TestEmit:
+    def test_format(self):
+        m = ProcessMapping.from_map_cpu(H, 2, [0, 4])
+        text = emit_rankfile(m)
+        assert text.splitlines() == [
+            "rank 0=node0 slot=0",
+            "rank 1=node0 slot=4",
+            "rank 2=node1 slot=0",
+            "rank 3=node1 slot=4",
+        ]
+
+    def test_custom_host_prefix(self):
+        m = ProcessMapping.from_map_cpu(H, 1, [0])
+        assert "hydra0" in emit_rankfile(m, host_prefix="hydra")
+
+
+class TestParse:
+    def test_roundtrip_every_order(self):
+        from repro.core.orders import all_orders
+
+        for order in all_orders(3):
+            text = rankfile_for_order(H, order)
+            parsed = parse_rankfile(text, H)
+            reference = ProcessMapping.from_order(H, order)
+            assert parsed.core_of.tolist() == reference.core_of.tolist()
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nrank 0=node0 slot=3\n"
+        m = parse_rankfile(text, H)
+        assert m.core_of.tolist() == [3]
+
+    def test_out_of_order_ranks(self):
+        text = "rank 1=node1 slot=0\nrank 0=node0 slot=0\n"
+        m = parse_rankfile(text, H)
+        assert m.core_of.tolist() == [0, 8]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_rankfile("rank x=node0 slot=0", H)
+
+    def test_duplicate_rank_rejected(self):
+        text = "rank 0=node0 slot=0\nrank 0=node0 slot=1\n"
+        with pytest.raises(ValueError, match="twice"):
+            parse_rankfile(text, H)
+
+    def test_sparse_ranks_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            parse_rankfile("rank 1=node0 slot=0", H)
+
+    def test_slot_bounds_checked(self):
+        with pytest.raises(ValueError, match="slot"):
+            parse_rankfile("rank 0=node0 slot=8", H)

@@ -1,0 +1,110 @@
+"""Unit tests for Slurm --distribution emulation (Figure 2 captions)."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.orders import all_orders
+from repro.launcher.slurm import (
+    SlurmJob,
+    distribution_to_order,
+    expressible_distributions,
+    order_to_distribution,
+)
+
+FIG1 = Hierarchy((2, 2, 4), ("node", "socket", "core"))
+HYDRA = Hierarchy((16, 2, 2, 8), ("node", "socket", "group", "core"))
+LUMI = Hierarchy((16, 2, 4, 2, 8), ("node", "socket", "numa", "l3", "core"))
+
+
+class TestDistributionToOrder:
+    # The Figure 2 captions, verbatim.
+    FIG2 = {
+        "cyclic:cyclic": (0, 1, 2),
+        "cyclic:block": (0, 2, 1),
+        "block:cyclic": (1, 2, 0),
+        "plane=4": (2, 0, 1),
+        "block:block": (2, 1, 0),
+    }
+
+    @pytest.mark.parametrize("dist,order", sorted(FIG2.items()))
+    def test_fig2_captions(self, dist, order):
+        assert distribution_to_order(FIG1, dist) == order
+
+    def test_hydra_default_block_cyclic(self):
+        # Figures 3/4/8: Slurm's default on Hydra is [1, 3, 2, 0].
+        assert distribution_to_order(HYDRA, "block:cyclic") == (1, 3, 2, 0)
+
+    def test_lumi_default_block_block(self):
+        # Figure 5: LUMI's default is [4, 3, 2, 1, 0].
+        assert distribution_to_order(LUMI, "block:block") == (4, 3, 2, 1, 0)
+
+    def test_missing_socket_token_means_block(self):
+        assert distribution_to_order(FIG1, "cyclic") == distribution_to_order(
+            FIG1, "cyclic:block"
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_to_order(FIG1, "fcyclic:block")
+
+    def test_plane_must_align(self):
+        with pytest.raises(ValueError):
+            distribution_to_order(FIG1, "plane=3")
+
+    def test_plane_whole_node(self):
+        # plane = node size degenerates to block:block.
+        assert distribution_to_order(FIG1, "plane=8") == (2, 1, 0)
+
+    def test_case_insensitive(self):
+        assert distribution_to_order(FIG1, "Block:Cyclic") == (1, 2, 0)
+
+
+class TestOrderToDistribution:
+    def test_order_102_not_expressible(self):
+        # Figure 2c: "[1, 0, 2] cannot be achieved" with --distribution.
+        assert order_to_distribution(FIG1, (1, 0, 2)) is None
+
+    def test_roundtrip(self):
+        for dist, order in expressible_distributions(FIG1).items():
+            got = order_to_distribution(FIG1, order)
+            assert got is not None
+            assert distribution_to_order(FIG1, got) == order
+
+    def test_deeper_hierarchy_leaves_more_gaps(self):
+        expressible_3 = {
+            o for o in all_orders(3) if order_to_distribution(FIG1, o)
+        }
+        expressible_5 = {
+            o for o in all_orders(5) if order_to_distribution(LUMI, o)
+        }
+        assert len(expressible_3) / 6 > len(expressible_5) / 120
+
+
+class TestSlurmJob:
+    def test_full_node_uses_distribution(self):
+        job = SlurmJob(FIG1, 2, 8, distribution="block:block")
+        assert job.mapping().core_of.tolist() == list(range(16))
+
+    def test_partial_node_packs_first_cores(self):
+        # Without map_cpu Slurm packs the first cores per node.
+        job = SlurmJob(FIG1, 2, 2)
+        assert job.mapping().core_of.tolist() == [0, 1, 8, 9]
+
+    def test_map_cpu_binding(self):
+        job = SlurmJob(FIG1, 2, 2, cpu_bind_map=(0, 4))
+        assert job.mapping().core_of.tolist() == [0, 4, 8, 12]
+
+    def test_rejects_both_options(self):
+        with pytest.raises(ValueError):
+            SlurmJob(FIG1, 1, 2, distribution="block", cpu_bind_map=(0, 1))
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            SlurmJob(FIG1, 1, 9)
+
+    def test_map_length_must_match(self):
+        with pytest.raises(ValueError):
+            SlurmJob(FIG1, 1, 3, cpu_bind_map=(0, 1))
+
+    def test_n_tasks(self):
+        assert SlurmJob(FIG1, 2, 4).n_tasks == 8

@@ -1,0 +1,91 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.netsim.engine import EventQueue, run_until_idle
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_stable_at_equal_times(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, i)
+        assert [q.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "x")
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+    def test_cancel(self):
+        q = EventQueue()
+        h = q.push(1.0, "dead")
+        q.push(2.0, "alive")
+        q.cancel(h)
+        assert len(q) == 1
+        assert q.pop()[1] == "alive"
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, "x")
+        q.cancel(h)
+        q.cancel(h)
+        assert len(q) == 0
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+
+class TestRunUntilIdle:
+    def test_dispatches_in_order(self):
+        q = EventQueue()
+        seen = []
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        t = run_until_idle(q, lambda time, payload: seen.append((time, payload)))
+        assert seen == [(1.0, "a"), (2.0, "b")]
+        assert t == 2.0
+
+    def test_handler_may_schedule_more(self):
+        q = EventQueue()
+        seen = []
+
+        def handler(time, payload):
+            seen.append(payload)
+            if payload < 3:
+                q.push(time + 1, payload + 1)
+
+        q.push(0.0, 0)
+        run_until_idle(q, handler)
+        assert seen == [0, 1, 2, 3]
+
+    def test_event_cap(self):
+        q = EventQueue()
+
+        def forever(time, payload):
+            q.push(time + 1, payload)
+
+        q.push(0.0, "x")
+        with pytest.raises(RuntimeError, match="event cap"):
+            run_until_idle(q, forever, max_events=100)

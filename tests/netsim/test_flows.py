@@ -1,0 +1,119 @@
+"""Unit tests for exact max-min fair sharing (progressive filling)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.flows import Flow, FlowNetwork
+from repro.topology.machine import LevelParams, MachineTopology
+
+
+def _topo():
+    return MachineTopology(
+        "t",
+        (
+            LevelParams("node", 2, 10e9, 1e-6, 0),
+            LevelParams("socket", 2, 20e9, 0.5e-6, 0),
+            LevelParams("core", 4, 5e9, 0.25e-6, 0),
+        ),
+    )
+
+
+class TestPaths:
+    def test_self_flow_has_empty_path(self):
+        net = FlowNetwork(_topo())
+        assert net.path_edges(3, 3) == []
+
+    def test_intra_socket_uses_core_edges_only(self):
+        net = FlowNetwork(_topo())
+        edges = net.path_edges(0, 1)
+        assert len(edges) == 2  # up from core 0, down to core 1
+
+    def test_cross_node_uses_all_levels(self):
+        net = FlowNetwork(_topo())
+        edges = net.path_edges(0, 8)
+        assert len(edges) == 6  # 3 levels x 2 directions
+
+    def test_latency_matches_topology(self):
+        net = FlowNetwork(_topo())
+        assert net.latency(0, 8) == pytest.approx(1e-6)
+        assert net.latency(0, 1) == pytest.approx(0.25e-6)
+        assert net.latency(2, 2) == 0.0
+
+
+class TestMaxMin:
+    def test_single_flow_gets_bottleneck(self):
+        net = FlowNetwork(_topo())
+        rates = net.max_min_rates([Flow(0, 8, 1e6)])
+        assert rates[0] == pytest.approx(5e9)  # core edge binds
+
+    def test_two_flows_share_fairly(self):
+        net = FlowNetwork(_topo())
+        flows = [Flow(0, 8, 1e6), Flow(1, 9, 1e6)]
+        rates = net.max_min_rates(flows)
+        # Node uplink 10 GB/s / 2 = 5 GB/s = core cap: both get 5.
+        assert np.allclose(rates, 5e9)
+
+    def test_four_flows_bottlenecked_at_nic(self):
+        net = FlowNetwork(_topo())
+        flows = [Flow(i, 8 + i, 1e6) for i in range(4)]
+        rates = net.max_min_rates(flows)
+        assert np.allclose(rates, 2.5e9)
+
+    def test_max_min_refills_spare_capacity(self):
+        net = FlowNetwork(_topo())
+        # One flow crosses nodes, one stays inside the other socket.
+        flows = [Flow(0, 8, 1e6), Flow(4, 5, 1e6)]
+        rates = net.max_min_rates(flows)
+        assert rates[0] == pytest.approx(5e9)
+        assert rates[1] == pytest.approx(5e9)
+
+    def test_asymmetric_bottleneck(self):
+        net = FlowNetwork(_topo())
+        # Three flows out of node 0 (share 10/3) + one local flow in the
+        # destination node unaffected except via its own core edge.
+        flows = [Flow(i, 8 + i, 1e6) for i in range(3)] + [Flow(12, 13, 1e6)]
+        rates = net.max_min_rates(flows)
+        assert np.allclose(rates[:3], 10e9 / 3)
+        assert rates[3] == pytest.approx(5e9)
+
+    def test_self_flow_infinite_rate(self):
+        net = FlowNetwork(_topo())
+        rates = net.max_min_rates([Flow(2, 2, 1e3)])
+        assert np.isinf(rates[0])
+
+    def test_empty(self):
+        net = FlowNetwork(_topo())
+        assert net.max_min_rates([]).size == 0
+
+    def test_total_rate_never_exceeds_capacity(self):
+        rng = np.random.default_rng(1)
+        net = FlowNetwork(_topo())
+        flows = [
+            Flow(int(a), int(b), 1.0)
+            for a, b in rng.integers(0, 16, size=(20, 2))
+            if a != b
+        ]
+        rates = net.max_min_rates(flows)
+        # Check the node-0 uplink specifically.
+        uplink_total = sum(
+            r
+            for f, r in zip(flows, rates)
+            if f.src < 8 and f.dst >= 8
+        )
+        assert uplink_total <= 10e9 * (1 + 1e-9)
+
+    def test_apply_rates_mutates_flows(self):
+        net = FlowNetwork(_topo())
+        flows = [Flow(0, 1, 1e6)]
+        net.apply_rates(flows)
+        assert flows[0].rate == pytest.approx(5e9)
+
+
+class TestFlowDataclass:
+    def test_remaining_defaults_to_nbytes(self):
+        f = Flow(0, 1, 123.0)
+        assert f.remaining == 123.0
+
+    def test_explicit_remaining_preserved(self):
+        f = Flow(0, 1, 123.0, remaining=50.0)
+        assert f.remaining == 50.0

@@ -1,0 +1,115 @@
+"""Cross-validation: fast round model vs exact max-min DES.
+
+DESIGN.md's two-model decision requires that the bottleneck fair-share
+approximation matches the exact progressive-filling result whenever all
+flows in a round carry equal bytes (the round-structured collective
+case), and stays close otherwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.allgather import ring_program, ring_rounds
+from repro.collectives.allreduce import ring_program as allreduce_ring_program
+from repro.collectives.allreduce import ring_rounds as allreduce_ring_rounds
+from repro.collectives.alltoall import pairwise_program, pairwise_rounds
+from repro.collectives.base import rounds_to_schedule
+from repro.netsim.fabric import Fabric, Round
+from repro.netsim.flows import Flow, FlowNetwork
+from repro.simmpi import Comm, Simulator
+from repro.topology.machines import generic_cluster, hydra
+
+
+def test_equal_size_round_matches_exact_maxmin():
+    topo = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+    fabric = Fabric(topo)
+    net = FlowNetwork(topo)
+    src = np.array([0, 1, 4, 8])
+    dst = np.array([8, 9, 12, 0])
+    nbytes = 10e6
+    t_fast = fabric.round_time(Round(src, dst, nbytes))
+    rates = net.max_min_rates([Flow(int(s), int(d), nbytes) for s, d in zip(src, dst)])
+    lats = [net.latency(int(s), int(d)) for s, d in zip(src, dst)]
+    t_exact = max(l + nbytes / r for l, r in zip(lats, rates))
+    # With equal sizes, the slowest flow's bottleneck share equals its
+    # max-min rate, so the two models agree exactly.
+    assert t_fast == pytest.approx(t_exact, rel=1e-9)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_fast_model_never_beats_exact_maxmin(data):
+    """Bottleneck fair share under-estimates each flow's rate, so the
+    fast model's round time upper-bounds the exact makespan of the
+    slowest flow."""
+    topo = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+    fabric = Fabric(topo)
+    net = FlowNetwork(topo)
+    n = data.draw(st.integers(2, 8))
+    pairs = []
+    for _ in range(n):
+        s = data.draw(st.integers(0, 15))
+        d = data.draw(st.integers(0, 15))
+        pairs.append((s, d))
+    src = np.array([p[0] for p in pairs])
+    dst = np.array([p[1] for p in pairs])
+    nbytes = 1e6
+    live = src != dst
+    if not live.any():
+        return
+    t_fast = fabric.round_time(Round(src, dst, nbytes))
+    flows = [Flow(int(s), int(d), nbytes) for s, d in zip(src[live], dst[live])]
+    rates = net.max_min_rates(flows)
+    lats = [net.latency(f.src, f.dst) for f in flows]
+    t_exact = max(l + nbytes / r for l, r in zip(lats, rates))
+    assert t_fast >= t_exact * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("p,cores", [(8, range(8)), (8, range(0, 64, 8))])
+def test_ring_allgather_des_vs_round_model(p, cores):
+    topo = hydra(2)
+    cores = list(cores)
+    total = 1e6
+    comms = Comm.world(p)
+    sim = Simulator(topo, cores)
+    block = np.zeros(int(total) // p // 8)
+    sim.run({r: ring_program(comms[r], block) for r in range(p)})
+    t_des = max(sim.finish_times.values())
+    t_fast = rounds_to_schedule(ring_rounds(p, total), np.array(cores)).total_time(
+        Fabric(topo)
+    )
+    assert t_fast == pytest.approx(t_des, rel=0.3)
+
+
+def test_pairwise_alltoall_des_vs_round_model():
+    topo = hydra(2)
+    p = 8
+    cores = list(range(0, 32, 4))
+    total = 2e6
+    comms = Comm.world(p)
+    sim = Simulator(topo, cores)
+    sendbuf = np.zeros((p, int(total) // p // p // 8))
+    sim.run({r: pairwise_program(comms[r], sendbuf.copy()) for r in range(p)})
+    t_des = max(sim.finish_times.values())
+    t_fast = rounds_to_schedule(
+        pairwise_rounds(p, total), np.array(cores)
+    ).total_time(Fabric(topo))
+    assert t_fast == pytest.approx(t_des, rel=0.3)
+
+
+def test_ring_allreduce_des_vs_round_model():
+    topo = hydra(2)
+    p = 8
+    cores = list(range(p))
+    total = 4e6
+    comms = Comm.world(p)
+    sim = Simulator(topo, cores)
+    vec = np.zeros(int(total) // p // 8)
+    sim.run({r: allreduce_ring_program(comms[r], vec.copy()) for r in range(p)})
+    t_des = max(sim.finish_times.values())
+    t_fast = rounds_to_schedule(
+        allreduce_ring_rounds(p, total), np.array(cores)
+    ).total_time(Fabric(topo))
+    assert t_fast == pytest.approx(t_des, rel=0.3)

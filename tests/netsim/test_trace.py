@@ -1,0 +1,68 @@
+"""Unit tests for execution traces and the ASCII timeline."""
+
+import numpy as np
+import pytest
+
+from repro.bench.microbench import collective_schedule
+from repro.netsim.fabric import Fabric
+from repro.netsim.trace import RoundTrace, TracingFabric, ascii_timeline
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+class TestTracingFabric:
+    def test_traces_every_round_including_repeats(self):
+        tf = TracingFabric(TOPO)
+        sched = collective_schedule("allgather", np.arange(8), 1e6, algorithm="ring")
+        traces = tf.schedule_trace(sched)
+        assert len(traces) == 7  # ring on 8 ranks: one pattern x 7
+
+    def test_total_matches_schedule_time(self):
+        tf = TracingFabric(TOPO)
+        plain = Fabric(TOPO)
+        sched = collective_schedule("alltoall", np.arange(8), 4e6, algorithm="pairwise")
+        traces = tf.schedule_trace(sched)
+        total = traces[-1].start + traces[-1].duration
+        assert total == pytest.approx(sched.total_time(plain))
+
+    def test_starts_are_cumulative(self):
+        tf = TracingFabric(TOPO)
+        sched = collective_schedule("alltoall", np.arange(4), 1e6, algorithm="pairwise")
+        traces = tf.schedule_trace(sched)
+        for prev, cur in zip(traces, traces[1:]):
+            assert cur.start == pytest.approx(prev.start + prev.duration)
+
+    def test_bottleneck_level_names(self):
+        tf = TracingFabric(TOPO)
+        # Cross-node flows from every core of node 0: the NIC binds.
+        sched = collective_schedule(
+            "alltoall", np.array([0, 1, 8, 9]), 32e6, algorithm="pairwise"
+        )
+        traces = tf.schedule_trace(sched)
+        levels = {t.bottleneck_level for t in traces}
+        assert levels <= set(TOPO.hierarchy.names) | {"none"}
+        assert "node" in levels or "core" in levels
+
+    def test_reset(self):
+        tf = TracingFabric(TOPO)
+        sched = collective_schedule("alltoall", np.arange(4), 1e6)
+        tf.schedule_trace(sched)
+        tf.reset()
+        assert tf.traces == []
+
+
+class TestTimeline:
+    def test_renders_bars(self):
+        traces = [
+            RoundTrace(0, 0.0, 1e-3, 8, "node"),
+            RoundTrace(1, 1e-3, 2e-3, 8, "core"),
+        ]
+        text = ascii_timeline(traces, width=20)
+        lines = text.splitlines()
+        assert "total 3.000 ms" in lines[0]
+        assert "[node]" in lines[1]
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert ascii_timeline([]) == "(empty trace)"

@@ -1,0 +1,117 @@
+"""Unit tests for the mpisee-style profiler and correlation statistics."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.profiling.correlation import pearson, spearman
+from repro.profiling.mpisee import CommProfiler, FlowProfiler
+
+
+class TestCommProfiler:
+    def test_accumulates_by_bucket(self):
+        p = CommProfiler()
+        p.record("MPI_Alltoallv", 16, 0.5, n_comms=64)
+        p.record("MPI_Alltoallv", 16, 0.25, n_comms=64)
+        p.record("MPI_Alltoallv", 256, 0.1, n_comms=8)
+        entries = {(e.op, e.comm_size): e for e in p.entries()}
+        e16 = entries[("MPI_Alltoallv", 16)]
+        assert e16.seconds == pytest.approx(0.75)
+        assert e16.calls == 2
+        assert e16.n_comms == 64
+
+    def test_entries_sorted_by_time(self):
+        p = CommProfiler()
+        p.record("a", 1, 0.1)
+        p.record("b", 1, 0.9)
+        assert [e.op for e in p.entries()] == ["b", "a"]
+
+    def test_seconds_filters(self):
+        p = CommProfiler()
+        p.record("MPI_Bcast", 8, 1.0)
+        p.record("MPI_Bcast", 16, 2.0)
+        p.record("MPI_Reduce", 8, 4.0)
+        assert p.seconds() == pytest.approx(7.0)
+        assert p.seconds(op="MPI_Bcast") == pytest.approx(3.0)
+        assert p.seconds(comm_size=8) == pytest.approx(5.0)
+        assert p.seconds(op="MPI_Bcast", comm_size=8) == pytest.approx(1.0)
+
+    def test_communicator_sizes(self):
+        p = CommProfiler()
+        p.record("x", 16, 1.0)
+        p.record("y", 4, 1.0)
+        p.record("compute", 0, 1.0)
+        assert p.communicator_sizes() == [4, 16]
+
+    def test_report_renders(self):
+        p = CommProfiler()
+        p.record("MPI_Alltoallv", 16, 0.123, n_comms=64)
+        text = p.report()
+        assert "MPI_Alltoallv" in text
+        assert "16" in text
+
+
+class TestFlowProfiler:
+    def test_attributes_by_comm_id(self):
+        from repro.simmpi.runtime import FlowRecord
+
+        fp = FlowProfiler()
+        fp.watch(42, "MPI_Allgather", 8)
+        fp(FlowRecord(0, 1, 0, 1, 100.0, 1.0, 1.5, key=(42, 0)))
+        fp(FlowRecord(0, 1, 0, 1, 100.0, 1.0, 2.0, key=(99, 0)))
+        assert fp.profiler.seconds(op="MPI_Allgather") == pytest.approx(0.5)
+        assert fp.profiler.seconds(op="p2p") == pytest.approx(1.0)
+
+    def test_integrates_with_simulator(self):
+        from repro.collectives.allgather import ring_program
+        from repro.simmpi import Comm, Simulator
+        from repro.topology.machines import hydra
+
+        p = 4
+        comms = Comm.world(p)
+        fp = FlowProfiler()
+        fp.watch(comms[0].comm_id, "MPI_Allgather", p)
+        sim = Simulator(hydra(2), [0, 1, 8, 9], listeners=[fp])
+        sim.run({r: ring_program(comms[r], np.zeros(128)) for r in range(p)})
+        assert fp.profiler.seconds(op="MPI_Allgather") > 0
+        entry = fp.profiler.entries()[0]
+        assert entry.calls == p * (p - 1)  # ring: p flows per round
+
+
+class TestCorrelation:
+    def test_pearson_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 2 * x + rng.normal(scale=0.5, size=50)
+        assert pearson(x, y) == pytest.approx(stats.pearsonr(x, y)[0])
+
+    def test_perfect_correlation(self):
+        x = [1.0, 2.0, 3.0]
+        assert pearson(x, [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+        assert pearson(x, [-1.0, -2.0, -3.0]) == pytest.approx(-1.0)
+
+    def test_spearman_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=40)
+        y = x**3 + rng.normal(scale=0.1, size=40)
+        assert spearman(x, y) == pytest.approx(
+            stats.spearmanr(x, y).statistic, abs=1e-9
+        )
+
+    def test_spearman_invariant_to_monotone_transform(self):
+        x = np.linspace(1, 10, 20)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        x = [1.0, 1.0, 2.0, 3.0]
+        y = [1.0, 1.0, 2.0, 3.0]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad_x,bad_y", [([1.0], [2.0]), ([1, 2], [1, 2, 3])])
+    def test_input_validation(self, bad_x, bad_y):
+        with pytest.raises(ValueError):
+            pearson(bad_x, bad_y)
+
+    def test_constant_input_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])

@@ -1,0 +1,110 @@
+"""Unit tests for groups, communicators and MPI_Comm_split semantics."""
+
+import pytest
+
+from repro.simmpi.communicator import Comm, Group
+from repro.simmpi.ops import Recv, Send, Sendrecv
+
+
+class TestGroup:
+    def test_size_and_translation(self):
+        g = Group((4, 7, 9))
+        assert g.size == 3
+        assert g.translate(1) == 7
+        assert g.rank_of(9) == 2
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Group((1, 1, 2))
+
+
+class TestComm:
+    def test_world(self):
+        comms = Comm.world(4)
+        assert [c.rank for c in comms] == [0, 1, 2, 3]
+        assert len({c.comm_id for c in comms}) == 1
+        assert comms[2].world_rank == 2
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            Comm(Group((0, 1)), 2)
+
+    def test_op_builders_translate_ranks(self):
+        comm = Comm(Group((10, 20, 30)), 1)
+        s = comm.send(2, 100.0, payload="x", tag=7)
+        assert isinstance(s, Send)
+        assert s.dst == 30
+        assert s.key == (comm.comm_id, 7)
+        r = comm.recv(0, tag=7)
+        assert isinstance(r, Recv)
+        assert r.src == 10
+        sr = comm.sendrecv(2, 50.0, None, 0)
+        assert isinstance(sr, Sendrecv)
+        assert (sr.dst, sr.src) == (30, 10)
+
+    def test_tags_scoped_per_communicator(self):
+        a = Comm.world(2)
+        b = Comm.world(2)
+        assert a[0].send(1, 1.0).key != b[0].send(1, 1.0).key
+
+
+class TestSplit:
+    def test_split_by_color(self):
+        comms = Comm.world(6)
+        color_key = {r: (r % 2, r) for r in range(6)}
+        out = Comm.split(comms, color_key)
+        evens = out[0]
+        assert evens.size == 3
+        assert out[0].comm_id == out[2].comm_id == out[4].comm_id
+        assert out[1].comm_id != out[0].comm_id
+        assert out[4].rank == 2
+
+    def test_split_key_orders_ranks(self):
+        comms = Comm.world(4)
+        # Reverse the ranks via the key (the Section 3.2 reordering).
+        color_key = {r: (0, 3 - r) for r in range(4)}
+        out = Comm.split(comms, color_key)
+        assert out[3].rank == 0
+        assert out[0].rank == 3
+        assert out[0].group.world_ranks == (3, 2, 1, 0)
+
+    def test_split_ties_broken_by_previous_rank(self):
+        comms = Comm.world(3)
+        out = Comm.split(comms, {r: (0, 0) for r in range(3)})
+        assert [out[r].rank for r in range(3)] == [0, 1, 2]
+
+    def test_negative_color_is_undefined(self):
+        comms = Comm.world(3)
+        out = Comm.split(comms, {0: (0, 0), 1: (-1, 0), 2: (0, 1)})
+        assert 1 not in out
+        assert out[0].size == 2
+
+    def test_split_requires_all_members(self):
+        comms = Comm.world(3)
+        with pytest.raises(ValueError):
+            Comm.split(comms, {0: (0, 0)})
+
+    def test_split_requires_same_communicator(self):
+        a = Comm.world(2)
+        b = Comm.world(2)
+        with pytest.raises(ValueError):
+            Comm.split([a[0], b[1]], {0: (0, 0), 1: (0, 1)})
+
+    def test_reordering_usecase_roundtrip(self):
+        """Section 3.2: split MPI_COMM_WORLD with the reordered rank as
+        key, then address the new communicator."""
+        from repro.core.hierarchy import Hierarchy
+        from repro.core.reorder import reorder_ranks
+
+        h = Hierarchy((2, 2, 2))
+        comms = Comm.world(8)
+        new_rank = reorder_ranks(h, (0, 1, 2))
+        out = Comm.split(comms, {r: (0, int(new_rank[r])) for r in range(8)})
+        for old_rank, comm in out.items():
+            assert comm.rank == new_rank[old_rank]
+
+
+def test_from_members():
+    comms = Comm.from_members([5, 3, 8])
+    assert comms[1].world_rank == 3
+    assert comms[1].rank == 1

@@ -1,0 +1,35 @@
+"""Unit tests for MPI datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.datatypes import BYTE, DOUBLE, FLOAT, INT
+
+
+def test_sizes():
+    assert BYTE.size == 1
+    assert INT.size == 4
+    assert FLOAT.size == 4
+    assert DOUBLE.size == 8
+
+
+def test_extent():
+    assert DOUBLE.extent(100) == 800
+    assert BYTE.extent(0) == 0
+
+
+def test_extent_rejects_negative():
+    with pytest.raises(ValueError):
+        INT.extent(-1)
+
+
+def test_numpy_dtypes_consistent():
+    for dt in (BYTE, INT, FLOAT, DOUBLE):
+        assert np.dtype(dt.numpy_dtype).itemsize == dt.size
+
+
+def test_paper_size_convention():
+    """Section 4.1.2: size = comm_size x count x sizeof(datatype),
+    with MPI_BYTE throughout."""
+    comm_size, count = 16, 245_000
+    assert comm_size * BYTE.extent(count) == pytest.approx(3.92e6, rel=0.01)

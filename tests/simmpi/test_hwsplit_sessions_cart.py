@@ -1,0 +1,151 @@
+"""Unit tests for split_type, sessions and Cartesian topologies."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.simmpi.cart import CartTopology, best_cart_reorder
+from repro.simmpi.communicator import Comm
+from repro.simmpi.hwsplit import discover_hierarchy, split_type
+from repro.simmpi.sessions import SessionModel
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+H = TOPO.hierarchy
+
+
+class TestSplitType:
+    def test_split_by_node(self):
+        world = Comm.world(16)
+        out = split_type(world, TOPO, list(range(16)), "node")
+        assert out[0].size == 8
+        assert out[0].group.world_ranks == tuple(range(8))
+        assert out[8].group.world_ranks == tuple(range(8, 16))
+
+    def test_split_by_socket(self):
+        world = Comm.world(16)
+        out = split_type(world, TOPO, list(range(16)), "socket")
+        assert out[0].size == 4
+        assert out[5].group.world_ranks == (4, 5, 6, 7)
+
+    def test_respects_custom_binding(self):
+        # Two ranks bound to cores of different nodes split apart.
+        world = Comm.world(2)
+        out = split_type(world, TOPO, [0, 8], "node")
+        assert out[0].size == 1
+        assert out[1].size == 1
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown level"):
+            split_type(Comm.world(2), TOPO, [0, 1], "numa")
+
+    def test_new_ranks_ordered_by_old(self):
+        world = Comm.world(16)
+        out = split_type(world, TOPO, list(range(16)), "socket")
+        for old_rank, comm in out.items():
+            assert comm.group.world_ranks == tuple(sorted(comm.group.world_ranks))
+
+
+class TestDiscoverHierarchy:
+    def test_recovers_topology_hierarchy(self):
+        h = discover_hierarchy(TOPO, list(range(16)))
+        assert h.radices == (2, 2, 4)
+        assert h.names == ("node", "socket", "core")
+
+    def test_deep_hierarchy(self):
+        topo = generic_cluster((2, 2, 2, 4), names=("node", "socket", "numa", "core"))
+        h = discover_hierarchy(topo, list(range(topo.n_cores)))
+        assert h.radices == (2, 2, 2, 4)
+
+    def test_requires_full_population(self):
+        with pytest.raises(ValueError):
+            discover_hierarchy(TOPO, [0, 1, 2])
+
+
+class TestSessions:
+    def test_pset_catalogue(self):
+        sm = SessionModel(Hierarchy((2, 2, 4)))
+        names = sm.pset_names()
+        assert "mpi://WORLD" in names
+        assert "mpi://SELF" in names
+        assert "mpi://order/2-1-0" in names
+        assert len(names) == 2 + 6
+
+    def test_world_and_self(self):
+        sm = SessionModel(Hierarchy((2, 2, 4)))
+        assert sm.pset_members("mpi://WORLD") == tuple(range(16))
+        assert sm.pset_members("mpi://SELF", self_rank=5) == (5,)
+
+    def test_order_pset_is_the_reordering(self):
+        from repro.core.reorder import reorder_ranks
+
+        h = Hierarchy((2, 2, 4))
+        sm = SessionModel(h)
+        members = sm.pset_members("mpi://order/0-2-1")
+        new = reorder_ranks(h, (0, 2, 1))
+        for pos, canonical in enumerate(members):
+            assert new[canonical] == pos
+
+    def test_unknown_pset(self):
+        with pytest.raises(KeyError):
+            SessionModel(Hierarchy((2, 2))).pset_members("mpi://nope")
+
+    def test_comm_from_pset_shares_id(self):
+        sm = SessionModel(Hierarchy((2, 2, 4)))
+        handles = sm.comm_from_pset("mpi://order/2-1-0")
+        assert len(handles) == 16
+        assert len({h.comm_id for h in handles}) == 1
+
+    def test_handle_for_world_rank(self):
+        sm = SessionModel(Hierarchy((2, 2, 4)))
+        h = sm.handle_for("mpi://order/2-1-0", world_rank=10)
+        assert h.world_rank == 10
+        assert h.rank == 10  # identity order
+
+
+class TestCart:
+    def test_coords_roundtrip(self):
+        cart = CartTopology(H, (4, 4), (2, 1, 0))
+        for r in range(16):
+            assert cart.cart_rank(cart.coords(r)) == r
+
+    def test_shift_interior(self):
+        cart = CartTopology(H, (4, 4), (2, 1, 0))
+        src, dst = cart.shift(5, 1)  # coords (1,1), dimension 1
+        assert src == 4 and dst == 6
+
+    def test_shift_edge_nonperiodic(self):
+        cart = CartTopology(H, (4, 4), (2, 1, 0))
+        src, dst = cart.shift(3, 1)  # coords (0,3)
+        assert src == 2 and dst is None
+
+    def test_shift_periodic_wraps(self):
+        cart = CartTopology(H, (4, 4), (2, 1, 0), periodic=(True, True))
+        src, dst = cart.shift(3, 1)
+        assert dst == 0
+
+    def test_grid_size_validated(self):
+        with pytest.raises(ValueError):
+            CartTopology(H, (4, 3), (2, 1, 0))
+
+    def test_periodic_flags_validated(self):
+        with pytest.raises(ValueError):
+            CartTopology(H, (4, 4), (2, 1, 0), periodic=(True,))
+
+    def test_reorder_never_worse_than_identity(self):
+        identity = CartTopology(H, (4, 4), (2, 1, 0), (True, True))
+        best = best_cart_reorder(H, (4, 4), periodic=(True, True))
+        assert (
+            best.neighbour_exchange_cost() <= identity.neighbour_exchange_cost()
+        )
+
+    def test_reorder_improves_on_skewed_grid(self):
+        # An 8x2 grid on [[2,2,4]]: the canonical order splits grid rows
+        # across nodes; a better order exists.
+        identity = CartTopology(H, (8, 2), (2, 1, 0))
+        best = best_cart_reorder(H, (8, 2))
+        assert best.neighbour_exchange_cost() <= identity.neighbour_exchange_cost()
+
+    def test_core_mapping_is_permutation(self):
+        cart = best_cart_reorder(H, (2, 8))
+        assert sorted(cart.core_of.tolist()) == list(range(16))

@@ -1,0 +1,180 @@
+"""Unit tests for nonblocking point-to-point (Isend/Irecv/Wait)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Comm, Request, Simulator, Wait
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+def _run(programs, cores):
+    sim = Simulator(TOPO, cores)
+    return sim.run(programs), sim
+
+
+class TestBasics:
+    def test_isend_returns_request_immediately(self):
+        comms = Comm.world(2)
+        seen = {}
+
+        def sender(c):
+            req = yield c.isend(1, 1e3, "hello")
+            seen["type"] = type(req)
+            seen["done_at_post"] = req.done
+            yield c.wait(req)
+
+        def receiver(c):
+            return (yield c.recv(0))
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+        assert seen["type"] is Request
+        assert results[1] == "hello"
+
+    def test_irecv_wait_delivers_payload(self):
+        comms = Comm.world(2)
+
+        def sender(c):
+            yield c.send(1, 1e3, {"x": 9})
+
+        def receiver(c):
+            req = yield c.irecv(0)
+            (data,) = yield c.wait(req)
+            assert req.done and req.data == data
+            return data
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+        assert results[1] == {"x": 9}
+
+    def test_wait_on_already_completed_request(self):
+        comms = Comm.world(2)
+
+        def sender(c):
+            yield c.send(1, 1e3, "early")
+
+        def receiver(c):
+            req = yield c.irecv(0)
+            yield c.compute(1.0)  # plenty of time for the flow to finish
+            (data,) = yield c.wait(req)
+            return data
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+        assert results[1] == "early"
+
+    def test_waitall_ordering(self):
+        comms = Comm.world(3)
+
+        def sender(c, value):
+            yield c.send(2, 1e3, value)
+
+        def receiver(c):
+            r0 = yield c.irecv(0)
+            r1 = yield c.irecv(1)
+            data = yield c.wait(r1, r0)  # reversed order
+            return data
+
+        results, _ = _run(
+            {
+                0: sender(comms[0], "a"),
+                1: sender(comms[1], "b"),
+                2: receiver(comms[2]),
+            },
+            [0, 1, 2],
+        )
+        assert results[2] == ["b", "a"]
+
+    def test_wait_requires_requests(self):
+        with pytest.raises(ValueError):
+            Wait()
+
+
+class TestSemantics:
+    def test_exchange_without_sendrecv(self):
+        """The classic deadlock-free pattern: both ranks isend+irecv."""
+        comms = Comm.world(2)
+
+        def prog(c):
+            r = yield c.irecv(1 - c.rank)
+            s = yield c.isend(1 - c.rank, 1e5, np.array([c.rank + 1.0]))
+            data = yield c.wait(r, s)
+            return float(data[0][0])
+
+        results, _ = _run({r: prog(comms[r]) for r in range(2)}, [0, 8])
+        assert results == {0: 2.0, 1: 1.0}
+
+    def test_overlapping_communication_with_compute(self):
+        """Nonblocking lets compute overlap the transfer: total time is
+        max(transfer, compute), not the sum."""
+        comms = Comm.world(2)
+        nbytes = 40e6  # cross-node: ~10+ ms transfer
+
+        def sender(c):
+            req = yield c.isend(1, nbytes, None)
+            yield c.compute(5e-3)
+            yield c.wait(req)
+
+        def receiver(c):
+            req = yield c.irecv(0)
+            yield c.compute(5e-3)
+            yield c.wait(req)
+
+        _, sim = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 8])
+        overlap_time = sim.now
+
+        def sender_blk(c):
+            yield c.send(1, nbytes, None)
+            yield c.compute(5e-3)
+
+        def receiver_blk(c):
+            yield c.recv(0)
+            yield c.compute(5e-3)
+
+        c2 = Comm.world(2)
+        _, sim_blk = _run({0: sender_blk(c2[0]), 1: receiver_blk(c2[1])}, [0, 8])
+        assert overlap_time < sim_blk.now
+
+    def test_many_outstanding_requests(self):
+        comms = Comm.world(2)
+        n = 20
+
+        def sender(c):
+            reqs = []
+            for i in range(n):
+                reqs.append((yield c.isend(1, 1e3, i, tag=i)))
+            yield c.wait(*reqs)
+
+        def receiver(c):
+            reqs = []
+            for i in range(n):
+                reqs.append((yield c.irecv(0, tag=i)))
+            data = yield c.wait(*reqs)
+            return data
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+        assert results[1] == list(range(n))
+
+    def test_unmatched_nonblocking_deadlocks_at_wait(self):
+        from repro.simmpi import DeadlockError
+
+        comms = Comm.world(2)
+
+        def starved(c):
+            req = yield c.irecv(1 - c.rank)
+            yield c.wait(req)
+
+        with pytest.raises(DeadlockError):
+            _run({r: starved(comms[r]) for r in range(2)}, [0, 1])
+
+    def test_dangling_request_does_not_block_exit(self):
+        """A posted irecv that never matches does not stop the program
+        from finishing if it never waits on it (like MPI, where the
+        request would leak)."""
+        comms = Comm.world(2)
+
+        def leaky(c):
+            yield c.irecv(1 - c.rank)
+            return "done"
+
+        results, _ = _run({r: leaky(comms[r]) for r in range(2)}, [0, 1])
+        assert results == {0: "done", 1: "done"}

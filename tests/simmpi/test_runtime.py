@@ -1,0 +1,236 @@
+"""Unit tests for the discrete-event MPI runtime."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Comm, Compute, DeadlockError, Simulator
+from repro.simmpi.runtime import FlowRecord
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+def _run(programs, cores, listeners=()):
+    sim = Simulator(TOPO, cores, listeners=listeners)
+    return sim.run(programs), sim
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self):
+        comms = Comm.world(2)
+
+        def sender(c):
+            yield c.send(1, 1e3, {"k": 42})
+
+        def receiver(c):
+            data = yield c.recv(0)
+            return data["k"]
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+        assert results[1] == 42
+
+    def test_messages_fifo_per_channel(self):
+        comms = Comm.world(2)
+
+        def sender(c):
+            for i in range(5):
+                yield c.send(1, 1e3, i)
+
+        def receiver(c):
+            out = []
+            for _ in range(5):
+                out.append((yield c.recv(0)))
+            return out
+
+        results, _ = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 8])
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_matching_respects_tags(self):
+        # Positive case: same tag matches across a third party.
+        comms = Comm.world(3)
+
+        def s_tag1(c):
+            yield c.send(2, 1e3, "one", tag=1)
+
+        def s_tag0(c):
+            yield c.send(2, 1e3, "zero", tag=0)
+
+        def receiver(c):
+            a = yield c.recv(1, tag=0)
+            b = yield c.recv(0, tag=1)
+            return (a, b)
+
+        results, _ = _run(
+            {0: s_tag1(comms[0]), 1: s_tag0(comms[1]), 2: receiver(comms[2])},
+            [0, 1, 2],
+        )
+        assert results[2] == ("zero", "one")
+
+    def test_mismatched_tags_never_match(self):
+        # With rendezvous semantics a tag mismatch is a deadlock -- the
+        # observable proof that tags do not cross-match.
+        comms = Comm.world(2)
+
+        def sender(c):
+            yield c.send(1, 1e3, "x", tag=1)
+
+        def receiver(c):
+            yield c.recv(0, tag=0)
+
+        with pytest.raises(DeadlockError):
+            _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 1])
+
+    def test_sendrecv_exchanges(self):
+        comms = Comm.world(2)
+
+        def prog(c):
+            other = yield c.sendrecv(1 - c.rank, 1e3, c.rank * 10, 1 - c.rank)
+            return other
+
+        results, _ = _run({r: prog(comms[r]) for r in range(2)}, [0, 9])
+        assert results == {0: 10, 1: 0}
+
+    def test_transfer_time_matches_bottleneck(self):
+        comms = Comm.world(2)
+        nbytes = 8e6
+
+        def sender(c):
+            yield c.send(1, nbytes, None)
+
+        def receiver(c):
+            yield c.recv(0)
+
+        _, sim = _run({0: sender(comms[0]), 1: receiver(comms[1])}, [0, 8])
+        # Cross-node single flow: rate = min over path; plus latency.
+        from repro.netsim.flows import Flow, FlowNetwork
+
+        net = FlowNetwork(TOPO)
+        rate = net.max_min_rates([Flow(0, 8, nbytes)])[0]
+        expected = net.latency(0, 8) + nbytes / rate
+        assert sim.now == pytest.approx(expected, rel=1e-6)
+
+
+class TestCompute:
+    def test_compute_advances_local_clock(self):
+        comms = Comm.world(1)
+
+        def prog(c):
+            yield c.compute(0.5)
+            yield c.compute(0.25)
+            return "done"
+
+        results, sim = _run({0: prog(comms[0])}, [0])
+        assert results[0] == "done"
+        assert sim.finish_times[0] == pytest.approx(0.75)
+
+    def test_computing_rank_does_not_block_others(self):
+        comms = Comm.world(3)
+
+        def busy(c):
+            yield c.compute(10.0)
+
+        def sender(c):
+            yield c.send(2, 1e3, "fast")
+
+        def receiver(c):
+            return (yield c.recv(1))
+
+        results, sim = _run(
+            {0: busy(comms[0]), 1: sender(comms[1]), 2: receiver(comms[2])},
+            [0, 1, 2],
+        )
+        assert results[2] == "fast"
+        assert sim.finish_times[2] < 1.0  # finished long before rank 0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+
+class TestContention:
+    def test_concurrent_flows_share_links(self):
+        comms = Comm.world(4)
+        nbytes = 40e6
+
+        def sender(c):
+            yield c.send(c.rank + 2, nbytes, None)
+
+        def receiver(c):
+            yield c.recv(c.rank - 2)
+
+        # Both flows cross the node uplink.
+        _, sim_two = _run(
+            {
+                0: sender(comms[0]),
+                1: sender(comms[1]),
+                2: receiver(comms[2]),
+                3: receiver(comms[3]),
+            },
+            [0, 1, 8, 9],
+        )
+        c2 = Comm.world(2)
+
+        def s1(c):
+            yield c.send(1, nbytes, None)
+
+        def r1(c):
+            yield c.recv(0)
+
+        _, sim_one = _run({0: s1(c2[0]), 1: r1(c2[1])}, [0, 8])
+        assert sim_two.now > sim_one.now  # sharing slowed the flows
+
+
+class TestErrors:
+    def test_deadlock_detection(self):
+        comms = Comm.world(2)
+
+        def starved(c):
+            yield c.recv(1 - c.rank)  # nobody ever sends
+
+        with pytest.raises(DeadlockError):
+            _run({r: starved(comms[r]) for r in range(2)}, [0, 1])
+
+    def test_unsupported_op_rejected(self):
+        def bad(c):
+            yield "not-an-op"
+
+        with pytest.raises(TypeError):
+            _run({0: bad(Comm.world(1)[0])}, [0])
+
+    def test_core_binding_validated(self):
+        with pytest.raises(ValueError):
+            Simulator(TOPO, [0, 999])
+
+    def test_program_without_binding_rejected(self):
+        sim = Simulator(TOPO, [0])
+
+        def prog(c):
+            yield c.compute(0.1)
+
+        with pytest.raises(ValueError):
+            sim.run({5: prog(Comm.world(6)[5])})
+
+
+class TestListeners:
+    def test_flow_records_emitted(self):
+        records: list[FlowRecord] = []
+        comms = Comm.world(2)
+
+        def sender(c):
+            yield c.send(1, 2e6, None, tag=3)
+
+        def receiver(c):
+            yield c.recv(0, tag=3)
+
+        _run(
+            {0: sender(comms[0]), 1: receiver(comms[1])},
+            [0, 8],
+            listeners=[records.append],
+        )
+        assert len(records) == 1
+        rec = records[0]
+        assert (rec.src_rank, rec.dst_rank) == (0, 1)
+        assert (rec.src_core, rec.dst_core) == (0, 8)
+        assert rec.nbytes == 2e6
+        assert rec.end > rec.start
+        assert rec.key[1] == 3

@@ -1,0 +1,115 @@
+"""Property-based tests on the DES runtime's conservation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import Comm, Simulator
+from repro.simmpi.runtime import FlowRecord
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_every_sent_byte_is_recorded_once(data):
+    """Random ring of sends: listener records exactly the posted flows."""
+    p = data.draw(st.integers(2, 8))
+    sizes = [data.draw(st.floats(1.0, 1e6)) for _ in range(p)]
+    cores = data.draw(st.permutations(range(TOPO.n_cores)))[:p]
+    comms = Comm.world(p)
+    records: list[FlowRecord] = []
+
+    def prog(c):
+        yield c.sendrecv(
+            (c.rank + 1) % p, sizes[c.rank], ("payload", c.rank), (c.rank - 1) % p
+        )
+        return None
+
+    sim = Simulator(TOPO, list(cores), listeners=[records.append])
+    sim.run({r: prog(comms[r]) for r in range(p)})
+    assert len(records) == p
+    assert sorted(r.nbytes for r in records) == sorted(sizes)
+    for rec in records:
+        assert rec.end >= rec.start >= 0.0
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_payload_routing_is_exact(data):
+    """Arbitrary permutation routing: every rank receives exactly the
+    payload addressed to it."""
+    p = data.draw(st.integers(2, 8))
+    perm = list(data.draw(st.permutations(range(p))))
+    # Avoid fixed points (self-sends not used by algorithms).
+    if any(perm[i] == i for i in range(p)):
+        perm = [(i + 1) % p for i in range(p)]
+    inverse = [perm.index(i) for i in range(p)]
+    comms = Comm.world(p)
+
+    def prog(c):
+        r = yield c.irecv(inverse[c.rank])
+        s = yield c.isend(perm[c.rank], 100.0, f"from-{c.rank}")
+        data_ = yield c.wait(r, s)
+        return data_[0]
+
+    sim = Simulator(TOPO, list(range(p)))
+    results = sim.run({r: prog(comms[r]) for r in range(p)})
+    for r in range(p):
+        assert results[r] == f"from-{inverse[r]}"
+
+
+@given(st.integers(2, 8), st.floats(1e3, 1e7))
+@settings(max_examples=25, deadline=None)
+def test_time_monotone_in_message_size(p, nbytes):
+    comms_a = Comm.world(p)
+    comms_b = Comm.world(p)
+
+    def ring(c, size):
+        yield c.sendrecv((c.rank + 1) % p, size, None, (c.rank - 1) % p)
+
+    sim_small = Simulator(TOPO, list(range(p)))
+    sim_small.run({r: ring(comms_a[r], nbytes) for r in range(p)})
+    sim_big = Simulator(TOPO, list(range(p)))
+    sim_big.run({r: ring(comms_b[r], nbytes * 4) for r in range(p)})
+    assert sim_big.now >= sim_small.now
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_adding_background_traffic_never_speeds_things_up(p):
+    """Contention monotonicity: extra flows on shared links cannot make
+    the original transfer finish earlier."""
+    comms = Comm.world(2 * p)
+
+    def pair(c, peer, size):
+        if c.rank < peer:
+            yield c.send(peer, size, None)
+        else:
+            yield c.recv(peer)
+
+    # Baseline: one cross-node transfer.
+    base = Simulator(TOPO, [0, 8] + list(range(1, 8)) + list(range(9, 16))[: 2 * p - 2])
+    two = Comm.world(2)
+
+    def s(c):
+        yield c.send(1, 1e6, None)
+
+    def r(c):
+        yield c.recv(0)
+
+    sim_one = Simulator(TOPO, [0, 8])
+    sim_one.run({0: s(two[0]), 1: r(two[1])})
+
+    # With p-1 extra cross-node pairs sharing the NIC.
+    progs = {}
+    cores = []
+    for i in range(p):
+        src, dst = 2 * i, 2 * i + 1
+        progs[src] = pair(comms[src], dst, 1e6)
+        progs[dst] = pair(comms[dst], src, 1e6)
+        cores.extend([i, 8 + i])
+    sim_many = Simulator(TOPO, cores)
+    sim_many.run(progs)
+    assert sim_many.now >= sim_one.now - 1e-12

@@ -1,0 +1,126 @@
+"""Unit tests for the repro-mrd command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestOrders:
+    def test_lists_all_orders_with_legends(self, capsys):
+        rc, out = run_cli(
+            capsys, "orders", "-H", "node:2 socket:2 core:4", "--comm-size", "4"
+        )
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 6
+        assert any(line.startswith("0-1-2 (9 - ") for line in lines)
+
+
+class TestReorder:
+    def test_single_rank(self, capsys):
+        rc, out = run_cli(
+            capsys, "reorder", "-H", "[[2,2,4]]", "-o", "0-2-1", "--rank", "10"
+        )
+        assert rc == 0
+        assert "-> 5" in out  # Table 1
+
+    def test_all_ranks(self, capsys):
+        rc, out = run_cli(capsys, "reorder", "-H", "[[2,2,4]]", "-o", "2-1-0")
+        assert rc == 0
+        assert out.strip().splitlines()[10] == "10 -> 10"
+
+
+class TestRankfile:
+    def test_emits_openmpi_format(self, capsys):
+        rc, out = run_cli(
+            capsys, "rankfile", "-H", "node:2 socket:2 core:4", "-o", "0-2-1"
+        )
+        assert rc == 0
+        assert out.startswith("rank 0=node0 slot=0")
+        assert len(out.strip().splitlines()) == 16
+
+
+class TestMapCpu:
+    def test_fig9_example(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "map-cpu", "-H", "socket:2 numa:4 l3:2 core:8",
+            "-o", "2-1-0-3", "-n", "4",
+        )
+        assert rc == 0
+        assert out.strip() == "map_cpu:0,8,16,24"
+
+
+class TestDistributions:
+    def test_marks_inexpressible_orders(self, capsys):
+        rc, out = run_cli(capsys, "distributions", "-H", "node:2 socket:2 core:4")
+        assert rc == 0
+        assert "1-0-2  (mixed-radix only)" in out
+        assert "block:block" in out
+
+
+class TestClasses:
+    def test_groups_orders(self, capsys):
+        rc, out = run_cli(
+            capsys, "classes", "-H", "[[2,2,4]]", "--comm-size", "4"
+        )
+        assert rc == 0
+        assert "equivalence classes" in out
+
+
+class TestShow:
+    def test_renders_grid(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "show", "-H", "node:2 socket:2 core:4", "-o", "0-1-2",
+            "--comm-size", "4",
+        )
+        assert rc == 0
+        assert "order 0-1-2" in out
+        assert "node0/socket0" in out
+        assert "0a" in out and "12d" in out
+
+
+class TestAdvise:
+    def test_ranks_orders_on_preset_machine(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "advise", "-H", "node:4 socket:2 group:2 core:8",
+            "--comm-size", "16", "--machine", "hydra",
+        )
+        assert rc == 0
+        assert "advice for alltoall" in out
+        assert "worst/best factor" in out
+
+    def test_generic_machine_fallback(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "advise", "-H", "node:2 socket:2 core:4", "--comm-size", "4",
+        )
+        assert rc == 0
+        assert out.count("\n") >= 3
+
+    def test_hierarchy_preset_mismatch(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "advise", "-H", "node:4 core:8",
+                    "--comm-size", "4", "--machine", "hydra",
+                ]
+            )
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_bad_hierarchy_errors():
+    with pytest.raises(ValueError):
+        main(["orders", "-H", "node:one"])

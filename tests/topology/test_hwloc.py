@@ -1,0 +1,50 @@
+"""Unit tests for hwloc-style synthetic topology parsing."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.topology.hwloc import format_synthetic, parse_synthetic
+
+
+class TestParse:
+    def test_name_count_pairs(self):
+        h = parse_synthetic("node:16 socket:2 numa:4 l3:2 core:8")
+        assert h.radices == (16, 2, 4, 2, 8)
+        assert h.names == ("node", "socket", "numa", "l3", "core")
+
+    def test_bare_counts(self):
+        h = parse_synthetic("16 2 8")
+        assert h.radices == (16, 2, 8)
+
+    def test_bracket_notation(self):
+        assert parse_synthetic("[[2, 2, 4]]").radices == (2, 2, 4)
+
+    def test_commas_allowed(self):
+        assert parse_synthetic("node:2, core:4").radices == (2, 4)
+
+    def test_mixed_tokens(self):
+        h = parse_synthetic("node:2 8")
+        assert h.radices == (2, 8)
+        assert h.names[0] == "node"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_synthetic("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_synthetic("node:two")
+
+    def test_degenerate_radix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_synthetic("node:1 core:8")
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        h = Hierarchy((16, 2, 8), ("node", "socket", "core"))
+        assert parse_synthetic(format_synthetic(h)) == h
+
+    def test_format(self):
+        h = Hierarchy((2, 4), ("node", "core"))
+        assert format_synthetic(h) == "node:2 core:4"

@@ -1,0 +1,74 @@
+"""Unit tests for the machine presets (paper platform descriptions)."""
+
+import pytest
+
+from repro.topology.machines import generic_cluster, hydra, hydra_node, lumi, lumi_node
+
+
+class TestHydra:
+    def test_hierarchy_matches_paper(self):
+        # Section 4: Hydra described as [[nodes, 2, 2, 8]] (fake split).
+        t = hydra(16)
+        assert t.hierarchy.radices == (16, 2, 2, 8)
+        assert t.hierarchy.names == ("node", "socket", "group", "core")
+        assert t.n_cores == 512
+
+    def test_without_fake_split(self):
+        t = hydra(16, fake_split=False)
+        assert t.hierarchy.radices == (16, 2, 16)
+        assert t.n_cores == 512
+
+    def test_two_nics_double_node_uplink(self):
+        one = hydra(4, nics=1)
+        two = hydra(4, nics=2)
+        assert two.levels[0].link_bw == 2 * one.levels[0].link_bw
+
+    def test_inner_levels_faster(self):
+        t = hydra(4)
+        lats = [lv.link_lat for lv in t.levels]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_node_preset(self):
+        n = hydra_node()
+        assert n.hierarchy.radices == (2, 2, 8)
+
+
+class TestLumi:
+    def test_hierarchy_matches_paper(self):
+        # Section 4: [[nodes, 2, 4, 2, 8]] -- 2 sockets, 4 NUMA, 2 L3, 8 cores.
+        t = lumi(16)
+        assert t.hierarchy.radices == (16, 2, 4, 2, 8)
+        assert t.hierarchy.names == ("node", "socket", "numa", "l3", "core")
+        assert t.n_cores == 2048
+
+    def test_node_has_128_cores(self):
+        assert lumi_node().n_cores == 128
+
+    def test_slingshot_faster_than_omnipath(self):
+        assert lumi(4).levels[0].link_bw > hydra(4, nics=1).levels[0].link_bw
+
+    def test_memory_gradient(self):
+        # Socket capacity exceeds NUMA exceeds L3 exceeds core.
+        t = lumi_node()
+        caps = [lv.mem_bw for lv in t.levels]
+        assert caps[0] > caps[1] > caps[2] > caps[3] > 0
+
+
+class TestGeneric:
+    def test_shape(self):
+        t = generic_cluster((4, 2, 8))
+        assert t.hierarchy.radices == (4, 2, 8)
+
+    def test_custom_names(self):
+        t = generic_cluster((2, 4), names=("rack", "blade"))
+        assert t.hierarchy.names == ("rack", "blade")
+
+    def test_deep_hierarchy_gets_default_names(self):
+        t = generic_cluster((2, 2, 2, 2, 2, 2))
+        assert len(t.hierarchy.names) == 6
+
+    @pytest.mark.parametrize("radices", [(2, 2), (3, 2, 4), (2, 2, 2, 2, 2)])
+    def test_all_levels_positive_bandwidth(self, radices):
+        t = generic_cluster(radices)
+        assert all(lv.link_bw > 0 for lv in t.levels)
+        assert all(lv.link_lat > 0 for lv in t.levels)

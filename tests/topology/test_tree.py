@@ -1,0 +1,85 @@
+"""Unit tests for the explicit topology tree."""
+
+from repro.core.hierarchy import Hierarchy
+from repro.topology.tree import TopologyTree
+
+
+def _tree():
+    return TopologyTree(Hierarchy((2, 2, 4), ("node", "socket", "core")))
+
+
+class TestConstruction:
+    def test_leaf_count_and_order(self):
+        t = _tree()
+        assert len(t.leaves) == 16
+        assert [leaf.first_core for leaf in t.leaves] == list(range(16))
+
+    def test_component_counts_per_level(self):
+        t = _tree()
+        by_level = {}
+        for node in t.root.walk():
+            by_level.setdefault(node.level, []).append(node)
+        assert len(by_level[0]) == 2  # nodes
+        assert len(by_level[1]) == 4  # sockets
+        assert len(by_level[2]) == 16  # cores
+
+    def test_core_ranges_nest(self):
+        t = _tree()
+        for node in t.root.walk():
+            for child in node.children:
+                assert child.first_core >= node.first_core
+                assert (
+                    child.first_core + child.n_cores
+                    <= node.first_core + node.n_cores
+                )
+
+    def test_global_indices_dense_per_level(self):
+        t = _tree()
+        sockets = [n for n in t.root.walk() if n.level == 1]
+        assert sorted(s.global_index for s in sockets) == [0, 1, 2, 3]
+
+
+class TestQueries:
+    def test_ancestors_bottom_up(self):
+        t = _tree()
+        anc = t.ancestors(10)
+        assert [a.level_name for a in anc] == ["core", "socket", "node"]
+        assert anc[-1].global_index == 1  # node 1
+
+    def test_lca_same_socket(self):
+        t = _tree()
+        lca = t.lca(0, 3)
+        assert lca.level_name == "socket"
+
+    def test_lca_same_node(self):
+        t = _tree()
+        assert t.lca(0, 4).level_name == "node"
+
+    def test_lca_cross_node_is_root(self):
+        t = _tree()
+        assert t.lca(0, 8).level == -1
+
+    def test_lca_agrees_with_vectorized_metric(self):
+        import numpy as np
+
+        from repro.topology.machines import generic_cluster
+
+        topo = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+        t = TopologyTree(topo.hierarchy)
+        for a, b in [(0, 1), (0, 5), (3, 12), (7, 7)]:
+            lca_level = int(topo.lca_level(np.array([a]), np.array([b]))[0])
+            tree_lca = t.lca(a, b)
+            # Vectorized LCA returns the first differing level; the tree
+            # LCA is the component one level above it.
+            assert tree_lca.level == lca_level - 1
+
+    def test_render_contains_levels(self):
+        text = _tree().render()
+        assert "node 0" in text
+        assert "socket 1" in text
+        assert "cores" in text
+
+    def test_render_truncates(self):
+        big = TopologyTree(Hierarchy((8, 8, 8)))
+        text = big.render(max_cores=10)
+        assert text.endswith("...")
