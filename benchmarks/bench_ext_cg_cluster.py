@@ -13,7 +13,6 @@ this bench asserts:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps.nascg.parallel import CGTimeModel
 from repro.topology.machines import lumi

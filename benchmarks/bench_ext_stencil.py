@@ -10,12 +10,11 @@ the unreordered canonical layout.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps.stencil import StencilModel
 from repro.core.hierarchy import Hierarchy
 from repro.core.orders import identity_order
-from repro.simmpi.cart import CartTopology, best_cart_reorder
+from repro.simmpi.cart import best_cart_reorder
 from repro.topology.machines import hydra
 
 H = Hierarchy((8, 2, 2, 8), ("node", "socket", "group", "core"))

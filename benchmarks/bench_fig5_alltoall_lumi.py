@@ -9,7 +9,6 @@ beat the fully spread one with a single communicator.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.bench.figures import fig5_data
 from repro.bench.report import (

@@ -14,7 +14,6 @@ Run:  python examples/network_hierarchy.py
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import signature
 from repro.core.network import describe_allocation
-from repro.core.orders import format_order
 from repro.core.visualize import render_enumeration
 
 NODE = Hierarchy((2, 8), ("socket", "core"))

@@ -16,7 +16,6 @@ benchmarking all ``h!`` of them.  This example
 Run:  python examples/order_advisor.py
 """
 
-import numpy as np
 
 from repro.bench.microbench import collective_schedule
 from repro.core.advisor import advise

@@ -16,7 +16,6 @@ Three parts:
 Run:  python examples/splatt_reordering.py
 """
 
-import numpy as np
 
 from repro.apps.splatt import (
     choose_grid,

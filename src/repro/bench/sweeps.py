@@ -14,6 +14,8 @@ import io
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.bench.microbench import run_microbench
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import signature
@@ -90,8 +92,8 @@ def sweep(
     return records
 
 
-def to_csv(records: Sequence[SweepRecord]) -> str:
-    """Render records as CSV (header + one row per record)."""
+def to_csv(records: Sequence) -> str:
+    """Render dataclass records as CSV (header + one row per record)."""
     if not records:
         return ""
     buf = io.StringIO()
@@ -113,4 +115,154 @@ def best_per_group(
         key = (rec.comm_size, rec.collective, rec.total_bytes)
         if key not in best or getattr(rec, key_attr) < getattr(best[key], key_attr):
             best[key] = rec
+    return best
+
+
+# -- chaos sweeps ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One (order, fault class) cell of a chaos sweep."""
+
+    machine: str
+    order: str
+    fault_kind: str
+    seed: int
+    n_faults: int
+    n_ranks: int
+    survivors: int
+    n_attempts: int
+    total_backoff: float
+    healthy_time: float
+    faulty_time: float
+    slowdown: float  # faulty / healthy makespan (inf when never completed)
+
+
+#: Fault classes :class:`~repro.faults.ChaosGenerator` can sample.
+CHAOS_KINDS = ("node_crash", "nic_fail", "link_degrade", "straggler")
+
+
+def chaos_sweep(
+    topology: MachineTopology,
+    orders: Sequence[Order] | None = None,
+    fault_kinds: Sequence[str] = CHAOS_KINDS,
+    count: int = 8,
+    seed: int = 0,
+    rate: float = 1.0,
+    n_ranks: int | None = None,
+    compute: float = 1e-6,
+) -> list[ChaosRecord]:
+    """Quantify how each fault class degrades an alltoall, per order.
+
+    For every enumeration order and fault class, runs a pairwise alltoall
+    (``count`` doubles per block, preceded by ``compute`` seconds of local
+    work so stragglers have something to slow down) on the event-driven
+    simulator twice: once healthy, once under a
+    :class:`~repro.faults.ChaosGenerator` schedule (``rate`` expected
+    faults of that class over the healthy makespan) with ULFM-style
+    shrink-and-retry recovery.  The same seed is used for every order, so
+    a cell differs between orders only through placement -- the
+    ``slowdown`` column directly measures how much the order's locality
+    structure shields the collective from that fault class.
+    """
+    from repro.faults import ChaosGenerator, RetryExhaustedError, RetryPolicy
+    from repro.faults import run_with_retry
+    from repro.launcher.mapping import ProcessMapping
+    from repro.simmpi.ops import Compute
+    from repro.simmpi.runtime import Simulator
+
+    if orders is None:
+        orders = all_orders(topology.hierarchy.depth)
+    if n_ranks is None:
+        n_ranks = topology.n_cores
+    records: list[ChaosRecord] = []
+
+    def one_program(comm, buf):
+        # Pairwise exchange with `compute` seconds of local work spread
+        # over the rounds, so stragglers are active during the run.
+        p = comm.size
+        recvbuf = buf.copy()
+        nbytes = buf[0].nbytes
+        per_round = compute / max(p - 1, 1)
+        for r in range(1, p):
+            if per_round > 0:
+                yield Compute(per_round)
+            to = (comm.rank + r) % p
+            frm = (comm.rank - r) % p
+            recvbuf[frm] = yield comm.sendrecv(to, nbytes, buf[to], frm, tag=r)
+        return recvbuf
+
+    def factory(comms):
+        p = len(comms)
+        buf = np.zeros((p, count))
+        return {c.rank: one_program(c, buf) for c in comms}
+
+    for order in orders:
+        mapping = ProcessMapping.from_order(topology.hierarchy, order)
+        core_of = mapping.core_of[:n_ranks]
+        sim = Simulator(topology, core_of)
+        sim.run(factory([c for c in _world(n_ranks)]))
+        healthy = max(sim.finish_times.values())
+
+        for kind in fault_kinds:
+            if kind not in CHAOS_KINDS:
+                raise ValueError(f"unknown chaos fault kind {kind!r}")
+            schedule = ChaosGenerator(seed).schedule(
+                topology, horizon=healthy, **{f"{kind}_rate": rate}
+            )
+            policy = RetryPolicy(
+                max_attempts=4, base_backoff=healthy, timeout=20 * healthy
+            )
+            try:
+                result = run_with_retry(
+                    topology,
+                    order,
+                    factory,
+                    schedule=schedule,
+                    n_ranks=n_ranks,
+                    policy=policy,
+                )
+                attempts = result.attempts
+                survivors = result.survivors
+                faulty = sum(a.sim_time + a.backoff for a in attempts)
+                slow = faulty / healthy
+            except RetryExhaustedError as err:
+                attempts = err.attempts
+                survivors = 0
+                faulty = sum(a.sim_time + a.backoff for a in attempts)
+                slow = float("inf")
+            records.append(
+                ChaosRecord(
+                    machine=topology.name,
+                    order=format_order(order),
+                    fault_kind=kind,
+                    seed=seed,
+                    n_faults=len(schedule),
+                    n_ranks=n_ranks,
+                    survivors=survivors,
+                    n_attempts=len(attempts),
+                    total_backoff=sum(a.backoff for a in attempts),
+                    healthy_time=healthy,
+                    faulty_time=faulty,
+                    slowdown=slow,
+                )
+            )
+    return records
+
+
+def _world(n: int):
+    from repro.simmpi.communicator import Comm
+
+    return Comm.world(n)
+
+
+def chaos_best_per_fault(
+    records: Sequence[ChaosRecord],
+) -> dict[str, ChaosRecord]:
+    """Least-degraded record per fault class (the reordering benefit)."""
+    best: dict[str, ChaosRecord] = {}
+    for rec in records:
+        if rec.fault_kind not in best or rec.slowdown < best[rec.fault_kind].slowdown:
+            best[rec.fault_kind] = rec
     return best

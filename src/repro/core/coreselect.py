@@ -20,7 +20,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.hierarchy import Hierarchy
+from repro.core.hierarchy import Hierarchy, hierarchy_of_units
 from repro.core.mixed_radix import decompose_many, recompose_many
 from repro.core.orders import Order
 
@@ -47,6 +47,41 @@ def map_cpu_list(
     sel = new_ranks < n_cores
     out[new_ranks[sel]] = cores[sel]
     return [int(c) for c in out]
+
+
+def masked_map_cpu_list(
+    node_hierarchy: Hierarchy,
+    order: Sequence[int],
+    n_cores: int,
+    dead_cores: Iterable[int] = (),
+) -> list[int]:
+    """Algorithm 3 over a *masked* enumeration: skip faulted cores.
+
+    Enumerates every core of the hierarchy in the reordered mixed-radix
+    sequence, drops the ``dead_cores`` (drained, crashed, or straggling
+    units the scheduler must avoid), and assigns the first ``n_cores``
+    survivors in that sequence -- so degraded machines keep the order's
+    locality structure over whatever hardware is left.  With no dead
+    cores this reduces exactly to :func:`map_cpu_list`.
+
+    >>> masked_map_cpu_list(Hierarchy((2, 4)), (0, 1), 2, dead_cores={0})
+    [4, 1]
+    """
+    total = node_hierarchy.size
+    dead = {int(c) for c in dead_cores}
+    if any(not 0 <= c < total for c in dead):
+        raise ValueError("dead_cores refers to cores outside the hierarchy")
+    if not 1 <= n_cores <= total - len(dead):
+        raise ValueError(
+            f"n_cores must be in 1..{total - len(dead)} "
+            f"({len(dead)} of {total} cores are dead), got {n_cores}"
+        )
+    cores = np.arange(total, dtype=np.int64)
+    coords = decompose_many(node_hierarchy, cores)
+    new_ranks = recompose_many(node_hierarchy, coords, order)
+    alive = np.array([c not in dead for c in range(total)], dtype=bool)
+    by_new_rank = np.argsort(new_ranks[alive], kind="stable")
+    return [int(c) for c in cores[alive][by_new_rank][:n_cores]]
 
 
 @dataclass(frozen=True)
@@ -107,33 +142,7 @@ class CoreSelection:
         ``[[2, 2, 4]]`` machine yields ``[[2, 4]]``.  Raises when the
         selection is not homogeneous (different sub-counts per parent).
         """
-        coords = decompose_many(self.node_hierarchy, np.array(sorted(self.core_set)))
-        radices: list[int] = []
-        names: list[str] = []
-        depth = self.node_hierarchy.depth
-        for level in range(depth):
-            if level == 0:
-                counts = {len(np.unique(coords[:, 0]))}
-                used = len(np.unique(coords[:, 0]))
-            else:
-                groups: dict[tuple[int, ...], set[int]] = {}
-                for row in coords:
-                    groups.setdefault(tuple(row[:level]), set()).add(int(row[level]))
-                counts = {len(v) for v in groups.values()}
-                if len(counts) != 1:
-                    raise ValueError(
-                        "core selection is not homogeneous at level "
-                        f"{self.node_hierarchy.names[level]}"
-                    )
-                used = counts.pop()
-            if used > 1:
-                radices.append(used)
-                names.append(self.node_hierarchy.names[level])
-        if not radices:
-            raise ValueError(
-                "selection of a single core does not form a hierarchy"
-            )
-        return Hierarchy(tuple(radices), tuple(names))
+        return hierarchy_of_units(self.node_hierarchy, sorted(self.core_set))
 
 
 def distinct_core_sets(

@@ -163,12 +163,76 @@ class Hierarchy:
             out[i] = out[i + 1] * self.radices[i + 1]
         return tuple(out)
 
+    def without_cores(self, dead: Iterable[int]) -> "Hierarchy":
+        """The hierarchy formed by the units surviving ``dead``.
+
+        The fault-tolerance counterpart of the fake-level tricks above: a
+        crashed node (all units under one level-0 component) shrinks that
+        radix digit by one, a drained socket shrinks the socket digit, and
+        levels reduced to a single surviving child are dropped.  Raises
+        ``ValueError`` when the survivors are not homogeneous (different
+        survivor counts under different parents) -- such irregular
+        machines cannot be described by one mixed-radix base; enumerate
+        them through the masked path
+        (:func:`repro.core.coreselect.masked_map_cpu_list`) instead.
+
+        >>> Hierarchy((3, 2, 4)).without_cores(range(8))  # node 0 died
+        Hierarchy(radices=(2, 2, 4), names=('level0', 'level1', 'level2'))
+        """
+        dead_set = {int(c) for c in dead}
+        survivors = [u for u in range(self.size) if u not in dead_set]
+        return hierarchy_of_units(self, survivors)
+
 
 def _check_order(order: Sequence[int], depth: int) -> None:
     if sorted(order) != list(range(depth)):
         raise ValueError(
             f"order {tuple(order)} is not a permutation of 0..{depth - 1}"
         )
+
+
+def hierarchy_of_units(hierarchy: Hierarchy, units: Sequence[int]) -> Hierarchy:
+    """The reduced hierarchy formed by a subset of enumerated units.
+
+    Each level's new radix is the number of *distinct* children used under
+    each used parent; levels reduced to one child are dropped.  Raises
+    ``ValueError`` when the subset is not homogeneous.  This single
+    derivation backs both partial-node core selection (Section 3.4 of the
+    paper) and the fault-shrink path
+    (:meth:`Hierarchy.without_cores`).
+    """
+    from repro.core.mixed_radix import decompose_many
+
+    import numpy as np
+
+    ids = sorted({int(u) for u in units})
+    if not ids:
+        raise ValueError("an empty unit set does not form a hierarchy")
+    if ids[0] < 0 or ids[-1] >= hierarchy.size:
+        raise ValueError(f"unit IDs outside hierarchy of size {hierarchy.size}")
+    coords = decompose_many(hierarchy, np.asarray(ids, dtype=np.int64))
+    radices: list[int] = []
+    names: list[str] = []
+    for level in range(hierarchy.depth):
+        if level == 0:
+            used = len(np.unique(coords[:, 0]))
+        else:
+            groups: dict[tuple[int, ...], set[int]] = {}
+            for row in coords:
+                groups.setdefault(tuple(row[:level]), set()).add(int(row[level]))
+            counts = {len(v) for v in groups.values()}
+            if len(counts) != 1:
+                raise ValueError(
+                    "unit set is not homogeneous at level "
+                    f"{hierarchy.names[level]}"
+                )
+            used = counts.pop()
+        if used > 1:
+            radices.append(used)
+            names.append(hierarchy.names[level])
+    if not radices:
+        raise ValueError("a single unit does not form a hierarchy")
+    return Hierarchy(tuple(radices), tuple(names))
 
 
 def homogeneous_hierarchy(counts: Iterable[tuple[str, int]]) -> Hierarchy:

@@ -1,0 +1,44 @@
+"""Fault injection and degradation-aware simulation.
+
+The paper's machinery enumerates the resources of a *healthy* machine;
+this package reuses it to reason about partially broken ones.  A
+:class:`FaultSchedule` (hand-written or sampled by the seeded
+:class:`ChaosGenerator`) describes node crashes, NIC failures, link
+degradations, and stragglers; the simulated-MPI runtime injects it while
+rank programs execute; :class:`DegradedTopology` answers the launcher's
+placement questions on the broken machine; and :func:`run_with_retry`
+closes the loop with ULFM-style shrink-and-retry recovery.
+
+The healthy path is untouched: an empty schedule adds no events, and a
+golden-timing regression test locks the seed benchmarks bit-identical.
+"""
+
+from repro.faults.model import (
+    EMPTY_SCHEDULE,
+    KINDS,
+    ChaosGenerator,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.retry import (
+    AttemptRecord,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryResult,
+    run_with_retry,
+)
+from repro.faults.topology import DegradedTopology
+
+__all__ = [
+    "EMPTY_SCHEDULE",
+    "KINDS",
+    "AttemptRecord",
+    "ChaosGenerator",
+    "DegradedTopology",
+    "FaultSchedule",
+    "FaultSpec",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RetryResult",
+    "run_with_retry",
+]

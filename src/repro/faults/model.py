@@ -1,0 +1,307 @@
+"""Fault specifications, schedules, and the seeded chaos generator.
+
+A :class:`FaultSpec` describes one degradation of the machine -- a node
+crash, a NIC failure, a link bandwidth/latency degradation, a per-core
+straggler slowdown, or a targeted rank kill.  Faults are *step* changes
+(``end = inf``) or *windows* (``start <= t < end``).  A
+:class:`FaultSchedule` is an immutable collection of specs with query
+helpers the simulator and launcher consume; :class:`ChaosGenerator`
+samples schedules from failure-rate parameters with a deterministic seed,
+so chaos experiments are exactly reproducible.
+
+Targets are expressed in machine terms, mirroring the mixed-radix view of
+the paper: a node is a level-0 component, a link is the up/down edge pair
+of one level-``level`` component, a straggler is a core.  A crashed node
+shrinks one radix digit of the hierarchy -- exactly the masked-enumeration
+path :meth:`repro.core.hierarchy.Hierarchy.without_cores` re-derives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.topology.machine import MachineTopology
+
+#: Recognised fault kinds.
+KINDS = ("node_crash", "nic_fail", "link_degrade", "straggler", "rank_kill")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault event.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    start:
+        Simulated time the fault becomes active (seconds, >= 0).
+    target:
+        Machine entity the fault hits: node index for ``node_crash`` /
+        ``nic_fail``, level-``level`` component index for
+        ``link_degrade``, core ID for ``straggler``, world rank for
+        ``rank_kill``.
+    level:
+        Hierarchy level of the degraded link (``link_degrade`` only;
+        level 0 is the node up-link, i.e. the NIC).
+    end:
+        End of a windowed fault (exclusive); ``inf`` makes it a step.
+        Crashes and rank kills are permanent and must keep ``end = inf``.
+    bw_factor:
+        Multiplier on the link capacity while active (``link_degrade``;
+        0 stalls the link's flows entirely).
+    lat_factor:
+        Multiplier on the link latency while active (``link_degrade``).
+    slowdown:
+        Compute-time multiplier for the straggling core (>= 1).
+    """
+
+    kind: str
+    start: float
+    target: int
+    level: int = 0
+    end: float = math.inf
+    bw_factor: float = 1.0
+    lat_factor: float = 1.0
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"fault window [{self.start}, {self.end}) is empty")
+        if self.kind in ("node_crash", "rank_kill") and math.isfinite(self.end):
+            raise ValueError(f"{self.kind} is permanent; end must be inf")
+        if not 0.0 <= self.bw_factor <= 1.0:
+            raise ValueError(f"bw_factor must be in [0, 1], got {self.bw_factor}")
+        if self.lat_factor < 1.0:
+            raise ValueError(f"lat_factor must be >= 1, got {self.lat_factor}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+    def active(self, t: float) -> bool:
+        """Whether the fault is in effect at simulated time ``t``."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Immutable ordered collection of :class:`FaultSpec` with queries."""
+
+    specs: tuple[FaultSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        specs = tuple(
+            sorted(self.specs, key=lambda s: (s.start, KINDS.index(s.kind), s.target))
+        )
+        object.__setattr__(self, "specs", specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def change_times(self) -> list[float]:
+        """Sorted unique finite times at which the fault state changes."""
+        times = set()
+        for s in self.specs:
+            times.add(s.start)
+            if math.isfinite(s.end):
+                times.add(s.end)
+        return sorted(times)
+
+    def active_at(self, t: float) -> list[FaultSpec]:
+        return [s for s in self.specs if s.active(t)]
+
+    # -- per-entity queries -------------------------------------------------
+
+    def dead_nodes(self, t: float) -> frozenset[int]:
+        """Nodes crashed at or before ``t`` (crashes are permanent)."""
+        return frozenset(
+            s.target for s in self.specs if s.kind == "node_crash" and s.start <= t
+        )
+
+    def dead_nic_nodes(self, t: float) -> frozenset[int]:
+        """Nodes whose NIC has failed at or before ``t``."""
+        return frozenset(
+            s.target for s in self.specs if s.kind == "nic_fail" and s.active(t)
+        )
+
+    def killed_ranks(self, t: float) -> frozenset[int]:
+        """World ranks explicitly killed at or before ``t``."""
+        return frozenset(
+            s.target for s in self.specs if s.kind == "rank_kill" and s.start <= t
+        )
+
+    def dead_cores(self, topology: MachineTopology, t: float) -> frozenset[int]:
+        """Cores belonging to nodes crashed at or before ``t``."""
+        stride = topology.strides[0]
+        out: set[int] = set()
+        for node in self.dead_nodes(t):
+            out.update(range(node * stride, (node + 1) * stride))
+        return frozenset(out)
+
+    def slowdown(self, core: int, t: float) -> float:
+        """Compute-time multiplier for ``core`` at time ``t`` (>= 1)."""
+        factor = 1.0
+        for s in self.specs:
+            if s.kind == "straggler" and s.target == core and s.active(t):
+                factor *= s.slowdown
+        return factor
+
+    def link_faults(self, t: float) -> list[tuple[int, int, float, float]]:
+        """Active ``(level, component, bw_factor, lat_factor)`` degradations.
+
+        NIC failures and node crashes appear as zero-capacity level-0
+        entries; multiple faults on one link compose multiplicatively on
+        bandwidth and take the worst latency factor.
+        """
+        acc: dict[tuple[int, int], list[float]] = {}
+        for s in self.specs:
+            if s.kind == "link_degrade" and s.active(t):
+                key = (s.level, s.target)
+                bw, lat = acc.get(key, [1.0, 1.0])
+                acc[key] = [bw * s.bw_factor, max(lat, s.lat_factor)]
+            elif s.kind == "nic_fail" and s.active(t):
+                acc[(0, s.target)] = [0.0, acc.get((0, s.target), [1.0, 1.0])[1]]
+            elif s.kind == "node_crash" and s.start <= t:
+                acc[(0, s.target)] = [0.0, acc.get((0, s.target), [1.0, 1.0])[1]]
+        return [(lv, comp, bw, lat) for (lv, comp), (bw, lat) in sorted(acc.items())]
+
+    # -- construction helpers ----------------------------------------------
+
+    def extended(self, specs: Iterable[FaultSpec]) -> "FaultSchedule":
+        return FaultSchedule(self.specs + tuple(specs))
+
+    def shifted(self, dt: float) -> "FaultSchedule":
+        """The schedule as seen ``dt`` seconds later (new clock origin).
+
+        Windowed faults that fully expired within ``dt`` vanish -- this is
+        what makes backing off and retrying effective against transient
+        degradations.  Permanent faults (crashes, kills, step changes)
+        stay active from time 0.
+        """
+        if dt < 0:
+            raise ValueError("dt must be >= 0")
+        out = []
+        for s in self.specs:
+            if math.isfinite(s.end) and s.end <= dt:
+                continue  # window fully in the past
+            end = s.end if not math.isfinite(s.end) else s.end - dt
+            out.append(
+                FaultSpec(
+                    s.kind,
+                    start=max(0.0, s.start - dt),
+                    target=s.target,
+                    level=s.level,
+                    end=end,
+                    bw_factor=s.bw_factor,
+                    lat_factor=s.lat_factor,
+                    slowdown=s.slowdown,
+                )
+            )
+        return FaultSchedule(tuple(out))
+
+
+EMPTY_SCHEDULE = FaultSchedule()
+"""The healthy machine: installing this is exactly a no-op."""
+
+
+class ChaosGenerator:
+    """Deterministic seeded sampler of fault schedules.
+
+    Draws fault counts and times from per-class rate parameters
+    (expected events over the horizon, Poisson-distributed) using a
+    ``numpy`` generator seeded explicitly, so the same seed and rates
+    always produce the same schedule.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def schedule(
+        self,
+        topology: MachineTopology,
+        horizon: float,
+        node_crash_rate: float = 0.0,
+        nic_fail_rate: float = 0.0,
+        link_degrade_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        degrade_levels: Sequence[int] | None = None,
+        bw_factor_range: tuple[float, float] = (0.1, 0.6),
+        slowdown_range: tuple[float, float] = (1.5, 8.0),
+        window_fraction: float = 0.5,
+    ) -> FaultSchedule:
+        """Sample a schedule over ``[0, horizon)``.
+
+        ``*_rate`` parameters are the expected number of events of that
+        class over the horizon.  Degradations and stragglers are windows
+        covering ``window_fraction`` of the remaining horizon on average;
+        crashes and NIC failures are permanent steps.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = self._rng
+        specs: list[FaultSpec] = []
+        n_nodes = topology.levels[0].radix
+        levels = tuple(degrade_levels) if degrade_levels is not None else tuple(
+            range(topology.depth)
+        )
+        counts = topology.component_counts
+
+        for _ in range(rng.poisson(node_crash_rate)):
+            specs.append(
+                FaultSpec(
+                    "node_crash",
+                    start=float(rng.uniform(0, horizon)),
+                    target=int(rng.integers(n_nodes)),
+                )
+            )
+        for _ in range(rng.poisson(nic_fail_rate)):
+            specs.append(
+                FaultSpec(
+                    "nic_fail",
+                    start=float(rng.uniform(0, horizon)),
+                    target=int(rng.integers(n_nodes)),
+                )
+            )
+        for _ in range(rng.poisson(link_degrade_rate)):
+            level = int(levels[rng.integers(len(levels))])
+            start = float(rng.uniform(0, horizon))
+            length = float(rng.exponential(window_fraction * (horizon - start) + 1e-30))
+            specs.append(
+                FaultSpec(
+                    "link_degrade",
+                    start=start,
+                    target=int(rng.integers(counts[level])),
+                    level=level,
+                    end=start + max(length, 1e-9),
+                    bw_factor=float(rng.uniform(*bw_factor_range)),
+                    lat_factor=float(rng.uniform(1.0, 4.0)),
+                )
+            )
+        for _ in range(rng.poisson(straggler_rate)):
+            start = float(rng.uniform(0, horizon))
+            length = float(rng.exponential(window_fraction * (horizon - start) + 1e-30))
+            specs.append(
+                FaultSpec(
+                    "straggler",
+                    start=start,
+                    target=int(rng.integers(topology.n_cores)),
+                    end=start + max(length, 1e-9),
+                    slowdown=float(rng.uniform(*slowdown_range)),
+                )
+            )
+        return FaultSchedule(tuple(specs))

@@ -1,0 +1,176 @@
+"""Retry-with-shrink: rerun rank programs on the surviving machine.
+
+The recovery loop a fault-tolerant launcher runs: execute the rank
+programs under the fault schedule; when a failure surfaces
+(:class:`RankFailedError` escaping a program, or a :class:`SimTimeout` on
+a stalled operation), back off exponentially, advance the fault
+schedule's clock by the time already burned (so transient windows can
+expire during the backoff), re-derive the placement with the dead cores
+masked out of the mixed-radix enumeration, shrink the world down to the
+survivors, and try again -- up to a bounded attempt budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.faults.model import FaultSchedule
+from repro.faults.topology import DegradedTopology
+from repro.launcher.mapping import ProcessMapping
+from repro.simmpi.communicator import Comm
+from repro.simmpi.errors import RankFailedError, SimTimeout
+from repro.simmpi.runtime import RankProgram, Simulator
+from repro.topology.machine import MachineTopology
+
+#: Builds the per-rank generators for one attempt.  Receives the world
+#: communicator handles of the current (possibly shrunk) world.
+ProgramFactory = Callable[[Sequence[Comm]], Mapping[int, RankProgram]]
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt of the retry budget failed."""
+
+    def __init__(self, attempts: "list[AttemptRecord]"):
+        self.attempts = attempts
+        last = attempts[-1].error if attempts else None
+        super().__init__(
+            f"all {len(attempts)} attempt(s) failed; last error: {last!r}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for :func:`run_with_retry`."""
+
+    max_attempts: int = 3
+    base_backoff: float = 1e-3  # seconds added to the fault clock, attempt 1
+    backoff_factor: float = 2.0
+    timeout: float | None = None  # per-op Simulator timeout
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th failure (0-based)."""
+        return self.base_backoff * self.backoff_factor**attempt
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """What happened in one attempt of the retry loop."""
+
+    attempt: int
+    n_ranks: int
+    sim_time: float  # virtual seconds the attempt ran
+    failed_ranks: frozenset[int]  # world ranks dead after the attempt
+    error: BaseException | None  # None on success
+    backoff: float  # wall-clock penalty charged before the next attempt
+
+
+@dataclass
+class RetryResult:
+    """Outcome of a successful :func:`run_with_retry`."""
+
+    results: dict[int, Any]  # per-rank return values of the last attempt
+    mapping: ProcessMapping  # placement the last attempt ran with
+    comms: list[Comm]  # world handles of the last attempt
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def total_backoff(self) -> float:
+        return sum(a.backoff for a in self.attempts)
+
+    @property
+    def survivors(self) -> int:
+        return self.mapping.n_ranks
+
+
+def run_with_retry(
+    topology: MachineTopology,
+    order: Sequence[int],
+    program_factory: ProgramFactory,
+    schedule: FaultSchedule | None = None,
+    n_ranks: int | None = None,
+    policy: RetryPolicy = RetryPolicy(),
+) -> RetryResult:
+    """Run rank programs under faults, shrinking and retrying on failure.
+
+    Each attempt places the current world on the machine through the
+    mixed-radix ``order`` with all cores known dead masked out, builds
+    fresh world communicators, and executes ``program_factory``'s
+    generators in a :class:`Simulator` carrying the (clock-shifted) fault
+    schedule.  On failure the world shrinks by the ranks that died and the
+    schedule advances by the attempt's virtual time plus the exponential
+    backoff, so windowed degradations can pass.  Raises
+    :class:`RetryExhaustedError` when the budget runs out and
+    :class:`RankFailedError` when no ranks survive to retry with.
+    """
+    schedule = schedule if schedule is not None else FaultSchedule()
+    if n_ranks is None:
+        n_ranks = topology.n_cores
+    dead_cores: set[int] = set()
+    n_current = n_ranks
+    attempts: list[AttemptRecord] = []
+
+    for attempt in range(policy.max_attempts):
+        degraded = DegradedTopology(topology, schedule, time=0.0)
+        masked = dead_cores | set(degraded.avoided_cores)
+        available = topology.n_cores - len(masked)
+        if n_current < 1 or available < 1:
+            raise RankFailedError(
+                sorted(dead_cores), "no surviving cores to retry on"
+            )
+        n_current = min(n_current, available)
+        mapping = ProcessMapping.from_order_masked(
+            topology.hierarchy, order, sorted(masked), n_ranks=n_current
+        )
+        comms = Comm.world(n_current)
+        sim = Simulator(
+            topology,
+            mapping.core_of,
+            fault_schedule=schedule,
+            timeout=policy.timeout,
+        )
+        programs = program_factory(comms)
+        try:
+            results = sim.run(dict(programs))
+        except (RankFailedError, SimTimeout) as err:
+            failed = sim.failed_ranks
+            backoff = policy.backoff(attempt)
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    n_ranks=n_current,
+                    sim_time=sim.now,
+                    failed_ranks=failed,
+                    error=err,
+                    backoff=backoff,
+                )
+            )
+            dead_cores |= {int(mapping.core_of[r]) for r in failed}
+            n_current -= len(failed)
+            # The next attempt starts after the failed run plus the backoff.
+            schedule = schedule.shifted(sim.now + backoff)
+            continue
+        attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                n_ranks=n_current,
+                sim_time=sim.now,
+                failed_ranks=sim.failed_ranks,
+                error=None,
+                backoff=0.0,
+            )
+        )
+        return RetryResult(
+            results=results, mapping=mapping, comms=comms, attempts=attempts
+        )
+    raise RetryExhaustedError(attempts)

@@ -1,0 +1,94 @@
+"""Degraded-machine views: what the launcher sees after faults.
+
+A :class:`DegradedTopology` freezes the health of a machine at one
+instant of a :class:`~repro.faults.model.FaultSchedule` and answers the
+placement questions a degradation-aware launcher asks: which nodes are
+drained, which NICs are dead, which cores survive, what reduced hierarchy
+the survivors form, and what process mapping a mixed-radix order induces
+on the remaining hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+from repro.core.hierarchy import Hierarchy
+from repro.faults.model import FaultSchedule
+from repro.launcher.mapping import ProcessMapping
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class DegradedTopology:
+    """Snapshot of a machine's health under a fault schedule at ``time``."""
+
+    topology: MachineTopology
+    schedule: FaultSchedule
+    time: float = 0.0
+
+    @cached_property
+    def drained_nodes(self) -> tuple[int, ...]:
+        """Nodes that crashed (hard-down; never receive ranks)."""
+        return tuple(sorted(self.schedule.dead_nodes(self.time)))
+
+    @cached_property
+    def dead_nic_nodes(self) -> tuple[int, ...]:
+        """Nodes alive but unreachable over the network."""
+        return tuple(
+            sorted(self.schedule.dead_nic_nodes(self.time) - set(self.drained_nodes))
+        )
+
+    @cached_property
+    def dead_cores(self) -> tuple[int, ...]:
+        """Cores on drained nodes (and therefore unusable)."""
+        return tuple(sorted(self.schedule.dead_cores(self.topology, self.time)))
+
+    @cached_property
+    def avoided_cores(self) -> tuple[int, ...]:
+        """Cores a multi-node job must avoid: drained nodes + dead NICs."""
+        stride = self.topology.strides[0]
+        out = set(self.dead_cores)
+        for node in self.dead_nic_nodes:
+            out.update(range(node * stride, (node + 1) * stride))
+        return tuple(sorted(out))
+
+    @property
+    def n_surviving_cores(self) -> int:
+        return self.topology.n_cores - len(self.dead_cores)
+
+    def surviving_hierarchy(self) -> Hierarchy:
+        """Re-derive the mixed-radix hierarchy of the surviving cores.
+
+        A crashed node shrinks the node radix digit; raises ``ValueError``
+        when the survivors are not homogeneous (use :meth:`mapping`, which
+        enumerates through the mask, for irregular survivor sets).
+        """
+        return self.topology.hierarchy.without_cores(self.dead_cores)
+
+    def mapping(
+        self,
+        order: Sequence[int],
+        n_ranks: int | None = None,
+        avoid_dead_nics: bool = True,
+    ) -> ProcessMapping:
+        """Order-induced placement on the degraded machine.
+
+        Enumerates the machine through ``order`` with the faulted cores
+        masked out (:meth:`ProcessMapping.from_order_masked`), so the
+        order's locality structure is preserved over the surviving
+        hardware.  ``avoid_dead_nics`` additionally masks nodes whose NIC
+        died (the default: ranks placed there could never communicate).
+        """
+        masked = self.avoided_cores if avoid_dead_nics else self.dead_cores
+        return ProcessMapping.from_order_masked(
+            self.topology.hierarchy, order, masked, n_ranks=n_ranks
+        )
+
+    def slurm_constraints(self) -> dict[str, tuple[int, ...]]:
+        """Keyword arguments for :class:`repro.launcher.slurm.SlurmJob`."""
+        return {
+            "drained_nodes": self.drained_nodes,
+            "dead_nic_nodes": self.dead_nic_nodes,
+        }

@@ -68,15 +68,26 @@ class ProcessMapping:
         machine_hierarchy: Hierarchy,
         n_nodes: int,
         cpu_list: Sequence[int],
+        nodes: Sequence[int] | None = None,
     ) -> "ProcessMapping":
         """Slurm ``--cpu-bind=map_cpu:<list>`` semantics.
 
         The same per-node core list applies on every allocated node; global
         ranks are distributed over nodes in blocks of ``len(cpu_list)``
         (local rank ``l`` of node ``k`` binds to ``cpu_list[l]``).
-        ``machine_hierarchy`` must have the node level outermost.
+        ``machine_hierarchy`` must have the node level outermost.  ``nodes``
+        names the allocated nodes explicitly (the degraded-placement path:
+        a drained node is simply absent from the allocation); by default
+        the first ``n_nodes`` nodes are used.
         """
         cores_per_node = machine_hierarchy.size // machine_hierarchy.radices[0]
+        if nodes is None:
+            nodes = range(n_nodes)
+        nodes = [int(n) for n in nodes]
+        if len(nodes) != n_nodes:
+            raise ValueError(f"expected {n_nodes} nodes, got {len(nodes)}")
+        if any(not 0 <= n < machine_hierarchy.radices[0] for n in nodes):
+            raise ValueError("allocation names nodes outside the machine")
         if machine_hierarchy.radices[0] < n_nodes:
             raise ValueError("machine has fewer nodes than requested")
         cpu_list = list(cpu_list)
@@ -85,12 +96,48 @@ class ProcessMapping:
         core_of = np.array(
             [
                 node * cores_per_node + local_core
-                for node in range(n_nodes)
+                for node in nodes
                 for local_core in cpu_list
             ],
             dtype=np.int64,
         )
         return ProcessMapping(machine_hierarchy, core_of)
+
+    @staticmethod
+    def from_order_masked(
+        hierarchy: Hierarchy,
+        order: Sequence[int],
+        dead_cores: Sequence[int],
+        n_ranks: int | None = None,
+    ) -> "ProcessMapping":
+        """Mapping induced by an order on a machine with faulted cores.
+
+        Enumerates every core in the reordered mixed-radix sequence, skips
+        the dead ones, and binds ranks to the survivors in that sequence --
+        the placement a degradation-aware launcher uses after node crashes
+        or drains.  ``n_ranks`` caps the rank count (default: all
+        survivors).  With no dead cores and no cap this equals
+        :meth:`from_order`.
+        """
+        from repro.core.coreselect import masked_map_cpu_list
+
+        alive = hierarchy.size - len({int(c) for c in dead_cores})
+        if n_ranks is None:
+            n_ranks = alive
+        cores = masked_map_cpu_list(hierarchy, order, n_ranks, dead_cores)
+        return ProcessMapping(hierarchy, np.asarray(cores, dtype=np.int64))
+
+    def without_cores(self, dead_cores: Sequence[int]) -> "ProcessMapping":
+        """Drop the ranks bound to ``dead_cores``, preserving rank order.
+
+        The shrink counterpart at the mapping level: surviving ranks are
+        renumbered compactly (old relative order kept), exactly how
+        :meth:`repro.simmpi.communicator.Comm.shrink` renumbers a
+        communicator's survivors.
+        """
+        dead = {int(c) for c in dead_cores}
+        keep = np.array([c not in dead for c in self.core_of], dtype=bool)
+        return ProcessMapping(self.hierarchy, self.core_of[keep])
 
     def comm_world_cores(self) -> np.ndarray:
         """Cores in world-rank order (alias, for harness readability)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
 
 from repro.core.hierarchy import Hierarchy
 from repro.core.orders import Order
@@ -130,6 +131,13 @@ class SlurmJob:
     Combines node count, tasks per node, a distribution or explicit
     ``map_cpu`` list, and produces the :class:`ProcessMapping` the real
     launcher would.
+
+    Degraded placement: ``drained_nodes`` are excluded from the allocation
+    outright (crashed or administratively drained); ``dead_nic_nodes``
+    still run but cannot reach the network, so they are avoided whenever
+    enough healthy nodes remain and only used as a last resort for
+    single-node jobs (a multi-node job scheduled onto a dead NIC could
+    never communicate, so that is refused).
     """
 
     machine_hierarchy: Hierarchy  # node level outermost
@@ -137,6 +145,8 @@ class SlurmJob:
     ntasks_per_node: int
     distribution: str | None = None
     cpu_bind_map: tuple[int, ...] | None = None
+    drained_nodes: tuple[int, ...] = ()
+    dead_nic_nodes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.distribution is not None and self.cpu_bind_map is not None:
@@ -148,26 +158,51 @@ class SlurmJob:
             )
         if self.cpu_bind_map is not None and len(self.cpu_bind_map) != self.ntasks_per_node:
             raise ValueError("map_cpu list length must equal ntasks_per_node")
+        object.__setattr__(self, "drained_nodes", tuple(sorted({int(n) for n in self.drained_nodes})))
+        object.__setattr__(self, "dead_nic_nodes", tuple(sorted({int(n) for n in self.dead_nic_nodes})))
+        total_nodes = self.machine_hierarchy.radices[0]
+        for n in self.drained_nodes + self.dead_nic_nodes:
+            if not 0 <= n < total_nodes:
+                raise ValueError(f"faulted node {n} outside the machine")
 
     @property
     def n_tasks(self) -> int:
         return self.n_nodes * self.ntasks_per_node
 
+    def allocated_nodes(self) -> list[int]:
+        """The nodes the scheduler grants, honouring the fault state.
+
+        Healthy nodes first (ascending); dead-NIC nodes back-fill only a
+        single-node allocation; drained nodes never.  Raises when the
+        degraded machine cannot host the job.
+        """
+        total = self.machine_hierarchy.radices[0]
+        drained = set(self.drained_nodes)
+        dead_nic = set(self.dead_nic_nodes) - drained
+        healthy = [n for n in range(total) if n not in drained and n not in dead_nic]
+        if len(healthy) >= self.n_nodes:
+            return healthy[: self.n_nodes]
+        if self.n_nodes == 1 and dead_nic:
+            return sorted(dead_nic)[:1]
+        raise ValueError(
+            f"cannot place {self.n_nodes} node(s): only {len(healthy)} healthy "
+            f"of {total} ({len(drained)} drained, {len(dead_nic)} with dead NICs)"
+        )
+
     def mapping(self) -> ProcessMapping:
         """The process-to-core binding this invocation produces."""
         h = self.machine_hierarchy
         cores_per_node = h.size // h.radices[0]
+        nodes = self.allocated_nodes()
         if self.cpu_bind_map is not None:
-            return ProcessMapping.from_map_cpu(h, self.n_nodes, self.cpu_bind_map)
+            return ProcessMapping.from_map_cpu(h, self.n_nodes, self.cpu_bind_map, nodes=nodes)
         if self.ntasks_per_node != cores_per_node:
             # Without an explicit list Slurm packs the first cores per node.
             return ProcessMapping.from_map_cpu(
-                h, self.n_nodes, tuple(range(self.ntasks_per_node))
+                h, self.n_nodes, tuple(range(self.ntasks_per_node)), nodes=nodes
             )
         order = distribution_to_order(h, self.distribution or DEFAULT_DISTRIBUTION)
         full = ProcessMapping.from_order(h, order)
         node_of = full.core_of // cores_per_node
-        keep = node_of < self.n_nodes
-        return ProcessMapping(h, full.core_of[: self.n_tasks]) if keep.all() else ProcessMapping(
-            h, full.core_of[keep][: self.n_tasks]
-        )
+        keep = np.isin(node_of, nodes)
+        return ProcessMapping(h, full.core_of[keep][: self.n_tasks])

@@ -20,6 +20,7 @@ class _Entry:
     seq: int
     payload: Any = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class EventQueue:
@@ -46,8 +47,13 @@ class EventQueue:
         return entry
 
     def cancel(self, entry: _Entry) -> None:
-        """Lazily remove a scheduled event."""
-        if not entry.cancelled:
+        """Lazily remove a scheduled event.
+
+        Cancelling an entry that already fired (was popped) or was already
+        cancelled is a no-op; ``_alive`` is only decremented once per entry.
+        Holders of handles may therefore cancel unconditionally on cleanup.
+        """
+        if not entry.cancelled and not entry.popped:
             entry.cancelled = True
             self._alive -= 1
 
@@ -60,6 +66,7 @@ class EventQueue:
         """Remove and return ``(time, payload)`` of the next live event."""
         self._drop_cancelled()
         entry = heapq.heappop(self._heap)
+        entry.popped = True
         self._alive -= 1
         return entry.time, entry.payload
 
@@ -67,7 +74,7 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
-            raise IndexError("pop from empty EventQueue")
+            raise IndexError("peek/pop on empty EventQueue")
 
 
 def run_until_idle(

@@ -56,6 +56,42 @@ class FlowNetwork:
         if topology.root_bw > 0:
             self._capacity = np.append(self._capacity, topology.root_bw)
             self._root_edge = self._capacity.size - 1
+        # Healthy capacities; fault injection rescales _capacity from these.
+        self._base_capacity = self._capacity.copy()
+        self._lat_faults: dict[tuple[int, int], float] = {}
+
+    # -- fault injection ------------------------------------------------------
+
+    def edge_ids(self, level: int, component: int) -> tuple[int, int]:
+        """``(up, down)`` edge IDs of one level-``level`` component's link."""
+        if not 0 <= level < self.topology.depth:
+            raise IndexError(f"level {level} outside hierarchy")
+        if not 0 <= component < self.topology.component_counts[level]:
+            raise IndexError(f"component {component} outside level {level}")
+        base = int(self._offsets[level] + component)
+        return base, self._n_edges + base
+
+    def set_link_faults(
+        self, faults: Sequence[tuple[int, int, float, float]]
+    ) -> None:
+        """Install the active ``(level, component, bw_factor, lat_factor)`` set.
+
+        Replaces any previously installed set: capacities are recomputed
+        from the healthy baseline, so repeated calls do not compound.  A
+        ``bw_factor`` of 0 stalls the link (its flows drop to rate 0 at the
+        next recompute); callers must re-trigger
+        :meth:`apply_rates` afterwards -- the simulator does so on every
+        fault event.
+        """
+        self._capacity = self._base_capacity.copy()
+        self._lat_faults = {}
+        for level, component, bw_factor, lat_factor in faults:
+            up, down = self.edge_ids(level, component)
+            self._capacity[up] *= bw_factor
+            self._capacity[down] *= bw_factor
+            if lat_factor > 1.0:
+                key = (level, component)
+                self._lat_faults[key] = max(self._lat_faults.get(key, 1.0), lat_factor)
 
     def path_edges(self, src: int, dst: int) -> list[int]:
         """Edge IDs a ``src -> dst`` flow occupies (empty for a self-flow)."""
@@ -76,7 +112,14 @@ class FlowNetwork:
     def latency(self, src: int, dst: int) -> float:
         topo = self.topology
         lca = topo.lca_level(np.array([src]), np.array([dst]))
-        return float(topo.hop_latency(lca)[0])
+        base = float(topo.hop_latency(lca)[0])
+        if self._lat_faults:
+            factor = 1.0
+            for level in range(int(lca[0]), topo.depth):
+                for comp in (src // topo.strides[level], dst // topo.strides[level]):
+                    factor = max(factor, self._lat_faults.get((level, comp), 1.0))
+            base *= factor
+        return base
 
     def max_min_rates(self, flows: Sequence[Flow]) -> np.ndarray:
         """Exact max-min fair rate per flow (progressive filling)."""

@@ -16,6 +16,7 @@ communicator.
 
 from repro.simmpi.datatypes import BYTE, DOUBLE, FLOAT, INT, Datatype
 from repro.simmpi.communicator import Comm, Group
+from repro.simmpi.errors import CommRevokedError, RankFailedError, SimTimeout
 from repro.simmpi.ops import (
     Compute,
     Irecv,
@@ -44,6 +45,9 @@ __all__ = [
     "Send",
     "Sendrecv",
     "Wait",
+    "CommRevokedError",
     "DeadlockError",
+    "RankFailedError",
+    "SimTimeout",
     "Simulator",
 ]

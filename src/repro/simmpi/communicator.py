@@ -8,17 +8,30 @@ semantics).  ``split`` reproduces ``MPI_Comm_split``: processes supply a
 sorted by key (ties broken by previous rank, as the standard requires) --
 exactly the mechanism the paper uses to install a reordered world
 communicator and to carve subcommunicators out of it.
+
+Fault tolerance follows the ULFM draft: :meth:`Comm.revoke` marks a
+communicator unusable across *all* handles (further operation builders
+raise :class:`CommRevokedError`), :meth:`Comm.shrink` builds a working
+communicator out of the survivors of a failure (collectives on a
+communicator containing dead ranks raise
+:class:`~repro.simmpi.errors.RankFailedError` inside the simulator), and
+:meth:`Comm.agree` is the fault-tolerant agreement that lets survivors
+reach a consistent view of the failure before shrinking.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.simmpi.errors import CommRevokedError, RankFailedError
 from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
 
 _comm_ids = itertools.count(1)
+
+#: Communicator IDs revoked via :meth:`Comm.revoke` (shared by all handles).
+_revoked_ids: set[int] = set()
 
 
 @dataclass(frozen=True)
@@ -71,12 +84,101 @@ class Comm:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Comm(id={self.comm_id}, rank={self.rank}/{self.size})"
 
+    # -- ULFM-style fault tolerance ------------------------------------------
+
+    @property
+    def revoked(self) -> bool:
+        """Whether any handle revoked this communicator."""
+        return self.comm_id in _revoked_ids
+
+    def revoke(self) -> None:
+        """Mark the communicator unusable for every handle (ULFM
+        ``MPIX_Comm_revoke``).  Idempotent; operation builders raise
+        :class:`CommRevokedError` afterwards."""
+        _revoked_ids.add(self.comm_id)
+
+    def _check_usable(self) -> None:
+        if self.comm_id in _revoked_ids:
+            raise CommRevokedError(self.comm_id)
+
+    @staticmethod
+    def shrink(
+        comms: Sequence["Comm"], failed: Iterable[int]
+    ) -> dict[int, "Comm"]:
+        """ULFM ``MPIX_Comm_shrink``: a working communicator of survivors.
+
+        ``failed`` holds *world* ranks known dead (e.g. from
+        :attr:`RankFailedError.failed_ranks` or
+        :attr:`~repro.simmpi.runtime.Simulator.failed_ranks`).  Returns
+        ``{old_rank: new Comm}`` for the surviving members, preserving
+        their relative order.  Raises when every member failed.
+        """
+        if not comms:
+            return {}
+        base = comms[0]
+        if any(c.comm_id != base.comm_id for c in comms):
+            raise ValueError("shrink requires handles on one communicator")
+        dead = frozenset(int(r) for r in failed)
+        survivors = [
+            c for c in sorted(comms, key=lambda c: c.rank)
+            if c.world_rank not in dead
+        ]
+        if not survivors:
+            raise RankFailedError(dead, "cannot shrink: every member failed")
+        group = Group(tuple(c.world_rank for c in survivors))
+        comm_id = next(_comm_ids)
+        return {
+            c.rank: Comm(group, new_rank, comm_id)
+            for new_rank, c in enumerate(survivors)
+        }
+
+    @staticmethod
+    def agree(
+        comms: Sequence["Comm"],
+        values: Mapping[int, Any],
+        failed: Iterable[int] = (),
+        op: Callable[[Any, Any], Any] | None = None,
+    ) -> Any:
+        """ULFM ``MPIX_Comm_agree``: survivors agree on one reduced value.
+
+        ``values`` maps each surviving member's *communicator* rank to its
+        contribution; contributions of ``failed`` world ranks are ignored.
+        The default ``op`` forms the union of iterable contributions (the
+        classic use: agreeing on the set of known-failed ranks); any
+        commutative two-argument callable may be supplied.  The fold runs
+        in ascending rank order, so the result is deterministic.
+        """
+        if not comms:
+            raise ValueError("agree needs at least one participant")
+        base = comms[0]
+        if any(c.comm_id != base.comm_id for c in comms):
+            raise ValueError("agree requires handles on one communicator")
+        dead = frozenset(int(r) for r in failed)
+        alive = [c for c in sorted(comms, key=lambda c: c.rank) if c.world_rank not in dead]
+        if not alive:
+            raise RankFailedError(dead, "cannot agree: every member failed")
+        missing = [c.rank for c in alive if c.rank not in values]
+        if missing:
+            raise ValueError(f"surviving rank(s) {missing} supplied no value")
+        contributions = [values[c.rank] for c in alive]
+        if op is None:
+            agreed: set = set()
+            for contrib in contributions:
+                agreed |= set(contrib)
+            return frozenset(agreed)
+        acc = contributions[0]
+        for contrib in contributions[1:]:
+            acc = op(acc, contrib)
+        return acc
+
     # -- point-to-point op builders (comm-local ranks) ----------------------
 
     def send(self, dst: int, nbytes: float, payload: Any = None, tag: int = 0) -> Send:
+        self._check_usable()
         return Send(self.group.translate(dst), nbytes, payload, (self.comm_id, tag))
 
     def recv(self, src: int, tag: int = 0) -> Recv:
+        self._check_usable()
         return Recv(self.group.translate(src), (self.comm_id, tag))
 
     def sendrecv(
@@ -87,6 +189,7 @@ class Comm:
         src: int,
         tag: int = 0,
     ) -> Sendrecv:
+        self._check_usable()
         return Sendrecv(
             self.group.translate(dst),
             nbytes,
@@ -98,10 +201,12 @@ class Comm:
 
     def isend(self, dst: int, nbytes: float, payload: Any = None, tag: int = 0) -> Isend:
         """Nonblocking send; yielding returns a :class:`Request`."""
+        self._check_usable()
         return Isend(self.group.translate(dst), nbytes, payload, (self.comm_id, tag))
 
     def irecv(self, src: int, tag: int = 0) -> Irecv:
         """Nonblocking receive; yielding returns a :class:`Request`."""
+        self._check_usable()
         return Irecv(self.group.translate(src), (self.comm_id, tag))
 
     @staticmethod

@@ -1,0 +1,63 @@
+"""Failure exceptions of the simulated-MPI runtime.
+
+These live in their own module because both the runtime and the
+communicator layer raise them, and the fault-injection subsystem
+(:mod:`repro.faults`) catches them without importing either.
+
+The semantics mirror MPI's User-Level Failure Mitigation (ULFM) draft:
+an operation that involves a failed process raises
+:class:`RankFailedError` carrying the set of ranks known dead, a revoked
+communicator refuses further operations with :class:`CommRevokedError`,
+and a blocking operation that exceeds the simulator's configured timeout
+raises :class:`SimTimeout` instead of stalling into a
+:class:`~repro.simmpi.runtime.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class RankFailedError(RuntimeError):
+    """An operation involved one or more failed (killed) ranks.
+
+    Attributes
+    ----------
+    failed_ranks:
+        Frozen set of *world* ranks known to have failed when the error
+        was raised.  ULFM's ``MPIX_Comm_failure_get_acked`` equivalent.
+    """
+
+    def __init__(self, failed_ranks: Iterable[int], message: str | None = None):
+        self.failed_ranks = frozenset(int(r) for r in failed_ranks)
+        if message is None:
+            message = (
+                f"operation involved failed rank(s) {sorted(self.failed_ranks)}"
+            )
+        super().__init__(message)
+
+
+class CommRevokedError(RuntimeError):
+    """The communicator was revoked; no further operations are allowed."""
+
+    def __init__(self, comm_id: int):
+        self.comm_id = comm_id
+        super().__init__(f"communicator {comm_id} has been revoked")
+
+
+class SimTimeout(TimeoutError):
+    """A blocking operation exceeded the simulator's configured timeout.
+
+    Raised by :class:`~repro.simmpi.runtime.Simulator` when a rank's
+    blocking operation (send/recv/sendrecv/wait) has been pending longer
+    than ``timeout`` simulated seconds -- typically because a fault
+    stalled the flow (a failed link has zero capacity) or the matching
+    operation never arrives.
+    """
+
+    def __init__(self, rank: int, detail: str, now: float):
+        self.rank = rank
+        self.now = now
+        super().__init__(
+            f"rank {rank} blocked past the timeout at t={now:.6g}: {detail}"
+        )

@@ -14,20 +14,39 @@ setup, determined by the deepest level it crosses), then transfers its
 bytes at the flow's current max-min rate, recomputed whenever any flow
 starts or ends.  Ranks have *local* clocks (a rank busy computing does not
 advance others); the global clock is the event clock.
+
+Fault injection: an optional :class:`~repro.faults.model.FaultSchedule`
+degrades the machine while programs run.  Link degradations rescale the
+flow network's capacities (re-triggering the max-min recompute; a failed
+link stalls its flows at rate 0), node crashes and rank kills terminate
+rank programs, and straggler windows multiply ``Compute`` durations.  A
+rank whose matched peer dies receives :class:`RankFailedError` *thrown
+into its generator* at the point of the blocked ``yield`` -- ULFM-style,
+the program may catch it and recover (shrink, retry) or let it propagate,
+which aborts the whole run.  With ``timeout`` set, a blocking operation
+pending longer than that many simulated seconds raises
+:class:`SimTimeout` instead of stalling into :class:`DeadlockError`.
+With no schedule and no timeout installed, the event stream is exactly
+the pre-fault one -- timings are bit-identical (locked by a golden
+regression test).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Mapping
 
 import numpy as np
 
 from repro.netsim.engine import EventQueue
 from repro.netsim.flows import Flow, FlowNetwork
+from repro.simmpi.errors import RankFailedError, SimTimeout
 from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
 from repro.topology.machine import MachineTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.faults.model import FaultSchedule
 
 RankProgram = Generator[Any, Any, Any]
 
@@ -51,6 +70,7 @@ class _Half:
     payload: Any = None
     post_time: float = 0.0
     request: Request | None = None  # set for nonblocking halves
+    timeout_event: Any = None  # EventQueue handle when a timeout is armed
 
 
 @dataclass
@@ -60,6 +80,7 @@ class _RankState:
     blocking: set[int] = field(default_factory=set)  # ids of pending halves
     recv_result: Any = None
     finished: bool = False
+    failed: bool = False  # killed by a fault (not a normal completion)
     return_value: Any = None
     waiting: tuple | None = None  # Requests a Wait op is blocked on
 
@@ -90,6 +111,13 @@ class Simulator:
     listeners:
         Callables invoked with a :class:`FlowRecord` on every completed
         transfer (used by the mpisee-style profiler).
+    fault_schedule:
+        Optional :class:`~repro.faults.model.FaultSchedule` injected while
+        programs run.  ``None`` (or an empty schedule) leaves every code
+        path and timing untouched.
+    timeout:
+        Optional bound, in simulated seconds, on how long any blocking
+        operation may stay pending before :class:`SimTimeout` is raised.
     """
 
     def __init__(
@@ -97,6 +125,8 @@ class Simulator:
         topology: MachineTopology,
         rank_to_core: Iterable[int],
         listeners: Iterable[Callable[[FlowRecord], None]] = (),
+        fault_schedule: "FaultSchedule | None" = None,
+        timeout: float | None = None,
     ):
         self.topology = topology
         self.rank_to_core = np.asarray(list(rank_to_core), dtype=np.int64)
@@ -107,14 +137,60 @@ class Simulator:
         self.network = FlowNetwork(topology)
         self.listeners = list(listeners)
         self.now = 0.0
+        if fault_schedule is not None and fault_schedule.empty:
+            fault_schedule = None
+        if fault_schedule is not None:
+            self._validate_schedule(fault_schedule)
+        self._schedule = fault_schedule
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self._timeout = timeout
+        self._failed: set[int] = set()
+
+    def _validate_schedule(self, schedule: "FaultSchedule") -> None:
+        """Reject fault targets outside this machine up front, rather than
+        letting an out-of-range component surface as an IndexError mid-run."""
+        topo = self.topology
+        n_nodes = int(topo.component_counts[0])
+        for s in schedule:
+            if s.kind in ("node_crash", "nic_fail") and not 0 <= s.target < n_nodes:
+                raise ValueError(
+                    f"{s.kind} targets node {s.target}, but the machine has "
+                    f"{n_nodes} node(s)"
+                )
+            if s.kind == "link_degrade":
+                if not 0 <= s.level < topo.depth:
+                    raise ValueError(
+                        f"link_degrade level {s.level} outside the machine's "
+                        f"{topo.depth} levels"
+                    )
+                count = int(topo.component_counts[s.level])
+                if not 0 <= s.target < count:
+                    raise ValueError(
+                        f"link_degrade targets component {s.target} at level "
+                        f"{s.level}, but that level has {count} component(s)"
+                    )
+            if s.kind == "straggler" and not 0 <= s.target < topo.n_cores:
+                raise ValueError(
+                    f"straggler targets core {s.target}, but the machine has "
+                    f"{topo.n_cores} core(s)"
+                )
+            if s.kind == "rank_kill" and not 0 <= s.target < self.rank_to_core.size:
+                raise ValueError(
+                    f"rank_kill targets rank {s.target}, but only "
+                    f"{self.rank_to_core.size} rank(s) are bound"
+                )
 
     # -- public API ---------------------------------------------------------
 
     def run(self, programs: Mapping[int, RankProgram]) -> dict[int, Any]:
         """Execute all rank programs to completion; returns return values.
 
+        Ranks killed by the fault schedule are omitted from the result.
         Raises :class:`DeadlockError` when progress stalls (e.g. a send
-        without a matching receive).
+        without a matching receive), :class:`SimTimeout` when a blocking
+        operation outlives the configured timeout, and re-raises a
+        :class:`RankFailedError` a rank program left uncaught.
         """
         self.now = 0.0
         self._ranks = {r: _RankState(gen=g) for r, g in programs.items()}
@@ -127,25 +203,38 @@ class Simulator:
         self._pending_recvs: dict[tuple, deque] = {}
         self._half_owner: dict[int, tuple[int, _Half]] = {}
         self._active: list[tuple[Flow, _Half, _Half, int, int, float]] = []
-        self._last_progress_time = 0.0
+        self._failed = set()
+
+        if self._schedule is not None:
+            for t in self._schedule.change_times():
+                self._events.push(t, ("fault",))
 
         for rank in sorted(self._ranks):
             self._advance(rank, 0.0, None)
 
         self._loop()
 
-        unfinished = [r for r, s in self._ranks.items() if not s.finished]
+        unfinished = [
+            r for r, s in self._ranks.items() if not s.finished and not s.failed
+        ]
         if unfinished:
             raise DeadlockError(
-                f"ranks {unfinished[:8]}{'...' if len(unfinished) > 8 else ''} "
-                "blocked with no pending events (unmatched send/recv?)"
+                f"{len(unfinished)} rank(s) blocked with no pending events:\n"
+                + self._blocked_report(unfinished)
             )
-        return {r: s.return_value for r, s in self._ranks.items()}
+        return {
+            r: s.return_value for r, s in self._ranks.items() if s.finished
+        }
 
     @property
     def finish_times(self) -> dict[int, float]:
         """Per-rank completion times of the last :meth:`run`."""
         return {r: s.local_time for r, s in self._ranks.items()}
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """World ranks that died (killed or cascade-failed) in the last run."""
+        return frozenset(self._failed)
 
     # -- event loop -----------------------------------------------------------
 
@@ -172,9 +261,25 @@ class Simulator:
                     self._advance(rank, t, value)
                 elif kind == "start":
                     _, entry = payload
-                    entry[0].start_time = t
-                    self._active.append(entry)
-                    self._reprice()
+                    have_send = entry[3] in self._half_owner
+                    have_recv = entry[4] in self._half_owner
+                    if have_send and have_recv:
+                        entry[0].start_time = t
+                        self._active.append(entry)
+                        self._reprice()
+                    elif have_send or have_recv:
+                        # The other side was aborted by a fault during the
+                        # latency wait; the survivor observes the failure.
+                        hid = entry[3] if have_send else entry[4]
+                        orphan_rank, _ = self._half_owner[hid]
+                        self._drop_half(hid)
+                        self._fail_cascade({orphan_rank}, t)
+                    # else: both sides already aborted by a fault
+                elif kind == "fault":
+                    self._apply_faults(t)
+                elif kind == "timeout":
+                    _, hid = payload
+                    self._handle_timeout(hid, t)
                 else:  # pragma: no cover - defensive
                     raise AssertionError(kind)
 
@@ -199,41 +304,234 @@ class Simulator:
     def _reprice(self) -> None:
         self.network.apply_rates([f for f, *_ in self._active])
 
+    # -- fault handling ---------------------------------------------------------
+
+    def _apply_faults(self, t: float) -> None:
+        """Re-install the fault state active at ``t`` and kill new victims."""
+        sched = self._schedule
+        assert sched is not None
+        self.network.set_link_faults(sched.link_faults(t))
+        self._reprice()
+        dead_cores = sched.dead_cores(self.topology, t)
+        newly_dead = {
+            r
+            for r in self._ranks
+            if r not in self._failed
+            and (
+                r in sched.killed_ranks(t)
+                or int(self.rank_to_core[r]) in dead_cores
+            )
+        }
+        if newly_dead:
+            self._kill_ranks(newly_dead, t)
+
+    def _kill_ranks(self, dead: set[int], t: float) -> None:
+        """Terminate ``dead`` ranks and deliver failures to affected peers."""
+        for r in sorted(dead):
+            self._failed.add(r)
+            state = self._ranks.get(r)
+            if state is not None and not state.finished and not state.failed:
+                state.failed = True
+                state.gen.close()
+        victims: set[int] = set()
+        for r in sorted(dead):
+            victims |= self._purge_rank_ops(r)
+        # Pending halves of live ranks whose peer just died never match now.
+        for hid, (r, half) in list(self._half_owner.items()):
+            if half.peer in dead and r not in self._failed:
+                victims.add(r)
+        self._fail_cascade(victims, t)
+
+    def _fail_cascade(self, victims: set[int], t: float) -> None:
+        """Throw :class:`RankFailedError` into every victim; a victim's
+        aborted in-flight operations may orphan further live peers, which
+        join the cascade (the abort semantics of a revoked communicator)."""
+        queue = deque(sorted(victims))
+        seen: set[int] = set()
+        while queue:
+            r = queue.popleft()
+            state = self._ranks.get(r)
+            if (
+                r in seen
+                or r in self._failed
+                or state is None
+                or state.finished
+                or state.failed
+            ):
+                continue
+            seen.add(r)
+            more = self._purge_rank_ops(r)
+            queue.extend(sorted(more - seen))
+            self._advance(r, t, None, exc=RankFailedError(sorted(self._failed)))
+
+    def _purge_rank_ops(self, rank: int) -> set[int]:
+        """Drop every registered operation of ``rank``; returns live peers
+        whose matched (in-flight) transfer was aborted."""
+        affected: set[int] = set()
+        kept = []
+        changed = False
+        for entry in self._active:
+            _flow, send_half, recv_half, sid, rid, _mt = entry
+            if send_half.rank == rank or recv_half.rank == rank:
+                changed = True
+                for hid, half in ((sid, send_half), (rid, recv_half)):
+                    self._drop_half(hid)
+                    peer_state = self._ranks.get(half.rank)
+                    if half.rank != rank and half.rank not in self._failed and (
+                        peer_state is not None and not peer_state.finished
+                    ):
+                        affected.add(half.rank)
+            else:
+                kept.append(entry)
+        if changed:
+            self._active = kept
+            self._reprice()
+        for hid, (r, _half) in list(self._half_owner.items()):
+            if r == rank:
+                self._drop_half(hid)
+        state = self._ranks[rank]
+        state.blocking.clear()
+        state.waiting = None
+        state.recv_result = None
+        return affected
+
+    def _drop_half(self, hid: int) -> None:
+        """Unregister a half: timeout disarmed, pending-queue entry removed.
+
+        Disarming relies on :meth:`EventQueue.cancel` being a no-op for
+        already-fired entries.
+        """
+        owner = self._half_owner.pop(hid, None)
+        if owner is None:
+            return
+        _rank, half = owner
+        if half.timeout_event is not None:
+            self._events.cancel(half.timeout_event)
+        if half.kind == "send":
+            chan = (half.rank, half.peer, half.key)
+            queue = self._pending_sends.get(chan)
+        else:
+            chan = (half.peer, half.rank, half.key)
+            queue = self._pending_recvs.get(chan)
+        if queue:
+            try:
+                queue.remove(hid)
+            except ValueError:
+                pass  # already matched; nothing pending to remove
+
+    def _handle_timeout(self, hid: int, t: float) -> None:
+        owner = self._half_owner.get(hid)
+        if owner is None:
+            return  # completed or aborted before the deadline
+        rank, half = owner
+        state = self._ranks.get(rank)
+        if state is None or state.finished or state.failed:
+            self._drop_half(hid)
+            return
+        detail = self._describe_rank(rank)
+        raise SimTimeout(rank, detail, t)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def _describe_rank(self, rank: int) -> str:
+        """One-line description of what ``rank`` is blocked on."""
+        parts = []
+        halves = sorted(
+            (hid, h) for hid, (r, h) in self._half_owner.items() if r == rank
+        )
+        for hid, h in halves:
+            if h.kind == "send":
+                chan = (h.rank, h.peer, h.key)
+                pending = hid in self._pending_sends.get(chan, ())
+                arrow = f"send to {h.peer}"
+            else:
+                chan = (h.peer, h.rank, h.key)
+                pending = hid in self._pending_recvs.get(chan, ())
+                arrow = f"recv from {h.peer}"
+            status = "unmatched" if pending else "in flight"
+            parts.append(
+                f"{arrow} key={h.key} ({status}, posted t={h.post_time:.6g})"
+            )
+        state = self._ranks[rank]
+        if state.waiting is not None:
+            incomplete = sum(1 for req in state.waiting if not req.done)
+            parts.append(
+                f"Wait on {len(state.waiting)} request(s), {incomplete} incomplete"
+            )
+        return "; ".join(parts) if parts else "no registered operations"
+
+    def _blocked_report(self, ranks: list[int]) -> str:
+        lines = [
+            f"  rank {r}: blocked on {self._describe_rank(r)}" for r in ranks[:16]
+        ]
+        if len(ranks) > 16:
+            lines.append(f"  ... and {len(ranks) - 16} more rank(s)")
+        return "\n".join(lines)
+
     # -- rank advancement -------------------------------------------------------
 
-    def _advance(self, rank: int, time: float, value: Any) -> None:
+    def _advance(
+        self, rank: int, time: float, value: Any, exc: BaseException | None = None
+    ) -> None:
         state = self._ranks[rank]
+        if state.finished or state.failed:
+            return
         state.local_time = max(state.local_time, time)
         while True:
             try:
-                # gen.send(None) on a fresh generator equals next(gen).
-                op = state.gen.send(value)
+                if exc is not None:
+                    op = state.gen.throw(exc)
+                    exc = None
+                else:
+                    # gen.send(None) on a fresh generator equals next(gen).
+                    op = state.gen.send(value)
             except StopIteration as stop:
                 state.finished = True
                 state.return_value = stop.value
+                if self._schedule is not None:
+                    self._notify_finished(rank)
                 return
             value = None
             if isinstance(op, Compute):
+                seconds = op.seconds
+                if self._schedule is not None:
+                    seconds *= self._schedule.slowdown(
+                        int(self.rank_to_core[rank]), state.local_time
+                    )
                 self._events.push(
-                    state.local_time + op.seconds,
+                    state.local_time + seconds,
                     ("resume", rank, None),
                 )
-                state.local_time += op.seconds
+                state.local_time += seconds
                 return
             if isinstance(op, Send):
+                if self._peer_unreachable(rank, "send", op.dst, op.key):
+                    exc = RankFailedError(sorted(self._failed))
+                    continue
                 half = _Half("send", rank, op.dst, op.key, op.nbytes, op.payload, state.local_time)
                 self._post(rank, state, [half])
                 return
             if isinstance(op, Recv):
+                if self._peer_unreachable(rank, "recv", op.src, op.key):
+                    exc = RankFailedError(sorted(self._failed))
+                    continue
                 half = _Half("recv", rank, op.src, op.key, post_time=state.local_time)
                 self._post(rank, state, [half])
                 return
             if isinstance(op, Sendrecv):
+                if self._peer_unreachable(
+                    rank, "send", op.dst, op.send_key
+                ) or self._peer_unreachable(rank, "recv", op.src, op.recv_key):
+                    exc = RankFailedError(sorted(self._failed))
+                    continue
                 s = _Half("send", rank, op.dst, op.send_key, op.nbytes, op.payload, state.local_time)
                 r = _Half("recv", rank, op.src, op.recv_key, post_time=state.local_time)
                 self._post(rank, state, [s, r])
                 return
             if isinstance(op, Isend):
+                if self._peer_unreachable(rank, "send", op.dst, op.key):
+                    exc = RankFailedError(sorted(self._failed))
+                    continue
                 req = Request("send")
                 half = _Half(
                     "send", rank, op.dst, op.key, op.nbytes, op.payload,
@@ -243,6 +541,9 @@ class Simulator:
                 value = req  # yielded back immediately; keep advancing
                 continue
             if isinstance(op, Irecv):
+                if self._peer_unreachable(rank, "recv", op.src, op.key):
+                    exc = RankFailedError(sorted(self._failed))
+                    continue
                 req = Request("recv")
                 half = _Half(
                     "recv", rank, op.src, op.key, post_time=state.local_time,
@@ -262,6 +563,44 @@ class Simulator:
                 return
             raise TypeError(f"rank {rank} yielded unsupported op {op!r}")
 
+    def _peer_unreachable(self, rank: int, kind: str, peer: int, key: tuple) -> bool:
+        """Whether an op ``rank`` wants to post can never complete.
+
+        True when the peer is dead, or -- under an active fault schedule --
+        when the peer has *terminated* and no already-posted matching half
+        is waiting in the channel (a rank that caught a failure and
+        returned early will never post the matching op; without this check
+        its neighbours would hang to the deadlock detector).
+        """
+        if peer in self._failed:
+            return True
+        if self._schedule is None:
+            return False
+        peer_state = self._ranks.get(peer)
+        if peer_state is None or not peer_state.finished:
+            return False
+        if kind == "send":
+            queue = self._pending_recvs.get((rank, peer, key))
+        else:
+            queue = self._pending_sends.get((peer, rank, key))
+        return not queue
+
+    def _notify_finished(self, rank: int) -> None:
+        """Fail live ranks whose *unmatched* halves target the rank that
+        just terminated -- those can never match now (fault runs only)."""
+        victims: set[int] = set()
+        for hid, (r, half) in self._half_owner.items():
+            if half.peer != rank or r == rank or r in self._failed:
+                continue
+            if half.kind == "send":
+                queue = self._pending_sends.get((half.rank, half.peer, half.key))
+            else:
+                queue = self._pending_recvs.get((half.peer, half.rank, half.key))
+            if queue and hid in queue:
+                victims.add(r)
+        if victims:
+            self._fail_cascade(victims, self.now)
+
     def _post(
         self, rank: int, state: _RankState, halves: list[_Half], blocking: bool = True
     ) -> None:
@@ -270,6 +609,10 @@ class Simulator:
             if blocking:
                 state.blocking.add(hid)
             self._half_owner[hid] = (rank, half)
+            if self._timeout is not None:
+                half.timeout_event = self._events.push(
+                    half.post_time + self._timeout, ("timeout", hid)
+                )
             if half.kind == "send":
                 chan = (half.rank, half.peer, half.key)
                 match = self._pending_recvs.get(chan)
@@ -321,6 +664,8 @@ class Simulator:
 
     def _finish_half(self, hid: int, result: Any) -> None:
         rank, half = self._half_owner.pop(hid)
+        if half.timeout_event is not None:
+            self._events.cancel(half.timeout_event)
         state = self._ranks[rank]
         if half.request is not None:
             half.request.done = True

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from scipy import sparse
 
 from repro.apps.nascg.matrix import CG_CLASSES, make_matrix, tiny_matrix
 from repro.apps.nascg.parallel import (

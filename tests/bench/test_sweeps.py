@@ -5,9 +5,15 @@ import io
 
 import pytest
 
-from repro.bench.sweeps import best_per_group, sweep, to_csv
+from repro.bench.sweeps import (
+    best_per_group,
+    chaos_best_per_fault,
+    chaos_sweep,
+    sweep,
+    to_csv,
+)
 from repro.core.hierarchy import Hierarchy
-from repro.topology.machines import hydra
+from repro.topology.machines import generic_cluster, hydra
 
 H = Hierarchy((4, 2, 2, 8), ("node", "socket", "group", "core"))
 TOPO = hydra(4)
@@ -93,3 +99,53 @@ class TestBestPerGroup:
         key = (16, "alltoall", 32e6)
         assert best_all[key].order == "3-2-1-0"
         assert best_single[key].order == "0-1-2-3"
+
+
+class TestChaosSweep:
+    @pytest.fixture(scope="class")
+    def chaos_records(self):
+        return chaos_sweep(
+            generic_cluster((2, 2, 2)),
+            orders=[(0, 1, 2), (2, 1, 0)],
+            seed=1,
+            rate=1.0,
+        )
+
+    def test_grid_and_fields(self, chaos_records):
+        assert len(chaos_records) == 2 * 4  # orders x fault kinds
+        for rec in chaos_records:
+            assert rec.healthy_time > 0
+            assert rec.slowdown >= 1.0 or rec.n_faults == 0
+            assert rec.n_attempts >= 1
+
+    def test_deterministic(self, chaos_records):
+        again = chaos_sweep(
+            generic_cluster((2, 2, 2)),
+            orders=[(0, 1, 2), (2, 1, 0)],
+            seed=1,
+            rate=1.0,
+        )
+        assert again == chaos_records
+
+    def test_csv_export(self, chaos_records):
+        text = to_csv(chaos_records)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(chaos_records)
+        assert rows[0]["fault_kind"] == chaos_records[0].fault_kind
+
+    def test_best_per_fault(self, chaos_records):
+        best = chaos_best_per_fault(chaos_records)
+        assert set(best) == {
+            "node_crash", "nic_fail", "link_degrade", "straggler"
+        }
+        for kind, winner in best.items():
+            rivals = [r for r in chaos_records if r.fault_kind == kind]
+            assert winner.slowdown == min(r.slowdown for r in rivals)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown chaos fault kind"):
+            chaos_sweep(
+                generic_cluster((2, 2, 2)),
+                orders=[(0, 1, 2)],
+                fault_kinds=["rank_kill"],
+            )

@@ -14,7 +14,7 @@ from repro.collectives.rooted import (
     bcast_scatter_allgather_rounds,
 )
 from repro.collectives.selector import get_algorithm
-from tests.collectives.helpers import run_programs, total_round_bytes
+from tests.collectives.helpers import run_programs
 
 
 class TestLinearAlltoall:

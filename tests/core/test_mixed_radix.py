@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.hierarchy import Hierarchy
 from repro.core.mixed_radix import (
     MixedRadix,
     decompose,
@@ -115,8 +114,6 @@ class TestVectorized:
 
 class TestMixedRadixWrapper:
     def test_reorder_roundtrip_through_inverse(self, fig1_hierarchy):
-        from repro.core.orders import inverse_order
-
         mr = MixedRadix(fig1_hierarchy)
         order = (0, 2, 1)
         # Applying an order then recomposing with the identity of the

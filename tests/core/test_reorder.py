@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.hierarchy import Hierarchy
 from repro.core.reorder import (
     RankReordering,
     reorder_rank,

@@ -1,0 +1,152 @@
+"""Degradation-aware placement: DegradedTopology, masked mappings, and
+SlurmJob's drained-node handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.coreselect import masked_map_cpu_list
+from repro.core.hierarchy import Hierarchy
+from repro.faults import DegradedTopology, FaultSchedule, FaultSpec
+from repro.launcher.mapping import ProcessMapping
+from repro.launcher.slurm import SlurmJob
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((4, 2, 4))  # 4 nodes x 8 cores
+
+
+def _schedule():
+    return FaultSchedule(
+        (
+            FaultSpec("node_crash", start=0.0, target=1),
+            FaultSpec("nic_fail", start=0.0, target=2),
+        )
+    )
+
+
+class TestDegradedTopology:
+    def test_health_snapshot(self):
+        deg = DegradedTopology(TOPO, _schedule(), time=0.0)
+        assert deg.drained_nodes == (1,)
+        assert deg.dead_nic_nodes == (2,)
+        assert deg.dead_cores == tuple(range(8, 16))
+        assert deg.avoided_cores == tuple(range(8, 24))
+        assert deg.n_surviving_cores == 24
+
+    def test_before_the_fault_everything_is_healthy(self):
+        sched = FaultSchedule((FaultSpec("node_crash", start=5.0, target=1),))
+        deg = DegradedTopology(TOPO, sched, time=1.0)
+        assert deg.drained_nodes == ()
+        assert deg.n_surviving_cores == TOPO.n_cores
+
+    def test_surviving_hierarchy_shrinks_node_radix(self):
+        sched = FaultSchedule((FaultSpec("node_crash", start=0.0, target=3),))
+        deg = DegradedTopology(TOPO, sched)
+        assert deg.surviving_hierarchy().radices == (3, 2, 4)
+
+    def test_mapping_avoids_dead_nics(self):
+        deg = DegradedTopology(TOPO, _schedule())
+        mapping = deg.mapping((0, 1, 2))
+        assert mapping.n_ranks == 16
+        assert set(mapping.core_of) == set(range(8)) | set(range(24, 32))
+
+    def test_mapping_can_opt_into_dead_nic_nodes(self):
+        deg = DegradedTopology(TOPO, _schedule())
+        mapping = deg.mapping((0, 1, 2), avoid_dead_nics=False)
+        assert mapping.n_ranks == 24
+        assert not set(mapping.core_of) & set(range(8, 16))
+
+    def test_slurm_constraints_round_trip(self):
+        deg = DegradedTopology(TOPO, _schedule())
+        job = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=2,
+            ntasks_per_node=8,
+            **deg.slurm_constraints(),
+        )
+        assert job.allocated_nodes() == [0, 3]
+
+
+class TestMaskedEnumeration:
+    def test_masked_map_cpu_skips_dead_cores(self):
+        h = Hierarchy((2, 4))
+        assert masked_map_cpu_list(h, (0, 1), 2, dead_cores={0}) == [4, 1]
+
+    def test_preserves_order_structure(self):
+        h = Hierarchy((2, 4))
+        full = masked_map_cpu_list(h, (1, 0), 8)
+        masked = masked_map_cpu_list(h, (1, 0), 6, dead_cores={2, 6})
+        assert masked == [c for c in full if c not in (2, 6)][:6]
+
+    def test_from_order_masked(self):
+        mapping = ProcessMapping.from_order_masked(
+            TOPO.hierarchy, (0, 1, 2), dead_cores=range(8)
+        )
+        assert mapping.n_ranks == 24
+        assert not set(mapping.core_of) & set(range(8))
+
+    def test_without_cores_preserves_rank_order(self):
+        full = ProcessMapping.from_order(TOPO.hierarchy, (2, 1, 0))
+        masked = full.without_cores(range(8, 16))
+        kept = [c for c in full.core_of if c not in range(8, 16)]
+        assert list(masked.core_of) == kept
+
+
+class TestSlurmDrainedNodes:
+    def test_drained_nodes_are_skipped(self):
+        job = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=3,
+            ntasks_per_node=8,
+            drained_nodes=(1,),
+        )
+        assert job.allocated_nodes() == [0, 2, 3]
+        mapping = job.mapping()
+        assert not set(mapping.core_of) & set(range(8, 16))
+
+    def test_dead_nic_nodes_avoided_for_multinode(self):
+        job = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=2,
+            ntasks_per_node=8,
+            dead_nic_nodes=(0, 1),
+        )
+        assert job.allocated_nodes() == [2, 3]
+
+    def test_single_node_job_may_use_dead_nic(self):
+        """A one-node job needs no network: dead-NIC nodes backfill."""
+        job = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=1,
+            ntasks_per_node=8,
+            drained_nodes=(0, 1, 2),
+            dead_nic_nodes=(3,),
+        )
+        assert job.allocated_nodes() == [3]
+
+    def test_overconstrained_allocation_raises(self):
+        with pytest.raises(ValueError, match="healthy"):
+            SlurmJob(
+                machine_hierarchy=TOPO.hierarchy,
+                n_nodes=3,
+                ntasks_per_node=8,
+                drained_nodes=(0, 1),
+            ).allocated_nodes()
+
+    def test_mapping_matches_healthy_when_no_faults(self):
+        job_plain = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=4,
+            ntasks_per_node=8,
+            distribution="cyclic:block",
+        )
+        job_flagged = SlurmJob(
+            machine_hierarchy=TOPO.hierarchy,
+            n_nodes=4,
+            ntasks_per_node=8,
+            distribution="cyclic:block",
+            drained_nodes=(),
+            dead_nic_nodes=(),
+        )
+        assert np.array_equal(
+            job_plain.mapping().core_of, job_flagged.mapping().core_of
+        )

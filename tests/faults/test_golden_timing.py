@@ -1,0 +1,59 @@
+"""Golden-timing regression: the healthy path must stay bit-identical.
+
+The fault subsystem hooks the network simulator and the DES runtime; its
+contract is that a simulation with no fault schedule (or an empty one)
+reproduces the seed benchmarks *exactly* -- same floats, not just close.
+These values were captured from the seed revision; any drift means the
+fault hooks leaked into the healthy path.
+"""
+
+import numpy as np
+
+from repro.collectives.allreduce import recursive_doubling_program
+from repro.collectives.alltoall import pairwise_program
+from repro.faults import EMPTY_SCHEDULE
+from repro.simmpi import Comm, Simulator
+from repro.topology.machines import generic_cluster
+
+GOLDEN_ALLTOALL = {
+    0: 7.274285714285714e-06,
+    1: 6.940952380952381e-06,
+    2: 6.940952380952381e-06,
+    3: 7.274285714285714e-06,
+    4: 7.274285714285714e-06,
+    5: 6.940952380952381e-06,
+    6: 6.940952380952381e-06,
+    7: 7.274285714285714e-06,
+}
+GOLDEN_ALLREDUCE = 3.4767923809523808e-06
+
+
+def _run_benchmarks(schedule):
+    """The two seed benchmarks, identically seeded each call."""
+    topo = generic_cluster((2, 2, 4))
+    rng = np.random.default_rng(1234)
+
+    comms = Comm.world(8)
+    send = rng.normal(size=(8, 8, 32))
+    sim = Simulator(topo, np.arange(8), fault_schedule=schedule)
+    sim.run({r: pairwise_program(comms[r], send[r]) for r in range(8)})
+    alltoall_times = dict(sim.finish_times)
+
+    comms = Comm.world(8)
+    vecs = rng.normal(size=(8, 64))
+    sim = Simulator(
+        topo, np.array([0, 2, 4, 6, 8, 10, 12, 14]), fault_schedule=schedule
+    )
+    sim.run({r: recursive_doubling_program(comms[r], vecs[r]) for r in range(8)})
+    allreduce_times = dict(sim.finish_times)
+    return alltoall_times, allreduce_times
+
+
+def test_alltoall_and_allreduce_match_seed_exactly():
+    alltoall, allreduce = _run_benchmarks(schedule=None)
+    assert alltoall == GOLDEN_ALLTOALL  # bitwise equality, not approx
+    assert all(t == GOLDEN_ALLREDUCE for t in allreduce.values())
+
+
+def test_empty_schedule_is_bit_identical_to_no_schedule():
+    assert _run_benchmarks(None) == _run_benchmarks(EMPTY_SCHEDULE)

@@ -1,0 +1,226 @@
+"""Simulator-level fault injection: degradation, crashes, timeouts."""
+
+import numpy as np
+import pytest
+
+from repro.faults import EMPTY_SCHEDULE, FaultSchedule, FaultSpec
+from repro.simmpi import (
+    Comm,
+    DeadlockError,
+    RankFailedError,
+    Simulator,
+    SimTimeout,
+)
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4))  # 2 nodes x 8 cores = 16
+N = TOPO.n_cores
+
+
+def pairwise(comm, nbytes=4096.0):
+    """Plain pairwise alltoall; raises on rank failure."""
+    me = comm.rank
+    for shift in range(1, comm.size):
+        dst = (me + shift) % comm.size
+        src = (me - shift) % comm.size
+        yield comm.sendrecv(dst, nbytes, ("blk", me, dst), src)
+    return "ok"
+
+
+def pairwise_catching(comm, nbytes=4096.0):
+    """Pairwise alltoall that catches rank failures and returns early."""
+    try:
+        result = yield from pairwise(comm, nbytes)
+    except RankFailedError as err:
+        return ("degraded", sorted(err.failed_ranks))
+    return (result, [])
+
+
+def run_all(schedule=None, program=pairwise, timeout=None, n=N):
+    comms = Comm.world(n)
+    sim = Simulator(
+        TOPO, np.arange(n), fault_schedule=schedule, timeout=timeout
+    )
+    results = sim.run({r: program(comms[r]) for r in range(n)})
+    return sim, results
+
+
+class TestHealthyPathUnchanged:
+    def test_empty_schedule_is_identical(self):
+        sim_plain, _ = run_all()
+        sim_empty, _ = run_all(schedule=EMPTY_SCHEDULE)
+        assert dict(sim_plain.finish_times) == dict(sim_empty.finish_times)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            Simulator(TOPO, np.arange(N), timeout=0.0)
+
+
+class TestScheduleValidation:
+    """Out-of-range fault targets are rejected at construction, not mid-run."""
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            (FaultSpec("node_crash", start=1e-9, target=99), "node 99"),
+            (FaultSpec("nic_fail", start=1e-9, target=2), "node 2"),
+            (
+                FaultSpec("link_degrade", start=1e-9, target=99, level=1, bw_factor=0.5),
+                "component 99 at level 1",
+            ),
+            (
+                FaultSpec("link_degrade", start=1e-9, target=0, level=7, bw_factor=0.5),
+                "level 7",
+            ),
+            (FaultSpec("straggler", start=1e-9, target=400, slowdown=2.0), "core 400"),
+            (FaultSpec("rank_kill", start=1e-9, target=N), f"rank {N}"),
+        ],
+    )
+    def test_out_of_range_target_rejected(self, spec, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            Simulator(
+                TOPO, np.arange(N), fault_schedule=FaultSchedule((spec,)), timeout=1.0
+            )
+
+    def test_in_range_targets_accepted(self):
+        schedule = FaultSchedule(
+            (
+                FaultSpec("node_crash", start=1e-9, target=1),
+                FaultSpec("link_degrade", start=1e-9, target=3, level=1, bw_factor=0.5),
+                FaultSpec("straggler", start=1e-9, target=N - 1, slowdown=2.0),
+            )
+        )
+        Simulator(TOPO, np.arange(N), fault_schedule=schedule, timeout=1.0)
+
+
+class TestLinkDegradation:
+    def test_bandwidth_degradation_slows_cross_node_traffic(self):
+        sim_healthy, _ = run_all()
+        healthy = max(sim_healthy.finish_times.values())
+        sched = FaultSchedule(
+            (
+                FaultSpec("link_degrade", start=0.0, target=0, bw_factor=0.1),
+                FaultSpec("link_degrade", start=0.0, target=1, bw_factor=0.1),
+            )
+        )
+        sim_degraded, _ = run_all(schedule=sched)
+        assert max(sim_degraded.finish_times.values()) > 2 * healthy
+
+    def test_latency_degradation_slows_traffic(self):
+        sim_healthy, _ = run_all()
+        healthy = max(sim_healthy.finish_times.values())
+        sched = FaultSchedule(
+            (
+                FaultSpec("link_degrade", start=0.0, target=0, lat_factor=50.0),
+                FaultSpec("link_degrade", start=0.0, target=1, lat_factor=50.0),
+            )
+        )
+        sim_lat, _ = run_all(schedule=sched)
+        assert max(sim_lat.finish_times.values()) > healthy
+
+    def test_window_recovers(self):
+        """A transient degradation hurts less than a permanent one."""
+        sim_healthy, _ = run_all()
+        healthy = max(sim_healthy.finish_times.values())
+        permanent = FaultSchedule(
+            (
+                FaultSpec("link_degrade", start=0.0, target=0, bw_factor=0.05),
+                FaultSpec("link_degrade", start=0.0, target=1, bw_factor=0.05),
+            )
+        )
+        window = FaultSchedule(
+            (
+                FaultSpec(
+                    "link_degrade", start=0.0, target=0,
+                    end=healthy, bw_factor=0.05,
+                ),
+                FaultSpec(
+                    "link_degrade", start=0.0, target=1,
+                    end=healthy, bw_factor=0.05,
+                ),
+            )
+        )
+        t_perm = max(run_all(schedule=permanent)[0].finish_times.values())
+        t_win = max(run_all(schedule=window)[0].finish_times.values())
+        assert healthy < t_win < t_perm
+
+
+class TestStraggler:
+    def test_slows_only_the_target_core(self):
+        def prog(comm):
+            yield comm.compute(1e-3)
+            return comm.rank
+
+        sched = FaultSchedule(
+            (FaultSpec("straggler", start=0.0, target=0, slowdown=4.0),)
+        )
+        comms = Comm.world(4)
+        sim = Simulator(TOPO, np.arange(4), fault_schedule=sched)
+        sim.run({r: prog(comms[r]) for r in range(4)})
+        times = dict(sim.finish_times)
+        assert times[0] == pytest.approx(4e-3)
+        for r in (1, 2, 3):
+            assert times[r] == pytest.approx(1e-3)
+
+
+class TestRankFailures:
+    def test_node_crash_raises_into_programs(self):
+        sched = FaultSchedule((FaultSpec("node_crash", start=1e-6, target=0),))
+        with pytest.raises(RankFailedError) as exc_info:
+            run_all(schedule=sched)
+        assert frozenset(range(8)) <= exc_info.value.failed_ranks
+
+    def test_rank_kill_targets_one_rank(self):
+        sched = FaultSchedule((FaultSpec("rank_kill", start=1e-6, target=3),))
+        sim, results = run_all(schedule=sched, program=pairwise_catching)
+        assert sim.failed_ranks == {3}
+        assert 3 not in results
+        assert sorted(results) == [r for r in range(N) if r != 3]
+
+    def test_catching_programs_finish_without_deadlock(self):
+        """Survivors that swallow the failure and return early must not
+        strand their still-running peers (the runtime fails never-matchable
+        operations instead of hanging to the deadlock detector)."""
+        sched = FaultSchedule((FaultSpec("node_crash", start=2e-6, target=0),))
+        sim, results = run_all(schedule=sched, program=pairwise_catching)
+        assert sorted(sim.failed_ranks) == list(range(8))
+        assert sorted(results) == list(range(8, N))
+        for r, (status, failed) in results.items():
+            assert status == "degraded"
+            assert failed == list(range(8))
+
+    def test_kill_before_start_still_runs_survivors(self):
+        sched = FaultSchedule((FaultSpec("rank_kill", start=0.0, target=0),))
+        sim, results = run_all(schedule=sched, program=pairwise_catching)
+        assert sim.failed_ranks == {0}
+        assert len(results) == N - 1
+
+
+class TestTimeout:
+    def test_nic_failure_with_timeout_raises_simtimeout(self):
+        sched = FaultSchedule((FaultSpec("nic_fail", start=0.0, target=1),))
+        with pytest.raises(SimTimeout) as exc_info:
+            run_all(schedule=sched, timeout=1e-3)
+        msg = str(exc_info.value)
+        assert "blocked past the timeout" in msg
+        assert exc_info.value.rank >= 0
+
+    def test_no_timeout_on_healthy_run(self):
+        sim, results = run_all(timeout=10.0)
+        assert len(results) == N
+
+
+class TestDeadlockDiagnostics:
+    def test_report_names_blocked_ranks_and_ops(self):
+        def starved(comm):
+            yield comm.recv((comm.rank + 1) % 2, tag=9)
+
+        comms = Comm.world(2)
+        sim = Simulator(TOPO, np.arange(2))
+        with pytest.raises(DeadlockError) as exc_info:
+            sim.run({r: starved(comms[r]) for r in range(2)})
+        msg = str(exc_info.value)
+        assert "2 rank(s) blocked" in msg
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "recv from" in msg
+        assert "unmatched" in msg

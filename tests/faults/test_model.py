@@ -1,0 +1,177 @@
+"""Unit tests for fault specs, schedules, and the chaos generator."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    EMPTY_SCHEDULE,
+    KINDS,
+    ChaosGenerator,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((4, 2, 4))  # 4 nodes x 8 cores
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike", start=0.0, target=0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultSpec("straggler", start=-1.0, target=0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="empty"):
+            FaultSpec("link_degrade", start=2.0, target=0, end=2.0)
+
+    def test_crash_must_be_permanent(self):
+        with pytest.raises(ValueError, match="permanent"):
+            FaultSpec("node_crash", start=0.0, target=0, end=5.0)
+        with pytest.raises(ValueError, match="permanent"):
+            FaultSpec("rank_kill", start=0.0, target=0, end=5.0)
+
+    def test_factor_ranges(self):
+        with pytest.raises(ValueError, match="bw_factor"):
+            FaultSpec("link_degrade", start=0.0, target=0, bw_factor=1.5)
+        with pytest.raises(ValueError, match="lat_factor"):
+            FaultSpec("link_degrade", start=0.0, target=0, lat_factor=0.5)
+        with pytest.raises(ValueError, match="slowdown"):
+            FaultSpec("straggler", start=0.0, target=0, slowdown=0.9)
+
+    def test_window_activity(self):
+        s = FaultSpec("straggler", start=1.0, target=3, end=2.0, slowdown=2.0)
+        assert not s.active(0.5)
+        assert s.active(1.0)
+        assert s.active(1.999)
+        assert not s.active(2.0)
+
+    def test_step_activity_is_permanent(self):
+        s = FaultSpec("node_crash", start=1.0, target=0)
+        assert s.active(1e9)
+
+
+class TestFaultSchedule:
+    def test_empty(self):
+        assert EMPTY_SCHEDULE.empty
+        assert len(EMPTY_SCHEDULE) == 0
+        assert EMPTY_SCHEDULE.change_times() == []
+
+    def test_specs_sorted_by_start(self):
+        a = FaultSpec("straggler", start=5.0, target=0, end=6.0, slowdown=2.0)
+        b = FaultSpec("node_crash", start=1.0, target=1)
+        sched = FaultSchedule((a, b))
+        assert sched.specs == (b, a)
+
+    def test_change_times_include_window_ends(self):
+        sched = FaultSchedule(
+            (
+                FaultSpec("link_degrade", start=1.0, target=0, end=3.0, bw_factor=0.5),
+                FaultSpec("node_crash", start=2.0, target=1),
+            )
+        )
+        assert sched.change_times() == [1.0, 2.0, 3.0]
+
+    def test_dead_nodes_and_cores(self):
+        sched = FaultSchedule((FaultSpec("node_crash", start=1.0, target=2),))
+        assert sched.dead_nodes(0.5) == frozenset()
+        assert sched.dead_nodes(1.0) == {2}
+        assert sched.dead_cores(TOPO, 1.0) == frozenset(range(16, 24))
+
+    def test_slowdown_composes_multiplicatively(self):
+        sched = FaultSchedule(
+            (
+                FaultSpec("straggler", start=0.0, target=5, end=10.0, slowdown=2.0),
+                FaultSpec("straggler", start=0.0, target=5, end=10.0, slowdown=3.0),
+            )
+        )
+        assert sched.slowdown(5, 1.0) == 6.0
+        assert sched.slowdown(5, 10.0) == 1.0
+        assert sched.slowdown(4, 1.0) == 1.0
+
+    def test_link_faults_compose(self):
+        sched = FaultSchedule(
+            (
+                FaultSpec(
+                    "link_degrade", start=0.0, target=1, level=1,
+                    bw_factor=0.5, lat_factor=2.0,
+                ),
+                FaultSpec(
+                    "link_degrade", start=0.0, target=1, level=1,
+                    bw_factor=0.5, lat_factor=1.5,
+                ),
+            )
+        )
+        assert sched.link_faults(0.0) == [(1, 1, 0.25, 2.0)]
+
+    def test_nic_fail_is_zero_capacity_level0(self):
+        sched = FaultSchedule((FaultSpec("nic_fail", start=0.0, target=3),))
+        assert sched.link_faults(0.0) == [(0, 3, 0.0, 1.0)]
+
+    def test_shifted_drops_expired_windows(self):
+        sched = FaultSchedule(
+            (
+                FaultSpec("link_degrade", start=1.0, target=0, end=2.0, bw_factor=0.5),
+                FaultSpec("node_crash", start=1.5, target=1),
+                FaultSpec("straggler", start=3.0, target=0, end=9.0, slowdown=2.0),
+            )
+        )
+        later = sched.shifted(2.5)
+        kinds = [s.kind for s in later]
+        assert "link_degrade" not in kinds  # window fully expired
+        crash = next(s for s in later if s.kind == "node_crash")
+        assert crash.start == 0.0 and math.isinf(crash.end)  # still dead
+        strag = next(s for s in later if s.kind == "straggler")
+        assert strag.start == 0.5 and strag.end == 6.5
+
+    def test_shifted_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EMPTY_SCHEDULE.shifted(-1.0)
+
+    def test_extended(self):
+        spec = FaultSpec("nic_fail", start=0.0, target=0)
+        assert len(EMPTY_SCHEDULE.extended([spec])) == 1
+        assert EMPTY_SCHEDULE.empty  # original untouched
+
+
+class TestChaosGenerator:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            node_crash_rate=2.0,
+            nic_fail_rate=1.0,
+            link_degrade_rate=3.0,
+            straggler_rate=2.0,
+        )
+        a = ChaosGenerator(seed=7).schedule(TOPO, horizon=1.0, **kwargs)
+        b = ChaosGenerator(seed=7).schedule(TOPO, horizon=1.0, **kwargs)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = ChaosGenerator(seed=0).schedule(TOPO, horizon=1.0, straggler_rate=5.0)
+        b = ChaosGenerator(seed=1).schedule(TOPO, horizon=1.0, straggler_rate=5.0)
+        assert a != b
+
+    def test_specs_within_horizon_and_valid(self):
+        sched = ChaosGenerator(seed=11).schedule(
+            TOPO,
+            horizon=2.0,
+            node_crash_rate=2.0,
+            nic_fail_rate=2.0,
+            link_degrade_rate=4.0,
+            straggler_rate=4.0,
+        )
+        assert not sched.empty
+        for s in sched:
+            assert s.kind in KINDS
+            assert 0.0 <= s.start < 2.0
+
+    def test_zero_rates_empty(self):
+        assert ChaosGenerator(seed=0).schedule(TOPO, horizon=1.0).empty
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            ChaosGenerator(seed=0).schedule(TOPO, horizon=0.0)

@@ -1,0 +1,289 @@
+"""ULFM-style recovery: revoke/shrink/agree, retry, and property tests
+that collectives on shrunk communicators stay correct under random fault
+schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    RetryExhaustedError,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.simmpi import (
+    Comm,
+    CommRevokedError,
+    RankFailedError,
+    Simulator,
+    SimTimeout,
+)
+from repro.topology.machines import generic_cluster
+
+TOPO = generic_cluster((2, 2, 4))  # 16 cores
+N = TOPO.n_cores
+
+
+class TestRevoke:
+    def test_revoke_poisons_every_handle(self):
+        comms = Comm.world(4)
+        comms[1].revoke()
+        for c in comms:
+            assert c.revoked
+            with pytest.raises(CommRevokedError):
+                c.send(0, 10.0)
+            with pytest.raises(CommRevokedError):
+                c.irecv(0)
+
+    def test_revoke_is_per_communicator(self):
+        a = Comm.world(4)
+        b = Comm.world(4)
+        a[0].revoke()
+        assert not b[0].revoked
+        b[0].send(1, 10.0)  # still usable
+
+
+class TestShrink:
+    def test_shrink_renumbers_survivors(self):
+        comms = Comm.world(6)
+        shrunk = Comm.shrink(comms, failed={1, 4})
+        assert sorted(shrunk) == [0, 2, 3, 5]
+        new = [shrunk[r] for r in sorted(shrunk)]
+        assert [c.rank for c in new] == [0, 1, 2, 3]
+        assert [c.world_rank for c in new] == [0, 2, 3, 5]
+        assert all(c.size == 4 for c in new)
+
+    def test_shrink_of_everything_raises(self):
+        comms = Comm.world(2)
+        with pytest.raises(RankFailedError):
+            Comm.shrink(comms, failed={0, 1})
+
+    def test_shrink_requires_one_communicator(self):
+        with pytest.raises(ValueError):
+            Comm.shrink([Comm.world(2)[0], Comm.world(2)[1]], failed=())
+
+
+class TestAgree:
+    def test_default_op_unions_failed_sets(self):
+        comms = Comm.world(4)
+        agreed = Comm.agree(
+            comms,
+            values={0: {3}, 1: {3, 2}, 2: set(), 3: set()},
+        )
+        assert agreed == frozenset({2, 3})
+
+    def test_failed_members_are_excluded(self):
+        comms = Comm.world(3)
+        agreed = Comm.agree(comms, values={0: {1}, 2: {1}}, failed={1})
+        assert agreed == frozenset({1})
+
+    def test_custom_op(self):
+        comms = Comm.world(3)
+        total = Comm.agree(
+            comms, values={0: 1, 1: 10, 2: 100}, op=lambda a, b: a + b
+        )
+        assert total == 111
+
+    def test_missing_contribution_raises(self):
+        comms = Comm.world(2)
+        with pytest.raises(ValueError, match="supplied no value"):
+            Comm.agree(comms, values={0: set()})
+
+
+def alltoall_factory(comms):
+    """Pairwise alltoall whose payloads identify (sender, receiver)."""
+    p = len(comms)
+
+    def prog(comm):
+        me = comm.rank
+        got = {}
+        for shift in range(1, p):
+            dst = (me + shift) % p
+            src = (me - shift) % p
+            got[src] = yield comm.sendrecv(dst, 256.0, me * 1000 + dst, src)
+        return got
+
+    return {c.rank: prog(c) for c in comms}
+
+
+class TestRunWithRetry:
+    def test_healthy_run_takes_one_attempt(self):
+        result = run_with_retry(TOPO, (0, 1, 2), alltoall_factory, n_ranks=8)
+        assert result.n_attempts == 1
+        assert result.survivors == 8
+        assert result.attempts[0].error is None
+
+    def test_node_crash_shrinks_and_succeeds(self):
+        sched = FaultSchedule((FaultSpec("node_crash", start=1e-6, target=0),))
+        result = run_with_retry(
+            TOPO,
+            (0, 1, 2),
+            alltoall_factory,
+            schedule=sched,
+            policy=RetryPolicy(max_attempts=3, base_backoff=1e-4),
+        )
+        assert result.n_attempts == 2
+        assert result.survivors == 8  # one of two nodes left
+        assert result.attempts[0].error is not None
+        assert result.total_backoff > 0
+        # Dead node's cores never reused.
+        assert all(c >= 8 for c in result.mapping.core_of)
+        # Payload correctness on the shrunk world.
+        for r, got in result.results.items():
+            assert set(got) == set(range(8)) - {r}
+            for src, payload in got.items():
+                assert payload == src * 1000 + r
+
+    def test_faulty_nic_avoided_at_placement(self):
+        """A NIC already dead when the job starts is simply avoided: the
+        launcher masks that node's cores and the first attempt succeeds."""
+        sched = FaultSchedule((FaultSpec("nic_fail", start=0.0, target=1),))
+        result = run_with_retry(
+            TOPO, (0, 1, 2), alltoall_factory, schedule=sched
+        )
+        assert result.n_attempts == 1
+        assert result.survivors == 8
+        assert all(c < 8 for c in result.mapping.core_of)  # node 0 only
+
+    def test_transient_window_passes_during_backoff(self):
+        """A NIC outage striking mid-run times out attempt 1, then expires
+        during the backoff; the retry succeeds with the full world."""
+        sched = FaultSchedule(
+            (FaultSpec("nic_fail", start=1e-6, target=1, end=5e-4),)
+        )
+        result = run_with_retry(
+            TOPO,
+            (0, 1, 2),
+            alltoall_factory,
+            schedule=sched,
+            policy=RetryPolicy(max_attempts=3, base_backoff=1e-3, timeout=1e-4),
+        )
+        assert result.n_attempts == 2
+        assert isinstance(result.attempts[0].error, SimTimeout)
+        assert result.survivors == N
+
+    def test_budget_exhaustion(self):
+        """A permanent zero-bandwidth degradation of both socket uplinks
+        strikes mid-run, cannot be routed around, and is permanent -- the
+        attempt budget runs out."""
+        sched = FaultSchedule(
+            tuple(
+                FaultSpec(
+                    "link_degrade", start=1e-6, target=t, level=1, bw_factor=0.0
+                )
+                for t in range(4)
+            )
+        )
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            run_with_retry(
+                TOPO,
+                (0, 1, 2),
+                alltoall_factory,
+                schedule=sched,
+                policy=RetryPolicy(max_attempts=2, base_backoff=1e-4, timeout=1e-4),
+            )
+        assert len(exc_info.value.attempts) == 2
+
+
+# -- property-based: shrunk-communicator collectives stay correct ----------
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_shrunk_alltoall_delivers_correct_payloads(data):
+    """Kill a random subset of ranks mid-collective, shrink, rerun the
+    collective on the survivors: every survivor receives exactly the
+    payloads addressed to it by the other survivors."""
+    p = data.draw(st.integers(4, 12))
+    n_dead = data.draw(st.integers(1, p - 2))
+    dead = set(data.draw(st.permutations(range(p)))[:n_dead])
+    kill_time = data.draw(st.floats(0.0, 2e-6))
+    sched = FaultSchedule(
+        tuple(FaultSpec("rank_kill", start=kill_time, target=r) for r in sorted(dead))
+    )
+
+    def catching(comm):
+        try:
+            yield from _pairwise(comm)
+        except RankFailedError as err:
+            return ("degraded", frozenset(err.failed_ranks))
+        return ("ok", frozenset())
+
+    def _pairwise(comm):
+        me = comm.rank
+        for shift in range(1, comm.size):
+            yield comm.sendrecv(
+                (me + shift) % comm.size,
+                128.0,
+                me,
+                (me - shift) % comm.size,
+            )
+        return None
+
+    comms = Comm.world(p)
+    sim = Simulator(TOPO, np.arange(p), fault_schedule=sched)
+    results = sim.run({r: catching(comms[r]) for r in range(p)})
+    assert sim.failed_ranks == dead
+    assert set(results) == set(range(p)) - dead
+
+    # Survivors agree on the failed set and shrink the world.
+    survivors = sorted(set(range(p)) - dead)
+    agreed = Comm.agree(
+        [comms[r] for r in survivors],
+        values={r: results[r][1] | dead for r in survivors},
+    )
+    assert agreed == frozenset(dead)
+    shrunk = Comm.shrink(comms, failed=agreed)
+    assert sorted(shrunk) == survivors
+
+    # Rerun the collective on the shrunk communicator: program dict and
+    # core bindings stay keyed by *world* rank.
+    k = len(survivors)
+    received = {}
+
+    def verify_prog(comm):
+        me = comm.rank
+        got = {}
+        for shift in range(1, k):
+            dst = (me + shift) % k
+            src = (me - shift) % k
+            got[src] = yield comm.sendrecv(dst, 128.0, (me, dst), src)
+        received[me] = got
+        return None
+
+    sim2 = Simulator(TOPO, np.arange(p))
+    sim2.run({shrunk[r].world_rank: verify_prog(shrunk[r]) for r in survivors})
+    assert set(received) == set(range(k))
+    for me, got in received.items():
+        assert set(got) == set(range(k)) - {me}
+        for src, payload in got.items():
+            assert payload == (src, me)
+
+
+@given(st.data())
+@settings(max_examples=10, deadline=None)
+def test_retry_survivor_payloads_under_random_crashes(data):
+    """run_with_retry over random node crashes: whenever it succeeds, the
+    surviving world's alltoall payloads are exactly correct."""
+    n_nodes = TOPO.levels[0].radix
+    crash_node = data.draw(st.integers(0, n_nodes - 1))
+    crash_time = data.draw(st.floats(1e-7, 5e-6))
+    sched = FaultSchedule(
+        (FaultSpec("node_crash", start=crash_time, target=crash_node),)
+    )
+    result = run_with_retry(
+        TOPO,
+        (0, 1, 2),
+        alltoall_factory,
+        schedule=sched,
+        policy=RetryPolicy(max_attempts=3, base_backoff=1e-4),
+    )
+    k = result.survivors
+    assert k >= TOPO.n_cores - TOPO.strides[0]
+    for r, got in result.results.items():
+        assert set(got) == set(range(k)) - {r}
+        for src, payload in got.items():
+            assert payload == src * 1000 + r

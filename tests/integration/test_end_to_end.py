@@ -7,7 +7,6 @@ model ranks the orders the same way the DES does.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.microbench import run_microbench
 from repro.collectives.alltoall import pairwise_program

@@ -38,6 +38,14 @@ def test_slurm_gaps():
     assert "block:block" in out
 
 
+def test_chaos_alltoall():
+    out = _run("chaos_alltoall.py")
+    assert "healthy alltoall on 32 ranks" in out
+    assert "24 survivors shrink to a new world" in out
+    assert "surviving hierarchy: (3, 2, 4)" in out
+    assert "identical on every run" in out
+
+
 def test_subcommunicator_collectives():
     out = _run("subcommunicator_collectives.py")
     assert "MPI_Alltoall in 16 subcommunicators" in out

@@ -5,7 +5,6 @@ Figure 3/5 legend metrics, the mpisee communicator census of Section 4.2,
 and the Figure 9 core-ID annotations.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.splatt.grid import all_layer_comms, choose_grid

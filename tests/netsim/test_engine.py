@@ -42,6 +42,29 @@ class TestEventQueue:
         q.cancel(h)
         assert len(q) == 0
 
+    def test_cancel_after_pop_is_a_noop(self):
+        """Cancelling a handle that was already popped must not corrupt
+        the live-entry count (regression: the cancel used to decrement
+        ``_alive`` for an entry no longer in the heap)."""
+        q = EventQueue()
+        h = q.push(1.0, "x")
+        q.push(2.0, "y")
+        assert q.pop() == (1.0, "x")
+        q.cancel(h)  # stale handle: entry already consumed
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+        assert q.pop() == (2.0, "y")
+        assert not q
+
+    def test_cancel_after_pop_interleaved_with_cancels(self):
+        q = EventQueue()
+        handles = [q.push(float(i), i) for i in range(4)]
+        q.pop()  # consumes entry 0
+        q.cancel(handles[0])  # stale
+        q.cancel(handles[2])  # genuine cancel
+        assert len(q) == 2
+        assert [q.pop()[1] for _ in range(2)] == [1, 3]
+
     def test_peek_time(self):
         q = EventQueue()
         q.push(5.0, "x")

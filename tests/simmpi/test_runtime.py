@@ -1,6 +1,5 @@
 """Unit tests for the discrete-event MPI runtime."""
 
-import numpy as np
 import pytest
 
 from repro.simmpi import Comm, Compute, DeadlockError, Simulator
