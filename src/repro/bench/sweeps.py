@@ -118,6 +118,101 @@ def best_per_group(
     return best
 
 
+# -- verification sweeps -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyRecord:
+    """One (collective, algorithm, comm size) verification cell."""
+
+    machine: str
+    collective: str
+    algorithm: str
+    comm_size: int
+    total_bytes: float
+    n_rounds: int
+    semantic_ok: bool
+    differential_ok: bool
+    differential_rel_err: float
+    invariants_ok: bool
+    n_violations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.semantic_ok and self.differential_ok and self.invariants_ok
+
+
+def verify_sweep(
+    comm_sizes: Sequence[int],
+    collectives: Sequence[str] | None = None,
+    total_bytes: float = 65536.0,
+    topology: MachineTopology | None = None,
+    tolerance: float | None = None,
+) -> list[VerifyRecord]:
+    """Run the verification stack over a grid of collectives x sizes.
+
+    For every registered algorithm valid at each communicator size, runs
+    the semantic checker on its round schedule, the round-model/DES
+    differential on a packed placement, and the trace-invariant audit of
+    the replay.  With no ``topology`` each size gets a flat single-switch
+    machine (the differential is then exact); pass a real machine to sweep
+    hierarchical placements.
+    """
+    from repro.collectives.selector import rounds_for
+    from repro.topology.machines import generic_cluster
+    from repro.verify import (
+        DEFAULT_TOLERANCE,
+        check_trace,
+        checkable_algorithms,
+        compare_schedule,
+        replay_rounds_des,
+        check_schedule,
+    )
+
+    tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
+    records: list[VerifyRecord] = []
+    for p in comm_sizes:
+        topo = topology or generic_cluster((max(p, 2),))
+        if p > topo.n_cores:
+            raise ValueError(f"comm size {p} exceeds {topo.n_cores} cores")
+        cores = np.arange(p, dtype=np.int64)
+        for collective, algorithm in checkable_algorithms(p):
+            if collectives is not None and collective not in collectives:
+                continue
+            rounds = rounds_for(collective, p, total_bytes, algorithm)
+            sem = check_schedule(
+                collective, rounds, p, total_bytes, algorithm=algorithm
+            )
+            if p >= 2:
+                diff = compare_schedule(
+                    topo, cores, rounds,
+                    label=f"{collective}/{algorithm}",
+                    total_bytes=total_bytes, tolerance=tol,
+                )
+                _t, _timings, trace = replay_rounds_des(topo, cores, rounds)
+                inv = check_trace(topo, trace)
+                diff_ok, diff_err = diff.ok, diff.rel_err
+                inv_ok, n_viol = inv.ok, len(inv.violations)
+            else:
+                diff_ok, diff_err, inv_ok, n_viol = True, 0.0, True, 0
+            records.append(
+                VerifyRecord(
+                    machine=topo.name,
+                    collective=collective,
+                    algorithm=algorithm,
+                    comm_size=p,
+                    total_bytes=total_bytes,
+                    n_rounds=len(rounds),
+                    semantic_ok=sem.ok,
+                    differential_ok=diff_ok,
+                    differential_rel_err=diff_err,
+                    invariants_ok=inv_ok,
+                    n_violations=n_viol,
+                )
+            )
+    return records
+
+
 # -- chaos sweeps ------------------------------------------------------------
 
 

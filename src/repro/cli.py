@@ -11,6 +11,9 @@ Operational front-end for the two use cases of Section 3:
 - ``show``         draw an enumeration as an ASCII grid (Figure 2 style)
 - ``advise``       rank orders by predicted collective performance on a
   simulated machine (``hydra``/``lumi`` presets or a generic model)
+- ``verify``       conformance checks: ``fuzz`` (seeded campaigns with
+  shrinking), ``semantic`` (symbolic schedule checks), ``differential``
+  (round model vs DES on the seed benchmarks)
 
 Hierarchies are given as hwloc-style synthetic strings
 (``node:16 socket:2 core:8``), bare counts or the paper's bracket
@@ -146,6 +149,61 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import ALL_CHECKS, run_campaign
+
+    checks = tuple(args.checks.split(",")) if args.checks else ALL_CHECKS
+    unknown = set(checks) - set(ALL_CHECKS)
+    if unknown:
+        raise SystemExit(
+            f"unknown check(s) {sorted(unknown)}; choose from {','.join(ALL_CHECKS)}"
+        )
+    report = run_campaign(
+        n_cases=args.cases,
+        seed=args.seed,
+        checks=checks,
+        tolerance=args.tolerance,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_verify_semantic(args: argparse.Namespace) -> int:
+    from repro.verify import check_algorithm, checkable_algorithms
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    failures = 0
+    for p in sizes:
+        for collective, algorithm in checkable_algorithms(p):
+            rep = check_algorithm(collective, algorithm, p, args.bytes)
+            status = "ok" if rep.ok else "FAIL"
+            print(f"  p={p:<4} {collective}/{algorithm:<22} {status}")
+            if not rep.ok:
+                failures += 1
+                for f in rep.failures[:4]:
+                    print(f"    {f}")
+    print(f"semantic: {failures} failing schedule(s) across p in {sizes}")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_verify_differential(args: argparse.Namespace) -> int:
+    from repro.topology.machines import generic_cluster, hydra, lumi
+    from repro.verify import seed_benchmark_suite
+
+    topology = None
+    if args.machine == "hydra":
+        topology = hydra(2)
+    elif args.machine == "lumi":
+        topology = lumi(2)
+    elif args.machine == "generic":
+        topology = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+    report = seed_benchmark_suite(
+        topology, tolerance=args.tolerance, total_bytes=args.bytes
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mrd",
@@ -210,6 +268,46 @@ def build_parser() -> argparse.ArgumentParser:
         "generic gradient model",
     )
     p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser(
+        "verify", help="conformance and differential verification (repro.verify)"
+    )
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+
+    v = vsub.add_parser(
+        "fuzz", help="seeded fuzz campaign with shrinking of failures"
+    )
+    v.add_argument("--cases", type=int, default=100, help="configurations to sample")
+    v.add_argument("--seed", type=int, default=0, help="campaign seed (replayable)")
+    v.add_argument(
+        "--checks", default=None,
+        help="comma-separated subset of semantic,program,differential,invariants",
+    )
+    v.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="declared round-model vs DES relative tolerance",
+    )
+    v.set_defaults(func=_cmd_verify_fuzz)
+
+    v = vsub.add_parser(
+        "semantic", help="symbolic data-flow check of every round schedule"
+    )
+    v.add_argument(
+        "--sizes", default="2,4,7,8,16",
+        help="comma-separated communicator sizes",
+    )
+    v.add_argument("--bytes", type=float, default=65536.0, help="payload per check")
+    v.set_defaults(func=_cmd_verify_semantic)
+
+    v = vsub.add_parser(
+        "differential", help="round model vs DES on the seed benchmarks"
+    )
+    v.add_argument(
+        "--machine", default="generic", choices=["generic", "hydra", "lumi"]
+    )
+    v.add_argument("--tolerance", type=float, default=0.15)
+    v.add_argument("--bytes", type=float, default=1e6)
+    v.set_defaults(func=_cmd_verify_differential)
     return parser
 
 

@@ -122,6 +122,8 @@ def linear_program(
     nbytes = sendbuf[0].nbytes
     recv_reqs = []
     peers = [j for j in range(p) if j != comm.rank]
+    if not peers:  # single-rank communicator: nothing in flight
+        return recvbuf
     for j in peers:
         recv_reqs.append((yield comm.irecv(j, tag=j)))
     send_reqs = []

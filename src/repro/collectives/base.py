@@ -45,7 +45,12 @@ def rounds_to_schedule(
     cores = np.asarray(member_cores, dtype=np.int64)
     out = []
     for spec in rounds:
-        if spec.src.size and (spec.src.max() >= cores.size or spec.dst.max() >= cores.size):
+        if spec.src.size and (
+            spec.src.min() < 0
+            or spec.dst.min() < 0
+            or spec.src.max() >= cores.size
+            or spec.dst.max() >= cores.size
+        ):
             raise ValueError("round refers to ranks outside the communicator")
         out.append(Round(cores[spec.src], cores[spec.dst], spec.nbytes, spec.repeat))
     return RoundSchedule(out)

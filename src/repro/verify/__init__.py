@@ -1,0 +1,84 @@
+"""Conformance and differential verification of the simulation stack.
+
+Four complementary layers, ordered from symbolic to concrete:
+
+- :mod:`repro.verify.semantic` -- token-flooding data-flow checker proving
+  a round schedule *can* implement its collective's MPI post-state.
+- :mod:`repro.verify.programs` -- exact execution of the functional
+  collective programs on the DES against NumPy MPI references.
+- :mod:`repro.verify.differential` -- round model vs flow-level DES
+  timing agreement under declared tolerances.
+- :mod:`repro.verify.invariants` -- physical-consistency audit of DES
+  flow-record traces, including fault campaigns.
+- :mod:`repro.verify.fuzz` -- seeded campaigns over all of the above with
+  shrinking of failures to minimal repros (``repro verify fuzz``).
+"""
+
+from repro.verify.differential import (
+    DEFAULT_TOLERANCE,
+    DifferentialCase,
+    DifferentialReport,
+    compare_collective,
+    compare_schedule,
+    replay_rounds_des,
+    seed_benchmark_suite,
+)
+from repro.verify.fuzz import (
+    ALL_CHECKS,
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    run_campaign,
+    run_case,
+    sample_case,
+    shrink,
+)
+from repro.verify.invariants import (
+    InvariantReport,
+    Violation,
+    check_faulted_run,
+    check_trace,
+)
+from repro.verify.programs import program_algorithms, verify_program
+from repro.verify.semantic import (
+    SemanticReport,
+    TokenModel,
+    check_algorithm,
+    check_alltoallv,
+    check_schedule,
+    checkable_algorithms,
+    collective_tokens,
+    flood,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "DEFAULT_TOLERANCE",
+    "DifferentialCase",
+    "DifferentialReport",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "InvariantReport",
+    "SemanticReport",
+    "TokenModel",
+    "Violation",
+    "check_algorithm",
+    "check_alltoallv",
+    "check_faulted_run",
+    "check_schedule",
+    "check_trace",
+    "checkable_algorithms",
+    "collective_tokens",
+    "compare_collective",
+    "compare_schedule",
+    "flood",
+    "program_algorithms",
+    "replay_rounds_des",
+    "run_campaign",
+    "run_case",
+    "sample_case",
+    "seed_benchmark_suite",
+    "shrink",
+    "verify_program",
+]

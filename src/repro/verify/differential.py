@@ -1,0 +1,333 @@
+"""Differential verification: round model vs discrete-event simulation.
+
+The repo carries two independent network models -- the vectorized
+synchronized-round bottleneck model (:mod:`repro.netsim.fabric`) and the
+exact max-min flow DES (:mod:`repro.netsim.flows` driven by
+:mod:`repro.simmpi.runtime`).  The paper's numbers come from the round
+model; the DES exists to keep it honest.  This module systematizes the
+cross-check: any round schedule is *replayed* on the DES, flow for flow,
+and the two durations are compared under a declared tolerance, with a
+structured per-round mismatch report when they disagree.
+
+Two replay modes:
+
+- ``lockstep`` simulates each distinct round pattern in isolation (one DES
+  run per pattern, scaled by its repeat count), mirroring the round
+  model's synchronized-round semantics.  For rounds whose flows carry
+  equal bytes the two models agree to float precision whenever every
+  flow's bottleneck share equals its max-min rate; progressive filling can
+  redistribute capacity released by fast flows, so the DES may finish
+  earlier -- the round model is an upper bound, and the per-benchmark
+  tolerance declares how loose it is allowed to be.
+- ``pipelined`` issues every round back to back in a single DES run with
+  no barrier between rounds, so neighbouring ranks skew -- the
+  unsynchronized execution a real MPI library would show.  The gap between
+  ``pipelined`` and the round model measures how much the synchronized
+  abstraction itself costs.
+
+The replay also yields the DES's :class:`~repro.simmpi.runtime.FlowRecord`
+stream, which :mod:`repro.verify.invariants` audits for physical
+consistency (causality, conservation, capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.netsim.fabric import Fabric
+from repro.simmpi.communicator import Comm
+from repro.simmpi.runtime import FlowRecord, Simulator
+from repro.topology.machine import MachineTopology
+
+#: Default declared tolerance on |round - DES| / DES for lockstep replays.
+#: Equal-byte single-level rounds agree to ~1e-12; heterogeneous rounds
+#: (flows crossing different hierarchy levels, e.g. recursive doubling)
+#: diverge through progressive-filling redistribution and per-flow latency
+#: staggering, both bounded well inside 15% on the seed machines.
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """One replayed round pattern."""
+
+    index: int
+    repeat: int
+    n_flows: int
+    t_round: float  # round-model duration of one instance
+    t_des: float  # DES duration of one instance (lockstep)
+
+    @property
+    def rel_err(self) -> float:
+        ref = max(self.t_des, 1e-300)
+        return abs(self.t_round - self.t_des) / ref
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """Round-model vs DES comparison of one schedule."""
+
+    label: str
+    p: int
+    total_bytes: float
+    mode: str
+    tolerance: float
+    t_round: float
+    t_des: float
+    rounds: tuple[RoundTiming, ...] = ()
+
+    @property
+    def rel_err(self) -> float:
+        ref = max(self.t_des, 1e-300)
+        return abs(self.t_round - self.t_des) / ref
+
+    @property
+    def ok(self) -> bool:
+        return self.rel_err <= self.tolerance
+
+    def mismatch_report(self) -> str:
+        """Per-round divergence table (lockstep) or the scalar gap."""
+        lines = [
+            f"{self.label}: p={self.p} bytes={self.total_bytes:g} "
+            f"mode={self.mode} round={self.t_round:.6e}s des={self.t_des:.6e}s "
+            f"rel_err={self.rel_err:.3%} tol={self.tolerance:.1%} "
+            f"{'OK' if self.ok else 'MISMATCH'}"
+        ]
+        worst = sorted(self.rounds, key=lambda r: r.rel_err, reverse=True)[:8]
+        for rt in worst:
+            lines.append(
+                f"  round {rt.index:>3} x{rt.repeat:<4} {rt.n_flows:>5} flows  "
+                f"round-model {rt.t_round:.6e}s  des {rt.t_des:.6e}s  "
+                f"rel {rt.rel_err:.3%}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DifferentialReport:
+    """A batch of differential comparisons."""
+
+    cases: list[DifferentialCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cases)
+
+    @property
+    def mismatches(self) -> list[DifferentialCase]:
+        return [c for c in self.cases if not c.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"differential: {len(self.cases)} case(s), "
+            f"{len(self.mismatches)} mismatch(es)"
+        ]
+        for case in self.cases:
+            lines.append(case.mismatch_report())
+        return "\n".join(lines)
+
+
+def _round_flow_program(comm, spec: RoundSpec, tag_base: int):
+    """One rank's DES program for a single round instance."""
+    rank = comm.rank
+    nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
+    sends = [
+        (int(spec.dst[i]), float(nb[i]), tag_base + i)
+        for i in range(spec.src.size)
+        if int(spec.src[i]) == rank
+    ]
+    recvs = [
+        (int(spec.src[i]), tag_base + i)
+        for i in range(spec.src.size)
+        if int(spec.dst[i]) == rank
+    ]
+
+    def program():
+        reqs = []
+        for src, tag in recvs:
+            reqs.append((yield comm.irecv(src, tag=tag)))
+        for dst, nbytes, tag in sends:
+            reqs.append((yield comm.isend(dst, nbytes, None, tag=tag)))
+        if reqs:
+            yield comm.wait(*reqs)
+        return None
+
+    return program()
+
+
+def replay_rounds_des(
+    topology: MachineTopology,
+    member_cores: np.ndarray | Sequence[int],
+    rounds: Sequence[RoundSpec],
+    mode: str = "lockstep",
+    listeners: Sequence = (),
+) -> tuple[float, list[RoundTiming], list[FlowRecord]]:
+    """Replay a communicator-rank round schedule on the DES.
+
+    Returns ``(makespan, per_round_timings, flow_records)``; per-round
+    timings are only populated in ``lockstep`` mode (``pipelined`` has no
+    round boundaries to time).  ``member_cores[comm_rank]`` maps ranks to
+    cores exactly as :func:`repro.collectives.base.rounds_to_schedule`.
+    """
+    cores = np.asarray(member_cores, dtype=np.int64)
+    p = cores.size
+    records: list[FlowRecord] = []
+    collect = [records.append, *listeners]
+    fabric = Fabric(topology)
+    comms = Comm.world(p)
+
+    if mode == "lockstep":
+        total = 0.0
+        timings = []
+        for idx, spec in enumerate(rounds):
+            # Each round runs in a fresh simulator whose clock restarts at
+            # zero; shift its records onto the accumulated timeline so the
+            # concatenated trace stays a coherent single execution.
+            offset = total
+            local: list[FlowRecord] = []
+            sim = Simulator(topology, cores, listeners=[local.append])
+            sim.run({r: _round_flow_program(comms[r], spec, 0) for r in range(p)})
+            for rec in local:
+                shifted = FlowRecord(
+                    src_rank=rec.src_rank,
+                    dst_rank=rec.dst_rank,
+                    src_core=rec.src_core,
+                    dst_core=rec.dst_core,
+                    nbytes=rec.nbytes,
+                    start=rec.start + offset,
+                    end=rec.end + offset,
+                    key=rec.key,
+                )
+                for sink in collect:
+                    sink(shifted)
+            t_one = max(sim.finish_times.values(), default=0.0)
+            t_model = fabric.round_time(
+                rounds_to_schedule([spec], cores).rounds[0]
+            )
+            timings.append(
+                RoundTiming(
+                    index=idx,
+                    repeat=spec.repeat,
+                    n_flows=spec.src.size,
+                    t_round=t_model,
+                    t_des=t_one,
+                )
+            )
+            total += t_one * spec.repeat
+        return total, timings, records
+
+    if mode == "pipelined":
+        def rank_program(comm):
+            for idx, spec in enumerate(rounds):
+                for _ in range(spec.repeat):
+                    yield from _round_flow_program(comm, spec, idx * spec.src.size)
+            return None
+
+        sim = Simulator(topology, cores, listeners=collect)
+        sim.run({r: rank_program(comms[r]) for r in range(p)})
+        return max(sim.finish_times.values(), default=0.0), [], records
+
+    raise ValueError(f"unknown replay mode {mode!r} (lockstep|pipelined)")
+
+
+def compare_schedule(
+    topology: MachineTopology,
+    member_cores: np.ndarray | Sequence[int],
+    rounds: Sequence[RoundSpec],
+    label: str = "schedule",
+    total_bytes: float = 0.0,
+    tolerance: float = DEFAULT_TOLERANCE,
+    mode: str = "lockstep",
+) -> DifferentialCase:
+    """Round-model vs DES duration of one schedule on given cores."""
+    cores = np.asarray(member_cores, dtype=np.int64)
+    t_round = rounds_to_schedule(rounds, cores).total_time(Fabric(topology))
+    t_des, timings, _records = replay_rounds_des(topology, cores, rounds, mode=mode)
+    return DifferentialCase(
+        label=label,
+        p=int(cores.size),
+        total_bytes=float(total_bytes),
+        mode=mode,
+        tolerance=tolerance,
+        t_round=t_round,
+        t_des=t_des,
+        rounds=tuple(timings),
+    )
+
+
+def compare_collective(
+    topology: MachineTopology,
+    member_cores: np.ndarray | Sequence[int],
+    collective: str,
+    total_bytes: float,
+    algorithm: str | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    mode: str = "lockstep",
+) -> DifferentialCase:
+    """Differential check of one collective on one communicator."""
+    from repro.collectives.selector import rounds_for, select_algorithm
+
+    cores = np.asarray(member_cores, dtype=np.int64)
+    p = int(cores.size)
+    name = algorithm or select_algorithm(collective, p, total_bytes)
+    rounds = rounds_for(collective, p, total_bytes, name)
+    return compare_schedule(
+        topology,
+        cores,
+        rounds,
+        label=f"{collective}/{name}",
+        total_bytes=total_bytes,
+        tolerance=tolerance,
+        mode=mode,
+    )
+
+
+def seed_benchmark_suite(
+    topology: MachineTopology | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    total_bytes: float = 1e6,
+) -> DifferentialReport:
+    """The seed benchmarks, cross-checked between both network models.
+
+    Covers the paper's three micro-benchmarked collectives with both their
+    small- and large-message algorithms on the Figure 1 machine (packed
+    cores and one spread placement each).
+    """
+    from repro.topology.machines import generic_cluster
+
+    topology = topology or generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+    p = 8
+    packed = np.arange(p, dtype=np.int64)
+    spread = np.arange(0, topology.n_cores, topology.n_cores // p, dtype=np.int64)
+    report = DifferentialReport()
+    suite = [
+        ("alltoall", "pairwise"),
+        ("alltoall", "bruck"),
+        ("allgather", "ring"),
+        ("allgather", "recursive_doubling"),
+        ("allreduce", "ring"),
+        ("allreduce", "rabenseifner"),
+    ]
+    for collective, algorithm in suite:
+        for cores, where in ((packed, "packed"), (spread, "spread")):
+            case = compare_collective(
+                topology, cores, collective, total_bytes,
+                algorithm=algorithm, tolerance=tolerance,
+            )
+            report.cases.append(
+                DifferentialCase(
+                    label=f"{case.label}@{where}",
+                    p=case.p,
+                    total_bytes=case.total_bytes,
+                    mode=case.mode,
+                    tolerance=case.tolerance,
+                    t_round=case.t_round,
+                    t_des=case.t_des,
+                    rounds=case.rounds,
+                )
+            )
+    return report

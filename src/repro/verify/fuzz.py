@@ -1,0 +1,290 @@
+"""Seeded fuzz campaigns over hierarchies x placements x collectives.
+
+Random exploration of the configuration space the paper enumerates:
+sample a machine hierarchy, a communicator size and core placement, and a
+collective algorithm; then run the full verification stack on the sample
+-- the symbolic semantic checker, the exact program-vs-spec diff, the
+round-model/DES differential, and the trace invariants.  Campaigns are
+seeded (same seed, same cases, same verdicts) so CI failures replay
+locally, and every failure is *shrunk* to a smaller configuration that
+still fails before it is reported, hypothesis-style: greedy descent over
+communicator size, payload, hierarchy depth, and placement spread, keeping
+each reduction only if the failure survives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+import repro.verify.differential as differential
+import repro.verify.invariants as invariants
+import repro.verify.programs as programs
+import repro.verify.semantic as semantic
+
+#: Verification stages a campaign can run, in cost order.
+ALL_CHECKS = ("semantic", "program", "differential", "invariants")
+
+#: Radix alphabet for sampled hierarchies -- small mixed radices are where
+#: the paper's enumeration logic has its corner cases.
+_RADICES = (2, 3, 4)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled configuration, self-contained and replayable."""
+
+    radices: tuple[int, ...]
+    collective: str
+    algorithm: str
+    p: int
+    total_bytes: float
+    cores: tuple[int, ...]  # placement: cores[comm_rank] = core ID
+    root: int = 0
+
+    @property
+    def n_cores(self) -> int:
+        n = 1
+        for r in self.radices:
+            n *= r
+        return n
+
+    def describe(self) -> str:
+        return (
+            f"{self.collective}/{self.algorithm} p={self.p} "
+            f"bytes={self.total_bytes:g} machine={self.radices} "
+            f"cores={self.cores}"
+        )
+
+    def _size(self) -> tuple:
+        """Shrink ordering: smaller tuples are simpler repros."""
+        spread = max(self.cores) - min(self.cores) if self.cores else 0
+        return (self.p, self.n_cores, len(self.radices), self.total_bytes, spread)
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """A failing case, its shrunk minimal form, and what went wrong."""
+
+    original: FuzzCase
+    minimal: FuzzCase
+    failures: tuple[str, ...]
+    shrink_steps: int
+
+    def summary(self) -> str:
+        lines = [f"FAIL {self.minimal.describe()}"]
+        if self.minimal != self.original:
+            lines.append(
+                f"  shrunk from {self.original.describe()} "
+                f"in {self.shrink_steps} step(s)"
+            )
+        lines.extend(f"  {f}" for f in self.failures[:8])
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    seed: int
+    n_cases: int = 0
+    checks: tuple[str, ...] = ALL_CHECKS
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"fuzz campaign seed={self.seed}: {self.n_cases} case(s), "
+            f"checks={','.join(self.checks)}, {len(self.failures)} failure(s)"
+        )
+        return "\n".join([head, *(f.summary() for f in self.failures)])
+
+
+def _case_topology(case: FuzzCase):
+    from repro.topology.machines import generic_cluster
+
+    return generic_cluster(case.radices)
+
+
+def run_case(
+    case: FuzzCase,
+    checks: Sequence[str] = ALL_CHECKS,
+    tolerance: float = differential.DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Run the selected verification stages; returns failure strings."""
+    from repro.collectives.selector import rounds_for
+
+    out: list[str] = []
+    try:
+        rounds = rounds_for(case.collective, case.p, case.total_bytes, case.algorithm)
+    except Exception as err:  # noqa: BLE001 - generation crash IS a finding
+        return [f"round generation raised {type(err).__name__}: {err}"]
+
+    if "semantic" in checks:
+        rep = semantic.check_schedule(
+            case.collective,
+            rounds,
+            case.p,
+            case.total_bytes,
+            algorithm=case.algorithm,
+            root=case.root,
+        )
+        out.extend(f"semantic: {f}" for f in rep.failures)
+
+    if "program" in checks and (case.collective, case.algorithm) in set(
+        programs.program_algorithms(case.p)
+    ):
+        rep = programs.verify_program(
+            case.collective,
+            case.algorithm,
+            case.p,
+            seed=0,
+            root=case.root,
+            topology=_case_topology(case) if case.p > 1 else None,
+        )
+        out.extend(f"program: {f}" for f in rep.failures)
+
+    records = None
+    if "differential" in checks and case.p >= 2:
+        topology = _case_topology(case)
+        diff = differential.compare_schedule(
+            topology,
+            list(case.cores),
+            rounds,
+            label=f"{case.collective}/{case.algorithm}",
+            total_bytes=case.total_bytes,
+            tolerance=tolerance,
+        )
+        if not diff.ok:
+            out.append(f"differential: {diff.mismatch_report()}")
+
+    if "invariants" in checks and case.p >= 2:
+        topology = _case_topology(case)
+        _t, _timings, records = differential.replay_rounds_des(
+            topology, list(case.cores), rounds
+        )
+        rep = invariants.check_trace(topology, records)
+        out.extend(f"invariants: {v}" for v in rep.violations)
+
+    return out
+
+
+def sample_case(rng: np.random.Generator) -> FuzzCase:
+    """Draw one configuration: machine, placement, collective, size."""
+    depth = int(rng.integers(1, 4))
+    radices = tuple(int(rng.choice(_RADICES)) for _ in range(depth))
+    n_cores = int(np.prod(radices))
+    while n_cores < 2:  # a 1-core machine cannot host a communicator
+        radices = radices + (2,)
+        n_cores *= 2
+    p = int(rng.integers(2, min(16, n_cores) + 1))
+    candidates = semantic.checkable_algorithms(p)
+    collective, algorithm = candidates[int(rng.integers(len(candidates)))]
+    cores = tuple(
+        int(c) for c in np.sort(rng.choice(n_cores, size=p, replace=False))
+    )
+    exponent = int(rng.integers(3, 21))  # 8 B .. 1 MiB
+    return FuzzCase(
+        radices=radices,
+        collective=collective,
+        algorithm=algorithm,
+        p=p,
+        total_bytes=float(2**exponent),
+        cores=cores,
+    )
+
+
+def _shrink_candidates(case: FuzzCase) -> list[FuzzCase]:
+    """Strictly-simpler variants to try, most aggressive first."""
+    out: list[FuzzCase] = []
+
+    def packed(p: int, radices: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(range(p))
+
+    for new_p in (2, 3, 4, case.p // 2, case.p - 1):
+        if not 2 <= new_p < case.p:
+            continue
+        if (case.collective, case.algorithm) not in semantic.checkable_algorithms(new_p):
+            continue
+        radices = case.radices if case.n_cores >= new_p else (new_p,)
+        out.append(
+            replace(case, p=new_p, cores=packed(new_p, radices), radices=radices)
+        )
+    # Flatten the machine to a single level just big enough.
+    flat = (max(2, case.p),)
+    if flat != case.radices:
+        out.append(replace(case, radices=flat, cores=packed(case.p, flat)))
+    # Drop the deepest level while the machine still fits the communicator.
+    if len(case.radices) > 1:
+        shallower = case.radices[:-1]
+        if int(np.prod(shallower)) >= case.p:
+            out.append(
+                replace(case, radices=shallower, cores=packed(case.p, shallower))
+            )
+    # Shrink the payload.
+    for nbytes in (8.0 * case.p, 64.0, 1024.0):
+        if nbytes < case.total_bytes:
+            out.append(replace(case, total_bytes=nbytes))
+    # Pack the placement.
+    if case.cores != tuple(range(case.p)):
+        out.append(replace(case, cores=tuple(range(case.p))))
+    return out
+
+
+def shrink(
+    case: FuzzCase,
+    checks: Sequence[str] = ALL_CHECKS,
+    tolerance: float = differential.DEFAULT_TOLERANCE,
+    max_steps: int = 64,
+) -> tuple[FuzzCase, list[str], int]:
+    """Greedy descent to a minimal still-failing configuration.
+
+    Returns ``(minimal_case, its_failures, steps_taken)``.  Each adopted
+    candidate is strictly smaller under :meth:`FuzzCase._size`, so the
+    loop terminates.
+    """
+    failures = run_case(case, checks, tolerance)
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _shrink_candidates(case):
+            if candidate._size() >= case._size():
+                continue
+            cand_failures = run_case(candidate, checks, tolerance)
+            if cand_failures:
+                case, failures = candidate, cand_failures
+                steps += 1
+                improved = True
+                break
+    return case, failures, steps
+
+
+def run_campaign(
+    n_cases: int = 50,
+    seed: int = 0,
+    checks: Sequence[str] = ALL_CHECKS,
+    tolerance: float = differential.DEFAULT_TOLERANCE,
+) -> FuzzReport:
+    """Sample and verify ``n_cases`` configurations; shrink any failure."""
+    rng = np.random.default_rng(seed)
+    report = FuzzReport(seed=seed, n_cases=n_cases, checks=tuple(checks))
+    for _ in range(n_cases):
+        case = sample_case(rng)
+        failures = run_case(case, checks, tolerance)
+        if failures:
+            minimal, min_failures, steps = shrink(case, checks, tolerance)
+            report.failures.append(
+                FuzzFailure(
+                    original=case,
+                    minimal=minimal,
+                    failures=tuple(min_failures),
+                    shrink_steps=steps,
+                )
+            )
+    return report

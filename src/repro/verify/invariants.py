@@ -1,0 +1,293 @@
+"""Physical-consistency invariants over DES flow records.
+
+Every completed transfer the simulator reports must be explainable by the
+machine model: it cannot finish before its bytes could physically cross
+the tree (causality), its bytes must enter and leave each hierarchy level
+it crosses in equal measure (conservation), no link may carry more bytes
+over any interval than its capacity allows (capacity), and no transfer may
+overlap a fault that killed one of its endpoints (kill invariant).  These
+are *sound* checks: they use the healthy machine as the bound, and faults
+only ever slow the machine down, so a violation is always a real bug in
+the simulator or the trace -- never tolerance noise.
+
+The checker consumes the :class:`~repro.simmpi.runtime.FlowRecord` stream
+any listener collects, which makes it composable with the profiler and
+with :mod:`repro.verify.differential` replays, and lets it audit
+:mod:`repro.faults` campaigns after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.model import FaultSchedule
+from repro.netsim.flows import FlowNetwork
+from repro.simmpi.runtime import FlowRecord
+from repro.topology.machine import MachineTopology
+
+#: Relative slack on capacity / causality comparisons.  The DES integrates
+#: rates with float arithmetic; anything beyond this is a genuine breach.
+_REL_EPS = 1e-6
+_ABS_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, tied to the flow record that exposed it."""
+
+    invariant: str  # causality | conservation | capacity | kill
+    detail: str
+    record: FlowRecord | None = None
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of auditing one flow-record trace."""
+
+    n_records: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        head = (
+            f"trace invariants: {self.n_records} flow record(s), "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join([head, *(f"  {v}" for v in self.violations[:32])])
+
+
+def _check_causality(
+    report: InvariantReport, network: FlowNetwork, records: Sequence[FlowRecord]
+) -> None:
+    """end >= start + healthy latency + bytes / healthy bottleneck bw.
+
+    The healthy machine is the fastest the fabric can ever be (faults only
+    scale capacity down and latency up), so this lower bound holds for
+    faulted runs too.
+    """
+    for rec in records:
+        if rec.end < rec.start - _ABS_EPS:
+            report.violations.append(
+                Violation("causality", f"flow ends at {rec.end} before it starts at {rec.start}", rec)
+            )
+            continue
+        if rec.src_core == rec.dst_core:
+            continue  # self-flows are instantaneous by construction
+        path = network.path_edges(rec.src_core, rec.dst_core)
+        lat = network.latency(rec.src_core, rec.dst_core)
+        bottleneck = min(float(network._base_capacity[e]) for e in path)
+        floor = lat + rec.nbytes / bottleneck
+        if rec.end - rec.start < floor * (1.0 - _REL_EPS) - _ABS_EPS:
+            report.violations.append(
+                Violation(
+                    "causality",
+                    f"flow {rec.src_core}->{rec.dst_core} ({rec.nbytes:g} B) took "
+                    f"{rec.end - rec.start:.6e}s < physical floor {floor:.6e}s",
+                    rec,
+                )
+            )
+
+
+def _check_conservation(
+    report: InvariantReport,
+    topology: MachineTopology,
+    network: FlowNetwork,
+    records: Sequence[FlowRecord],
+) -> None:
+    """Bytes entering a level's up-links == bytes leaving its down-links.
+
+    Each crossing flow must load exactly one up and one down edge at every
+    level between its endpoints' LCA and the leaves; any per-level byte
+    imbalance means a flow was routed through an asymmetric path.
+    """
+    n_edges = network._n_edges
+    per_edge = np.zeros(network._base_capacity.size)
+    for rec in records:
+        path = network.path_edges(rec.src_core, rec.dst_core)
+        for e in path:
+            per_edge[e] += rec.nbytes
+    offsets = np.concatenate(
+        (network._offsets, [n_edges])
+    )
+    for level in range(topology.depth):
+        lo, hi = int(offsets[level]), int(offsets[level + 1])
+        up = float(per_edge[lo:hi].sum())
+        down = float(per_edge[n_edges + lo : n_edges + hi].sum())
+        crossing = sum(
+            rec.nbytes
+            for rec in records
+            if rec.src_core != rec.dst_core
+            and int(
+                topology.lca_level(
+                    np.array([rec.src_core]), np.array([rec.dst_core])
+                )[0]
+            )
+            <= level
+        )
+        for name, got in (("up", up), ("down", down)):
+            if abs(got - crossing) > _REL_EPS * max(crossing, 1.0):
+                report.violations.append(
+                    Violation(
+                        "conservation",
+                        f"level {level}: {got:g} B on {name}-links != "
+                        f"{crossing:g} B carried by crossing flows",
+                    )
+                )
+
+
+def _check_capacity(
+    report: InvariantReport, network: FlowNetwork, records: Sequence[FlowRecord]
+) -> None:
+    """No link carries more bytes than capacity x elapsed over any window.
+
+    For every edge and every pair of trace event times ``a < b``, the flows
+    *fully contained* in ``[a, b]`` moved all their bytes through the edge
+    within ``b - a`` seconds, so their byte sum is bounded by
+    ``capacity * (b - a)``.  Checked against the healthy capacity, which
+    upper-bounds every degraded state.
+    """
+    by_edge: dict[int, list[FlowRecord]] = {}
+    for rec in records:
+        for e in network.path_edges(rec.src_core, rec.dst_core):
+            by_edge.setdefault(e, []).append(rec)
+    for e, flows in by_edge.items():
+        cap = float(network._base_capacity[e])
+        bounds = sorted({t for rec in flows for t in (rec.start, rec.end)})
+        for ai, a in enumerate(bounds):
+            for b in bounds[ai + 1 :]:
+                contained = sum(
+                    rec.nbytes
+                    for rec in flows
+                    if rec.start >= a - _ABS_EPS and rec.end <= b + _ABS_EPS
+                )
+                budget = cap * (b - a)
+                if contained > budget * (1.0 + _REL_EPS) + _ABS_EPS:
+                    report.violations.append(
+                        Violation(
+                            "capacity",
+                            f"edge {e}: {contained:g} B inside window "
+                            f"[{a:.6e}, {b:.6e}]s exceeds capacity budget "
+                            f"{budget:g} B",
+                        )
+                    )
+                    break  # one window per edge is plenty of evidence
+            else:
+                continue
+            break
+
+
+def _rank_kill_times(
+    topology: MachineTopology,
+    rank_to_core: np.ndarray,
+    schedule: FaultSchedule,
+) -> dict[int, float]:
+    """Earliest time each world rank is dead (kill or node crash)."""
+    kill_at: dict[int, float] = {}
+    stride = int(topology.strides[0])
+    for spec in schedule:
+        if spec.kind == "rank_kill":
+            kill_at[spec.target] = min(
+                kill_at.get(spec.target, np.inf), spec.start
+            )
+        elif spec.kind == "node_crash":
+            lo, hi = spec.target * stride, (spec.target + 1) * stride
+            for rank, core in enumerate(rank_to_core):
+                if lo <= int(core) < hi:
+                    kill_at[rank] = min(kill_at.get(rank, np.inf), spec.start)
+    return kill_at
+
+
+def _check_kills(
+    report: InvariantReport,
+    topology: MachineTopology,
+    rank_to_core: np.ndarray,
+    schedule: FaultSchedule,
+    records: Sequence[FlowRecord],
+) -> None:
+    """No completed transfer extends past the death of either endpoint."""
+    kill_at = _rank_kill_times(topology, rank_to_core, schedule)
+    if not kill_at:
+        return
+    for rec in records:
+        for rank in (rec.src_rank, rec.dst_rank):
+            dead_at = kill_at.get(rank)
+            if dead_at is not None and rec.end > dead_at + _ABS_EPS:
+                report.violations.append(
+                    Violation(
+                        "kill",
+                        f"flow {rec.src_rank}->{rec.dst_rank} completed at "
+                        f"{rec.end:.6e}s but rank {rank} died at {dead_at:.6e}s",
+                        rec,
+                    )
+                )
+                break
+
+
+def check_trace(
+    topology: MachineTopology,
+    records: Sequence[FlowRecord],
+    rank_to_core: Sequence[int] | np.ndarray | None = None,
+    fault_schedule: FaultSchedule | None = None,
+) -> InvariantReport:
+    """Audit a flow-record trace against the machine's physics.
+
+    ``rank_to_core`` and ``fault_schedule`` are only needed for the kill
+    invariant; without them the causality / conservation / capacity checks
+    still run (they are fault-agnostic by construction).
+    """
+    report = InvariantReport(n_records=len(records))
+    network = FlowNetwork(topology)
+    _check_causality(report, network, records)
+    _check_conservation(report, topology, network, records)
+    _check_capacity(report, network, records)
+    if fault_schedule is not None and rank_to_core is not None:
+        _check_kills(
+            report,
+            topology,
+            np.asarray(rank_to_core, dtype=np.int64),
+            fault_schedule,
+            records,
+        )
+    return report
+
+
+def check_faulted_run(
+    topology: MachineTopology,
+    rank_to_core: Sequence[int] | np.ndarray,
+    programs_factory,
+    fault_schedule: FaultSchedule,
+    timeout: float | None = None,
+) -> InvariantReport:
+    """Run a fault campaign and audit every transfer it produced.
+
+    ``programs_factory()`` must return a fresh ``{rank: generator}`` map
+    (generators are single-use).  Failed collectives are acceptable --
+    the audit covers whatever flows completed before the failure.
+    """
+    from repro.simmpi.errors import RankFailedError, SimTimeout
+    from repro.simmpi.runtime import DeadlockError, Simulator
+
+    records: list[FlowRecord] = []
+    sim = Simulator(
+        topology,
+        rank_to_core,
+        listeners=[records.append],
+        fault_schedule=fault_schedule,
+        timeout=timeout,
+    )
+    try:
+        sim.run(programs_factory())
+    except (RankFailedError, SimTimeout, DeadlockError):
+        pass  # degraded outcomes are in scope; the trace must still be physical
+    return check_trace(
+        topology, records, rank_to_core=rank_to_core, fault_schedule=fault_schedule
+    )

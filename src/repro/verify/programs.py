@@ -1,0 +1,314 @@
+"""Exact MPI-specification checking of the functional collective programs.
+
+The rounds face of :mod:`repro.collectives` is verified symbolically by
+:mod:`repro.verify.semantic`; this module closes the loop on the *programs*
+face: every generator program registered in a ``PROGRAMS`` table is executed
+on the discrete-event simulator with concrete integer-valued payloads and
+its post-state compared, element for element, against the NumPy statement
+of the MPI specification (MPI 4.1 semantics: alltoall(v) transposition,
+allgather concatenation, reduction over the canonical rank order, inclusive
+scan prefixes, rooted tree collectives for arbitrary roots).
+
+Payloads are integer-valued float64 arrays, so ``np.add`` reductions are
+exact regardless of the combining order an algorithm uses -- equality is
+bitwise, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.simmpi.communicator import Comm
+from repro.simmpi.runtime import Simulator
+from repro.topology.machine import MachineTopology
+from repro.topology.machines import generic_cluster
+from repro.verify.semantic import SemanticReport
+
+#: Chunk placement of the reduce_scatter variants: rank ``r`` ends up
+#: owning ``chunk_of(r)``.  The ring rotates ownership by one (documented
+#: in :func:`repro.collectives.misc.reduce_scatter_ring_program`); the
+#: recursive-halving split follows the rank's bits, which lands on the
+#: MPI-standard placement (rank r owns chunk r).
+_REDUCE_SCATTER_CHUNK = {
+    "ring": lambda r, p: (r + 1) % p,
+    "halving": lambda r, p: r,
+}
+
+
+def _run(programs: Mapping[int, Any], topology: MachineTopology | None, p: int):
+    """Drive ``programs`` on a p-core machine; returns ``{rank: result}``."""
+    if p == 1:
+        # One rank cannot communicate; exhaust the generator directly.
+        out = {}
+        for rank, gen in programs.items():
+            try:
+                op = next(gen)
+            except StopIteration as stop:
+                out[rank] = stop.value
+                continue
+            raise AssertionError(f"single-rank program yielded {op!r}")
+        return out
+    topology = topology or generic_cluster((p,))
+    sim = Simulator(topology, list(range(p)))
+    return sim.run(programs)
+
+
+def _payload(rng: np.random.Generator, shape) -> np.ndarray:
+    """Integer-valued float64 data: reductions stay exact in any order."""
+    return rng.integers(-8, 9, size=shape).astype(np.float64)
+
+
+def verify_program(
+    collective: str,
+    algorithm: str,
+    p: int,
+    count: int = 4,
+    seed: int = 0,
+    root: int = 0,
+    topology: MachineTopology | None = None,
+) -> SemanticReport:
+    """Run one functional collective and diff it against the MPI spec.
+
+    ``count`` is the per-block element count; ``root`` applies to the
+    rooted collectives and is ignored elsewhere.  Returns a
+    :class:`~repro.verify.semantic.SemanticReport` whose failures name the
+    first mismatching ranks.
+    """
+    report = SemanticReport(
+        collective=collective,
+        algorithm=algorithm,
+        p=p,
+        total_bytes=float(p * count * 8),
+    )
+    rng = np.random.default_rng(seed)
+    comms = Comm.world(p)
+    check = _CHECKERS.get(collective)
+    if check is None:
+        raise KeyError(f"no program-level checker for collective {collective!r}")
+    try:
+        check(report, comms, algorithm, p, count, rng, root, topology)
+    except Exception as err:  # noqa: BLE001 - a crash IS the finding
+        report.failures.append(f"execution raised {type(err).__name__}: {err}")
+    return report
+
+
+def _expect(report: SemanticReport, rank: int, got, want, what: str) -> None:
+    if got is None and want is None:
+        return
+    if got is None or want is None or not np.array_equal(np.asarray(got), np.asarray(want)):
+        report.failures.append(
+            f"rank {rank}: {what} deviates from the MPI specification "
+            f"(got {np.asarray(got) if got is not None else None!r}, "
+            f"want {np.asarray(want) if want is not None else None!r})"
+        )
+
+
+def _check_alltoall(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.alltoall import PROGRAMS
+
+    send = _payload(rng, (p, p, count))
+    results = _run(
+        {r: PROGRAMS[algorithm](comms[r], send[r].copy()) for r in range(p)},
+        topology,
+        p,
+    )
+    for r in range(p):
+        _expect(report, r, results[r], send[:, r, :], "alltoall receive buffer")
+
+
+def _check_alltoallv(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.misc import alltoallv_pairwise_program
+
+    lengths = rng.integers(0, count + 1, size=(p, p))
+    blocks = [
+        [_payload(rng, int(lengths[i, j])) for j in range(p)] for i in range(p)
+    ]
+    results = _run(
+        {r: alltoallv_pairwise_program(comms[r], blocks[r]) for r in range(p)},
+        topology,
+        p,
+    )
+    for r in range(p):
+        for j in range(p):
+            _expect(
+                report, r, results[r][j], blocks[j][r], f"alltoallv block from {j}"
+            )
+
+
+def _check_allgather(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.allgather import PROGRAMS
+
+    blocks = _payload(rng, (p, count))
+    results = _run(
+        {r: PROGRAMS[algorithm](comms[r], blocks[r].copy()) for r in range(p)},
+        topology,
+        p,
+    )
+    for r in range(p):
+        _expect(report, r, results[r], blocks, "allgather buffer")
+
+
+def _check_allreduce(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.allreduce import PROGRAMS
+
+    # Non-divisible length exercises the internal padding paths.
+    vecs = _payload(rng, (p, p * count + 1))
+    results = _run(
+        {r: PROGRAMS[algorithm](comms[r], vecs[r].copy()) for r in range(p)},
+        topology,
+        p,
+    )
+    want = vecs.sum(axis=0)
+    for r in range(p):
+        _expect(report, r, results[r], want, "allreduce result")
+
+
+def _check_reduce_scatter(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.misc import PROGRAMS
+
+    vecs = _payload(rng, (p, p * count))
+    results = _run(
+        {
+            r: PROGRAMS[f"reduce_scatter_{algorithm}"](comms[r], vecs[r].copy())
+            for r in range(p)
+        },
+        topology,
+        p,
+    )
+    reduced = vecs.sum(axis=0).reshape(p, count)
+    chunk_of = _REDUCE_SCATTER_CHUNK[algorithm]
+    for r in range(p):
+        _expect(
+            report, r, results[r], reduced[chunk_of(r, p)], "reduce_scatter chunk"
+        )
+
+
+def _check_scan(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.misc import scan_program
+
+    vecs = _payload(rng, (p, count))
+    results = _run(
+        {r: scan_program(comms[r], vecs[r].copy()) for r in range(p)}, topology, p
+    )
+    prefix = np.cumsum(vecs, axis=0)
+    for r in range(p):
+        _expect(report, r, results[r], prefix[r], "inclusive scan prefix")
+
+
+def _check_barrier(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.misc import barrier_program
+
+    results = _run({r: barrier_program(comms[r]) for r in range(p)}, topology, p)
+    if sorted(results) != list(range(p)):
+        report.failures.append("barrier did not complete on every rank")
+
+
+def _check_bcast(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.rooted import PROGRAMS
+
+    name = "bcast_scatter_allgather" if algorithm == "scatter_allgather" else "bcast_binomial"
+    # Van de Geijn requires a length divisible by p; binomial doesn't care.
+    vec = _payload(rng, p * count)
+    results = _run(
+        {
+            r: PROGRAMS[name](
+                comms[r], vec.copy() if r == root else None, root=root
+            )
+            for r in range(p)
+        },
+        topology,
+        p,
+    )
+    for r in range(p):
+        _expect(report, r, results[r], vec, "bcast vector")
+
+
+def _check_reduce(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.rooted import reduce_program
+
+    vecs = _payload(rng, (p, count))
+    results = _run(
+        {r: reduce_program(comms[r], vecs[r].copy(), root=root) for r in range(p)},
+        topology,
+        p,
+    )
+    for r in range(p):
+        want = vecs.sum(axis=0) if r == root else None
+        _expect(report, r, results.get(r), want, "reduce result")
+
+
+def _check_gather(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.rooted import gather_program
+
+    blocks = _payload(rng, (p, count))
+    results = _run(
+        {r: gather_program(comms[r], blocks[r].copy(), root=root) for r in range(p)},
+        topology,
+        p,
+    )
+    for r in range(p):
+        want = blocks if r == root else None
+        _expect(report, r, results.get(r), want, "gather buffer")
+
+
+def _check_scatter(report, comms, algorithm, p, count, rng, root, topology):
+    from repro.collectives.rooted import scatter_program
+
+    blocks = _payload(rng, (p, count))
+    results = _run(
+        {
+            r: scatter_program(
+                comms[r], blocks.copy() if r == root else None, root=root
+            )
+            for r in range(p)
+        },
+        topology,
+        p,
+    )
+    for r in range(p):
+        _expect(report, r, results[r], blocks[r], "scatter block")
+
+
+_CHECKERS = {
+    "alltoall": _check_alltoall,
+    "alltoallv": _check_alltoallv,
+    "allgather": _check_allgather,
+    "allreduce": _check_allreduce,
+    "reduce_scatter": _check_reduce_scatter,
+    "scan": _check_scan,
+    "barrier": _check_barrier,
+    "bcast": _check_bcast,
+    "reduce": _check_reduce,
+    "gather": _check_gather,
+    "scatter": _check_scatter,
+}
+
+
+def program_algorithms(p: int) -> list[tuple[str, str]]:
+    """Every ``(collective, algorithm)`` with a functional program valid at ``p``."""
+    from repro.collectives import allgather, allreduce, alltoall
+
+    pow2 = p >= 1 and not p & (p - 1)
+    out: list[tuple[str, str]] = []
+    for name in alltoall.PROGRAMS:
+        out.append(("alltoall", name))
+    for name in allgather.PROGRAMS:
+        if name == "recursive_doubling" and not pow2:
+            continue
+        out.append(("allgather", name))
+    for name in allreduce.PROGRAMS:
+        if name in ("recursive_doubling", "rabenseifner") and not pow2:
+            continue
+        out.append(("allreduce", name))
+    out.append(("alltoallv", "pairwise"))
+    out.append(("scan", "recursive_doubling"))
+    out.append(("barrier", "dissemination"))
+    if pow2:
+        out.append(("reduce_scatter", "halving"))
+    out.append(("reduce_scatter", "ring"))
+    for coll in ("bcast", "reduce", "gather", "scatter"):
+        out.append((coll, "binomial"))
+    out.append(("bcast", "scatter_allgather"))
+    return out

@@ -1,0 +1,398 @@
+"""Symbolic data-flow checking of collective round schedules.
+
+A :class:`~repro.collectives.base.RoundSpec` program describes *which rank
+talks to which rank, when, and how many bytes move* -- the timing face of a
+collective.  Nothing in the repo checked, until now, that such a schedule
+is also *semantically* able to realize its collective: that allgather's
+rounds can actually deliver every block to every rank, that scan's rounds
+can deliver exactly the prefix contributions, that alltoallv's ragged
+volumes land where the size matrix says.
+
+Following the SCCL observation that collective schedules must be verified
+for data correctness independently of cost, this module executes schedules
+symbolically over *token sets per rank*:
+
+- Each collective defines initial token placement and a per-rank
+  requirement (:func:`collective_tokens`).  Move collectives (alltoall(v),
+  allgather, bcast, gather, scatter) use block tokens; reduction
+  collectives (allreduce, reduce, reduce_scatter, scan) use contribution
+  tokens, where holding a token means "this rank's partial value can have
+  incorporated that contribution"; barrier uses signal tokens, making the
+  requirement exactly the causal all-to-all reachability a barrier must
+  establish.
+- Rounds execute under *flooding* semantics: a flow ``s -> d`` in round
+  ``t`` lets ``d`` learn everything ``s`` knew entering the round (the
+  upper envelope of what any real algorithm can move).  A schedule whose
+  flooding closure misses a requirement can not be correct under any
+  payload routing -- this catches wrong partners, missing rounds, and
+  off-by-one patterns.
+- A *volume audit* checks the necessary byte floors the flooding closure
+  cannot see: every rank must receive at least the bytes of the tokens it
+  must learn (move collectives never compress), and at least one combined
+  value's worth for reductions; symmetric floors bound outgoing bytes.
+
+The checks are necessary conditions on the schedule alone.  The sufficient
+direction -- that the *functional* algorithm really computes the MPI
+post-state -- is covered by :mod:`repro.verify.programs`, which executes the
+generator programs on the DES against NumPy reference semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.collectives.base import RoundSpec
+
+Token = Hashable
+
+#: Relative slack for byte-floor comparisons (floors are often hit exactly).
+_REL_EPS = 1e-9
+
+#: Collectives whose tokens are indivisible data blocks (no combining).
+MOVE_COLLECTIVES = ("alltoall", "alltoallv", "allgather", "bcast", "gather", "scatter")
+
+#: Collectives whose tokens are combinable contributions.
+REDUCE_COLLECTIVES = ("allreduce", "reduce", "reduce_scatter", "scan")
+
+
+@dataclass(frozen=True)
+class TokenModel:
+    """Initial placement, requirement, and byte floors for one collective."""
+
+    collective: str
+    p: int
+    initial: tuple[frozenset, ...]  # initial[rank] = tokens held at t=0
+    required: tuple[frozenset, ...]  # required[rank] = tokens needed at end
+    min_in_bytes: np.ndarray  # per-rank incoming byte floor
+    min_out_bytes: np.ndarray  # per-rank outgoing byte floor
+
+
+@dataclass
+class SemanticReport:
+    """Outcome of checking one schedule against one collective's model."""
+
+    collective: str
+    algorithm: str
+    p: int
+    total_bytes: float
+    n_rounds: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"[{'PASS' if self.ok else 'FAIL'}] {self.collective}/"
+            f"{self.algorithm or '?'} p={self.p} bytes={self.total_bytes:g} "
+            f"rounds={self.n_rounds}"
+        )
+        if self.ok:
+            return head
+        return head + "\n" + "\n".join(f"  - {f}" for f in self.failures)
+
+
+def collective_tokens(
+    collective: str,
+    p: int,
+    total_bytes: float,
+    sizes: np.ndarray | None = None,
+    root: int = 0,
+) -> TokenModel:
+    """Token placement/requirement model of ``collective`` on ``p`` ranks.
+
+    ``total_bytes`` follows the repo-wide convention ``total = p * count``;
+    ``sizes`` is the ``(p, p)`` byte matrix for ``alltoallv`` (ignores
+    ``total_bytes``); ``root`` applies to the rooted collectives.
+    """
+    if p < 1:
+        raise ValueError("communicator size must be >= 1")
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} outside communicator of size {p}")
+    ranks = range(p)
+    v = total_bytes / p  # per-rank vector / block size
+    min_in = np.zeros(p)
+    min_out = np.zeros(p)
+
+    if collective == "alltoall":
+        per_pair = total_bytes / (p * p)
+        initial = [frozenset(("blk", i, j) for j in ranks) for i in ranks]
+        required = [frozenset(("blk", i, j) for i in ranks) for j in ranks]
+        min_in[:] = (p - 1) * per_pair
+        min_out[:] = (p - 1) * per_pair
+    elif collective == "alltoallv":
+        if sizes is None:
+            raise ValueError("alltoallv needs a (p, p) sizes matrix")
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.shape != (p, p):
+            raise ValueError(f"sizes must be ({p}, {p}), got {sizes.shape}")
+        if (sizes < 0).any():
+            raise ValueError("sizes must be non-negative")
+        initial = [
+            frozenset(("blk", i, j) for j in ranks if sizes[i, j] > 0) for i in ranks
+        ]
+        required = [
+            frozenset(("blk", i, j) for i in ranks if i != j and sizes[i, j] > 0)
+            for j in ranks
+        ]
+        off = sizes.copy()
+        np.fill_diagonal(off, 0.0)
+        min_in[:] = off.sum(axis=0)
+        min_out[:] = off.sum(axis=1)
+    elif collective == "allgather":
+        initial = [frozenset({("blk", i)}) for i in ranks]
+        required = [frozenset(("blk", i) for i in ranks)] * p
+        min_in[:] = (p - 1) * v
+        min_out[:] = v if p > 1 else 0.0
+    elif collective == "bcast":
+        initial = [frozenset({("vec",)}) if i == root else frozenset() for i in ranks]
+        required = [frozenset({("vec",)})] * p
+        min_in[:] = v
+        min_in[root] = 0.0
+        min_out[root] = v if p > 1 else 0.0
+    elif collective == "gather":
+        initial = [frozenset({("blk", i)}) for i in ranks]
+        required = [
+            frozenset(("blk", i) for i in ranks) if r == root else frozenset()
+            for r in ranks
+        ]
+        min_in[root] = (p - 1) * v
+        min_out[:] = v
+        min_out[root] = 0.0
+    elif collective == "scatter":
+        initial = [
+            frozenset(("blk", j) for j in ranks) if i == root else frozenset()
+            for i in ranks
+        ]
+        required = [frozenset({("blk", r)}) for r in ranks]
+        min_in[:] = v
+        min_in[root] = 0.0
+        min_out[root] = (p - 1) * v
+    elif collective == "barrier":
+        initial = [frozenset({("sig", i)}) for i in ranks]
+        required = [frozenset(("sig", i) for i in ranks)] * p
+        # Signals are header-only; causality, not volume, is the contract.
+    elif collective == "allreduce":
+        initial = [frozenset({("contrib", i)}) for i in ranks]
+        required = [frozenset(("contrib", i) for i in ranks)] * p
+        if p > 1:
+            min_in[:] = v  # at least one combined value must arrive
+            min_out[:] = v  # each contribution must leave its owner
+    elif collective == "reduce":
+        initial = [frozenset({("contrib", i)}) for i in ranks]
+        required = [
+            frozenset(("contrib", i) for i in ranks) if r == root else frozenset()
+            for r in ranks
+        ]
+        if p > 1:
+            min_in[root] = v
+            min_out[:] = v
+            min_out[root] = 0.0
+    elif collective == "reduce_scatter":
+        # Every rank owns one reduced chunk, so every chunk owner must be
+        # reachable (informationally) from every contribution.
+        initial = [frozenset({("contrib", i)}) for i in ranks]
+        required = [frozenset(("contrib", i) for i in ranks)] * p
+        if p > 1:
+            min_in[:] = v / p  # the rank's own reduced chunk
+            min_out[:] = (p - 1) * v / p  # everything destined elsewhere
+    elif collective == "scan":
+        initial = [frozenset({("contrib", i)}) for i in ranks]
+        required = [frozenset(("contrib", i) for i in range(r + 1)) for r in ranks]
+        min_in[1:] = v
+        min_out[: p - 1] = v if p > 1 else 0.0
+    else:
+        raise KeyError(f"no token model for collective {collective!r}")
+
+    return TokenModel(
+        collective=collective,
+        p=p,
+        initial=tuple(initial),
+        required=tuple(required),
+        min_in_bytes=min_in,
+        min_out_bytes=min_out,
+    )
+
+
+def _structural_failures(rounds: Sequence[RoundSpec], p: int) -> list[str]:
+    """Bounds, finiteness, and duplicate-flow violations of a schedule."""
+    failures = []
+    for idx, spec in enumerate(rounds):
+        if spec.src.size == 0:
+            continue
+        if spec.src.min() < 0 or spec.dst.min() < 0:
+            failures.append(f"round {idx}: negative communicator rank")
+        if spec.src.max() >= p or spec.dst.max() >= p:
+            failures.append(
+                f"round {idx}: rank outside communicator of size {p} "
+                f"(src max {int(spec.src.max())}, dst max {int(spec.dst.max())})"
+            )
+        nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
+        if not np.isfinite(nb).all() or (nb < 0).any():
+            failures.append(f"round {idx}: non-finite or negative flow bytes")
+        pairs = set(zip(spec.src.tolist(), spec.dst.tolist()))
+        if len(pairs) != spec.src.size:
+            failures.append(f"round {idx}: duplicate (src, dst) flow in one round")
+    return failures
+
+
+def flood(rounds: Sequence[RoundSpec], initial: Sequence[frozenset]) -> list[set]:
+    """Flooding closure of a schedule: maximal knowledge per rank.
+
+    Rounds are synchronized batches, so every flow of a round sees its
+    sender's knowledge *as of the start of that round*.  ``repeat`` rounds
+    iterate the pattern; iteration stops early once a pattern reaches its
+    fixpoint (knowledge only grows, so further repeats are no-ops).
+    """
+    state: list[set] = [set(tokens) for tokens in initial]
+    for spec in rounds:
+        pairs = list(zip(spec.src.tolist(), spec.dst.tolist()))
+        for _ in range(spec.repeat):
+            snapshot = [frozenset(s) for s in state]
+            grew = False
+            for s, d in pairs:
+                before = len(state[d])
+                state[d] |= snapshot[s]
+                grew = grew or len(state[d]) != before
+            if not grew:
+                break
+    return state
+
+
+def _volume_failures(
+    rounds: Sequence[RoundSpec], model: TokenModel
+) -> list[str]:
+    """Per-rank incoming/outgoing byte floors the schedule must meet."""
+    p = model.p
+    in_bytes = np.zeros(p)
+    out_bytes = np.zeros(p)
+    for spec in rounds:
+        if spec.src.size == 0:
+            continue
+        nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
+        np.add.at(in_bytes, spec.dst, nb * spec.repeat)
+        np.add.at(out_bytes, spec.src, nb * spec.repeat)
+    failures = []
+    slack = 1.0 - _REL_EPS
+    for r in range(p):
+        if in_bytes[r] < model.min_in_bytes[r] * slack - 1e-12:
+            failures.append(
+                f"rank {r} receives {in_bytes[r]:g} B over the whole schedule, "
+                f"but {model.collective} requires >= {model.min_in_bytes[r]:g} B"
+            )
+        if out_bytes[r] < model.min_out_bytes[r] * slack - 1e-12:
+            failures.append(
+                f"rank {r} sends {out_bytes[r]:g} B over the whole schedule, "
+                f"but {model.collective} requires >= {model.min_out_bytes[r]:g} B"
+            )
+    return failures
+
+
+def _format_tokens(tokens: set, limit: int = 4) -> str:
+    shown = sorted(map(repr, tokens))
+    if len(shown) > limit:
+        shown = shown[:limit] + [f"... ({len(tokens)} total)"]
+    return "{" + ", ".join(shown) + "}"
+
+
+def check_schedule(
+    collective: str,
+    rounds: Sequence[RoundSpec],
+    p: int,
+    total_bytes: float,
+    algorithm: str = "",
+    sizes: np.ndarray | None = None,
+    root: int = 0,
+) -> SemanticReport:
+    """Check one round schedule against its collective's token model."""
+    report = SemanticReport(
+        collective=collective,
+        algorithm=algorithm,
+        p=p,
+        total_bytes=float(total_bytes),
+        n_rounds=sum(spec.repeat for spec in rounds),
+    )
+    report.failures.extend(_structural_failures(rounds, p))
+    if report.failures:
+        return report  # token flooding on out-of-range ranks would crash
+
+    model = collective_tokens(collective, p, total_bytes, sizes=sizes, root=root)
+    final = flood(rounds, model.initial)
+    for r in range(p):
+        missing = set(model.required[r]) - final[r]
+        if missing:
+            report.failures.append(
+                f"rank {r} cannot obtain {_format_tokens(missing)} under any "
+                f"payload routing of this schedule"
+            )
+    report.failures.extend(_volume_failures(rounds, model))
+    return report
+
+
+def check_algorithm(
+    collective: str,
+    algorithm: str,
+    p: int,
+    total_bytes: float | None = None,
+    root: int = 0,
+) -> SemanticReport:
+    """Generate ``(collective, algorithm)`` rounds and check them.
+
+    ``total_bytes`` defaults to ``1024 * p`` (1 KiB per rank); every
+    registered rounds function is linear in bytes, so the choice only
+    scales the volume audit.
+    """
+    from repro.collectives.selector import get_algorithm
+
+    if total_bytes is None:
+        total_bytes = 1024.0 * p
+    rounds = get_algorithm(collective, algorithm)(p, total_bytes)
+    return check_schedule(
+        collective, rounds, p, total_bytes, algorithm=algorithm, root=root
+    )
+
+
+def check_alltoallv(sizes: np.ndarray) -> SemanticReport:
+    """Check the pairwise alltoallv schedule for a ragged size matrix."""
+    from repro.collectives.misc import alltoallv_pairwise_rounds
+
+    sizes = np.asarray(sizes, dtype=float)
+    p = sizes.shape[0]
+    rounds = alltoallv_pairwise_rounds(sizes)
+    return check_schedule(
+        "alltoallv",
+        rounds,
+        p,
+        float(sizes.sum()),
+        algorithm="pairwise",
+        sizes=sizes,
+    )
+
+
+def checkable_algorithms(p: int) -> list[tuple[str, str]]:
+    """Registered ``(collective, algorithm)`` pairs valid at size ``p``.
+
+    Filters the power-of-two-only algorithms and even-``p``-only neighbor
+    exchange, mirroring :mod:`repro.collectives.selector` constraints.
+    """
+    from repro.collectives.selector import list_algorithms
+
+    pow2 = p >= 1 and not p & (p - 1)
+    pow2_only = {
+        ("allgather", "recursive_doubling"),
+        ("allreduce", "recursive_doubling"),
+        ("allreduce", "rabenseifner"),
+        ("reduce_scatter", "halving"),
+    }
+    out = []
+    for key in list_algorithms():
+        if key in pow2_only and not pow2:
+            continue
+        if key == ("allgather", "neighbor") and p % 2:
+            continue
+        out.append(key)
+    return out

@@ -149,3 +149,40 @@ class TestChaosSweep:
                 orders=[(0, 1, 2)],
                 fault_kinds=["rank_kill"],
             )
+
+class TestVerifySweep:
+    def test_grid_covers_registry_and_passes(self):
+        from repro.bench.sweeps import verify_sweep
+        from repro.verify import checkable_algorithms
+
+        records = verify_sweep([4, 8], total_bytes=16384.0)
+        want = len(checkable_algorithms(4)) + len(checkable_algorithms(8))
+        assert len(records) == want
+        for rec in records:
+            assert rec.ok, (rec.collective, rec.algorithm, rec.comm_size)
+            assert rec.n_rounds >= 0
+            assert rec.differential_rel_err < 1e-6  # flat machine is exact
+
+    def test_collective_filter_and_csv(self):
+        from repro.bench.sweeps import verify_sweep
+
+        records = verify_sweep([8], collectives=["allreduce"])
+        assert records and all(r.collective == "allreduce" for r in records)
+        text = to_csv(records)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(records)
+        assert rows[0]["semantic_ok"] == "True"
+
+    def test_hierarchical_topology_within_tolerance(self):
+        from repro.bench.sweeps import verify_sweep
+
+        records = verify_sweep(
+            [8], collectives=["allgather"], topology=generic_cluster((2, 2, 2))
+        )
+        assert records and all(r.ok for r in records)
+
+    def test_oversized_comm_rejected(self):
+        from repro.bench.sweeps import verify_sweep
+
+        with pytest.raises(ValueError, match="exceeds"):
+            verify_sweep([16], topology=generic_cluster((2, 2, 2)))

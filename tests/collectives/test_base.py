@@ -1,0 +1,50 @@
+"""Validation in the shared round-schedule plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import RoundSpec, rounds_to_schedule
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError):
+        RoundSpec(np.array([0, 1]), np.array([1]), 8.0)
+
+
+def test_nonpositive_repeat_rejected():
+    with pytest.raises(ValueError):
+        RoundSpec(np.array([0]), np.array([1]), 8.0, repeat=0)
+
+
+def test_out_of_range_rank_rejected():
+    spec = RoundSpec(np.array([0]), np.array([2]), 8.0)
+    with pytest.raises(ValueError, match="outside the communicator"):
+        rounds_to_schedule([spec], np.array([4, 5]))
+
+
+def test_negative_src_rank_rejected():
+    # Regression: only the upper bound used to be validated, so a negative
+    # rank silently indexed member_cores from the end.
+    spec = RoundSpec(np.array([-1]), np.array([1]), 8.0)
+    with pytest.raises(ValueError, match="outside the communicator"):
+        rounds_to_schedule([spec], np.array([4, 5]))
+
+
+def test_negative_dst_rank_rejected():
+    spec = RoundSpec(np.array([0]), np.array([-2]), 8.0)
+    with pytest.raises(ValueError, match="outside the communicator"):
+        rounds_to_schedule([spec], np.array([4, 5]))
+
+
+def test_valid_rounds_map_to_cores():
+    spec = RoundSpec(np.array([0, 1]), np.array([1, 0]), 8.0, repeat=3)
+    schedule = rounds_to_schedule([spec], np.array([7, 9]))
+    assert list(schedule.rounds[0].src) == [7, 9]
+    assert list(schedule.rounds[0].dst) == [9, 7]
+    assert schedule.rounds[0].repeat == 3
+
+
+def test_empty_round_passes_validation():
+    spec = RoundSpec(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 0.0)
+    schedule = rounds_to_schedule([spec], np.array([0, 1]))
+    assert schedule.rounds[0].src.size == 0

@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.hierarchy import Hierarchy
 from repro.simmpi import Comm, Simulator
 from repro.topology.machines import generic_cluster, hydra, lumi_node
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" pins the run for Actions: fixed derandomized examples, a bounded
+    # example budget, and no deadline (shared runners are noisy).  "dev" is
+    # the local default.  Select with HYPOTHESIS_PROFILE=ci.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - property tests skip without hypothesis
+    pass
 
 
 @pytest.fixture

@@ -48,6 +48,32 @@ class TestClasses:
         fine = equivalence_classes(hydra_hierarchy, 16, check_all_comms=True)
         assert len(fine) >= len(coarse)
 
+    def test_check_all_comms_locks_heterogeneous_fig1_example(self, fig1_hierarchy):
+        # Section 3.3 on the heterogeneous [[2, 2, 4]] hierarchy with
+        # 4-rank communicators, under the strict all-communicator key:
+        # exactly 5 classes, with [2,0,1]/[2,1,0] the single merged pair
+        # (they only exchange which socket two communicators land on).
+        classes = equivalence_classes(fig1_hierarchy, 4, check_all_comms=True)
+        assert len(classes) == 5
+        grouped = sorted(
+            tuple(sorted(s.order for s in sigs)) for sigs in classes.values()
+        )
+        assert grouped == [
+            ((0, 1, 2),),
+            ((0, 2, 1),),
+            ((1, 0, 2),),
+            ((1, 2, 0),),
+            ((2, 0, 1), (2, 1, 0)),
+        ]
+
+    def test_check_all_comms_separates_the_pair_at_full_size(self, fig1_hierarchy):
+        # With one 8-rank communicator per node the socket swap is no
+        # longer symmetric: the strict key splits [2,0,1] from [2,1,0].
+        classes = equivalence_classes(fig1_hierarchy, 8, check_all_comms=True)
+        assert len(classes) == 6
+        for sigs in classes.values():
+            assert len(sigs) == 1
+
     def test_explicit_order_subset(self, fig1_hierarchy):
         subset = [(0, 1, 2), (1, 0, 2)]
         classes = equivalence_classes(fig1_hierarchy, 4, orders=subset)

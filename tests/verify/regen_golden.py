@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate the repo's golden fixtures in one documented workflow.
+
+Two golden families exist:
+
+- ``tests/verify/golden_differential.json`` -- round-model and DES
+  durations of the seed differential benchmarks
+  (:func:`repro.verify.seed_benchmark_suite`), locked bitwise by
+  ``tests/verify/test_golden_differential.py``.
+- The healthy-path timing constants in
+  ``tests/faults/test_golden_timing.py`` (``GOLDEN_ALLTOALL`` /
+  ``GOLDEN_ALLREDUCE``), locked by that test.
+
+Run after an *intentional* change to the network models::
+
+    PYTHONPATH=src python tests/verify/regen_golden.py
+
+The differential fixture is rewritten in place; the fault-timing
+constants are printed for manual pasting (they live in test source so the
+diff is reviewable).  Any unexplained drift is a regression, not a reason
+to regenerate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+GOLDEN_PATH = HERE / "golden_differential.json"
+
+
+def differential_golden() -> dict:
+    """Seed-benchmark durations, keyed by case label (deterministic)."""
+    from repro.verify import seed_benchmark_suite
+
+    report = seed_benchmark_suite()
+    return {
+        "description": (
+            "Round-model vs DES durations of the seed differential "
+            "benchmarks; regenerate with tests/verify/regen_golden.py"
+        ),
+        "cases": {
+            case.label: {
+                "p": case.p,
+                "total_bytes": case.total_bytes,
+                "t_round": case.t_round,
+                "t_des": case.t_des,
+            }
+            for case in report.cases
+        },
+    }
+
+
+def fault_timing_golden() -> tuple[dict, float]:
+    """The PR-1 healthy-path constants (see tests/faults/test_golden_timing.py)."""
+    from tests.faults.test_golden_timing import _run_benchmarks
+
+    alltoall, allreduce = _run_benchmarks(schedule=None)
+    times = set(allreduce.values())
+    assert len(times) == 1, "allreduce finish times diverged across ranks"
+    return alltoall, times.pop()
+
+
+def main() -> int:
+    golden = differential_golden()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden['cases'])} cases)")
+
+    alltoall, allreduce = fault_timing_golden()
+    print("\nConstants for tests/faults/test_golden_timing.py (paste if an")
+    print("intentional model change shifted them):")
+    print("GOLDEN_ALLTOALL = {")
+    for rank, t in alltoall.items():
+        print(f"    {rank}: {t!r},")
+    print("}")
+    print(f"GOLDEN_ALLREDUCE = {allreduce!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""CLI surface of the verification subsystem (``repro-mrd verify ...``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    return rc, capsys.readouterr().out
+
+
+def test_verify_fuzz_clean_campaign(capsys):
+    rc, out = run_cli(capsys, "verify", "fuzz", "--cases", "8", "--seed", "5")
+    assert rc == 0
+    assert "fuzz campaign seed=5: 8 case(s)" in out
+    assert "0 failure(s)" in out
+
+
+def test_verify_fuzz_check_subset(capsys):
+    rc, out = run_cli(
+        capsys, "verify", "fuzz", "--cases", "4", "--checks", "semantic,program"
+    )
+    assert rc == 0
+    assert "checks=semantic,program" in out
+
+
+def test_verify_fuzz_rejects_unknown_check(capsys):
+    with pytest.raises(SystemExit):
+        main(["verify", "fuzz", "--checks", "vibes"])
+
+
+def test_verify_semantic_all_pass(capsys):
+    rc, out = run_cli(capsys, "verify", "semantic", "--sizes", "2,4,8")
+    assert rc == 0
+    assert "0 failing schedule(s)" in out
+    assert "allreduce/" in out
+
+
+def test_verify_differential_seed_benchmarks(capsys):
+    rc, out = run_cli(capsys, "verify", "differential")
+    assert rc == 0
+    assert "12 case(s), 0 mismatch(es)" in out

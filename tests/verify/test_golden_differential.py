@@ -1,0 +1,27 @@
+"""Golden regression on the differential seed benchmarks.
+
+Both models' durations are locked bitwise (JSON round-trips Python floats
+exactly).  Drift in ``t_round`` means the round model changed; drift in
+``t_des`` means the DES changed.  Intentional model changes regenerate the
+fixture via ``tests/verify/regen_golden.py`` -- see that script's
+docstring for the workflow shared with the fault-timing goldens.
+"""
+
+import json
+from pathlib import Path
+
+from repro.verify import seed_benchmark_suite
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_differential.json"
+
+
+def test_seed_differential_matches_golden_exactly():
+    golden = json.loads(GOLDEN_PATH.read_text())["cases"]
+    report = seed_benchmark_suite()
+    assert {c.label for c in report.cases} == set(golden)
+    for case in report.cases:
+        want = golden[case.label]
+        assert case.p == want["p"]
+        assert case.total_bytes == want["total_bytes"]
+        assert case.t_round == want["t_round"], case.label  # bitwise
+        assert case.t_des == want["t_des"], case.label  # bitwise

@@ -1,0 +1,153 @@
+"""Trace-invariant audit of DES flow records, healthy and faulted."""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import FaultSchedule, FaultSpec
+from repro.simmpi.runtime import FlowRecord
+from repro.topology.machines import generic_cluster
+from repro.verify import check_faulted_run, check_trace, replay_rounds_des
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generic_cluster((2, 2, 4), names=("node", "socket", "core"))
+
+
+def _replay_trace(topo, collective="allreduce", algorithm="ring", p=8):
+    from repro.collectives.selector import rounds_for
+
+    rounds = rounds_for(collective, p, 65536.0, algorithm)
+    _t, _timings, records = replay_rounds_des(topo, np.arange(p), rounds)
+    return records
+
+
+def test_healthy_replays_satisfy_all_invariants(topo):
+    for collective, algorithm in (
+        ("allreduce", "ring"),
+        ("alltoall", "bruck"),
+        ("allgather", "recursive_doubling"),
+        ("bcast", "binomial"),
+    ):
+        records = _replay_trace(topo, collective, algorithm)
+        report = check_trace(topo, records)
+        assert report.ok, report.summary()
+
+
+def test_empty_trace_is_ok(topo):
+    report = check_trace(topo, [])
+    assert report.ok and report.n_records == 0
+
+
+def _record(src_core, dst_core, nbytes, start, end, src_rank=None, dst_rank=None):
+    return FlowRecord(
+        src_rank=src_rank if src_rank is not None else src_core,
+        dst_rank=dst_rank if dst_rank is not None else dst_core,
+        src_core=src_core,
+        dst_core=dst_core,
+        nbytes=nbytes,
+        start=start,
+        end=end,
+        key=(0, 0),
+    )
+
+
+def test_impossibly_fast_flow_violates_causality(topo):
+    # 1 MB across the node boundary in a femtosecond.
+    report = check_trace(topo, [_record(0, 15, 1e6, 0.0, 1e-15)])
+    assert not report.ok
+    assert any(v.invariant == "causality" for v in report.violations)
+
+
+def test_time_reversed_flow_violates_causality(topo):
+    report = check_trace(topo, [_record(0, 1, 64.0, 1.0, 0.5)])
+    assert not report.ok
+    assert any(v.invariant == "causality" for v in report.violations)
+
+
+def test_overcommitted_link_violates_capacity(topo):
+    # Two concurrent flows over the same node up-link, each individually
+    # plausible, jointly exceeding capacity x window.
+    from repro.netsim.flows import FlowNetwork
+
+    net = FlowNetwork(topo)
+    edge = net.path_edges(0, 15)[0]  # node 0's up-link, shared by both flows
+    cap = float(net._base_capacity[edge])
+    window = 1.0
+    nbytes = 0.9 * cap * window
+    records = [
+        _record(0, 15, nbytes, 0.0, window, src_rank=0, dst_rank=1),
+        _record(1, 14, nbytes, 0.0, window, src_rank=2, dst_rank=3),
+    ]
+    report = check_trace(topo, records)
+    assert not report.ok
+    assert any(v.invariant == "capacity" for v in report.violations)
+
+
+def test_flow_past_rank_kill_is_a_violation(topo):
+    schedule = FaultSchedule((FaultSpec("rank_kill", start=1.0, target=3),))
+    bad = _record(3, 4, 64.0, 1.5, 2.0, src_rank=3, dst_rank=4)
+    report = check_trace(
+        topo, [bad], rank_to_core=np.arange(8), fault_schedule=schedule
+    )
+    assert not report.ok
+    assert any(v.invariant == "kill" for v in report.violations)
+
+
+def test_flow_before_rank_kill_is_fine(topo):
+    schedule = FaultSchedule((FaultSpec("rank_kill", start=1.0, target=3),))
+    good = _record(3, 4, 1.0, 0.0, 0.9, src_rank=3, dst_rank=4)
+    report = check_trace(
+        topo, [good], rank_to_core=np.arange(8), fault_schedule=schedule
+    )
+    assert report.ok, report.summary()
+
+
+def test_node_crash_kills_its_ranks(topo):
+    # Node 0 hosts cores 0..7; a flow from rank bound to core 2 that ends
+    # after the crash breaches the kill invariant.
+    schedule = FaultSchedule((FaultSpec("node_crash", start=1.0, target=0),))
+    bad = _record(2, 8, 64.0, 0.5, 2.0, src_rank=2, dst_rank=8)
+    report = check_trace(
+        topo, [bad], rank_to_core=np.arange(16), fault_schedule=schedule
+    )
+    assert not report.ok
+    assert any(v.invariant == "kill" for v in report.violations)
+
+
+def test_faulted_campaign_traces_stay_physical(topo):
+    """End-to-end: a rank-kill campaign's surviving flows pass the audit."""
+    from repro.collectives.allreduce import ring_program
+    from repro.simmpi.communicator import Comm
+
+    p = 8
+    schedule = FaultSchedule((FaultSpec("rank_kill", start=2e-6, target=5),))
+
+    def factory():
+        comms = Comm.world(p)
+        vecs = np.ones((p, 64))
+        return {r: ring_program(comms[r], vecs[r]) for r in range(p)}
+
+    report = check_faulted_run(topo, np.arange(p), factory, schedule)
+    assert report.ok, report.summary()
+
+
+def test_chaos_campaign_traces_stay_physical(topo):
+    """Sampled link-degradation chaos also produces physical traces."""
+    from repro.collectives.alltoall import pairwise_program
+    from repro.faults.model import ChaosGenerator
+    from repro.simmpi.communicator import Comm
+
+    p = 8
+    schedule = ChaosGenerator(seed=42).schedule(
+        topo, horizon=1e-4, link_degrade_rate=3.0, straggler_rate=2.0
+    )
+
+    def factory():
+        comms = Comm.world(p)
+        send = np.ones((p, p, 16))
+        return {r: pairwise_program(comms[r], send[r]) for r in range(p)}
+
+    report = check_faulted_run(topo, np.arange(p), factory, schedule)
+    assert report.n_records > 0
+    assert report.ok, report.summary()

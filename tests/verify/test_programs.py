@@ -1,0 +1,66 @@
+"""Exact program-vs-MPI-specification checks on the DES.
+
+Every functional collective program is executed with integer-valued
+payloads and compared bitwise against the NumPy statement of the MPI
+post-state, across uniform and awkward communicator sizes and non-zero
+roots.
+"""
+
+import pytest
+
+from repro.verify import verify_program
+from repro.verify.programs import program_algorithms
+
+
+@pytest.mark.parametrize("p", (1, 2, 3, 4, 7, 8))
+def test_all_programs_match_spec(p):
+    pairs = program_algorithms(p)
+    assert pairs
+    for collective, algorithm in pairs:
+        report = verify_program(collective, algorithm, p)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("p", (2, 5, 8))
+@pytest.mark.parametrize("collective", ("bcast", "reduce", "gather", "scatter"))
+def test_rooted_programs_with_nonzero_root(collective, p):
+    report = verify_program(collective, "binomial", p, root=p - 1)
+    assert report.ok, report.summary()
+
+
+def test_scatter_allgather_bcast_with_nonzero_root():
+    report = verify_program("bcast", "scatter_allgather", 4, root=2)
+    assert report.ok, report.summary()
+
+
+def test_unknown_collective_raises():
+    with pytest.raises(KeyError):
+        verify_program("allfoo", "ring", 4)
+
+
+def test_broken_program_is_reported(monkeypatch):
+    """A program returning wrong data must fail the diff, not crash it."""
+    from repro.collectives import allgather
+
+    def biased_ring(comm, block):
+        result = yield from allgather.ring_program(comm, block)
+        result[0] += 1.0  # corrupt the block gathered from rank 0
+        return result
+
+    monkeypatch.setitem(allgather.PROGRAMS, "ring", biased_ring)
+    report = verify_program("allgather", "ring", 4)
+    assert not report.ok
+    assert any("deviates from the MPI specification" in f for f in report.failures)
+
+
+def test_crashing_program_is_a_finding(monkeypatch):
+    from repro.collectives import allgather
+
+    def crashing(comm, block):
+        raise RuntimeError("boom")
+        yield  # pragma: no cover - make it a generator
+
+    monkeypatch.setitem(allgather.PROGRAMS, "ring", crashing)
+    report = verify_program("allgather", "ring", 4)
+    assert not report.ok
+    assert any("execution raised" in f for f in report.failures)

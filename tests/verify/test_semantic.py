@@ -1,0 +1,173 @@
+"""Symbolic data-flow checker: every registered schedule, plus mutations.
+
+The acceptance bar of the verification subsystem: each ``(collective,
+algorithm)`` pair in the selector registry passes the token-flooding and
+volume checks at five or more communicator sizes, and deliberately
+corrupted schedules are rejected with actionable failure messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import RoundSpec
+from repro.collectives.selector import list_algorithms
+from repro.verify import (
+    check_algorithm,
+    check_alltoallv,
+    check_schedule,
+    checkable_algorithms,
+    collective_tokens,
+    flood,
+)
+
+#: Mixed powers of two and awkward sizes; together with the pow2 filter in
+#: checkable_algorithms this exercises every registry entry at >= 5 sizes.
+SIZES = (2, 4, 5, 8, 13, 16, 32)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_every_registered_algorithm_passes(p):
+    pairs = checkable_algorithms(p)
+    assert pairs, "registry must not be empty"
+    for collective, algorithm in pairs:
+        report = check_algorithm(collective, algorithm, p)
+        assert report.ok, report.summary()
+
+
+def test_checkable_covers_whole_registry_at_pow2():
+    # At a power-of-two size nothing is filtered: the acceptance criterion
+    # "every algorithm variant registered in collectives.selector".
+    assert set(checkable_algorithms(16)) == set(list_algorithms())
+
+
+def test_single_rank_schedules_are_trivially_complete():
+    for collective, algorithm in checkable_algorithms(1):
+        report = check_algorithm(collective, algorithm, 1)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("p", (2, 4, 8))
+@pytest.mark.parametrize("collective", ("bcast", "reduce", "gather", "scatter"))
+def test_rooted_models_reject_bad_root(collective, p):
+    with pytest.raises(ValueError):
+        collective_tokens(collective, p, 1024.0, root=p)
+    with pytest.raises(ValueError):
+        collective_tokens(collective, p, 1024.0, root=-1)
+
+
+def test_unknown_collective_raises():
+    with pytest.raises(KeyError):
+        collective_tokens("allfoo", 4, 1024.0)
+
+
+class TestMutationsAreCaught:
+    """Corrupting a correct schedule must flip the verdict."""
+
+    def _ring_allgather(self, p, total):
+        from repro.collectives.allgather import ring_rounds
+
+        return ring_rounds(p, total)
+
+    def test_dropped_round_is_detected(self):
+        p, total = 8, 8192.0
+        rounds = self._ring_allgather(p, total)
+        # The ring is one pattern repeated p - 1 times; repeat it one time
+        # fewer and the farthest block cannot arrive.
+        truncated = [
+            RoundSpec(spec.src, spec.dst, spec.nbytes, repeat=spec.repeat - 1)
+            for spec in rounds
+        ]
+        report = check_schedule("allgather", truncated, p, total)
+        assert not report.ok
+        assert any("cannot obtain" in f for f in report.failures)
+
+    def test_wrong_partner_is_detected(self):
+        p, total = 8, 8192.0
+        # A "ring" that always sends to the same neighbour floods nothing
+        # beyond distance one per repeat... sending r -> r instead breaks
+        # connectivity entirely.
+        src = np.arange(p)
+        broken = [RoundSpec(src, src, total / p, repeat=p - 1)]
+        report = check_schedule("allgather", broken, p, total)
+        assert not report.ok
+
+    def test_volume_shortfall_is_detected(self):
+        p, total = 4, 4096.0
+        rounds = self._ring_allgather(p, total)
+        starved = [
+            RoundSpec(spec.src, spec.dst, np.asarray(spec.nbytes) / 2, spec.repeat)
+            for spec in rounds
+        ]
+        report = check_schedule("allgather", starved, p, total)
+        assert not report.ok
+        assert any("requires >=" in f for f in report.failures)
+
+    def test_negative_rank_is_structural_failure(self):
+        p = 4
+        spec = RoundSpec(np.array([-1, 0]), np.array([1, 2]), 64.0)
+        report = check_schedule("allgather", [spec], p, 4096.0)
+        assert not report.ok
+        assert any("negative" in f for f in report.failures)
+
+    def test_out_of_range_rank_is_structural_failure(self):
+        p = 4
+        spec = RoundSpec(np.array([0]), np.array([p]), 64.0)
+        report = check_schedule("allgather", [spec], p, 4096.0)
+        assert not report.ok
+        assert any("outside communicator" in f for f in report.failures)
+
+    def test_duplicate_flow_is_structural_failure(self):
+        spec = RoundSpec(np.array([0, 0]), np.array([1, 1]), 64.0)
+        report = check_schedule("allgather", [spec], 4, 4096.0)
+        assert not report.ok
+        assert any("duplicate" in f for f in report.failures)
+
+
+class TestFlooding:
+    def test_flood_respects_round_snapshots(self):
+        # 0 -> 1 and 1 -> 2 in the SAME round: 2 must not learn 0's token
+        # (1's knowledge is snapshotted at round start).
+        same_round = [RoundSpec(np.array([0, 1]), np.array([1, 2]), 1.0)]
+        state = flood(same_round, [frozenset({i}) for i in range(3)])
+        assert 0 not in state[2]
+        # In consecutive rounds the token propagates.
+        two_rounds = [
+            RoundSpec(np.array([0]), np.array([1]), 1.0),
+            RoundSpec(np.array([1]), np.array([2]), 1.0),
+        ]
+        state = flood(two_rounds, [frozenset({i}) for i in range(3)])
+        assert 0 in state[2]
+
+    def test_repeat_reaches_fixpoint(self):
+        # A ring pattern with a huge repeat terminates via the fixpoint
+        # break and still floods everything.
+        p = 5
+        src = np.arange(p)
+        dst = (src + 1) % p
+        state = flood(
+            [RoundSpec(src, dst, 1.0, repeat=10_000)],
+            [frozenset({i}) for i in range(p)],
+        )
+        assert all(s == set(range(p)) for s in state)
+
+
+class TestAlltoallv:
+    def test_ragged_matrix_passes(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(0, 5, size=(6, 6)).astype(float) * 128
+        report = check_alltoallv(sizes)
+        assert report.ok, report.summary()
+
+    def test_zero_rows_and_columns_pass(self):
+        sizes = np.zeros((4, 4))
+        sizes[0, 1] = 256.0
+        report = check_alltoallv(sizes)
+        assert report.ok, report.summary()
+
+    def test_requires_square_matrix(self):
+        with pytest.raises(ValueError):
+            collective_tokens("alltoallv", 3, 0.0, sizes=np.zeros((3, 2)))
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            collective_tokens("alltoallv", 2, 0.0, sizes=np.array([[0.0, -1.0], [0.0, 0.0]]))
