@@ -1,0 +1,104 @@
+"""Acceptance benchmark for the sweep engine (ISSUE: repro.engine).
+
+Runs the Figure 3 sweep three ways -- serial/uncached, through the engine
+cold (populating a disk cache), and through a fresh engine warm from that
+cache at ``jobs=4`` -- and asserts:
+
+- all three produce bitwise-identical series (memoization, equivalence
+  pruning, and the worker pool change cost, never results);
+- the warm engine run is >= 3x faster than the serial baseline;
+- the run emits the machine-readable ``BENCH_sweep.json`` artifact with
+  wall-clock, cache hit rate, and pruning savings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.figures import FIG3_ORDERS, fig3_data
+from repro.bench.microbench import paper_sizes
+from repro.bench.report import assert_checks, check, print_checks
+from repro.engine import SweepEngine
+
+#: Where CI picks the perf artifact up (repo root; see .github/workflows).
+BENCH_JSON = Path("BENCH_sweep.json")
+
+
+def test_engine_sweep_speedup_and_identity(once, tmp_path):
+    sizes = paper_sizes(n=9)
+    cache_dir = tmp_path / "sweep-cache"
+
+    t0 = time.perf_counter()
+    serial = fig3_data(sizes)
+    t_serial = time.perf_counter() - t0
+
+    cold_engine = SweepEngine(jobs=4, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    cold = fig3_data(sizes, engine=cold_engine)
+    t_cold = time.perf_counter() - t0
+
+    warm_engine = SweepEngine(jobs=4, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    warm = once(fig3_data, sizes, engine=warm_engine)
+    t_warm = time.perf_counter() - t0
+
+    speedup_warm = t_serial / t_warm
+    n_points = len(FIG3_ORDERS) * len(sizes)
+    print(
+        f"\nFigure 3 sweep, {n_points} points: serial {t_serial:.3f}s, "
+        f"engine cold {t_cold:.3f}s, engine warm {t_warm:.3f}s "
+        f"(speedup {speedup_warm:.1f}x)"
+    )
+    print("cold stats:", cold_engine.stats.to_jsonable())
+    print("warm stats:", warm_engine.stats.to_jsonable())
+
+    doc = warm_engine.write_bench_json(
+        BENCH_JSON,
+        extra={
+            "figure": "fig3",
+            "points": n_points,
+            "serial_wall_clock_s": t_serial,
+            "cold_wall_clock_s": t_cold,
+            "warm_speedup_vs_serial": speedup_warm,
+        },
+    )
+
+    checks = [
+        check(
+            "engine (cold) series bitwise-identical to serial sweep",
+            serial == cold,
+            f"{n_points} points compared",
+        ),
+        check(
+            "engine (warm cache) series bitwise-identical to serial sweep",
+            serial == warm,
+            f"{n_points} points compared",
+        ),
+        check(
+            "warm engine run >= 3x faster than serial",
+            speedup_warm >= 3.0,
+            f"speedup {speedup_warm:.1f}x",
+        ),
+        check(
+            "cold run pruned at least one equivalence-class member",
+            cold_engine.stats.pruned >= len(sizes),
+            f"pruned {cold_engine.stats.pruned}",
+        ),
+        check(
+            "warm run answered every request from the cache",
+            warm_engine.stats.cache_hit_rate == 1.0
+            and warm_engine.stats.evaluated == 0,
+            f"hit rate {warm_engine.stats.cache_hit_rate:.2f}",
+        ),
+        check(
+            "BENCH_sweep.json written with perf counters",
+            BENCH_JSON.exists()
+            and {"wall_clock_s", "cache_hit_rate", "pruned_evaluations_saved"}
+            <= set(json.loads(BENCH_JSON.read_text())),
+            str(doc),
+        ),
+    ]
+    print_checks(checks)
+    assert_checks(checks)

@@ -99,55 +99,118 @@ def fig2_enumerations(comm_size: int = 4) -> list[Fig2Enumeration]:
 
 
 def _sweep_figure(
-    topology, hierarchy, orders, comm_size, collective, sizes, algorithm=None
+    topology, hierarchy, orders, comm_size, collective, sizes, algorithm=None,
+    engine=None,
 ) -> list[MicrobenchSeries]:
-    fabric = Fabric(topology)
+    """Evaluate one figure's (order x size) grid.
+
+    With an engine the grid runs as one :class:`~repro.engine.EvalRequest`
+    batch -- memoized, equivalence-pruned, and fanned out over the
+    engine's worker pool; without one it falls back to the serial
+    :func:`~repro.bench.microbench.size_sweep` path.  Both produce
+    identical series.
+    """
+    from repro.collectives.selector import select_algorithm
+
+    if engine is None:
+        fabric = Fabric(topology)
+        return [
+            size_sweep(
+                topology, hierarchy, order, comm_size, collective, sizes,
+                algorithm=algorithm, fabric=fabric,
+            )
+            for order in orders
+        ]
+    from repro.bench.microbench import MicrobenchPoint
+    from repro.core.metrics import signature
+    from repro.engine import EvalRequest
+
+    orders = [tuple(order) for order in orders]
+    sizes = list(sizes)
+    grid = [(order, s) for order in orders for s in sizes]
+    results = engine.evaluate_many(
+        [
+            EvalRequest(
+                model="round",
+                topology=topology,
+                hierarchy=hierarchy,
+                order=order,
+                comm_size=comm_size,
+                collective=collective,
+                algorithm=algorithm,
+                total_bytes=s,
+            )
+            for order, s in grid
+        ]
+    )
+    points = {
+        (order, s): MicrobenchPoint(s, out["duration_single"], out["duration_all"])
+        for (order, s), out in zip(grid, results)
+    }
+    algo_label = algorithm or "+".join(
+        sorted({select_algorithm(collective, comm_size, s) for s in sizes})
+    )
     return [
-        size_sweep(
-            topology, hierarchy, order, comm_size, collective, sizes,
-            algorithm=algorithm, fabric=fabric,
+        MicrobenchSeries(
+            order=order,
+            signature=signature(hierarchy, order, comm_size),
+            collective=collective,
+            algorithm=algo_label,
+            comm_size=comm_size,
+            n_comms=hierarchy.size // comm_size,
+            points=tuple(points[order, s] for s in sizes),
         )
         for order in orders
     ]
 
 
-def fig3_data(sizes: Sequence[float] | None = None) -> list[MicrobenchSeries]:
+def fig3_data(
+    sizes: Sequence[float] | None = None, engine=None
+) -> list[MicrobenchSeries]:
     """Figure 3: Alltoall, 16 Hydra nodes, 512 ranks, 16 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG3_ORDERS, 16, "alltoall",
-        sizes or paper_sizes(n=9),
+        sizes or paper_sizes(n=9), engine=engine,
     )
 
 
-def fig4_data(sizes: Sequence[float] | None = None) -> list[MicrobenchSeries]:
+def fig4_data(
+    sizes: Sequence[float] | None = None, engine=None
+) -> list[MicrobenchSeries]:
     """Figure 4: Alltoall, 16 Hydra nodes, 512 ranks, 128 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG4_ORDERS, 128, "alltoall",
-        sizes or paper_sizes(n=7),
+        sizes or paper_sizes(n=7), engine=engine,
     )
 
 
-def fig5_data(sizes: Sequence[float] | None = None) -> list[MicrobenchSeries]:
+def fig5_data(
+    sizes: Sequence[float] | None = None, engine=None
+) -> list[MicrobenchSeries]:
     """Figure 5: Alltoall, 16 LUMI nodes, 2048 ranks, 16 per communicator."""
     return _sweep_figure(
         lumi(16), LUMI16, FIG5_ORDERS, 16, "alltoall",
-        sizes or paper_sizes(n=7),
+        sizes or paper_sizes(n=7), engine=engine,
     )
 
 
-def fig6_data(sizes: Sequence[float] | None = None) -> list[MicrobenchSeries]:
+def fig6_data(
+    sizes: Sequence[float] | None = None, engine=None
+) -> list[MicrobenchSeries]:
     """Figure 6: Allreduce, 16 Hydra nodes, 512 ranks, 64 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG6_ORDERS, 64, "allreduce",
-        sizes or paper_sizes(n=9),
+        sizes or paper_sizes(n=9), engine=engine,
     )
 
 
-def fig7_data(sizes: Sequence[float] | None = None) -> list[MicrobenchSeries]:
+def fig7_data(
+    sizes: Sequence[float] | None = None, engine=None
+) -> list[MicrobenchSeries]:
     """Figure 7: Allgather, 16 LUMI nodes, 2048 ranks, 256 per communicator."""
     return _sweep_figure(
         lumi(16), LUMI16, FIG7_ORDERS, 256, "allgather",
-        sizes or paper_sizes(n=7),
+        sizes or paper_sizes(n=7), engine=engine,
     )
 
 

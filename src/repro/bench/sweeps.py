@@ -5,6 +5,13 @@ is the open-ended counterpart for downstream users: sweep any subset of
 {order, communicator size, collective, algorithm, data size, machine} on
 the fast model and collect tidy records suitable for CSV export or
 further analysis.
+
+All sweeps run through :class:`repro.engine.SweepEngine`: every grid
+point becomes a content-addressed :class:`~repro.engine.EvalRequest`, so
+repeated points are recalled from the cache, order-equivalent points are
+evaluated once per class, and independent points fan out over a worker
+pool (``jobs``).  Pass an existing engine to share its cache and
+statistics across sweeps, or let each call build a private serial one.
 """
 
 from __future__ import annotations
@@ -14,13 +21,10 @@ import io
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
-import numpy as np
-
-from repro.bench.microbench import run_microbench
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import signature
 from repro.core.orders import Order, all_orders, format_order
-from repro.netsim.fabric import Fabric
+from repro.engine import EvalRequest, SweepEngine
 from repro.topology.machine import MachineTopology
 
 
@@ -50,45 +54,71 @@ def sweep(
     sizes: Sequence[float] = (1e6, 64e6),
     orders: Sequence[Order] | None = None,
     algorithm: str | None = None,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
+    prune: bool = True,
 ) -> list[SweepRecord]:
-    """Evaluate the full cross product; returns one record per point."""
+    """Evaluate the full cross product; returns one record per point.
+
+    The grid is materialized as engine requests and evaluated in one
+    batch, so memoization, equivalence pruning, and the worker pool all
+    apply; record order matches the serial nested-loop order exactly.
+    """
+    from repro.collectives.selector import select_algorithm
+
     hierarchy.check_process_count(topology.n_cores)
-    fabric = Fabric(topology)
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir, prune=prune)
     if orders is None:
         orders = all_orders(hierarchy.depth)
-    records: list[SweepRecord] = []
+    grid: list[tuple[int, Order, str, float]] = []
     for comm_size in comm_sizes:
         if hierarchy.size % comm_size:
             raise ValueError(
                 f"comm size {comm_size} does not divide {hierarchy.size}"
             )
         for order in orders:
-            sig = signature(hierarchy, order, comm_size)
             for collective in collectives:
                 for total in sizes:
-                    point = run_microbench(
-                        topology, hierarchy, order, comm_size, collective,
-                        total, algorithm=algorithm, fabric=fabric,
-                    )
-                    from repro.collectives.selector import select_algorithm
-
-                    records.append(
-                        SweepRecord(
-                            machine=topology.name,
-                            order=format_order(order),
-                            ring_cost=sig.ring_cost,
-                            comm_size=comm_size,
-                            n_comms=hierarchy.size // comm_size,
-                            collective=collective,
-                            algorithm=algorithm
-                            or select_algorithm(collective, comm_size, total),
-                            total_bytes=total,
-                            duration_single=point.duration_single,
-                            duration_all=point.duration_all,
-                            bandwidth_single=point.bandwidth_single,
-                            bandwidth_all=point.bandwidth_all,
-                        )
-                    )
+                    grid.append((comm_size, tuple(order), collective, total))
+    results = engine.evaluate_many(
+        [
+            EvalRequest(
+                model="round",
+                topology=topology,
+                hierarchy=hierarchy,
+                order=order,
+                comm_size=comm_size,
+                collective=collective,
+                algorithm=algorithm,
+                total_bytes=total,
+            )
+            for comm_size, order, collective, total in grid
+        ]
+    )
+    sigs = {
+        (comm_size, order): signature(hierarchy, order, comm_size)
+        for comm_size, order in {(c, o) for c, o, _, _ in grid}
+    }
+    records: list[SweepRecord] = []
+    for (comm_size, order, collective, total), point in zip(grid, results):
+        records.append(
+            SweepRecord(
+                machine=topology.name,
+                order=format_order(order),
+                ring_cost=sigs[comm_size, order].ring_cost,
+                comm_size=comm_size,
+                n_comms=hierarchy.size // comm_size,
+                collective=collective,
+                algorithm=algorithm
+                or select_algorithm(collective, comm_size, total),
+                total_bytes=total,
+                duration_single=point["duration_single"],
+                duration_all=point["duration_all"],
+                bandwidth_single=total / point["duration_single"],
+                bandwidth_all=total / point["duration_all"],
+            )
+        )
     return records
 
 
@@ -148,6 +178,9 @@ def verify_sweep(
     total_bytes: float = 65536.0,
     topology: MachineTopology | None = None,
     tolerance: float | None = None,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> list[VerifyRecord]:
     """Run the verification stack over a grid of collectives x sizes.
 
@@ -157,60 +190,55 @@ def verify_sweep(
     the replay.  With no ``topology`` each size gets a flat single-switch
     machine (the differential is then exact); pass a real machine to sweep
     hierarchical placements.
+
+    Cells run through the sweep engine: the expensive DES replays are
+    memoized (repeated campaigns over the same cells become cache hits)
+    and independent cells fan out over ``jobs`` workers.
     """
-    from repro.collectives.selector import rounds_for
     from repro.topology.machines import generic_cluster
-    from repro.verify import (
-        DEFAULT_TOLERANCE,
-        check_trace,
-        checkable_algorithms,
-        compare_schedule,
-        replay_rounds_des,
-        check_schedule,
-    )
+    from repro.verify import DEFAULT_TOLERANCE, checkable_algorithms
 
     tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
-    records: list[VerifyRecord] = []
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir)
+    cells: list[tuple[MachineTopology, int, str, str]] = []
     for p in comm_sizes:
         topo = topology or generic_cluster((max(p, 2),))
         if p > topo.n_cores:
             raise ValueError(f"comm size {p} exceeds {topo.n_cores} cores")
-        cores = np.arange(p, dtype=np.int64)
         for collective, algorithm in checkable_algorithms(p):
             if collectives is not None and collective not in collectives:
                 continue
-            rounds = rounds_for(collective, p, total_bytes, algorithm)
-            sem = check_schedule(
-                collective, rounds, p, total_bytes, algorithm=algorithm
+            cells.append((topo, p, collective, algorithm))
+    results = engine.evaluate_many(
+        [
+            EvalRequest(
+                model="verify",
+                topology=topo,
+                comm_size=p,
+                collective=collective,
+                algorithm=algorithm,
+                total_bytes=total_bytes,
+                extras=(("tolerance", tol),),
             )
-            if p >= 2:
-                diff = compare_schedule(
-                    topo, cores, rounds,
-                    label=f"{collective}/{algorithm}",
-                    total_bytes=total_bytes, tolerance=tol,
-                )
-                _t, _timings, trace = replay_rounds_des(topo, cores, rounds)
-                inv = check_trace(topo, trace)
-                diff_ok, diff_err = diff.ok, diff.rel_err
-                inv_ok, n_viol = inv.ok, len(inv.violations)
-            else:
-                diff_ok, diff_err, inv_ok, n_viol = True, 0.0, True, 0
-            records.append(
-                VerifyRecord(
-                    machine=topo.name,
-                    collective=collective,
-                    algorithm=algorithm,
-                    comm_size=p,
-                    total_bytes=total_bytes,
-                    n_rounds=len(rounds),
-                    semantic_ok=sem.ok,
-                    differential_ok=diff_ok,
-                    differential_rel_err=diff_err,
-                    invariants_ok=inv_ok,
-                    n_violations=n_viol,
-                )
-            )
-    return records
+            for topo, p, collective, algorithm in cells
+        ]
+    )
+    return [
+        VerifyRecord(
+            machine=topo.name,
+            collective=collective,
+            algorithm=algorithm,
+            comm_size=p,
+            total_bytes=total_bytes,
+            n_rounds=int(out["n_rounds"]),
+            semantic_ok=bool(out["semantic_ok"]),
+            differential_ok=bool(out["differential_ok"]),
+            differential_rel_err=out["differential_rel_err"],
+            invariants_ok=bool(out["invariants_ok"]),
+            n_violations=int(out["n_violations"]),
+        )
+        for (topo, p, collective, algorithm), out in zip(cells, results)
+    ]
 
 
 # -- chaos sweeps ------------------------------------------------------------
@@ -247,6 +275,9 @@ def chaos_sweep(
     rate: float = 1.0,
     n_ranks: int | None = None,
     compute: float = 1e-6,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> list[ChaosRecord]:
     """Quantify how each fault class degrades an alltoall, per order.
 
@@ -260,96 +291,76 @@ def chaos_sweep(
     a cell differs between orders only through placement -- the
     ``slowdown`` column directly measures how much the order's locality
     structure shields the collective from that fault class.
-    """
-    from repro.faults import ChaosGenerator, RetryExhaustedError, RetryPolicy
-    from repro.faults import run_with_retry
-    from repro.launcher.mapping import ProcessMapping
-    from repro.simmpi.ops import Compute
-    from repro.simmpi.runtime import Simulator
 
+    The sweep runs as two engine batches: the per-order healthy baselines
+    first (their makespans parameterize the fault schedules), then the
+    (order, fault kind) chaos cells.  Both batches are memoized and fan
+    out over ``jobs`` workers.
+    """
     if orders is None:
         orders = all_orders(topology.hierarchy.depth)
+    orders = [tuple(order) for order in orders]
+    for kind in fault_kinds:
+        if kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos fault kind {kind!r}")
     if n_ranks is None:
         n_ranks = topology.n_cores
-    records: list[ChaosRecord] = []
-
-    def one_program(comm, buf):
-        # Pairwise exchange with `compute` seconds of local work spread
-        # over the rounds, so stragglers are active during the run.
-        p = comm.size
-        recvbuf = buf.copy()
-        nbytes = buf[0].nbytes
-        per_round = compute / max(p - 1, 1)
-        for r in range(1, p):
-            if per_round > 0:
-                yield Compute(per_round)
-            to = (comm.rank + r) % p
-            frm = (comm.rank - r) % p
-            recvbuf[frm] = yield comm.sendrecv(to, nbytes, buf[to], frm, tag=r)
-        return recvbuf
-
-    def factory(comms):
-        p = len(comms)
-        buf = np.zeros((p, count))
-        return {c.rank: one_program(c, buf) for c in comms}
-
-    for order in orders:
-        mapping = ProcessMapping.from_order(topology.hierarchy, order)
-        core_of = mapping.core_of[:n_ranks]
-        sim = Simulator(topology, core_of)
-        sim.run(factory([c for c in _world(n_ranks)]))
-        healthy = max(sim.finish_times.values())
-
-        for kind in fault_kinds:
-            if kind not in CHAOS_KINDS:
-                raise ValueError(f"unknown chaos fault kind {kind!r}")
-            schedule = ChaosGenerator(seed).schedule(
-                topology, horizon=healthy, **{f"{kind}_rate": rate}
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir)
+    workload = (
+        ("n_ranks", n_ranks),
+        ("count", count),
+        ("compute", compute),
+    )
+    healthy_results = engine.evaluate_many(
+        [
+            EvalRequest(
+                model="chaos_healthy",
+                topology=topology,
+                order=order,
+                extras=workload,
             )
-            policy = RetryPolicy(
-                max_attempts=4, base_backoff=healthy, timeout=20 * healthy
+            for order in orders
+        ]
+    )
+    healthy_of = {
+        order: out["healthy_time"]
+        for order, out in zip(orders, healthy_results)
+    }
+    cells = [(order, kind) for order in orders for kind in fault_kinds]
+    results = engine.evaluate_many(
+        [
+            EvalRequest(
+                model="chaos_cell",
+                topology=topology,
+                order=order,
+                seed=seed,
+                extras=workload
+                + (
+                    ("kind", kind),
+                    ("rate", rate),
+                    ("healthy", healthy_of[order]),
+                ),
             )
-            try:
-                result = run_with_retry(
-                    topology,
-                    order,
-                    factory,
-                    schedule=schedule,
-                    n_ranks=n_ranks,
-                    policy=policy,
-                )
-                attempts = result.attempts
-                survivors = result.survivors
-                faulty = sum(a.sim_time + a.backoff for a in attempts)
-                slow = faulty / healthy
-            except RetryExhaustedError as err:
-                attempts = err.attempts
-                survivors = 0
-                faulty = sum(a.sim_time + a.backoff for a in attempts)
-                slow = float("inf")
-            records.append(
-                ChaosRecord(
-                    machine=topology.name,
-                    order=format_order(order),
-                    fault_kind=kind,
-                    seed=seed,
-                    n_faults=len(schedule),
-                    n_ranks=n_ranks,
-                    survivors=survivors,
-                    n_attempts=len(attempts),
-                    total_backoff=sum(a.backoff for a in attempts),
-                    healthy_time=healthy,
-                    faulty_time=faulty,
-                    slowdown=slow,
-                )
-            )
-    return records
-
-
-def _world(n: int):
-    from repro.simmpi.communicator import Comm
-
-    return Comm.world(n)
+            for order, kind in cells
+        ]
+    )
+    return [
+        ChaosRecord(
+            machine=topology.name,
+            order=format_order(order),
+            fault_kind=kind,
+            seed=seed,
+            n_faults=int(out["n_faults"]),
+            n_ranks=n_ranks,
+            survivors=int(out["survivors"]),
+            n_attempts=int(out["n_attempts"]),
+            total_backoff=out["total_backoff"],
+            healthy_time=out["healthy_time"],
+            faulty_time=out["faulty_time"],
+            slowdown=out["slowdown"],
+        )
+        for (order, kind), out in zip(cells, results)
+    ]
 
 
 def chaos_best_per_fault(

@@ -11,6 +11,9 @@ Operational front-end for the two use cases of Section 3:
 - ``show``         draw an enumeration as an ASCII grid (Figure 2 style)
 - ``advise``       rank orders by predicted collective performance on a
   simulated machine (``hydra``/``lumi`` presets or a generic model)
+- ``sweep``        memoized, parallel parameter sweep over orders /
+  communicator sizes / collectives / data sizes (``--jobs``,
+  ``--cache-dir``, ``--no-prune``, ``--bench-json``) with CSV output
 - ``verify``       conformance checks: ``fuzz`` (seeded campaigns with
   shrinking), ``semantic`` (symbolic schedule checks), ``differential``
   (round model vs DES on the seed benchmarks)
@@ -107,9 +110,66 @@ def _cmd_classes(args: argparse.Namespace) -> int:
         f"{len(all_orders(h.depth))} orders -> {len(classes)} equivalence "
         f"classes (comm size {comm_size})"
     )
-    for key, sigs in classes.items():
+    for sigs in classes.values():
         members = ", ".join(format_order(s.order) for s in sigs)
-        print(f"  ring={key[0]:<5} pairs={key[1]}: {members}")
+        rep = sigs[0]
+        pcts = ",".join(f"{p:.1f}" for p in rep.pair_percentages)
+        print(f"  ring={rep.ring_cost:<5} pairs=({pcts}): {members}")
+    return 0
+
+
+def _machine_topology(machine: str, h):
+    from repro.topology.machines import generic_cluster, hydra, lumi
+
+    if machine == "hydra":
+        topology = hydra(h.radices[0])
+    elif machine == "lumi":
+        topology = lumi(h.radices[0])
+    else:
+        topology = generic_cluster(h.radices, h.names)
+    if topology.hierarchy.radices != h.radices:
+        raise SystemExit(
+            f"hierarchy {h} does not match the {machine} preset "
+            f"{topology.hierarchy}"
+        )
+    return topology
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweeps import sweep, to_csv
+    from repro.engine import SweepEngine
+
+    h = parse_synthetic(args.hierarchy)
+    topology = _machine_topology(args.machine, h)
+    comm_sizes = [int(s) for s in args.comm_sizes.split(",")]
+    collectives = tuple(args.collectives.split(","))
+    sizes = [float(s) for s in args.sizes.split(",")]
+    orders = (
+        [parse_order(o) for o in args.orders.split(",")] if args.orders else None
+    )
+    engine = SweepEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, prune=not args.no_prune
+    )
+    records = sweep(
+        topology,
+        h,
+        comm_sizes,
+        collectives=collectives,
+        sizes=sizes,
+        orders=orders,
+        algorithm=args.algorithm,
+        engine=engine,
+    )
+    sys.stdout.write(to_csv(records))
+    if args.bench_json:
+        doc = engine.write_bench_json(args.bench_json, extra={"records": len(records)})
+        print(
+            f"# wrote {args.bench_json}: {doc['requests']} requests, "
+            f"{doc['evaluated']} evaluated, "
+            f"{doc['pruned_evaluations_saved']} pruned, "
+            f"hit rate {doc['cache_hit_rate']:.2f}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -124,20 +184,9 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import advise
-    from repro.topology.machines import generic_cluster, hydra, lumi
 
     h = parse_synthetic(args.hierarchy)
-    if args.machine == "hydra":
-        topology = hydra(h.radices[0])
-    elif args.machine == "lumi":
-        topology = lumi(h.radices[0])
-    else:
-        topology = generic_cluster(h.radices, h.names)
-    if topology.hierarchy.radices != h.radices:
-        raise SystemExit(
-            f"hierarchy {h} does not match the {args.machine} preset "
-            f"{topology.hierarchy}"
-        )
+    topology = _machine_topology(args.machine, h)
     advice = advise(
         topology,
         h,
@@ -268,6 +317,52 @@ def build_parser() -> argparse.ArgumentParser:
         "generic gradient model",
     )
     p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a memoized, parallel order sweep and print CSV records",
+    )
+    _add_hierarchy_arg(p)
+    p.add_argument(
+        "--machine", default="generic", choices=["generic", "hydra", "lumi"],
+        help="calibrated preset (level 0 must be the node count) or a "
+        "generic gradient model",
+    )
+    p.add_argument(
+        "--comm-sizes", required=True,
+        help="comma-separated communicator sizes, e.g. 16,128",
+    )
+    p.add_argument(
+        "--collectives", default="alltoall",
+        help="comma-separated collectives (alltoall,allgather,allreduce)",
+    )
+    p.add_argument(
+        "--sizes", default="1e6,64e6",
+        help="comma-separated data sizes in bytes",
+    )
+    p.add_argument(
+        "--orders", default=None,
+        help='comma-separated orders, e.g. "0-1-2,2-1-0" (default: all)',
+    )
+    p.add_argument("--algorithm", default=None, help="pin a collective algorithm")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for independent evaluations",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory (reused across runs)",
+    )
+    p.add_argument(
+        "--no-prune", action="store_true",
+        help="audit mode: evaluate every order even within an equivalence "
+        "class and assert the results agree",
+    )
+    p.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="write the BENCH_sweep.json engine-statistics artifact",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "verify", help="conformance and differential verification (repro.verify)"

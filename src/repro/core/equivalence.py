@@ -8,10 +8,18 @@ example: on ``[[2, 2, 4]]`` the orders ``[2, 0, 1]`` and ``[2, 1, 0]``
 merely exchange which socket two of the communicators use.
 
 We group orders by their :class:`~repro.core.metrics.OrderSignature`
-(ring cost + pair-percentages of the first subcommunicator).  On
-homogeneous hierarchies all subcommunicators of an order share one
+(ring cost + exact per-level pair counts of the first subcommunicator).
+On homogeneous hierarchies all subcommunicators of an order share one
 signature, so the first communicator suffices; :func:`equivalence_classes`
-optionally verifies that with ``check_all_comms=True``.
+optionally verifies that with ``check_all_comms=True``.  Masked
+hierarchies (derived from a strict subset of a machine's units, see
+:meth:`repro.core.hierarchy.Hierarchy.without_cores`) auto-enable the
+all-communicator key: their subcommunicators need not be congruent, so
+the comm-0 shortcut would mis-class orders.
+
+Keys are built on the exact integer pair counts, never on rounded
+percentages: two near-boundary pair ratios that round to the same float
+(or straddle a rounding boundary) must not merge (or split) a class.
 """
 
 from __future__ import annotations
@@ -19,11 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.hierarchy import Hierarchy
-from repro.core.metrics import (
-    OrderSignature,
-    pair_level_percentages_of_coords,
-    ring_cost_of_coords,
-)
+from repro.core.metrics import OrderSignature, signature_of_coords
 from repro.core.mixed_radix import decompose_many
 from repro.core.orders import Order, all_orders
 from repro.core.reorder import RankReordering
@@ -32,32 +36,60 @@ from repro.core.reorder import RankReordering
 def _comm_signatures(
     hierarchy: Hierarchy, order: Sequence[int], comm_size: int
 ) -> list[tuple]:
+    """Exact signature key of every subcommunicator under ``order``.
+
+    Each key is ``(ring_cost, pair_counts, n_pairs)`` with the pair
+    counts as exact integers (innermost level first) -- byte-for-byte
+    comparable rationals, immune to the float rounding that used to merge
+    or split percentages near a ``1e-6`` bucket boundary.
+    """
     reordering = RankReordering(hierarchy, tuple(order), comm_size)
     keys = []
     for c in range(reordering.n_comms):
         coords = decompose_many(hierarchy, reordering.comm_members(c))
-        keys.append(
-            (
-                ring_cost_of_coords(coords),
-                tuple(round(p, 6) for p in pair_level_percentages_of_coords(coords)),
-            )
-        )
+        keys.append(signature_of_coords(order, coords).key)
     return keys
+
+
+def resolve_check_all_comms(
+    hierarchy: Hierarchy, check_all_comms: bool | None
+) -> bool:
+    """Resolve the ``check_all_comms`` mode for a hierarchy.
+
+    ``None`` (auto) enables the strict all-communicator key exactly when
+    the hierarchy is masked; explicitly passing ``False`` for a masked
+    hierarchy is refused, because the comm-0 signature is not trustworthy
+    there.
+    """
+    if check_all_comms is None:
+        return hierarchy.masked
+    if hierarchy.masked and not check_all_comms:
+        raise ValueError(
+            f"hierarchy {hierarchy} is masked (derived from a strict subset "
+            "of a machine's units); its subcommunicators need not be "
+            "congruent, so first-communicator-only equivalence keys are "
+            "unsafe.  Pass check_all_comms=True (or leave it unset)."
+        )
+    return check_all_comms
 
 
 def equivalence_classes(
     hierarchy: Hierarchy,
     comm_size: int,
     orders: Iterable[Sequence[int]] | None = None,
-    check_all_comms: bool = False,
+    check_all_comms: bool | None = None,
 ) -> dict[tuple, list[OrderSignature]]:
     """Group orders whose mappings are performance-equivalent.
 
     Returns ``{signature_key: [OrderSignature, ...]}``; each value list is
     one equivalence class, in input order.  With ``check_all_comms`` the key
     is the sorted multiset of *all* subcommunicators' signatures instead of
-    the first communicator's only (strictly finer, slower).
+    the first communicator's only (strictly finer, slower).  The default
+    (``None``) picks the first-communicator key for ordinary hierarchies
+    and auto-enables the all-communicator key for masked ones; explicitly
+    passing ``False`` for a masked hierarchy raises ``ValueError``.
     """
+    check_all = resolve_check_all_comms(hierarchy, check_all_comms)
     if orders is None:
         orders = all_orders(hierarchy.depth)
     classes: dict[tuple, list[OrderSignature]] = {}
@@ -65,17 +97,100 @@ def equivalence_classes(
         order = tuple(order)
         reordering = RankReordering(hierarchy, order, comm_size)
         coords = decompose_many(hierarchy, reordering.comm_members(0))
-        sig = OrderSignature(
-            order,
-            ring_cost_of_coords(coords),
-            pair_level_percentages_of_coords(coords),
-        )
-        if check_all_comms:
+        sig = signature_of_coords(order, coords)
+        if check_all:
             key = tuple(sorted(_comm_signatures(hierarchy, order, comm_size)))
         else:
             key = sig.key
         classes.setdefault(key, []).append(sig)
     return classes
+
+
+def class_key(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> tuple:
+    """The strict (all-communicator) signature key of one order.
+
+    Orders sharing it place every subcommunicator on resources with the
+    same ring cost and pair-level distribution -- the paper's Section 3.3
+    notion of equivalence.  Note this is an *analytic* grouping: on
+    machines whose levels have different link parameters, two orders with
+    equal signatures can still differ (which physical level a pair
+    crosses, and the internal rank labeling, both move the simulated
+    duration).  Result-reuse must key on :func:`placement_key` instead.
+    """
+    return tuple(sorted(_comm_signatures(hierarchy, tuple(order), comm_size)))
+
+
+def _relabel(maps: list[dict], coords, commit: bool) -> tuple:
+    """First-occurrence relabeling of one communicator's coordinates.
+
+    ``maps[l]`` maps a relabeled level-prefix to the ``orig -> new`` digit
+    assignment of its subtree at level ``l``; new digits are handed out in
+    order of first appearance, which quotients away every per-level
+    subtree permutation.  With ``commit=False`` the shared maps are left
+    untouched (a lookahead), assignments landing in a local overlay.
+    """
+    out = []
+    overlay: dict[tuple, dict] = {}
+    for row in coords:
+        prefix: tuple = ()
+        new_row = []
+        for level, digit in enumerate(row):
+            digit = int(digit)
+            base = maps[level].get(prefix)
+            if base is not None and digit in base:
+                new = base[digit]
+            else:
+                local = overlay.setdefault((level, prefix), {})
+                if digit in local:
+                    new = local[digit]
+                else:
+                    new = (len(base) if base else 0) + len(local)
+                    local[digit] = new
+            new_row.append(new)
+            prefix += (new,)
+        out.append(tuple(new_row))
+    if commit:
+        for (level, prefix), local in overlay.items():
+            maps[level].setdefault(prefix, {}).update(local)
+    return tuple(out)
+
+
+def placement_key(
+    hierarchy: Hierarchy, order: Sequence[int], comm_size: int
+) -> tuple:
+    """Canonical form of an order's full placement, up to machine symmetry.
+
+    Two orders share this key iff their mappings are related by (a) a
+    per-level permutation of subtrees -- an automorphism of any machine
+    whose parameters are uniform within a level -- and (b) a reordering of
+    the subcommunicators other than comm 0 (the merged concurrent
+    schedule is comm-order-blind; comm 0 is pinned because the
+    single-communicator scenario measures it specifically).  This is the
+    sound result-reuse key: placements sharing it run isomorphic
+    simulations.  It is strictly finer than :func:`class_key` -- equal
+    signatures do not imply equal keys here (e.g. same-shaped orders
+    spanning different physical levels).
+
+    The canonical form relabels digits by first occurrence while feeding
+    comm 0 first and then repeatedly the lexicographically smallest
+    remaining communicator, which makes the result independent of both
+    the machine's arbitrary unit labels and the input comm order.
+    """
+    reordering = RankReordering(hierarchy, tuple(order), comm_size)
+    comms = [
+        decompose_many(hierarchy, reordering.comm_members(c))
+        for c in range(reordering.n_comms)
+    ]
+    maps: list[dict] = [{} for _ in range(hierarchy.depth)]
+    canon = [_relabel(maps, comms[0], commit=True)]
+    remaining = comms[1:]
+    while remaining:
+        peeks = [_relabel(maps, c, commit=False) for c in remaining]
+        i = min(range(len(peeks)), key=peeks.__getitem__)
+        canon.append(_relabel(maps, remaining.pop(i), commit=True))
+    return tuple(canon)
 
 
 def representative_orders(

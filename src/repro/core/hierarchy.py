@@ -33,6 +33,14 @@ class Hierarchy:
     names:
         Optional human-readable level names, outermost first (e.g.
         ``("node", "socket", "core")``).  Defaults to ``level0``, ...
+    masked:
+        True when this hierarchy was derived from a strict subset of a
+        larger machine's units (:meth:`without_cores`,
+        :func:`hierarchy_of_units`).  A masked hierarchy is homogeneous as
+        a *description*, but the physical units behind it need not be, so
+        first-communicator-only shortcuts (e.g. order equivalence keyed on
+        subcommunicator 0) are unsafe and are auto-upgraded to
+        all-communicator checks.  Excluded from equality and repr.
 
     Examples
     --------
@@ -45,6 +53,7 @@ class Hierarchy:
 
     radices: tuple[int, ...]
     names: tuple[str, ...] = field(default=())
+    masked: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         radices = tuple(int(r) for r in self.radices)
@@ -99,6 +108,7 @@ class Hierarchy:
         return Hierarchy(
             tuple(self.radices[i] for i in order),
             tuple(self.names[i] for i in order),
+            masked=self.masked,
         )
 
     def with_fake_level(self, level: int, split: int) -> "Hierarchy":
@@ -134,7 +144,9 @@ class Hierarchy:
         """The sub-hierarchy below (and including) ``start_level``."""
         if not 0 <= start_level < self.depth:
             raise IndexError(start_level)
-        return Hierarchy(self.radices[start_level:], self.names[start_level:])
+        return Hierarchy(
+            self.radices[start_level:], self.names[start_level:], masked=self.masked
+        )
 
     # -- validation helpers -----------------------------------------------
 
@@ -232,7 +244,11 @@ def hierarchy_of_units(hierarchy: Hierarchy, units: Sequence[int]) -> Hierarchy:
             names.append(hierarchy.names[level])
     if not radices:
         raise ValueError("a single unit does not form a hierarchy")
-    return Hierarchy(tuple(radices), tuple(names))
+    return Hierarchy(
+        tuple(radices),
+        tuple(names),
+        masked=hierarchy.masked or len(ids) < hierarchy.size,
+    )
 
 
 def homogeneous_hierarchy(counts: Iterable[tuple[str, int]]) -> Hierarchy:

@@ -87,11 +87,19 @@ def ring_cost(
     return ring_cost_of_coords(_first_comm_coords(hierarchy, order, comm_size))
 
 
-def pair_level_percentages_of_coords(coords: np.ndarray) -> tuple[float, ...]:
-    """Percentages of process pairs per level, innermost level first."""
+def pair_level_counts_of_coords(coords: np.ndarray) -> tuple[tuple[int, ...], int]:
+    """Exact pair counts per level, innermost level first.
+
+    Returns ``(counts, total)`` where ``counts[k]`` is the number of
+    communicator process pairs whose closest common level is the ``k``-th
+    innermost one and ``total`` is ``n * (n - 1) / 2``.  The percentages of
+    :func:`pair_level_percentages_of_coords` are ``100 * counts / total``;
+    equivalence keys use the integer pairs directly so near-boundary
+    ratios never collide (or split) through float rounding.
+    """
     n, depth = coords.shape
     if n < 2:
-        return tuple(0.0 for _ in range(depth))
+        return tuple(0 for _ in range(depth)), 0
     counts = np.zeros(depth, dtype=np.int64)
     # Pairwise comparison; communicators in the paper are <= a few hundred
     # ranks, so the O(n^2 * depth) broadcast is fine.
@@ -109,7 +117,15 @@ def pair_level_percentages_of_coords(coords: np.ndarray) -> tuple[float, ...]:
     total = n * (n - 1) // 2
     # counts[j] = pairs whose first difference is level j (cost depth-j);
     # report innermost (cost 1) first.
-    return tuple(float(100.0 * counts[depth - 1 - k] / total) for k in range(depth))
+    return tuple(int(counts[depth - 1 - k]) for k in range(depth)), total
+
+
+def pair_level_percentages_of_coords(coords: np.ndarray) -> tuple[float, ...]:
+    """Percentages of process pairs per level, innermost level first."""
+    counts, total = pair_level_counts_of_coords(coords)
+    if total == 0:
+        return tuple(0.0 for _ in counts)
+    return tuple(float(100.0 * c / total) for c in counts)
 
 
 def pair_level_percentages(
@@ -134,6 +150,12 @@ class OrderSignature:
     order: tuple[int, ...]
     ring_cost: int
     pair_percentages: tuple[float, ...]
+    #: Exact integer pair counts per level (innermost first) and the pair
+    #: total backing ``pair_percentages``.  Populated by :func:`signature`;
+    #: the equivalence key uses these rationals so percentages that differ
+    #: by less than any float-rounding granularity still key apart.
+    pair_counts: tuple[int, ...] = ()
+    n_pairs: int = 0
 
     def legend(self) -> str:
         """The paper's figure-legend format:
@@ -144,8 +166,28 @@ class OrderSignature:
 
     @property
     def key(self) -> tuple:
-        """Hashable equivalence key (excludes the order itself)."""
+        """Hashable equivalence key (excludes the order itself).
+
+        Keys on the exact ``(count, total)`` integer pairs when available;
+        signatures built from percentages alone fall back to the historic
+        rounded-float key.
+        """
+        if self.pair_counts:
+            return (self.ring_cost, self.pair_counts, self.n_pairs)
         return (self.ring_cost, tuple(round(p, 6) for p in self.pair_percentages))
+
+
+def signature_of_coords(order: Sequence[int], coords: np.ndarray) -> OrderSignature:
+    """:class:`OrderSignature` of a communicator given member coordinates."""
+    counts, total = pair_level_counts_of_coords(coords)
+    pcts = (
+        tuple(0.0 for _ in counts)
+        if total == 0
+        else tuple(float(100.0 * c / total) for c in counts)
+    )
+    return OrderSignature(
+        tuple(order), ring_cost_of_coords(coords), pcts, counts, total
+    )
 
 
 def signature(
@@ -153,8 +195,4 @@ def signature(
 ) -> OrderSignature:
     """Compute the :class:`OrderSignature` of ``order``."""
     coords = _first_comm_coords(hierarchy, order, comm_size)
-    return OrderSignature(
-        tuple(order),
-        ring_cost_of_coords(coords),
-        pair_level_percentages_of_coords(coords),
-    )
+    return signature_of_coords(order, coords)

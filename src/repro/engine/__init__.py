@@ -1,0 +1,53 @@
+"""Parallel, memoized sweep-execution engine.
+
+Every figure of the paper is a sweep over candidate mixed-radix orders;
+this package is the substrate that makes those sweeps cheap: canonical
+content-addressed evaluation requests (:mod:`repro.engine.keys`), a
+two-tier LRU + on-disk result cache (:mod:`repro.engine.cache`),
+equivalence-class pruning with an audit mode, and a ``multiprocessing``
+fan-out with deterministic ordering (:mod:`repro.engine.core`).  The
+registered evaluators (:mod:`repro.engine.evaluators`) cover the round
+model, the DES, verification cells and chaos cells.
+
+Quick start::
+
+    from repro.engine import EvalRequest, SweepEngine
+
+    engine = SweepEngine(jobs=4, cache_dir=".sweep-cache")
+    req = EvalRequest(
+        model="round", topology=hydra(16), hierarchy=HYDRA16,
+        order=(0, 1, 2, 3), comm_size=16, collective="alltoall",
+        total_bytes=1e6,
+    )
+    engine.evaluate(req)   # -> {"duration_single": ..., "duration_all": ...}
+    engine.stats.cache_hit_rate
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.core import (
+    AUDIT_RTOL,
+    EngineAuditError,
+    EngineStats,
+    PRUNABLE_MODELS,
+    SweepEngine,
+)
+from repro.engine.evaluators import (
+    EVALUATORS,
+    evaluate_request,
+    register_evaluator,
+)
+from repro.engine.keys import CACHE_SCHEMA, EvalRequest
+
+__all__ = [
+    "AUDIT_RTOL",
+    "CACHE_SCHEMA",
+    "EVALUATORS",
+    "EngineAuditError",
+    "EngineStats",
+    "EvalRequest",
+    "PRUNABLE_MODELS",
+    "ResultCache",
+    "SweepEngine",
+    "evaluate_request",
+    "register_evaluator",
+]

@@ -1,0 +1,130 @@
+"""Two-tier result cache: in-process LRU plus optional on-disk JSON.
+
+The in-process tier is a plain ``OrderedDict`` LRU bounded by entry
+count (results are small dicts of floats).  The disk tier, enabled by
+passing ``cache_dir``, stores one JSON file per key under a two-level
+fan-out directory (``ab/abcdef....json``) containing the full canonical
+request next to the result, so cache artifacts double as provenance
+records and survive across processes and sessions.
+
+Disk entries are trusted by key only: the key already hashes the package
+version and cache schema (see :mod:`repro.engine.keys`), so stale or
+foreign entries simply never match.  Corrupt files are treated as misses
+and overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+
+class ResultCache:
+    """Memoization store for evaluated requests."""
+
+    def __init__(self, maxsize: int = 4096, cache_dir: str | os.PathLike | None = None):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """Cached result for ``key`` (memory first, then disk), or None."""
+        hit = self._lru.get(key)
+        if hit is not None:
+            self._lru.move_to_end(key)
+            self.memory_hits += 1
+            return hit
+        if self.cache_dir is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self._store_memory(key, entry)
+                self.disk_hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    # -- store -------------------------------------------------------------
+
+    def put(self, key: str, result: dict, request_doc: dict | None = None) -> None:
+        """Store ``result`` under ``key`` in both tiers.
+
+        ``request_doc`` (the canonical request) is written next to the
+        result on disk for provenance; it is not kept in memory.
+        """
+        self._store_memory(key, result)
+        if self.cache_dir is not None:
+            self._write_disk(key, result, request_doc)
+
+    def _store_memory(self, key: str, result: dict) -> None:
+        self._lru[key] = result
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.maxsize:
+            self._lru.popitem(last=False)
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _read_disk(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            result = doc["result"]
+            if not isinstance(result, dict):
+                return None
+            return {str(k): v for k, v in result.items()}
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _write_disk(self, key: str, result: dict, request_doc: dict | None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"key": key, "result": result}
+        if request_doc is not None:
+            doc["request"] = request_doc
+        # Atomic replace so concurrent runs sharing a cache dir never read
+        # a torn file (last writer wins; results for one key are identical
+        # by construction anyway).
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "memory_entries": len(self._lru),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

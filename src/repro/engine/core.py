@@ -1,0 +1,323 @@
+"""The sweep-execution engine: memoize, prune, fan out.
+
+:class:`SweepEngine` turns batches of :class:`~repro.engine.keys.EvalRequest`
+into results while exploiting three independent sources of cheapness:
+
+1. **Memoization** -- every result is stored under its content-addressed
+   key in a two-tier cache (:mod:`repro.engine.cache`): repeated points
+   inside one sweep, across sweeps, and across processes (with
+   ``cache_dir``) cost one lookup.
+2. **Equivalence pruning** -- requests that differ only in the order, with
+   placements that are isomorphic under machine symmetry
+   (:func:`repro.core.equivalence.placement_key`), are evaluated once and
+   the result broadcast to the whole class: the paper's Section 3.3
+   insight turned into compute savings, restricted to the provably sound
+   subset.  The opt-in audit mode (``prune=False``) re-simulates every
+   class member and asserts the broadcast would have been sound.
+3. **Parallel fan-out** -- independent evaluations are mapped over a
+   ``multiprocessing`` pool with deterministic result ordering and
+   per-request worker seeding, so ``jobs=1`` and ``jobs=N`` are bitwise
+   identical.
+
+The engine keeps running statistics (wall clock, hit rate, evaluations
+saved) and renders them as the machine-readable ``BENCH_sweep.json``
+artifact later PRs track for perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import repro.engine.evaluators as _evaluators
+from repro.engine.cache import ResultCache
+from repro.engine.keys import EvalRequest
+
+#: Models whose results depend on the order only through its strict
+#: equivalence class, making class-broadcast sound.
+PRUNABLE_MODELS = frozenset({"round", "des"})
+
+#: Relative tolerance the audit mode allows between class members.  Class
+#: symmetry makes results mathematically equal; float summation order may
+#: differ, so exact bitwise equality is not demanded -- but anything past
+#: a few ulps means the classes are wrong.
+AUDIT_RTOL = 1e-9
+
+
+class EngineAuditError(AssertionError):
+    """An equivalence class's members did not produce matching results."""
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine accumulates across ``evaluate`` calls."""
+
+    jobs: int = 1
+    prune: bool = True
+    wall_clock: float = 0.0
+    requests: int = 0
+    evaluated: int = 0
+    pruned: int = 0  # evaluations skipped via class broadcast
+    audited: int = 0  # class members re-simulated in audit mode
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def to_jsonable(self) -> dict:
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "jobs": self.jobs,
+            "prune": self.prune,
+            "wall_clock_s": self.wall_clock,
+            "requests": self.requests,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "pruned_evaluations_saved": self.pruned,
+            "audited": self.audited,
+        }
+
+
+@dataclass
+class _Group:
+    """Requests proven interchangeable (one equivalence class x params)."""
+
+    indices: list[int] = field(default_factory=list)
+
+
+class SweepEngine:
+    """Memoized, pruned, parallel evaluation of sweep requests.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for independent evaluations; 1 evaluates inline.
+    cache_dir:
+        Optional directory for the persistent JSON result cache.
+    prune:
+        Evaluate one representative per equivalence class and broadcast
+        (default).  ``False`` enables the audit mode: every class member
+        is re-simulated and the results are asserted to agree.
+    lru_size:
+        In-process cache entries kept.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        prune: bool = True,
+        lru_size: int = 4096,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.prune = prune
+        self.cache = ResultCache(maxsize=lru_size, cache_dir=cache_dir)
+        self.stats = EngineStats(jobs=jobs, prune=prune)
+        self._class_keys: dict[tuple, tuple] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(self, request: EvalRequest) -> dict:
+        """Evaluate (or recall) a single request."""
+        return self.evaluate_many([request])[0]
+
+    def evaluate_many(self, requests: Sequence[EvalRequest]) -> list[dict]:
+        """Evaluate a batch; results align with the input order.
+
+        Duplicate and cached requests are recalled, equivalence classes
+        are collapsed (or audited), and the remaining distinct
+        evaluations run on the worker pool in deterministic order.
+        """
+        t0 = time.perf_counter()
+        requests = list(requests)
+        self.stats.requests += len(requests)
+        results: list[dict | None] = [None] * len(requests)
+        hits_before = (self.cache.memory_hits, self.cache.disk_hits)
+
+        # 1. Resolve duplicates and cache hits.
+        keys = [r.key for r in requests]
+        by_key: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            by_key.setdefault(key, []).append(i)
+        unresolved: list[int] = []  # first index per still-unknown key
+        for key, idxs in by_key.items():
+            hit = self.cache.get(key)
+            if hit is not None:
+                for i in idxs:
+                    results[i] = hit
+            else:
+                unresolved.append(idxs[0])
+
+        # 2. Group unresolved requests by equivalence class.
+        groups: dict[tuple, _Group] = {}
+        for i in unresolved:
+            groups.setdefault(self._prune_key(requests[i]), _Group()).indices.append(i)
+
+        # 3. Decide what actually runs.
+        to_run: list[int] = []
+        for group in groups.values():
+            if self.prune:
+                to_run.append(group.indices[0])
+            else:
+                to_run.extend(group.indices)
+        to_run.sort()  # deterministic dispatch order
+
+        # 4. Fan out.
+        evaluated = self._run([requests[i] for i in to_run])
+        for i, result in zip(to_run, evaluated):
+            results[i] = result
+            self.cache.put(keys[i], result, requests[i].canonical())
+        self.stats.evaluated += len(to_run)
+
+        # 5. Broadcast (or audit) within each class group.
+        for group in groups.values():
+            rep = group.indices[0]
+            rest = group.indices[1:]
+            if self.prune:
+                for i in rest:
+                    results[i] = results[rep]
+                    # Store under the member's own key so later direct
+                    # lookups (and other processes via the disk tier) hit.
+                    self.cache.put(keys[i], results[rep], requests[i].canonical())
+                    self.stats.pruned += 1
+            elif rest:
+                self._audit(requests, results, group.indices)
+                self.stats.audited += len(rest)
+
+        # 6. Fill remaining duplicates of now-resolved keys.
+        for key, idxs in by_key.items():
+            done = results[idxs[0]]
+            for i in idxs[1:]:
+                results[i] = done
+        self.stats.memory_hits += self.cache.memory_hits - hits_before[0]
+        self.stats.disk_hits += self.cache.disk_hits - hits_before[1]
+        self.stats.wall_clock += time.perf_counter() - t0
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def write_bench_json(
+        self, path: str | os.PathLike, extra: dict | None = None
+    ) -> dict:
+        """Write the ``BENCH_sweep.json`` perf artifact; returns the doc."""
+        doc = self.stats.to_jsonable()
+        if extra:
+            doc.update(extra)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+    # -- internals ---------------------------------------------------------
+
+    def _prune_key(self, request: EvalRequest) -> tuple:
+        """Group key: everything but the order, plus the placement's
+        canonical form (:func:`repro.core.equivalence.placement_key`).
+
+        Orders sharing the canonical placement run isomorphic simulations
+        (the mappings differ only by a machine automorphism and the
+        ordering of concurrent subcommunicators), so reusing the
+        representative's result is sound.  The paper's broader
+        signature classes are deliberately NOT used here: equal
+        signatures do not guarantee equal durations on machines with
+        per-level parameter gradients (the audit mode demonstrably
+        catches such merges).  Requests outside :data:`PRUNABLE_MODELS`
+        (or without an order) are singleton groups keyed by content key.
+        """
+        if (
+            request.model not in PRUNABLE_MODELS
+            or request.order is None
+            or request.hierarchy is None
+            or request.comm_size is None
+        ):
+            return ("solo", request.key)
+        doc = request.canonical()
+        doc.pop("order", None)
+        base = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        cls = self._class_key_cached(request)
+        return ("class", base, cls)
+
+    def _class_key_cached(self, request: EvalRequest) -> tuple:
+        from repro.core.equivalence import placement_key
+
+        h = request.hierarchy
+        memo = (h.radices, h.names, h.masked, request.order, request.comm_size)
+        hit = self._class_keys.get(memo)
+        if hit is None:
+            hit = placement_key(h, request.order, request.comm_size)
+            self._class_keys[memo] = hit
+        return hit
+
+    def _audit(
+        self,
+        requests: Sequence[EvalRequest],
+        results: Sequence[dict | None],
+        indices: Sequence[int],
+    ) -> None:
+        """Assert every class member agrees with the representative."""
+        rep = indices[0]
+        ref = results[rep]
+        for i in indices[1:]:
+            got = results[i]
+            assert ref is not None and got is not None
+            if set(ref) != set(got):
+                raise EngineAuditError(
+                    f"audit: result fields diverge between orders "
+                    f"{requests[rep].order} and {requests[i].order}"
+                )
+            for name, a in ref.items():
+                b = got[name]
+                if not _close(float(a), float(b)):
+                    raise EngineAuditError(
+                        "equivalence-class audit failed: orders "
+                        f"{requests[rep].order} and {requests[i].order} were "
+                        f"keyed equivalent but {name} differs "
+                        f"({a!r} vs {b!r}, rtol={AUDIT_RTOL})"
+                    )
+
+    def _run(self, requests: list[EvalRequest]) -> list[dict]:
+        """Evaluate distinct requests, in order, possibly in parallel."""
+        if not requests:
+            return []
+        if self.jobs == 1 or len(requests) == 1:
+            return [_evaluators.evaluate_request(r) for r in requests]
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        chunksize = max(1, len(requests) // (4 * self.jobs))
+        with ctx.Pool(
+            processes=min(self.jobs, len(requests)),
+            initializer=_worker_init,
+        ) as pool:
+            # Pool.map preserves input order -> deterministic results.
+            return pool.map(_evaluators.evaluate_request, requests, chunksize)
+
+
+def _worker_init() -> None:
+    """Make sure spawn-mode workers have every evaluator registered."""
+    import repro.engine.evaluators  # noqa: F401
+
+
+def _close(a: float, b: float) -> bool:
+    if a == b:  # covers inf == inf and exact matches
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return False
+    return abs(a - b) <= AUDIT_RTOL * max(abs(a), abs(b))

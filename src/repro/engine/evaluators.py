@@ -1,0 +1,271 @@
+"""Registered evaluation functions, one per request model.
+
+Each evaluator is a pure module-level function ``EvalRequest -> dict`` so
+requests can be shipped to ``multiprocessing`` workers by pickle.  Results
+are flat ``{str: float}`` dicts -- JSON-serializable by construction, so
+the disk cache and ``BENCH_sweep.json`` need no custom encoders (booleans
+are stored as 0.0/1.0, counts as floats; ``inf`` is allowed and survives
+Python's JSON round-trip).
+
+Determinism contract: an evaluator may only depend on its request.  Any
+incidental RNG use is pinned by :func:`seed_worker` before dispatch, with
+a per-request seed derived from the content key, so results are bitwise
+identical across job counts, dispatch order, and cache temperature.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.keys import EvalRequest
+
+#: model name -> evaluator.  Populated at import; engines and spawn-mode
+#: pool workers both import this module, so the registry is always ready.
+EVALUATORS: dict[str, Callable[[EvalRequest], dict]] = {}
+
+
+def register_evaluator(
+    model: str, fn: Callable[[EvalRequest], dict]
+) -> Callable[[EvalRequest], dict]:
+    if model in EVALUATORS:
+        raise ValueError(f"evaluator for model {model!r} already registered")
+    EVALUATORS[model] = fn
+    return fn
+
+
+def seed_worker(request: EvalRequest) -> None:
+    """Pin every ambient RNG an evaluator might touch."""
+    seed = request.worker_seed()
+    random.seed(seed)
+    np.random.seed(seed)
+
+
+def evaluate_request(request: EvalRequest) -> dict:
+    """Dispatch one request to its evaluator (runs in pool workers)."""
+    try:
+        fn = EVALUATORS[request.model]
+    except KeyError:
+        raise ValueError(
+            f"no evaluator registered for model {request.model!r}; "
+            f"known models: {sorted(EVALUATORS)}"
+        ) from None
+    seed_worker(request)
+    return fn(request)
+
+
+# -- round model --------------------------------------------------------------
+
+
+def _eval_round(req: EvalRequest) -> dict:
+    """Section 4.1 micro-benchmark point on the synchronized-round model."""
+    from repro.bench.microbench import run_microbench
+
+    point = run_microbench(
+        req.topology,
+        req.hierarchy,
+        req.order,
+        req.comm_size,
+        req.collective,
+        req.total_bytes,
+        algorithm=req.algorithm,
+    )
+    return {
+        "duration_single": point.duration_single,
+        "duration_all": point.duration_all,
+    }
+
+
+register_evaluator("round", _eval_round)
+
+
+# -- discrete-event simulation ------------------------------------------------
+
+
+def _eval_des(req: EvalRequest) -> dict:
+    """DES replay of the first subcommunicator's collective schedule.
+
+    Returns both the DES makespan and the round model's prediction for the
+    same schedule, so differential consumers get their comparison from one
+    cached evaluation.
+    """
+    from repro.collectives.base import rounds_to_schedule
+    from repro.collectives.selector import rounds_for
+    from repro.core.reorder import RankReordering
+    from repro.netsim.fabric import Fabric
+    from repro.verify.differential import replay_rounds_des
+
+    reordering = RankReordering(req.hierarchy, req.order, req.comm_size)
+    cores = reordering.comm_members(0)
+    rounds = rounds_for(req.collective, req.comm_size, req.total_bytes, req.algorithm)
+    mode = req.extra("mode", "lockstep")
+    t_des, _timings, _records = replay_rounds_des(
+        req.topology, cores, rounds, mode=mode
+    )
+    t_round = rounds_to_schedule(rounds, cores).total_time(Fabric(req.topology))
+    return {
+        "duration_des": t_des,
+        "duration_round": t_round,
+        "n_rounds": float(len(rounds)),
+    }
+
+
+register_evaluator("des", _eval_des)
+
+
+# -- verification cells -------------------------------------------------------
+
+
+def _eval_verify(req: EvalRequest) -> dict:
+    """One (collective, algorithm, comm size) cell of a verify sweep.
+
+    Runs the semantic checker, the round-vs-DES differential and the
+    trace-invariant audit; the DES replay is the expensive part, which is
+    exactly what engine memoization amortizes across repeated campaigns.
+    """
+    from repro.collectives.selector import rounds_for
+    from repro.verify import (
+        DEFAULT_TOLERANCE,
+        check_schedule,
+        check_trace,
+        compare_schedule,
+        replay_rounds_des,
+    )
+
+    p = req.comm_size
+    tol = req.extra("tolerance")
+    tol = DEFAULT_TOLERANCE if tol is None else float(tol)
+    rounds = rounds_for(req.collective, p, req.total_bytes, req.algorithm)
+    sem = check_schedule(
+        req.collective, rounds, p, req.total_bytes, algorithm=req.algorithm
+    )
+    if p >= 2:
+        cores = np.arange(p, dtype=np.int64)
+        diff = compare_schedule(
+            req.topology,
+            cores,
+            rounds,
+            label=f"{req.collective}/{req.algorithm}",
+            total_bytes=req.total_bytes,
+            tolerance=tol,
+        )
+        _t, _timings, trace = replay_rounds_des(req.topology, cores, rounds)
+        inv = check_trace(req.topology, trace)
+        diff_ok, diff_err = diff.ok, diff.rel_err
+        inv_ok, n_viol = inv.ok, len(inv.violations)
+    else:
+        diff_ok, diff_err, inv_ok, n_viol = True, 0.0, True, 0
+    return {
+        "n_rounds": float(len(rounds)),
+        "semantic_ok": float(sem.ok),
+        "differential_ok": float(diff_ok),
+        "differential_rel_err": float(diff_err),
+        "invariants_ok": float(inv_ok),
+        "n_violations": float(n_viol),
+    }
+
+
+register_evaluator("verify", _eval_verify)
+
+
+# -- chaos cells --------------------------------------------------------------
+
+
+def _pairwise_program(comm, buf, compute: float):
+    """Pairwise exchange with ``compute`` seconds of local work spread
+    over the rounds, so stragglers are active during the run."""
+    from repro.simmpi.ops import Compute
+
+    p = comm.size
+    recvbuf = buf.copy()
+    nbytes = buf[0].nbytes
+    per_round = compute / max(p - 1, 1)
+    for r in range(1, p):
+        if per_round > 0:
+            yield Compute(per_round)
+        to = (comm.rank + r) % p
+        frm = (comm.rank - r) % p
+        recvbuf[frm] = yield comm.sendrecv(to, nbytes, buf[to], frm, tag=r)
+    return recvbuf
+
+
+def pairwise_factory(comms, count: int = 8, compute: float = 1e-6):
+    """Program factory for the chaos workload (module-level: picklable)."""
+    p = len(comms)
+    buf = np.zeros((p, count))
+    return {c.rank: _pairwise_program(c, buf, compute) for c in comms}
+
+
+def _eval_chaos_healthy(req: EvalRequest) -> dict:
+    """Healthy-machine makespan of the chaos workload for one order."""
+    from repro.launcher.mapping import ProcessMapping
+    from repro.simmpi.communicator import Comm
+    from repro.simmpi.runtime import Simulator
+
+    n_ranks = int(req.extra("n_ranks", req.topology.n_cores))
+    count = int(req.extra("count", 8))
+    compute = float(req.extra("compute", 1e-6))
+    mapping = ProcessMapping.from_order(req.topology.hierarchy, req.order)
+    core_of = mapping.core_of[:n_ranks]
+    sim = Simulator(req.topology, core_of)
+    sim.run(pairwise_factory(Comm.world(n_ranks), count=count, compute=compute))
+    return {"healthy_time": max(sim.finish_times.values())}
+
+
+register_evaluator("chaos_healthy", _eval_chaos_healthy)
+
+
+def _eval_chaos_cell(req: EvalRequest) -> dict:
+    """One (order, fault kind) cell: run under chaos with shrink-and-retry."""
+    from repro.faults import (
+        ChaosGenerator,
+        RetryExhaustedError,
+        RetryPolicy,
+        run_with_retry,
+    )
+
+    kind = str(req.extra("kind"))
+    rate = float(req.extra("rate", 1.0))
+    healthy = float(req.extra("healthy"))
+    n_ranks = int(req.extra("n_ranks", req.topology.n_cores))
+    count = int(req.extra("count", 8))
+    compute = float(req.extra("compute", 1e-6))
+
+    schedule = ChaosGenerator(req.seed).schedule(
+        req.topology, horizon=healthy, **{f"{kind}_rate": rate}
+    )
+    policy = RetryPolicy(max_attempts=4, base_backoff=healthy, timeout=20 * healthy)
+    factory = partial(pairwise_factory, count=count, compute=compute)
+    try:
+        result = run_with_retry(
+            req.topology,
+            req.order,
+            factory,
+            schedule=schedule,
+            n_ranks=n_ranks,
+            policy=policy,
+        )
+        attempts = result.attempts
+        survivors = result.survivors
+        faulty = sum(a.sim_time + a.backoff for a in attempts)
+        slow = faulty / healthy
+    except RetryExhaustedError as err:
+        attempts = err.attempts
+        survivors = 0
+        faulty = sum(a.sim_time + a.backoff for a in attempts)
+        slow = float("inf")
+    return {
+        "n_faults": float(len(schedule)),
+        "survivors": float(survivors),
+        "n_attempts": float(len(attempts)),
+        "total_backoff": float(sum(a.backoff for a in attempts)),
+        "healthy_time": healthy,
+        "faulty_time": float(faulty),
+        "slowdown": float(slow),
+    }
+
+
+register_evaluator("chaos_cell", _eval_chaos_cell)

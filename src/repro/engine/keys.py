@@ -1,0 +1,197 @@
+"""Canonical, content-addressed evaluation requests.
+
+Every simulation the sweep layer runs -- a round-model micro-benchmark
+point, a DES schedule replay, a verification cell, a chaos cell -- is
+described by an :class:`EvalRequest`.  The request canonicalises all
+inputs that influence the result (hierarchy, order, communicator size,
+collective, payload size, fault schedule, seed, *and* every performance
+parameter of the machine topology) into a deterministic JSON document,
+whose SHA-256 digest is the cache key.
+
+Key properties:
+
+- **Content-addressed**: two requests with identical physics share a key
+  regardless of how their objects were constructed.
+- **Self-invalidating**: the canonical document embeds the package
+  version and a cache schema number, so upgrading either silently
+  invalidates stale on-disk entries instead of replaying them.
+- **Exact**: floats are keyed via ``repr`` (shortest round-tripping
+  form), never via rounding, mirroring the exact-rational equivalence
+  keys of :mod:`repro.core.equivalence`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.core.hierarchy import Hierarchy
+from repro.topology.machine import MachineTopology
+
+#: Bump when the canonical layout or any evaluator's semantics change in a
+#: way that should invalidate previously cached results.
+CACHE_SCHEMA = 1
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _jsonify(value: Any) -> Any:
+    """Deterministic JSON-friendly form of one request field."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips exactly and distinguishes inf/-inf; NaN would
+        # break key equality and is rejected outright.  Coerce subclasses
+        # (np.float64 reprs as "np.float64(...)") to plain float first.
+        if math.isnan(value):
+            raise ValueError("NaN cannot appear in an evaluation request")
+        return repr(float(value))
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    # numpy scalars and anything else with .item()
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonify(item())
+    raise TypeError(f"cannot canonicalise {type(value).__name__} in a request")
+
+
+def topology_fingerprint(topology: MachineTopology) -> dict:
+    """Every performance-relevant parameter of a machine topology."""
+    return {
+        "name": topology.name,
+        "flop_rate": _jsonify(topology.flop_rate),
+        "root_bw": _jsonify(topology.root_bw),
+        "levels": [
+            {
+                "name": lv.name,
+                "radix": lv.radix,
+                "link_bw": _jsonify(lv.link_bw),
+                "link_lat": _jsonify(lv.link_lat),
+                "mem_bw": _jsonify(lv.mem_bw),
+            }
+            for lv in topology.levels
+        ],
+    }
+
+
+def hierarchy_fingerprint(hierarchy: Hierarchy) -> dict:
+    return {
+        "radices": list(hierarchy.radices),
+        "names": list(hierarchy.names),
+        "masked": hierarchy.masked,
+    }
+
+
+def schedule_fingerprint(schedule) -> list[dict]:
+    """Canonical form of a :class:`repro.faults.FaultSchedule`."""
+    return [
+        {
+            "kind": s.kind,
+            "start": _jsonify(s.start),
+            "target": s.target,
+            "level": s.level,
+            "end": _jsonify(s.end),
+            "bw_factor": _jsonify(s.bw_factor),
+            "lat_factor": _jsonify(s.lat_factor),
+            "slowdown": _jsonify(s.slowdown),
+        }
+        for s in schedule
+    ]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One memoizable simulation, with its full provenance.
+
+    ``model`` names the registered evaluator (``round``, ``des``,
+    ``verify``, ``chaos_healthy``, ``chaos_cell``, ...); ``extras`` holds
+    model-specific knobs as a sorted tuple of ``(name, value)`` pairs so
+    the dataclass stays hashable and canonicalisation stays stable.
+    """
+
+    model: str
+    topology: MachineTopology
+    hierarchy: Hierarchy | None = None
+    order: tuple[int, ...] | None = None
+    comm_size: int | None = None
+    collective: str | None = None
+    algorithm: str | None = None
+    total_bytes: float | None = None
+    seed: int = 0
+    schedule: Any = None  # FaultSchedule | None (kept loose to avoid a cycle)
+    extras: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.order is not None:
+            object.__setattr__(self, "order", tuple(int(i) for i in self.order))
+        object.__setattr__(
+            self, "extras", tuple(sorted((str(k), v) for k, v in self.extras))
+        )
+
+    def extra(self, name: str, default: Any = None) -> Any:
+        for k, v in self.extras:
+            if k == name:
+                return v
+        return default
+
+    def canonical(self) -> dict:
+        """The deterministic provenance document behind :attr:`key`."""
+        doc: dict[str, Any] = {
+            "schema": CACHE_SCHEMA,
+            "version": _package_version(),
+            "model": self.model,
+            "topology": topology_fingerprint(self.topology),
+            "seed": self.seed,
+        }
+        if self.hierarchy is not None:
+            doc["hierarchy"] = hierarchy_fingerprint(self.hierarchy)
+        if self.order is not None:
+            doc["order"] = list(self.order)
+        if self.comm_size is not None:
+            doc["comm_size"] = self.comm_size
+        if self.collective is not None:
+            doc["collective"] = self.collective
+        if self.algorithm is not None:
+            doc["algorithm"] = self.algorithm
+        if self.total_bytes is not None:
+            doc["total_bytes"] = _jsonify(float(self.total_bytes))
+        if self.schedule is not None and len(self.schedule):
+            doc["schedule"] = schedule_fingerprint(self.schedule)
+        if self.extras:
+            doc["extras"] = {k: _jsonify(v) for k, v in self.extras}
+        return doc
+
+    @property
+    def key(self) -> str:
+        """SHA-256 hex digest of the canonical document."""
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def worker_seed(self) -> int:
+        """Deterministic per-request RNG seed for pool workers.
+
+        Derived from the content key so it is stable across runs, job
+        counts and dispatch order, and mixed with the declared ``seed`` so
+        two requests differing only in seed draw different streams.
+        """
+        return (int(self.key[:12], 16) ^ (self.seed * 0x9E3779B1)) % (2**31)
+
+
+def request_batch_orders(requests: Sequence[EvalRequest]) -> list[tuple[int, ...]]:
+    """Distinct orders appearing in a request batch, in first-seen order."""
+    seen: dict[tuple[int, ...], None] = {}
+    for r in requests:
+        if r.order is not None:
+            seen.setdefault(r.order, None)
+    return list(seen)

@@ -24,7 +24,18 @@ class _Entry:
 
 
 class EventQueue:
-    """Timestamped FIFO-stable priority queue with cancellation."""
+    """Timestamped FIFO-stable priority queue with cancellation.
+
+    Cancellation is lazy (entries are flagged and skipped at pop time),
+    but the heap is compacted whenever dead entries outnumber live ones:
+    long campaigns that push and cancel millions of timeouts (chaos and
+    fuzz sweeps do) would otherwise grow the heap without bound even
+    though only a handful of events are ever alive.
+    """
+
+    #: Compact only past this many dead entries, so small queues never pay
+    #: for a rebuild.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: list[_Entry] = []
@@ -56,6 +67,14 @@ class EventQueue:
         if not entry.cancelled and not entry.popped:
             entry.cancelled = True
             self._alive -= 1
+            dead = len(self._heap) - self._alive
+            if dead > self.COMPACT_MIN_DEAD and dead > len(self._heap) // 2:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(alive))."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def peek_time(self) -> float:
         """Time of the next live event (raises ``IndexError`` when empty)."""

@@ -119,3 +119,39 @@ def ascii_timeline(
             f"{t.n_flows:>5} flows  [{t.bottleneck_level}]"
         )
     return "\n".join(lines)
+
+
+# -- serialization -----------------------------------------------------------
+#
+# The sweep engine's on-disk cache stores evaluated results as JSON; round
+# traces ride along so cached evaluations keep their narration.  The format
+# is a plain list of dicts (one per round) so any JSON reader can consume
+# BENCH artifacts without importing this package.
+
+
+def traces_to_jsonable(traces: Sequence[RoundTrace]) -> list[dict]:
+    """Render round traces as JSON-serializable dicts (lossless)."""
+    return [
+        {
+            "index": t.index,
+            "start": t.start,
+            "duration": t.duration,
+            "n_flows": t.n_flows,
+            "bottleneck_level": t.bottleneck_level,
+        }
+        for t in traces
+    ]
+
+
+def traces_from_jsonable(data: Sequence[dict]) -> list[RoundTrace]:
+    """Inverse of :func:`traces_to_jsonable`."""
+    return [
+        RoundTrace(
+            index=int(d["index"]),
+            start=float(d["start"]),
+            duration=float(d["duration"]),
+            n_flows=int(d["n_flows"]),
+            bottleneck_level=str(d["bottleneck_level"]),
+        )
+        for d in data
+    ]

@@ -186,3 +186,60 @@ class TestVerifySweep:
 
         with pytest.raises(ValueError, match="exceeds"):
             verify_sweep([16], topology=generic_cluster((2, 2, 2)))
+
+
+class TestEngineIntegration:
+    """All sweeps share the engine: memoized, pruned, jobs-invariant."""
+
+    def test_shared_engine_recalls_repeated_sweep(self):
+        from repro.engine import SweepEngine
+
+        engine = SweepEngine()
+        kwargs = dict(
+            comm_sizes=[16], collectives=["alltoall"], sizes=[1e6],
+            orders=[(0, 1, 2, 3), (3, 2, 1, 0)], engine=engine,
+        )
+        first = sweep(TOPO, H, **kwargs)
+        evaluated = engine.stats.evaluated
+        second = sweep(TOPO, H, **kwargs)
+        assert first == second
+        assert engine.stats.evaluated == evaluated  # all hits
+        assert engine.stats.cache_hits >= 2
+
+    def test_jobs_do_not_change_records(self):
+        kwargs = dict(
+            comm_sizes=[16, 32], collectives=["alltoall"], sizes=[1e6],
+            orders=[(0, 1, 2, 3), (1, 0, 2, 3), (3, 2, 1, 0)],
+        )
+        assert sweep(TOPO, H, **kwargs) == sweep(TOPO, H, jobs=2, **kwargs)
+
+    def test_audit_mode_matches_pruned(self):
+        kwargs = dict(
+            comm_sizes=[16], collectives=["alltoall"], sizes=[1e6],
+        )
+        assert sweep(TOPO, H, **kwargs) == sweep(TOPO, H, prune=False, **kwargs)
+
+    def test_chaos_sweep_shares_engine_cache(self):
+        from repro.engine import SweepEngine
+
+        engine = SweepEngine()
+        kwargs = dict(
+            orders=[(0, 1, 2)], fault_kinds=["straggler"], seed=1,
+            engine=engine,
+        )
+        first = chaos_sweep(generic_cluster((2, 2, 2)), **kwargs)
+        evaluated = engine.stats.evaluated
+        second = chaos_sweep(generic_cluster((2, 2, 2)), **kwargs)
+        assert first == second
+        assert engine.stats.evaluated == evaluated
+
+    def test_verify_sweep_shares_engine_cache(self):
+        from repro.bench.sweeps import verify_sweep
+        from repro.engine import SweepEngine
+
+        engine = SweepEngine()
+        first = verify_sweep([4], collectives=["allgather"], engine=engine)
+        evaluated = engine.stats.evaluated
+        second = verify_sweep([4], collectives=["allgather"], engine=engine)
+        assert first == second
+        assert engine.stats.evaluated == evaluated

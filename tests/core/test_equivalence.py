@@ -2,12 +2,17 @@
 
 import math
 
+import pytest
+
 from repro.core.equivalence import (
+    class_key,
     equivalence_classes,
+    placement_key,
     pruning_factor,
     representative_orders,
 )
 from repro.core.hierarchy import Hierarchy
+from repro.core.metrics import OrderSignature
 from repro.core.orders import all_orders
 
 
@@ -94,6 +99,165 @@ class TestRepresentatives:
     def test_pruning_factor_formula(self, fig1_hierarchy):
         classes = equivalence_classes(fig1_hierarchy, 4)
         assert pruning_factor(fig1_hierarchy, 4) == math.factorial(3) / len(classes)
+
+
+class TestExactKeys:
+    """Regression: keys must be exact rationals, not ``round(p, 6)``."""
+
+    def test_near_boundary_percentages_do_not_merge(self):
+        # Two pair ratios differing by 1e-7 percent: both round to the
+        # same 6-decimal bucket, so the historic float key merged them.
+        # The exact (count, total) key must keep them apart.
+        total = 10**9
+        a_counts = (500_000_001, total - 500_000_001)
+        b_counts = (500_000_000, total - 500_000_000)
+        pct = lambda counts: tuple(100.0 * c / total for c in counts)
+        a = OrderSignature((0, 1), 5, pct(a_counts), a_counts, total)
+        b = OrderSignature((1, 0), 5, pct(b_counts), b_counts, total)
+        # The percentages genuinely straddle the rounding granularity:
+        rounded_a = tuple(round(p, 6) for p in a.pair_percentages)
+        rounded_b = tuple(round(p, 6) for p in b.pair_percentages)
+        assert rounded_a == rounded_b  # old key would have merged
+        assert a.key != b.key
+
+    def test_equal_rationals_share_a_key(self):
+        # Same exact ratio reached through different orders: one key.
+        a = OrderSignature((0, 1), 5, (50.0, 50.0), (2, 2), 4)
+        b = OrderSignature((1, 0), 5, (50.0, 50.0), (2, 2), 4)
+        assert a.key == b.key
+
+    def test_signature_keys_carry_integer_counts(self, fig1_hierarchy):
+        classes = equivalence_classes(fig1_hierarchy, 4)
+        for sigs in classes.values():
+            for s in sigs:
+                assert s.n_pairs == 4 * 3 // 2
+                assert sum(s.pair_counts) == s.n_pairs
+                assert all(isinstance(c, int) for c in s.pair_counts)
+
+
+class TestMaskedHierarchies:
+    """Masked hierarchies must not trust first-communicator signatures."""
+
+    @pytest.fixture
+    def masked_24(self):
+        # [[2,2,4]] with socket 0 of each node drained: survivors form a
+        # homogeneous [[2,4]] *description*, but the physical units behind
+        # it are a strict subset of the machine.
+        h = Hierarchy((2, 2, 4), names=("node", "socket", "core"))
+        return h.without_cores([0, 1, 2, 3, 8, 9, 10, 11])
+
+    def test_without_cores_marks_masked(self, masked_24):
+        assert masked_24.masked
+        assert masked_24.radices == (2, 4)
+        # Equality with a pristine hierarchy is unaffected by the flag.
+        assert masked_24 == Hierarchy((2, 4), ("node", "core"))
+        assert not Hierarchy((2, 4)).masked
+
+    def test_masked_auto_enables_check_all_comms(self, masked_24):
+        auto = equivalence_classes(masked_24, 4)
+        strict = equivalence_classes(masked_24, 4, check_all_comms=True)
+        assert set(auto.keys()) == set(strict.keys())
+        for key in auto:
+            assert [s.order for s in auto[key]] == [s.order for s in strict[key]]
+
+    def test_masked_refuses_first_comm_only(self, masked_24):
+        with pytest.raises(ValueError, match="masked"):
+            equivalence_classes(masked_24, 4, check_all_comms=False)
+
+    def test_masked_flag_survives_derivations(self, masked_24):
+        assert masked_24.permuted((1, 0)).masked
+        assert not Hierarchy((2, 4)).permuted((1, 0)).masked
+
+    def test_pristine_hierarchy_keeps_fast_path(self, fig1_hierarchy):
+        # Auto mode on an unmasked hierarchy is the comm-0 key: same
+        # grouping as an explicit check_all_comms=False.
+        auto = equivalence_classes(fig1_hierarchy, 4)
+        fast = equivalence_classes(fig1_hierarchy, 4, check_all_comms=False)
+        assert auto.keys() == fast.keys()
+
+
+class TestClassKey:
+    def test_strict_key_groups_equivalent_orders(self, fig1_hierarchy):
+        # Section 3.3's merged pair shares the strict key...
+        assert class_key(fig1_hierarchy, (2, 0, 1), 4) == class_key(
+            fig1_hierarchy, (2, 1, 0), 4
+        )
+        # ...and distinct mappings do not.
+        assert class_key(fig1_hierarchy, (0, 1, 2), 4) != class_key(
+            fig1_hierarchy, (1, 0, 2), 4
+        )
+
+
+class TestPlacementKey:
+    """The sound result-reuse key: canonical placements under machine
+    symmetry (subtree relabeling + reordering of comms 1..k)."""
+
+    def test_paper_pair_is_isomorphic(self, fig1_hierarchy):
+        # [2,0,1] vs [2,1,0]: exchanging which socket two communicators
+        # use is a machine automorphism plus a comm reordering.
+        assert placement_key(fig1_hierarchy, (2, 0, 1), 4) == placement_key(
+            fig1_hierarchy, (2, 1, 0), 4
+        )
+
+    def test_matches_signature_classes_on_fig1(self, fig1_hierarchy):
+        # On [[2,2,4]] at comm size 4 the sound key and the paper's
+        # signature classes coincide: 5 classes, one merged pair.
+        groups = {}
+        for order in all_orders(3):
+            groups.setdefault(
+                placement_key(fig1_hierarchy, order, 4), []
+            ).append(order)
+        grouped = sorted(tuple(g) for g in groups.values())
+        assert grouped == [
+            ((0, 1, 2),),
+            ((0, 2, 1),),
+            ((1, 0, 2),),
+            ((1, 2, 0),),
+            ((2, 0, 1), (2, 1, 0)),
+        ]
+
+    def test_equal_signatures_can_differ_in_placement(self):
+        # Regression for the engine's pruning soundness: on [[4,2,2,8]]
+        # at comm size 16, orders [0,1,2,3] and [0,2,1,3] share the
+        # strict signature key (same ring cost and pair histogram in
+        # permuted-relative coordinates) but enumerate different-level
+        # units in a different interleaving -- with a per-level bandwidth
+        # gradient their simulated durations genuinely differ, so the
+        # placement key must keep them apart.
+        h = Hierarchy((4, 2, 2, 8), ("node", "socket", "group", "core"))
+        assert class_key(h, (0, 1, 2, 3), 16) == class_key(h, (0, 2, 1, 3), 16)
+        assert placement_key(h, (0, 1, 2, 3), 16) != placement_key(
+            h, (0, 2, 1, 3), 16
+        )
+
+    def test_comm_reordering_is_quotiented(self):
+        # [1,3,0,2] vs [1,3,2,0]: identical comm-0 layout, identical comm
+        # multiset -- only the enumeration order of the concurrent comms
+        # differs, which neither benchmark scenario can observe.
+        h = Hierarchy((16, 2, 2, 8), ("node", "socket", "group", "core"))
+        assert placement_key(h, (1, 3, 0, 2), 16) == placement_key(
+            h, (1, 3, 2, 0), 16
+        )
+
+    def test_finer_than_signature_key(self, hydra_hierarchy):
+        # Placement classes refine signature classes: members of one
+        # placement class always share the signature key.
+        by_placement = {}
+        for order in all_orders(4):
+            by_placement.setdefault(
+                placement_key(hydra_hierarchy, order, 16), []
+            ).append(order)
+        for members in by_placement.values():
+            keys = {class_key(hydra_hierarchy, o, 16) for o in members}
+            assert len(keys) == 1
+
+    def test_internal_rank_order_is_kept_apart(self):
+        # Same core set, different rank labeling: round structure (who
+        # talks to whom in round r) differs, so no merge.
+        h = Hierarchy((16, 2, 2, 8), ("node", "socket", "group", "core"))
+        assert placement_key(h, (1, 3, 0, 2), 16) != placement_key(
+            h, (3, 1, 0, 2), 16
+        )
 
 
 def test_deep_hierarchy_classes_reasonable():

@@ -1,0 +1,98 @@
+"""Two-tier result cache: LRU behavior, disk round-trips, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+
+
+KEY = "ab" + "0" * 62  # fan-out dir "ab"
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        c = ResultCache(maxsize=4)
+        assert c.get(KEY) is None
+        c.put(KEY, {"x": 1.0})
+        assert c.get(KEY) == {"x": 1.0}
+        assert c.stats()["memory_hits"] == 1
+        assert c.stats()["misses"] == 1
+
+    def test_lru_evicts_oldest(self):
+        c = ResultCache(maxsize=2)
+        c.put("k1", {"v": 1.0})
+        c.put("k2", {"v": 2.0})
+        c.put("k3", {"v": 3.0})
+        assert c.get("k1") is None  # evicted
+        assert c.get("k2") == {"v": 2.0}
+        assert c.get("k3") == {"v": 3.0}
+
+    def test_get_refreshes_recency(self):
+        c = ResultCache(maxsize=2)
+        c.put("k1", {"v": 1.0})
+        c.put("k2", {"v": 2.0})
+        c.get("k1")  # k1 now most recent
+        c.put("k3", {"v": 3.0})
+        assert c.get("k2") is None  # k2 evicted instead of k1
+        assert c.get("k1") == {"v": 1.0}
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        a = ResultCache(cache_dir=tmp_path)
+        a.put(KEY, {"duration": 2.5, "inf_field": float("inf")})
+        b = ResultCache(cache_dir=tmp_path)  # fresh process, warm disk
+        hit = b.get(KEY)
+        assert hit == {"duration": 2.5, "inf_field": float("inf")}
+        assert b.disk_hits == 1 and b.memory_hits == 0
+        assert b.get(KEY) == hit  # promoted to memory
+        assert b.memory_hits == 1
+
+    def test_entry_records_provenance(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        c.put(KEY, {"v": 1.0}, request_doc={"model": "round"})
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        doc = json.loads(path.read_text())
+        assert doc["key"] == KEY
+        assert doc["result"] == {"v": 1.0}
+        assert doc["request"] == {"model": "round"}
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert c.get(KEY) is None
+        # The next store overwrites the corrupt entry.
+        c.put(KEY, {"v": 2.0})
+        assert ResultCache(cache_dir=tmp_path).get(KEY) == {"v": 2.0}
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"key": KEY, "result": [1, 2, 3]}))
+        assert c.get(KEY) is None
+
+    def test_no_disk_without_cache_dir(self, tmp_path):
+        c = ResultCache()
+        c.put(KEY, {"v": 1.0})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStats:
+    def test_hit_rate(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        c.get("missing1")
+        c.put(KEY, {"v": 1.0})
+        c.get(KEY)
+        s = c.stats()
+        assert s["hit_rate"] == pytest.approx(0.5)
+        assert s["memory_entries"] == 1

@@ -65,6 +65,33 @@ class TestEventQueue:
         assert len(q) == 2
         assert [q.pop()[1] for _ in range(2)] == [1, 3]
 
+    def test_cancel_compacts_heap(self):
+        """Long push/cancel churn must not grow the heap without bound
+        (regression: lazy deletion never removed dead entries that were
+        not at the top, so chaos/fuzz sweeps leaked memory)."""
+        q = EventQueue()
+        live = [q.push(1e9 + i, f"live{i}") for i in range(5)]
+        for i in range(10_000):
+            h = q.push(float(i % 97 + 1), i)
+            q.cancel(h)
+        assert len(q) == len(live)
+        # Dead entries can transiently reach the compaction threshold but
+        # never exceed it by more than the heap-half rule allows.
+        assert len(q._heap) <= 2 * (len(q) + EventQueue.COMPACT_MIN_DEAD)
+        # The queue still drains correctly, in insertion order.
+        assert [q.pop()[1] for _ in range(5)] == [f"live{i}" for i in range(5)]
+        assert not q
+
+    def test_compaction_preserves_ordering_and_stale_handles(self):
+        q = EventQueue()
+        handles = [q.push(float(i), i) for i in range(300)]
+        for h in handles[::2]:  # cancel the even half -> triggers compaction
+            q.cancel(h)
+        assert len(q) == 150
+        q.cancel(handles[0])  # stale re-cancel after compaction: no-op
+        assert len(q) == 150
+        assert [q.pop()[1] for _ in range(150)] == list(range(1, 300, 2))
+
     def test_peek_time(self):
         q = EventQueue()
         q.push(5.0, "x")

@@ -72,6 +72,50 @@ class TestClasses:
         )
         assert rc == 0
         assert "equivalence classes" in out
+        # Human-readable pair percentages, not the internal integer key.
+        assert "pairs=(100.0,0.0,0.0): 2-0-1, 2-1-0" in out
+
+
+class TestSweep:
+    def test_csv_output(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--comm-sizes", "4", "--sizes", "1e6",
+            "--orders", "0-1-2,2-1-0", "--jobs", "2",
+        )
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("machine,order,ring_cost")
+        assert len(lines) == 3  # header + 2 orders
+        assert lines[1].split(",")[1] == "0-1-2"
+
+    def test_bench_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--comm-sizes", "4", "--sizes", "1e6",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--bench-json", str(path),
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["requests"] == 6
+        assert doc["records"] == 6
+        assert doc["pruned_evaluations_saved"] >= 1
+        assert "wall_clock_s" in doc and "cache_hit_rate" in doc
+
+    def test_no_prune_audit_mode(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--comm-sizes", "4", "--sizes", "1e6", "--no-prune",
+        )
+        assert rc == 0
+        assert len(out.strip().splitlines()) == 7  # header + 6 orders
 
 
 class TestShow:
