@@ -247,9 +247,15 @@ def _cmd_verify_differential(args: argparse.Namespace) -> int:
     elif args.machine == "generic":
         topology = generic_cluster((2, 2, 4), names=("node", "socket", "core"))
     report = seed_benchmark_suite(
-        topology, tolerance=args.tolerance, total_bytes=args.bytes
+        topology, tolerance=args.tolerance, total_bytes=args.bytes,
+        incremental=not args.no_incremental, audit=args.no_incremental,
     )
     print(report.summary())
+    if args.no_incremental:
+        print(
+            "audit: incremental kernel cross-checked against from-scratch "
+            "max-min rates on every recompute (rtol 1e-12) -- no divergence"
+        )
     return 0 if report.ok else 1
 
 
@@ -402,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument("--tolerance", type=float, default=0.15)
     v.add_argument("--bytes", type=float, default=1e6)
+    v.add_argument(
+        "--no-incremental", action="store_true",
+        help="audit mode: replay with per-event from-scratch max-min "
+        "recomputes and cross-check the incremental kernel against them "
+        "at rtol 1e-12 (mirrors sweep --no-prune)",
+    )
     v.set_defaults(func=_cmd_verify_differential)
     return parser
 

@@ -76,6 +76,7 @@ class EngineStats:
 
     def to_jsonable(self) -> dict:
         from repro import __version__
+        from repro.netsim.fabric import FABRIC_CACHE_STATS
 
         return {
             "version": __version__,
@@ -90,6 +91,9 @@ class EngineStats:
             "cache_hit_rate": self.cache_hit_rate,
             "pruned_evaluations_saved": self.pruned,
             "audited": self.audited,
+            # Round-pattern cache of the fast model (this process's
+            # fabrics; workers accumulate their own and are not merged).
+            "fabric_round_cache": FABRIC_CACHE_STATS.to_jsonable(),
         }
 
 

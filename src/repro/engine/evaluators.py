@@ -102,8 +102,11 @@ def _eval_des(req: EvalRequest) -> dict:
     cores = reordering.comm_members(0)
     rounds = rounds_for(req.collective, req.comm_size, req.total_bytes, req.algorithm)
     mode = req.extra("mode", "lockstep")
+    incremental = bool(req.extra("incremental", True))
+    audit_rates = bool(req.extra("audit_rates", False))
     t_des, _timings, _records = replay_rounds_des(
-        req.topology, cores, rounds, mode=mode
+        req.topology, cores, rounds, mode=mode,
+        incremental=incremental, audit=audit_rates,
     )
     t_round = rounds_to_schedule(rounds, cores).total_time(Fabric(req.topology))
     return {
@@ -138,6 +141,8 @@ def _eval_verify(req: EvalRequest) -> dict:
     p = req.comm_size
     tol = req.extra("tolerance")
     tol = DEFAULT_TOLERANCE if tol is None else float(tol)
+    incremental = bool(req.extra("incremental", True))
+    audit_rates = bool(req.extra("audit_rates", False))
     rounds = rounds_for(req.collective, p, req.total_bytes, req.algorithm)
     sem = check_schedule(
         req.collective, rounds, p, req.total_bytes, algorithm=req.algorithm
@@ -151,8 +156,13 @@ def _eval_verify(req: EvalRequest) -> dict:
             label=f"{req.collective}/{req.algorithm}",
             total_bytes=req.total_bytes,
             tolerance=tol,
+            incremental=incremental,
+            audit=audit_rates,
         )
-        _t, _timings, trace = replay_rounds_des(req.topology, cores, rounds)
+        _t, _timings, trace = replay_rounds_des(
+            req.topology, cores, rounds,
+            incremental=incremental, audit=audit_rates,
+        )
         inv = check_trace(req.topology, trace)
         diff_ok, diff_err = diff.ok, diff.rel_err
         inv_ok, n_viol = inv.ok, len(inv.violations)

@@ -101,6 +101,11 @@ class FaultSchedule:
             sorted(self.specs, key=lambda s: (s.start, KINDS.index(s.kind), s.target))
         )
         object.__setattr__(self, "specs", specs)
+        # Per-time memo for link_faults(): the simulator queries the same
+        # change times on every run of a schedule (retry loops, repeated
+        # chaos trials), and the schedule is immutable, so the answer per
+        # ``t`` never changes.  Not a field: excluded from eq/hash/repr.
+        object.__setattr__(self, "_link_fault_cache", {})
 
     def __iter__(self) -> Iterator[FaultSpec]:
         return iter(self.specs)
@@ -165,8 +170,12 @@ class FaultSchedule:
 
         NIC failures and node crashes appear as zero-capacity level-0
         entries; multiple faults on one link compose multiplicatively on
-        bandwidth and take the worst latency factor.
+        bandwidth and take the worst latency factor.  Results are memoized
+        per ``t`` (the schedule is immutable).
         """
+        hit = self._link_fault_cache.get(t)
+        if hit is not None:
+            return list(hit)
         acc: dict[tuple[int, int], list[float]] = {}
         for s in self.specs:
             if s.kind == "link_degrade" and s.active(t):
@@ -177,7 +186,9 @@ class FaultSchedule:
                 acc[(0, s.target)] = [0.0, acc.get((0, s.target), [1.0, 1.0])[1]]
             elif s.kind == "node_crash" and s.start <= t:
                 acc[(0, s.target)] = [0.0, acc.get((0, s.target), [1.0, 1.0])[1]]
-        return [(lv, comp, bw, lat) for (lv, comp), (bw, lat) in sorted(acc.items())]
+        out = [(lv, comp, bw, lat) for (lv, comp), (bw, lat) in sorted(acc.items())]
+        self._link_fault_cache[t] = tuple(out)
+        return out
 
     # -- construction helpers ----------------------------------------------
 

@@ -14,8 +14,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Entry:
+    """Heap entry; ``slots`` removes the per-event ``__dict__`` (the DES
+    allocates one entry per message half plus timeouts, so attribute
+    storage is a measurable share of event-loop overhead)."""
+
     time: float
     seq: int
     payload: Any = field(compare=False)

@@ -25,6 +25,7 @@ so whole size sweeps stay cheap.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Sequence
@@ -32,6 +33,37 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.topology.machine import MachineTopology
+
+
+@dataclass
+class FabricCacheStats:
+    """Process-wide round-pattern cache telemetry (all fabrics).
+
+    Reset/read by the sweep benchmark and surfaced in ``BENCH_sweep.json``;
+    advisory counters only, never control flow.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def to_jsonable(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+#: Aggregate counters across every :class:`Fabric` in the process.
+FABRIC_CACHE_STATS = FabricCacheStats()
 
 
 @dataclass(frozen=True)
@@ -81,7 +113,8 @@ class Fabric:
 
     def __init__(self, topology: MachineTopology):
         self.topology = topology
-        self._cache: dict[tuple, float] = {}
+        self._cache: OrderedDict[tuple, float] = OrderedDict()
+        self.cache_stats = FabricCacheStats()
 
     @cached_property
     def _edge_offsets(self) -> np.ndarray:
@@ -114,15 +147,30 @@ class Fabric:
         return np.where(lca == topo.depth, 0.0, out)
 
     def round_time(self, rnd: Round) -> float:
-        """Duration of one round under bottleneck fair sharing."""
+        """Duration of one round under bottleneck fair sharing.
+
+        Distinct patterns are cached per fabric with true LRU eviction
+        (the seed wholesale-cleared the cache at the limit, so a sweep
+        cycling through ``CACHE_LIMIT + 1`` patterns recomputed all of
+        them every pass).  Hit/miss/eviction counters accumulate on both
+        this fabric's :attr:`cache_stats` and the process-wide
+        :data:`FABRIC_CACHE_STATS`.
+        """
         key = rnd.key()
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_stats.hits += 1
+            FABRIC_CACHE_STATS.hits += 1
             return cached
+        self.cache_stats.misses += 1
+        FABRIC_CACHE_STATS.misses += 1
         t = self._round_time_impl(rnd)
-        if len(self._cache) >= self.CACHE_LIMIT:
-            self._cache.clear()
         self._cache[key] = t
+        if len(self._cache) > self.CACHE_LIMIT:
+            self._cache.popitem(last=False)
+            self.cache_stats.evictions += 1
+            FABRIC_CACHE_STATS.evictions += 1
         return t
 
     def _round_time_impl(self, rnd: Round) -> float:

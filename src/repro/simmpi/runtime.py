@@ -33,6 +33,7 @@ regression test).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Mapping
@@ -40,7 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Mapping
 import numpy as np
 
 from repro.netsim.engine import EventQueue
-from repro.netsim.flows import Flow, FlowNetwork
+from repro.netsim.flows import KERNEL_STATS, Flow, FlowNetwork
 from repro.simmpi.errors import RankFailedError, SimTimeout
 from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
 from repro.topology.machine import MachineTopology
@@ -118,6 +119,21 @@ class Simulator:
     timeout:
         Optional bound, in simulated seconds, on how long any blocking
         operation may stay pending before :class:`SimTimeout` is raised.
+    incremental:
+        Use the incremental, memoized max-min kernel (default).  ``False``
+        recomputes rates from scratch on every flow event -- the seed
+        behavior, kept as the benchmark baseline.
+    audit_rates:
+        Cross-check every incremental rate allocation against the
+        from-scratch reference (``rtol=1e-12``); raises
+        :class:`~repro.netsim.flows.RateAuditError` on divergence.
+    network:
+        Optional pre-built :class:`FlowNetwork` to reuse, sharing its path
+        caches and rate memo across simulators (the lockstep differential
+        replay runs one short simulation per round pattern; a shared
+        network lets repeated patterns pay for one rate solve).  Must be
+        built on the same topology; incompatible with a fault schedule,
+        which mutates network capacities.
     """
 
     def __init__(
@@ -127,6 +143,9 @@ class Simulator:
         listeners: Iterable[Callable[[FlowRecord], None]] = (),
         fault_schedule: "FaultSchedule | None" = None,
         timeout: float | None = None,
+        incremental: bool = True,
+        audit_rates: bool = False,
+        network: FlowNetwork | None = None,
     ):
         self.topology = topology
         self.rank_to_core = np.asarray(list(rank_to_core), dtype=np.int64)
@@ -134,7 +153,19 @@ class Simulator:
             self.rank_to_core.min() < 0 or self.rank_to_core.max() >= topology.n_cores
         ):
             raise ValueError("rank_to_core refers to cores outside the machine")
-        self.network = FlowNetwork(topology)
+        if network is not None:
+            if network.topology != topology:
+                raise ValueError("shared network was built on a different topology")
+            if fault_schedule is not None and not fault_schedule.empty:
+                raise ValueError(
+                    "a shared network cannot be combined with a fault schedule "
+                    "(faults mutate network capacities)"
+                )
+            self.network = network
+        else:
+            self.network = FlowNetwork(
+                topology, incremental=incremental, audit=audit_rates
+            )
         self.listeners = list(listeners)
         self.now = 0.0
         if fault_schedule is not None and fault_schedule.empty:
@@ -203,6 +234,17 @@ class Simulator:
         self._pending_recvs: dict[tuple, deque] = {}
         self._half_owner: dict[int, tuple[int, _Half]] = {}
         self._active: list[tuple[Flow, _Half, _Half, int, int, float]] = []
+        # NumPy mirrors of the active flows' remaining bytes and rates,
+        # rebuilt at every reprice (the only points rates change) so flow
+        # progression and next-completion scans are vectorized.  While the
+        # mirror is valid it is authoritative for ``remaining``; it is
+        # flushed back into the Flow objects right before any mutation of
+        # ``_active``.
+        self._flow_rem = np.zeros(0)
+        self._flow_rate = np.zeros(0)
+        self._mirror_valid = True
+        self._rates_dirty = False
+        self.events_processed = 0
         self._failed = set()
 
         if self._schedule is not None:
@@ -245,9 +287,20 @@ class Simulator:
             if guard > 50_000_000:  # pragma: no cover - runaway protection
                 raise RuntimeError("event cap exceeded")
             t_event = self._events.peek_time() if self._events else np.inf
-            t_flow, flow_idx = self._next_completion()
+            if self._rates_dirty and self._can_defer(t_event):
+                # Same-timestamp event burst: the queued event is provably
+                # next whatever the fresh rates would be, so the reprice
+                # waits until the burst's last mutation (one solve instead
+                # of one per event).
+                KERNEL_STATS.deferrals += 1
+                t_flow, flow_idx = np.inf, -1
+            else:
+                self._ensure_rates()
+                t_flow, flow_idx = self._next_completion()
             t = min(t_event, t_flow)
             if not np.isfinite(t):
+                self.events_processed = guard - 1
+                KERNEL_STATS.sim_events += guard - 1
                 return  # no events, no flows: run() checks completion
             self._progress_flows(t)
             self.now = t
@@ -265,7 +318,9 @@ class Simulator:
                     have_recv = entry[4] in self._half_owner
                     if have_send and have_recv:
                         entry[0].start_time = t
+                        self._flush_remaining()
                         self._active.append(entry)
+                        self._mirror_valid = False
                         self._reprice()
                     elif have_send or have_recv:
                         # The other side was aborted by a fault during the
@@ -283,26 +338,127 @@ class Simulator:
                 else:  # pragma: no cover - defensive
                     raise AssertionError(kind)
 
+    def _can_defer(self, t_event: float) -> bool:
+        """Whether the pending reprice can wait one more event.
+
+        True only when the next queued event shares the current timestamp
+        AND no active flow could complete at ``now`` regardless of what the
+        fresh rates turn out to be: every flow has remaining bytes large
+        enough that ``now + remaining / rate`` strictly exceeds ``now``
+        even at the machine's maximum capacity, and no flow is an
+        infinite-rate self-flow.  Under those conditions the event loop's
+        next decision (pop the queued event) is rate-independent, time does
+        not advance (``dt == 0`` progresses nothing), and the eventual
+        solve sees the same active sequence it would have seen anyway --
+        so the deferred trajectory is bit-identical to per-event repricing.
+        """
+        if t_event != self.now:
+            return False
+        # Strict lower bound on any completion delta: remaining / max
+        # capacity.  The factor 2 absorbs division rounding; anything above
+        # 2*ulp(now) cannot round ``now + delta`` back onto ``now``.
+        floor = 2.0 * math.ulp(self.now) * self.network.max_capacity
+        if self._mirror_valid:
+            rem = self._flow_rem
+            if rem.size and float(rem.min()) <= floor:
+                return False
+            for entry in self._active:
+                if entry[0].src == entry[0].dst:
+                    return False
+            return True
+        for entry in self._active:
+            flow = entry[0]
+            if flow.remaining <= floor or flow.src == flow.dst:
+                return False
+        return True
+
     def _next_completion(self) -> tuple[float, int]:
-        best_t, best_i = np.inf, -1
-        for i, (flow, *_rest) in enumerate(self._active):
-            if flow.rate <= 0:
-                continue
-            t = self.now + flow.remaining / flow.rate
-            if t < best_t:
-                best_t, best_i = t, i
+        """Earliest in-flight completion ``(time, active-list index)``.
+
+        Element-wise float operations match the seed's per-flow scan
+        exactly (``now + remaining / rate`` with strict-``<``
+        first-minimum selection), so event timestamps stay bit-identical.
+        Small active sets take a scalar loop (NumPy call overhead exceeds
+        interpreter cost there); the arithmetic is IEEE-identical.
+        """
+        if not self._active:
+            return np.inf, -1
+        rem, rate = self._flow_rem, self._flow_rate
+        if rem.size <= 32:
+            now = self.now
+            best_t = np.inf
+            best_i = -1
+            for i, (rm, rt) in enumerate(zip(rem.tolist(), rate.tolist())):
+                if rt > 0:
+                    t = now + rm / rt
+                    if t < best_t:
+                        best_t = t
+                        best_i = i
+            return (best_t, best_i) if best_i >= 0 else (np.inf, -1)
+        times = np.full(rem.shape, np.inf)
+        np.divide(rem, rate, out=times, where=rate > 0)
+        times += self.now
+        best_i = int(np.argmin(times))  # first minimum, like strict <
+        best_t = float(times[best_i])
+        if not np.isfinite(best_t):
+            return np.inf, -1
         return best_t, best_i
 
     def _progress_flows(self, t: float) -> None:
+        """Advance every finite-rate flow's remaining bytes to time ``t``."""
         dt = t - self.now
-        if dt <= 0:
+        if dt <= 0 or not self._active:
             return
-        for flow, *_ in self._active:
-            if np.isfinite(flow.rate):
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        rem, rate = self._flow_rem, self._flow_rate
+        if rem.size <= 32:
+            for i, (rm, rt) in enumerate(zip(rem.tolist(), rate.tolist())):
+                if math.isfinite(rt):
+                    # Same per-element arithmetic as the vectorized branch
+                    # and the seed's loop: max(0.0, remaining - rate * dt).
+                    v = rm - rt * dt
+                    rem[i] = v if v > 0.0 else 0.0
+            return
+        finite = np.isfinite(rate)
+        # Same per-element arithmetic as the seed's Python loop:
+        # max(0.0, remaining - rate * dt).
+        np.copyto(rem, np.maximum(0.0, rem - rate * dt), where=finite)
+
+    def _flush_remaining(self) -> None:
+        """Write the progressed remaining bytes back into the Flow objects.
+
+        Called right before ``_active`` mutates (the mirror's indices are
+        about to go stale) and by :meth:`_reprice` before it rebuilds the
+        mirror, so Flow objects are current whenever anyone reads them.
+        """
+        if not self._mirror_valid:
+            return
+        for entry, rem in zip(self._active, self._flow_rem):
+            entry[0].remaining = float(rem)
 
     def _reprice(self) -> None:
-        self.network.apply_rates([f for f, *_ in self._active])
+        """Rates are stale.  Incremental networks resolve them lazily (the
+        event loop calls :meth:`_ensure_rates` when a decision actually
+        needs them, collapsing same-timestamp event bursts into one
+        solve); the seed-faithful non-incremental mode recomputes from
+        scratch immediately, one solve per flow event."""
+        if self.network.incremental:
+            self._rates_dirty = True
+            return
+        self._ensure_rates(force=True)
+
+    def _ensure_rates(self, force: bool = False) -> None:
+        if not (self._rates_dirty or force):
+            return
+        self._flush_remaining()
+        flows = [f for f, *_ in self._active]
+        self.network.apply_rates(flows)
+        n = len(flows)
+        self._flow_rem = np.fromiter(
+            (f.remaining for f in flows), dtype=float, count=n
+        )
+        self._flow_rate = np.fromiter((f.rate for f in flows), dtype=float, count=n)
+        self._mirror_valid = True
+        self._rates_dirty = False
 
     # -- fault handling ---------------------------------------------------------
 
@@ -368,6 +524,7 @@ class Simulator:
         """Drop every registered operation of ``rank``; returns live peers
         whose matched (in-flight) transfer was aborted."""
         affected: set[int] = set()
+        self._flush_remaining()
         kept = []
         changed = False
         for entry in self._active:
@@ -385,6 +542,7 @@ class Simulator:
                 kept.append(entry)
         if changed:
             self._active = kept
+            self._mirror_valid = False
             self._reprice()
         for hid, (r, _half) in list(self._half_owner.items()):
             if r == rank:
@@ -644,7 +802,9 @@ class Simulator:
         self._events.push(match_time + lat, ("start", entry))
 
     def _complete_flow(self, idx: int) -> None:
+        self._flush_remaining()
         flow, send_half, recv_half, send_id, recv_id, match_time = self._active.pop(idx)
+        self._mirror_valid = False
         self._reprice()
         for listener in self.listeners:
             listener(

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.collectives.base import RoundSpec, rounds_to_schedule
 from repro.netsim.fabric import Fabric
+from repro.netsim.flows import FlowNetwork
 from repro.simmpi.communicator import Comm
 from repro.simmpi.runtime import FlowRecord, Simulator
 from repro.topology.machine import MachineTopology
@@ -131,26 +132,35 @@ class DifferentialReport:
         return "\n".join(lines)
 
 
-def _round_flow_program(comm, spec: RoundSpec, tag_base: int):
+def _spec_endpoints(spec: RoundSpec, tag_base: int) -> tuple[dict, dict]:
+    """Bucket one round's flows by rank in a single pass.
+
+    Returns ``(sends, recvs)`` keyed by rank; per-rank lists keep the
+    spec's flow order, so the DES posts operations in the same sequence a
+    per-rank scan would (FIFO channel matching makes that order part of
+    the semantics).
+    """
+    nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
+    sends: dict[int, list] = {}
+    recvs: dict[int, list] = {}
+    src, dst = spec.src, spec.dst
+    for i in range(src.size):
+        s, d = int(src[i]), int(dst[i])
+        tag = tag_base + i
+        sends.setdefault(s, []).append((d, float(nb[i]), tag))
+        recvs.setdefault(d, []).append((s, tag))
+    return sends, recvs
+
+
+def _round_flow_program(comm, sends: dict, recvs: dict):
     """One rank's DES program for a single round instance."""
     rank = comm.rank
-    nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
-    sends = [
-        (int(spec.dst[i]), float(nb[i]), tag_base + i)
-        for i in range(spec.src.size)
-        if int(spec.src[i]) == rank
-    ]
-    recvs = [
-        (int(spec.src[i]), tag_base + i)
-        for i in range(spec.src.size)
-        if int(spec.dst[i]) == rank
-    ]
 
     def program():
         reqs = []
-        for src, tag in recvs:
+        for src, tag in recvs.get(rank, ()):
             reqs.append((yield comm.irecv(src, tag=tag)))
-        for dst, nbytes, tag in sends:
+        for dst, nbytes, tag in sends.get(rank, ()):
             reqs.append((yield comm.isend(dst, nbytes, None, tag=tag)))
         if reqs:
             yield comm.wait(*reqs)
@@ -165,6 +175,10 @@ def replay_rounds_des(
     rounds: Sequence[RoundSpec],
     mode: str = "lockstep",
     listeners: Sequence = (),
+    incremental: bool = True,
+    audit: bool = False,
+    network: FlowNetwork | None = None,
+    fabric: Fabric | None = None,
 ) -> tuple[float, list[RoundTiming], list[FlowRecord]]:
     """Replay a communicator-rank round schedule on the DES.
 
@@ -172,13 +186,21 @@ def replay_rounds_des(
     timings are only populated in ``lockstep`` mode (``pipelined`` has no
     round boundaries to time).  ``member_cores[comm_rank]`` maps ranks to
     cores exactly as :func:`repro.collectives.base.rounds_to_schedule`.
+
+    One :class:`FlowNetwork` (``network`` if given) serves every lockstep
+    round, so its path caches and rate memo carry across the repeated
+    patterns of a schedule; ``incremental=False`` forces the from-scratch
+    reference solver and ``audit=True`` cross-checks both on every solve.
+    A shared ``fabric`` likewise carries the round model's pattern cache
+    across calls.
     """
     cores = np.asarray(member_cores, dtype=np.int64)
     p = cores.size
     records: list[FlowRecord] = []
     collect = [records.append, *listeners]
-    fabric = Fabric(topology)
+    fabric = fabric or Fabric(topology)
     comms = Comm.world(p)
+    net = network or FlowNetwork(topology, incremental=incremental, audit=audit)
 
     if mode == "lockstep":
         total = 0.0
@@ -189,8 +211,11 @@ def replay_rounds_des(
             # concatenated trace stays a coherent single execution.
             offset = total
             local: list[FlowRecord] = []
-            sim = Simulator(topology, cores, listeners=[local.append])
-            sim.run({r: _round_flow_program(comms[r], spec, 0) for r in range(p)})
+            sends, recvs = _spec_endpoints(spec, 0)
+            sim = Simulator(topology, cores, listeners=[local.append], network=net)
+            sim.run(
+                {r: _round_flow_program(comms[r], sends, recvs) for r in range(p)}
+            )
             for rec in local:
                 shifted = FlowRecord(
                     src_rank=rec.src_rank,
@@ -221,13 +246,18 @@ def replay_rounds_des(
         return total, timings, records
 
     if mode == "pipelined":
+        endpoints = [
+            _spec_endpoints(spec, idx * spec.src.size)
+            for idx, spec in enumerate(rounds)
+        ]
+
         def rank_program(comm):
-            for idx, spec in enumerate(rounds):
+            for spec, (sends, recvs) in zip(rounds, endpoints):
                 for _ in range(spec.repeat):
-                    yield from _round_flow_program(comm, spec, idx * spec.src.size)
+                    yield from _round_flow_program(comm, sends, recvs)
             return None
 
-        sim = Simulator(topology, cores, listeners=collect)
+        sim = Simulator(topology, cores, listeners=collect, network=net)
         sim.run({r: rank_program(comms[r]) for r in range(p)})
         return max(sim.finish_times.values(), default=0.0), [], records
 
@@ -242,11 +272,19 @@ def compare_schedule(
     total_bytes: float = 0.0,
     tolerance: float = DEFAULT_TOLERANCE,
     mode: str = "lockstep",
+    incremental: bool = True,
+    audit: bool = False,
+    network: FlowNetwork | None = None,
+    fabric: Fabric | None = None,
 ) -> DifferentialCase:
     """Round-model vs DES duration of one schedule on given cores."""
     cores = np.asarray(member_cores, dtype=np.int64)
-    t_round = rounds_to_schedule(rounds, cores).total_time(Fabric(topology))
-    t_des, timings, _records = replay_rounds_des(topology, cores, rounds, mode=mode)
+    fabric = fabric or Fabric(topology)
+    t_round = rounds_to_schedule(rounds, cores).total_time(fabric)
+    t_des, timings, _records = replay_rounds_des(
+        topology, cores, rounds, mode=mode,
+        incremental=incremental, audit=audit, network=network, fabric=fabric,
+    )
     return DifferentialCase(
         label=label,
         p=int(cores.size),
@@ -267,6 +305,10 @@ def compare_collective(
     algorithm: str | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     mode: str = "lockstep",
+    incremental: bool = True,
+    audit: bool = False,
+    network: FlowNetwork | None = None,
+    fabric: Fabric | None = None,
 ) -> DifferentialCase:
     """Differential check of one collective on one communicator."""
     from repro.collectives.selector import rounds_for, select_algorithm
@@ -283,6 +325,10 @@ def compare_collective(
         total_bytes=total_bytes,
         tolerance=tolerance,
         mode=mode,
+        incremental=incremental,
+        audit=audit,
+        network=network,
+        fabric=fabric,
     )
 
 
@@ -290,12 +336,16 @@ def seed_benchmark_suite(
     topology: MachineTopology | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     total_bytes: float = 1e6,
+    incremental: bool = True,
+    audit: bool = False,
 ) -> DifferentialReport:
     """The seed benchmarks, cross-checked between both network models.
 
     Covers the paper's three micro-benchmarked collectives with both their
     small- and large-message algorithms on the Figure 1 machine (packed
-    cores and one spread placement each).
+    cores and one spread placement each).  A single :class:`FlowNetwork`
+    is shared across every case so repeated round patterns (ring phases,
+    pairwise exchanges recurring between placements) hit the rate memo.
     """
     from repro.topology.machines import generic_cluster
 
@@ -304,6 +354,8 @@ def seed_benchmark_suite(
     packed = np.arange(p, dtype=np.int64)
     spread = np.arange(0, topology.n_cores, topology.n_cores // p, dtype=np.int64)
     report = DifferentialReport()
+    net = FlowNetwork(topology, incremental=incremental, audit=audit)
+    fabric = Fabric(topology)
     suite = [
         ("alltoall", "pairwise"),
         ("alltoall", "bruck"),
@@ -317,6 +369,7 @@ def seed_benchmark_suite(
             case = compare_collective(
                 topology, cores, collective, total_bytes,
                 algorithm=algorithm, tolerance=tolerance,
+                incremental=incremental, audit=audit, network=net, fabric=fabric,
             )
             report.cases.append(
                 DifferentialCase(

@@ -168,3 +168,52 @@ class TestSchedule:
         assert merged.n_rounds == 2
         assert merged.rounds[0].n_flows == 2  # both schedules in round 0
         assert merged.rounds[1].n_flows == 1  # s1 finishes alone
+
+
+class TestRoundCache:
+    def _round(self, i):
+        return Round(np.array([0]), np.array([1]), float(i + 1))
+
+    def test_hit_and_miss_counters(self):
+        f = Fabric(_topo())
+        rnd = self._round(0)
+        t1 = f.round_time(rnd)
+        assert (f.cache_stats.misses, f.cache_stats.hits) == (1, 0)
+        t2 = f.round_time(self._round(0))  # equal pattern, fresh object
+        assert (f.cache_stats.misses, f.cache_stats.hits) == (1, 1)
+        assert t1 == t2
+
+    def test_eviction_past_cache_limit(self):
+        f = Fabric(_topo())
+        f.CACHE_LIMIT = 2
+        for i in range(3):
+            f.round_time(self._round(i))
+        assert f.cache_stats.evictions == 1
+        assert len(f._cache) == 2
+        # The evicted pattern (oldest) recomputes; the newest still hits.
+        f.round_time(self._round(2))
+        assert f.cache_stats.hits == 1
+        f.round_time(self._round(0))
+        assert f.cache_stats.misses == 4
+
+    def test_lru_order_protects_recently_used(self):
+        f = Fabric(_topo())
+        f.CACHE_LIMIT = 2
+        f.round_time(self._round(0))
+        f.round_time(self._round(1))
+        f.round_time(self._round(0))  # refresh 0: 1 becomes the LRU entry
+        f.round_time(self._round(2))  # evicts 1, not 0
+        misses = f.cache_stats.misses
+        f.round_time(self._round(0))
+        assert f.cache_stats.misses == misses  # still cached
+
+    def test_process_wide_stats_accumulate(self):
+        from repro.netsim.fabric import FABRIC_CACHE_STATS
+
+        before = FABRIC_CACHE_STATS.hits + FABRIC_CACHE_STATS.misses
+        f = Fabric(_topo())
+        f.round_time(self._round(0))
+        f.round_time(self._round(0))
+        assert FABRIC_CACHE_STATS.hits + FABRIC_CACHE_STATS.misses == before + 2
+        doc = FABRIC_CACHE_STATS.to_jsonable()
+        assert {"hits", "misses", "evictions", "hit_rate"} <= set(doc)

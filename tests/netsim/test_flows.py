@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.netsim.flows import Flow, FlowNetwork
+from repro.netsim.flows import KERNEL_STATS, Flow, FlowNetwork, RateAuditError
 from repro.topology.machine import LevelParams, MachineTopology
 
 
@@ -117,3 +117,76 @@ class TestFlowDataclass:
     def test_explicit_remaining_preserved(self):
         f = Flow(0, 1, 123.0, remaining=50.0)
         assert f.remaining == 50.0
+
+
+class TestIncrementalKernel:
+    def test_unchanged_signature_skips_recompute(self):
+        net = FlowNetwork(_topo())
+        flows = [Flow(0, 8, 1e6), Flow(1, 9, 1e6)]
+        before = KERNEL_STATS.signature_skips
+        net.apply_rates(flows)
+        net.apply_rates(flows)
+        assert KERNEL_STATS.signature_skips == before + 1
+
+    def test_revisited_signature_hits_memo(self):
+        net = FlowNetwork(_topo())
+        a = [Flow(0, 8, 1e6)]
+        b = [Flow(1, 9, 1e6)]
+        hits, solves = KERNEL_STATS.memo_hits, KERNEL_STATS.solves
+        net.apply_rates(a)
+        net.apply_rates(b)
+        net.apply_rates(a)  # seen before, but not the immediately-last set
+        assert KERNEL_STATS.memo_hits == hits + 1
+        assert KERNEL_STATS.solves == solves + 2
+        assert a[0].rate == pytest.approx(5e9)
+
+    def test_fault_token_isolates_memo_entries(self):
+        net = FlowNetwork(_topo())
+        flows = [Flow(0, 8, 1e6)]
+        net.apply_rates(flows)
+        healthy_rate = flows[0].rate
+        net.set_link_faults([(0, 0, 0.25, 1.0)])  # node-0 uplink to 2.5 GB/s
+        net.apply_rates(flows)
+        assert flows[0].rate == pytest.approx(healthy_rate / 2)
+        # Clearing the faults revalidates the healthy memo entries.
+        hits = KERNEL_STATS.memo_hits
+        net.set_link_faults([])
+        net.apply_rates(flows)
+        assert flows[0].rate == healthy_rate
+        assert KERNEL_STATS.memo_hits == hits + 1
+
+    def test_non_incremental_mode_runs_the_reference(self):
+        net = FlowNetwork(_topo(), incremental=False)
+        flows = [Flow(0, 8, 1e6)]
+        refs = KERNEL_STATS.reference_solves
+        net.apply_rates(flows)
+        net.apply_rates(flows)
+        assert KERNEL_STATS.reference_solves == refs + 2
+        assert not net._rate_memo
+
+    def test_audit_mode_raises_on_divergence(self):
+        net = FlowNetwork(_topo(), audit=True)
+        flows = [Flow(0, 8, 1e6)]
+        net.apply_rates(flows)  # also audits; must pass
+        # Poison the memo entry and force the memo path: the audit must
+        # catch the (synthetic) divergence.
+        ((key, rates),) = net._rate_memo.items()
+        net._rate_memo[key] = rates * 0.5
+        net._last_key = None
+        with pytest.raises(RateAuditError, match="diverge"):
+            net.apply_rates(flows)
+
+    def test_path_edges_returns_a_private_copy(self):
+        net = FlowNetwork(_topo())
+        edges = net.path_edges(0, 8)
+        edges.append(999)
+        assert 999 not in net.path_edges(0, 8)
+
+    def test_set_link_faults_tracks_max_capacity(self):
+        net = FlowNetwork(_topo())
+        healthy = net.max_capacity
+        assert healthy == 20e9  # socket links are the fattest
+        net.set_link_faults([(1, c, 0.1, 1.0) for c in range(4)])
+        assert net.max_capacity == pytest.approx(10e9)  # node links now
+        net.set_link_faults([])
+        assert net.max_capacity == healthy

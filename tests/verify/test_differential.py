@@ -100,3 +100,41 @@ def test_compare_collective_selects_algorithm(topo):
     case = compare_collective(topo, np.arange(8), "allreduce", 1024.0)
     assert "allreduce/" in case.label
     assert case.ok, case.mismatch_report()
+
+
+def test_incremental_and_reference_suites_identical(topo):
+    """Memoized/deferred and per-event from-scratch replays agree bitwise."""
+    inc = seed_benchmark_suite(topo)
+    ref = seed_benchmark_suite(topo, incremental=False)
+    assert [(c.label, c.t_round, c.t_des) for c in inc.cases] == [
+        (c.label, c.t_round, c.t_des) for c in ref.cases
+    ]
+
+
+def test_audit_mode_cross_checks_every_solve(topo):
+    """The rtol=1e-12 audit passes on the full seed suite and counts."""
+    from repro.netsim.flows import KERNEL_STATS
+
+    audits = KERNEL_STATS.audits
+    report = seed_benchmark_suite(topo, audit=True)
+    assert report.ok, report.summary()
+    assert KERNEL_STATS.audits > audits
+
+
+def test_incremental_replay_defers_and_memoizes(topo):
+    """Repeated phases on a shared network exercise the reuse paths."""
+    from repro.collectives.selector import rounds_for
+    from repro.netsim.flows import KERNEL_STATS, FlowNetwork
+
+    rounds = rounds_for("allgather", 8, 65536.0, "ring")
+    net = FlowNetwork(topo)
+    deferrals = KERNEL_STATS.deferrals
+    t1, _, _ = replay_rounds_des(topo, np.arange(8), rounds, network=net)
+    assert KERNEL_STATS.deferrals > deferrals
+    # A second replay of the same schedule revisits known signatures only.
+    solves = KERNEL_STATS.solves
+    hits = KERNEL_STATS.memo_hits + KERNEL_STATS.signature_skips
+    t2, _, _ = replay_rounds_des(topo, np.arange(8), rounds, network=net)
+    assert t2 == t1
+    assert KERNEL_STATS.solves == solves
+    assert KERNEL_STATS.memo_hits + KERNEL_STATS.signature_skips > hits
