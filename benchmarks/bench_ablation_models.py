@@ -14,7 +14,7 @@ import pytest
 
 from repro.collectives.allgather import ring_program, ring_rounds
 from repro.collectives.alltoall import pairwise_program, pairwise_rounds
-from repro.collectives.base import rounds_to_schedule
+from repro.ir.lower import placed_rounds
 from repro.netsim.fabric import Fabric
 from repro.simmpi import Comm, Simulator
 from repro.topology.machines import hydra
@@ -31,7 +31,7 @@ def _des_time(topology, cores, make_prog):
 
 
 def _fast_time(topology, cores, rounds):
-    return rounds_to_schedule(rounds, np.asarray(cores)).total_time(Fabric(topology))
+    return placed_rounds(rounds, np.asarray(cores)).total_time(Fabric(topology))
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,172 @@
+"""Acceptance benchmark for the execution-backend registry (repro.ir).
+
+Runs the Figure 3 seed sweep (6 orders x 9 sizes, both scenarios) through
+two registered backends and asserts the refactor's contract:
+
+- the ``round`` backend stays **bitwise identical** to the pre-IR seed
+  figures pinned in ``tests/ir/golden_fig3.json`` (the registry is a
+  re-plumbing, not a re-modelling);
+- the ``logp`` analytical backend is ``>= IR_BENCH_MIN_SPEEDUP`` times
+  faster than ``round`` on a cold instance (default 10x locally; CI
+  exports 5 to absorb shared-runner noise) while keeping a mean Kendall
+  tau ``>= 0.9`` against the golden order ranking in both scenarios --
+  fast enough for advisory screening, faithful enough to trust the
+  ranking;
+- the run emits the machine-readable ``BENCH_ir.json`` artifact with
+  walls, speedups and per-scenario taus.
+
+Measurement note: both timed sweeps start from a *cold* backend instance
+(``register_backend`` drops the cached singleton), so the logp structure
+cache earns its speedup from scratch within the sweep -- amortizing one
+pattern analysis across the 9 payload sizes -- rather than from state
+left behind by earlier tests.  A warm logp pass is reported alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.figures import FIG3_ORDERS, fig3_data
+from repro.bench.report import assert_checks, check, print_checks
+from repro.core.orders import format_order
+from repro.ir import LogPBackend, RoundBackend, register_backend
+
+#: Where CI picks the perf artifact up (repo root; see .github/workflows).
+BENCH_JSON = Path("BENCH_ir.json")
+
+#: Pre-IR fig3 durations, pinned as repr strings by the golden test suite.
+GOLDEN_JSON = Path(__file__).resolve().parents[1] / "tests" / "ir" / "golden_fig3.json"
+
+#: Required cold logp-vs-round speedup; CI lowers this to 5 via the environment.
+MIN_SPEEDUP = float(os.environ.get("IR_BENCH_MIN_SPEEDUP", "10.0"))
+
+#: Required mean Kendall tau of the logp order ranking vs the golden one.
+MIN_TAU = 0.9
+
+SCENARIOS = ("duration_single", "duration_all")
+
+
+def _cold(name, factory):
+    """Drop the registry's cached singleton so the next run starts cold."""
+    register_backend(name, factory)
+
+
+def _timed_fig3(backend):
+    t0 = time.perf_counter()
+    series = fig3_data(backend=backend)
+    return time.perf_counter() - t0, {format_order(s.order): s for s in series}
+
+
+def kendall_tau(a, b):
+    """Plain O(n^2) Kendall rank correlation of two score sequences."""
+    n = len(a)
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            prod = (a[i] - a[j]) * (b[i] - b[j])
+            if prod > 0:
+                concordant += 1
+            elif prod < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def _scenario_taus(golden, series, scenario):
+    """Per-size tau between the logp order ranking and the golden one."""
+    orders = [format_order(o) for o in FIG3_ORDERS]
+    n_sizes = len(golden[orders[0]][scenario])
+    taus = []
+    for i in range(n_sizes):
+        ref = [float(golden[o][scenario][i]) for o in orders]
+        got = [getattr(series[o].points[i], scenario) for o in orders]
+        taus.append(kendall_tau(ref, got))
+    return taus
+
+
+def test_ir_backend_speedup_and_fidelity(once):
+    golden = json.loads(GOLDEN_JSON.read_text())["orders"]
+
+    # -- cold sweeps through the registry --------------------------------------
+    _cold("round", RoundBackend)
+    t_round, round_series = once(_timed_fig3, "round")
+
+    _cold("logp", LogPBackend)
+    t_logp, logp_series = _timed_fig3("logp")
+    t_logp_warm, _ = _timed_fig3("logp")
+
+    speedup = t_round / t_logp
+    speedup_warm = t_round / t_logp_warm
+
+    # -- round backend: bitwise identity with the pre-IR seed ------------------
+    bitwise = all(
+        [repr(p.total_bytes) for p in round_series[o].points] == golden[o]["sizes"]
+        and [repr(p.duration_single) for p in round_series[o].points]
+        == golden[o]["duration_single"]
+        and [repr(p.duration_all) for p in round_series[o].points]
+        == golden[o]["duration_all"]
+        for o in (format_order(x) for x in FIG3_ORDERS)
+    )
+
+    # -- logp backend: order-ranking fidelity ----------------------------------
+    taus = {s: _scenario_taus(golden, logp_series, s) for s in SCENARIOS}
+    mean_taus = {s: sum(v) / len(v) for s, v in taus.items()}
+
+    print(
+        f"\nfig3 sweep ({len(FIG3_ORDERS)} orders x "
+        f"{len(next(iter(round_series.values())).points)} sizes, both scenarios): "
+        f"round {t_round:.3f}s, logp cold {t_logp:.3f}s ({speedup:.1f}x), "
+        f"warm {t_logp_warm:.3f}s ({speedup_warm:.1f}x)"
+    )
+    print(
+        "mean Kendall tau vs golden: "
+        + ", ".join(f"{s} {mean_taus[s]:.3f}" for s in SCENARIOS)
+    )
+
+    doc = {
+        "suite": f"fig3_data ({len(FIG3_ORDERS)} orders, both scenarios)",
+        "walls": {
+            "round_cold_s": t_round,
+            "logp_cold_s": t_logp,
+            "logp_warm_s": t_logp_warm,
+        },
+        "speedup": speedup,
+        "speedup_warm": speedup_warm,
+        "min_speedup_required": MIN_SPEEDUP,
+        "round_bitwise_identical": bitwise,
+        "kendall_tau": {s: {"per_size": taus[s], "mean": mean_taus[s]} for s in SCENARIOS},
+        "min_tau_required": MIN_TAU,
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    checks = [
+        check(
+            "round backend bitwise-identical to the pre-IR seed figures",
+            bitwise,
+            f"{len(FIG3_ORDERS)} orders compared (sizes, single, all) as repr",
+        ),
+        check(
+            f"cold logp sweep >= {MIN_SPEEDUP:g}x faster than round",
+            speedup >= MIN_SPEEDUP,
+            f"round {t_round:.3f}s / logp {t_logp:.3f}s = {speedup:.1f}x "
+            f"(warm {speedup_warm:.1f}x)",
+        ),
+        check(
+            f"logp order ranking: mean Kendall tau >= {MIN_TAU:g} in both scenarios",
+            all(mean_taus[s] >= MIN_TAU for s in SCENARIOS),
+            ", ".join(f"{s} {mean_taus[s]:.3f}" for s in SCENARIOS),
+        ),
+        check(
+            "BENCH_ir.json written with walls, speedups and taus",
+            BENCH_JSON.exists()
+            and {"walls", "speedup", "kendall_tau", "round_bitwise_identical"}
+            <= set(json.loads(BENCH_JSON.read_text())),
+            str(BENCH_JSON),
+        ),
+    ]
+    print_checks(checks)
+    assert_checks(checks)

@@ -29,7 +29,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.apps.nascg.matrix import CGClass, CG_CLASSES
-from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.collectives.base import RoundSpec
+from repro.ir.lower import placed_rounds
 from repro.core.coreselect import distinct_selections
 from repro.core.hierarchy import Hierarchy
 from repro.core.orders import Order, all_orders
@@ -137,7 +138,7 @@ class CGTimeModel:
         rounds = self.comm_rounds_per_iteration(cores.size)
         if not rounds:
             return 0.0
-        schedule = rounds_to_schedule(rounds, cores)
+        schedule = placed_rounds(rounds, cores)
         return schedule.total_time(self.fabric)
 
     def run_time(self, cores: Sequence[int]) -> tuple[float, float, float]:

@@ -31,8 +31,8 @@ import numpy as np
 
 from repro.apps.splatt.grid import all_layer_comms, choose_grid
 from repro.apps.splatt.tensor import NELL1_DIMS, NELL1_NNZ
-from repro.collectives.base import rounds_to_schedule
 from repro.collectives.misc import alltoallv_pairwise_rounds
+from repro.ir.lower import placed_rounds
 from repro.collectives.selector import rounds_for
 from repro.core.hierarchy import Hierarchy
 from repro.core.orders import Order, all_orders
@@ -135,7 +135,7 @@ class CPDModel:
             sizes = np.full((p, p), per_pair)
             np.fill_diagonal(sizes, 0.0)
             rounds = alltoallv_pairwise_rounds(sizes)
-            schedules.append(rounds_to_schedule(rounds, cores))
+            schedules.append(placed_rounds(rounds, cores))
         return RoundSchedule.merge(schedules)
 
     def run(self, order: Sequence[int]) -> CPDRun:
@@ -167,7 +167,7 @@ class CPDModel:
         small = 8.0 * self.cp_rank * self.p  # paper-convention total bytes
         for op, coll in (("MPI_Allreduce", "allreduce"), ("MPI_Bcast", "bcast")):
             rounds = rounds_for(coll, self.p, small)
-            t = rounds_to_schedule(rounds, world_cores).total_time(self.fabric)
+            t = placed_rounds(rounds, world_cores).total_time(self.fabric)
             t *= self.iterations * len(self.grid)
             comm_time += t
             profile.record(comm_size=self.p, n_comms=1, op=op, seconds=t)

@@ -21,7 +21,8 @@ from typing import Any, Generator, Sequence
 
 import numpy as np
 
-from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.collectives.base import RoundSpec
+from repro.ir.lower import placed_rounds
 from repro.core.hierarchy import Hierarchy
 from repro.core.orders import Order, all_orders
 from repro.netsim.fabric import Fabric
@@ -174,7 +175,7 @@ class StencilModel:
 
     def exchange_time(self, cart: CartTopology, fabric: Fabric | None = None) -> float:
         fabric = fabric or Fabric(self.topology)
-        schedule = rounds_to_schedule(
+        schedule = placed_rounds(
             self.exchange_rounds(cart), cart.core_of
         )
         return schedule.total_time(fabric)

@@ -100,7 +100,7 @@ def fig2_enumerations(comm_size: int = 4) -> list[Fig2Enumeration]:
 
 def _sweep_figure(
     topology, hierarchy, orders, comm_size, collective, sizes, algorithm=None,
-    engine=None,
+    engine=None, backend="round",
 ) -> list[MicrobenchSeries]:
     """Evaluate one figure's (order x size) grid.
 
@@ -108,16 +108,24 @@ def _sweep_figure(
     batch -- memoized, equivalence-pruned, and fanned out over the
     engine's worker pool; without one it falls back to the serial
     :func:`~repro.bench.microbench.size_sweep` path.  Both produce
-    identical series.
+    identical series.  ``backend`` names the execution backend for every
+    grid point (``round`` reproduces the paper figures bit-identically;
+    ``logp`` trades absolute fidelity for speed; ``des`` replays every
+    point on the flow-level simulator).
     """
     from repro.collectives.selector import select_algorithm
+    from repro.ir import backend_names
 
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
     if engine is None:
-        fabric = Fabric(topology)
+        fabric = Fabric(topology) if backend == "round" else None
         return [
             size_sweep(
                 topology, hierarchy, order, comm_size, collective, sizes,
-                algorithm=algorithm, fabric=fabric,
+                algorithm=algorithm, fabric=fabric, backend=backend,
             )
             for order in orders
         ]
@@ -128,10 +136,11 @@ def _sweep_figure(
     orders = [tuple(order) for order in orders]
     sizes = list(sizes)
     grid = [(order, s) for order in orders for s in sizes]
+    extras = (("des_all", True),) if backend == "des" else ()
     results = engine.evaluate_many(
         [
             EvalRequest(
-                model="round",
+                model=backend,
                 topology=topology,
                 hierarchy=hierarchy,
                 order=order,
@@ -139,6 +148,7 @@ def _sweep_figure(
                 collective=collective,
                 algorithm=algorithm,
                 total_bytes=s,
+                extras=extras,
             )
             for order, s in grid
         ]
@@ -165,52 +175,52 @@ def _sweep_figure(
 
 
 def fig3_data(
-    sizes: Sequence[float] | None = None, engine=None
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
 ) -> list[MicrobenchSeries]:
     """Figure 3: Alltoall, 16 Hydra nodes, 512 ranks, 16 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG3_ORDERS, 16, "alltoall",
-        sizes or paper_sizes(n=9), engine=engine,
+        sizes or paper_sizes(n=9), engine=engine, backend=backend,
     )
 
 
 def fig4_data(
-    sizes: Sequence[float] | None = None, engine=None
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
 ) -> list[MicrobenchSeries]:
     """Figure 4: Alltoall, 16 Hydra nodes, 512 ranks, 128 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG4_ORDERS, 128, "alltoall",
-        sizes or paper_sizes(n=7), engine=engine,
+        sizes or paper_sizes(n=7), engine=engine, backend=backend,
     )
 
 
 def fig5_data(
-    sizes: Sequence[float] | None = None, engine=None
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
 ) -> list[MicrobenchSeries]:
     """Figure 5: Alltoall, 16 LUMI nodes, 2048 ranks, 16 per communicator."""
     return _sweep_figure(
         lumi(16), LUMI16, FIG5_ORDERS, 16, "alltoall",
-        sizes or paper_sizes(n=7), engine=engine,
+        sizes or paper_sizes(n=7), engine=engine, backend=backend,
     )
 
 
 def fig6_data(
-    sizes: Sequence[float] | None = None, engine=None
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
 ) -> list[MicrobenchSeries]:
     """Figure 6: Allreduce, 16 Hydra nodes, 512 ranks, 64 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG6_ORDERS, 64, "allreduce",
-        sizes or paper_sizes(n=9), engine=engine,
+        sizes or paper_sizes(n=9), engine=engine, backend=backend,
     )
 
 
 def fig7_data(
-    sizes: Sequence[float] | None = None, engine=None
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
 ) -> list[MicrobenchSeries]:
     """Figure 7: Allgather, 16 LUMI nodes, 2048 ranks, 256 per communicator."""
     return _sweep_figure(
         lumi(16), LUMI16, FIG7_ORDERS, 256, "allgather",
-        sizes or paper_sizes(n=7), engine=engine,
+        sizes or paper_sizes(n=7), engine=engine, backend=backend,
     )
 
 

@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.collectives.base import rounds_to_schedule
+from repro.ir.lower import placed_rounds
 from repro.collectives.selector import rounds_for
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import OrderSignature, signature
@@ -91,7 +91,7 @@ def collective_schedule(
     """Round schedule of one collective on one communicator's cores."""
     cores = np.asarray(comm_cores, dtype=np.int64)
     rounds = rounds_for(collective, cores.size, total_bytes, algorithm)
-    return rounds_to_schedule(rounds, cores)
+    return placed_rounds(rounds, cores)
 
 
 def run_microbench(
@@ -103,6 +103,7 @@ def run_microbench(
     total_bytes: float,
     algorithm: str | None = None,
     fabric: Fabric | None = None,
+    backend: str = "round",
 ) -> MicrobenchPoint:
     """Steps 1-4 of the protocol for one data size.
 
@@ -110,21 +111,29 @@ def run_microbench(
     (it may include fake levels); its size must equal the core count of
     ``topology`` (one MPI process per core, canonical rank ``r`` bound to
     core ``r``).
+
+    The collective is lowered once to a :class:`~repro.ir.program.CommProgram`
+    and executed by the registered ``backend`` -- ``round`` (the paper's
+    model, bit-identical to the pre-IR schedule pipeline), ``logp`` (fast
+    advisory analytics) or ``des`` (exact flow simulation).  A shared
+    ``fabric`` carries the round model's pattern cache across calls; other
+    backends ignore it.
     """
+    from repro.ir import collective_program, get_backend
+
     hierarchy.check_process_count(topology.n_cores)
-    fabric = fabric or Fabric(topology)
     reordering = RankReordering(hierarchy, tuple(order), comm_size)
     members = reordering.all_comm_members()  # canonical ranks == core IDs
 
-    single = collective_schedule(collective, members[0], total_bytes, algorithm)
-    duration_single = single.total_time(fabric)
-
-    schedules = [
-        collective_schedule(collective, members[c], total_bytes, algorithm)
-        for c in range(members.shape[0])
-    ]
-    merged = RoundSchedule.merge(schedules)
-    duration_all = merged.total_time(fabric)
+    program = collective_program(collective, comm_size, total_bytes, algorithm)
+    engine = get_backend(backend)
+    options = {}
+    if backend == "round":
+        options["fabric"] = fabric or engine.fabric(topology)
+    duration_single = engine.run(topology=topology, program=program,
+                                 placements=[members[0]], **options).time
+    duration_all = engine.run(topology=topology, program=program,
+                              placements=list(members), **options).time
     return MicrobenchPoint(total_bytes, duration_single, duration_all)
 
 
@@ -137,14 +146,17 @@ def size_sweep(
     sizes: Sequence[float],
     algorithm: str | None = None,
     fabric: Fabric | None = None,
+    backend: str = "round",
 ) -> MicrobenchSeries:
     """One figure curve: the protocol across a size sweep."""
     from repro.collectives.selector import select_algorithm
 
-    fabric = fabric or Fabric(topology)
+    if backend == "round":
+        fabric = fabric or Fabric(topology)
     points = tuple(
         run_microbench(
-            topology, hierarchy, order, comm_size, collective, s, algorithm, fabric
+            topology, hierarchy, order, comm_size, collective, s, algorithm,
+            fabric, backend=backend,
         )
         for s in sizes
     )

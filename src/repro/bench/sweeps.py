@@ -58,15 +58,26 @@ def sweep(
     jobs: int = 1,
     cache_dir=None,
     prune: bool = True,
+    backend: str = "round",
 ) -> list[SweepRecord]:
     """Evaluate the full cross product; returns one record per point.
 
     The grid is materialized as engine requests and evaluated in one
     batch, so memoization, equivalence pruning, and the worker pool all
     apply; record order matches the serial nested-loop order exactly.
+
+    ``backend`` selects the execution backend per point: ``round`` (the
+    default, bit-identical to pre-IR sweeps), ``logp`` (fast advisory
+    rankings) or ``des`` (exact flow simulation; the all-communicators
+    scenario is simulated too, so expect DES-scale runtimes).
     """
     from repro.collectives.selector import select_algorithm
+    from repro.ir import backend_names
 
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
     hierarchy.check_process_count(topology.n_cores)
     engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir, prune=prune)
     if orders is None:
@@ -81,10 +92,11 @@ def sweep(
             for collective in collectives:
                 for total in sizes:
                     grid.append((comm_size, tuple(order), collective, total))
+    extras = (("des_all", True),) if backend == "des" else ()
     results = engine.evaluate_many(
         [
             EvalRequest(
-                model="round",
+                model=backend,
                 topology=topology,
                 hierarchy=hierarchy,
                 order=order,
@@ -92,6 +104,7 @@ def sweep(
                 collective=collective,
                 algorithm=algorithm,
                 total_bytes=total,
+                extras=extras,
             )
             for comm_size, order, collective, total in grid
         ]

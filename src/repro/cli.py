@@ -14,9 +14,14 @@ Operational front-end for the two use cases of Section 3:
 - ``sweep``        memoized, parallel parameter sweep over orders /
   communicator sizes / collectives / data sizes (``--jobs``,
   ``--cache-dir``, ``--no-prune``, ``--bench-json``) with CSV output
+- ``backends``     the execution-backend registry: ``list`` prints every
+  registered backend with its capability flags
 - ``verify``       conformance checks: ``fuzz`` (seeded campaigns with
   shrinking), ``semantic`` (symbolic schedule checks), ``differential``
   (round model vs DES on the seed benchmarks)
+
+``advise``, ``sweep`` and ``verify differential`` take ``--backend
+round|des|logp`` to pick the execution backend behind the predictions.
 
 Hierarchies are given as hwloc-style synthetic strings
 (``node:16 socket:2 core:8``), bare counts or the paper's bracket
@@ -46,6 +51,16 @@ def _add_hierarchy_arg(p: argparse.ArgumentParser) -> None:
         "-H",
         required=True,
         help='hierarchy description, e.g. "node:2 socket:2 core:4" or "[[2,2,4]]"',
+    )
+
+
+def _add_backend_arg(p: argparse.ArgumentParser, default: str = "round") -> None:
+    from repro.ir import backend_names
+
+    p.add_argument(
+        "--backend", default=default, choices=list(backend_names()),
+        help="execution backend behind every simulated point "
+        f"(default: {default})",
     )
 
 
@@ -159,6 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         orders=orders,
         algorithm=args.algorithm,
         engine=engine,
+        backend=args.backend,
     )
     sys.stdout.write(to_csv(records))
     if args.bench_json:
@@ -193,8 +209,28 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         args.comm_size,
         collective=args.collective,
         scenario=args.scenario,
+        backend=args.backend,
     )
     print(advice.report())
+    return 0
+
+
+def _cmd_backends_list(args: argparse.Namespace) -> int:
+    from repro.ir import describe_backends
+
+    rows = [
+        (
+            name,
+            "yes" if caps.faults else "no",
+            "yes" if caps.per_flow_contention else "no",
+            caps.tolerance,
+        )
+        for name, caps in describe_backends()
+    ]
+    header = ("backend", "faults", "per-flow contention", "tolerance")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(4)]
+    for row in (header, *rows):
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
     return 0
 
 
@@ -249,6 +285,7 @@ def _cmd_verify_differential(args: argparse.Namespace) -> int:
     report = seed_benchmark_suite(
         topology, tolerance=args.tolerance, total_bytes=args.bytes,
         incremental=not args.no_incremental, audit=args.no_incremental,
+        backend=args.backend,
     )
     print(report.summary())
     if args.no_incremental:
@@ -322,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibrated preset (level 0 must be the node count) or a "
         "generic gradient model",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser(
@@ -368,7 +406,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json", default=None, metavar="PATH",
         help="write the BENCH_sweep.json engine-statistics artifact",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "backends", help="the pluggable execution-backend registry"
+    )
+    bsub = p.add_subparsers(dest="backends_command", required=True)
+    b = bsub.add_parser(
+        "list", help="registered backends and their capability flags"
+    )
+    b.set_defaults(func=_cmd_backends_list)
 
     p = sub.add_parser(
         "verify", help="conformance and differential verification (repro.verify)"
@@ -414,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputes and cross-check the incremental kernel against them "
         "at rtol 1e-12 (mirrors sweep --no-prune)",
     )
+    _add_backend_arg(v, default="des")
     v.set_defaults(func=_cmd_verify_differential)
     return parser
 

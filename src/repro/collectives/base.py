@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.netsim.fabric import Round, RoundSchedule
+from repro.netsim.fabric import RoundSchedule
 
 
 @dataclass(frozen=True)
@@ -36,24 +37,19 @@ class RoundSpec:
 def rounds_to_schedule(
     rounds: Sequence[RoundSpec], member_cores: np.ndarray | Sequence[int]
 ) -> RoundSchedule:
-    """Map communicator-rank rounds onto cores.
+    """Deprecated: use :func:`repro.ir.lower.placed_rounds`.
 
-    ``member_cores[comm_rank]`` is the core the communicator's rank is
-    bound to (the composition of the rank reordering and the process
-    launcher's core binding).
+    The IR lowering is the single conversion path now; this wrapper stays
+    importable for one release and produces the identical schedule.
     """
-    cores = np.asarray(member_cores, dtype=np.int64)
-    out = []
-    for spec in rounds:
-        if spec.src.size and (
-            spec.src.min() < 0
-            or spec.dst.min() < 0
-            or spec.src.max() >= cores.size
-            or spec.dst.max() >= cores.size
-        ):
-            raise ValueError("round refers to ranks outside the communicator")
-        out.append(Round(cores[spec.src], cores[spec.dst], spec.nbytes, spec.repeat))
-    return RoundSchedule(out)
+    warnings.warn(
+        "rounds_to_schedule is deprecated; use repro.ir.lower.placed_rounds",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.ir.lower import placed_rounds
+
+    return placed_rounds(rounds, member_cores)
 
 
 def check_power_of_two(p: int, algorithm: str) -> None:

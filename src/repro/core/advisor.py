@@ -94,18 +94,28 @@ def advise(
     scenario: str = "all",
     algorithm: str | None = None,
     orders: Sequence[Order] | None = None,
+    backend: str = "round",
 ) -> Advice:
     """Rank order equivalence classes by predicted collective duration.
 
     ``scenario`` is ``"all"`` (every subcommunicator runs the collective
     concurrently — the common production case) or ``"single"``.  The score
     is the summed duration across ``total_bytes`` (one slow size cannot
-    hide a pathological small-size regime).
+    hide a pathological small-size regime).  ``backend`` selects the
+    execution backend that scores each representative: ``round`` (the
+    default contention model), ``logp`` (faster, rankings-only fidelity)
+    or ``des`` (slowest, per-flow exact).
     """
+    from repro.ir import backend_names
+
     if scenario not in ("all", "single"):
         raise ValueError("scenario must be 'all' or 'single'")
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
     hierarchy.check_process_count(topology.n_cores)
-    fabric = Fabric(topology)
+    fabric = Fabric(topology) if backend == "round" else None
     classes = equivalence_classes(hierarchy, comm_size, orders=orders)
     recs = []
     for sigs in classes.values():
@@ -114,7 +124,7 @@ def advise(
         for nbytes in total_bytes:
             point = run_microbench(
                 topology, hierarchy, rep.order, comm_size, collective,
-                nbytes, algorithm=algorithm, fabric=fabric,
+                nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
             )
             total += (
                 point.duration_all if scenario == "all" else point.duration_single

@@ -38,8 +38,10 @@ from repro.engine.cache import ResultCache
 from repro.engine.keys import EvalRequest
 
 #: Models whose results depend on the order only through its strict
-#: equivalence class, making class-broadcast sound.
-PRUNABLE_MODELS = frozenset({"round", "des"})
+#: equivalence class, making class-broadcast sound.  ``logp`` qualifies:
+#: the placement-key symmetry (machine automorphisms) preserves the LCA
+#: histograms its coefficients are computed from.
+PRUNABLE_MODELS = frozenset({"round", "des", "logp"})
 
 #: Relative tolerance the audit mode allows between class members.  Class
 #: symmetry makes results mathematically equal; float summation order may

@@ -72,6 +72,7 @@ def _eval_round(req: EvalRequest) -> dict:
         req.collective,
         req.total_bytes,
         algorithm=req.algorithm,
+        backend="round",
     )
     return {
         "duration_single": point.duration_single,
@@ -82,6 +83,37 @@ def _eval_round(req: EvalRequest) -> dict:
 register_evaluator("round", _eval_round)
 
 
+# -- logp analytical model ----------------------------------------------------
+
+
+def _eval_logp(req: EvalRequest) -> dict:
+    """The micro-benchmark point on the fast LogP-style backend.
+
+    Same protocol and output keys as ``round``, so sweeps, figures and
+    the advisor consume either interchangeably; fidelity is advisory
+    (order rankings, not absolute durations).
+    """
+    from repro.bench.microbench import run_microbench
+
+    point = run_microbench(
+        req.topology,
+        req.hierarchy,
+        req.order,
+        req.comm_size,
+        req.collective,
+        req.total_bytes,
+        algorithm=req.algorithm,
+        backend="logp",
+    )
+    return {
+        "duration_single": point.duration_single,
+        "duration_all": point.duration_all,
+    }
+
+
+register_evaluator("logp", _eval_logp)
+
+
 # -- discrete-event simulation ------------------------------------------------
 
 
@@ -90,30 +122,43 @@ def _eval_des(req: EvalRequest) -> dict:
 
     Returns both the DES makespan and the round model's prediction for the
     same schedule, so differential consumers get their comparison from one
-    cached evaluation.
+    cached evaluation.  ``duration_single`` aliases the DES makespan so
+    backend-agnostic consumers (sweep records, figures) find the key they
+    expect; with the ``des_all`` extra set, the all-subcommunicators
+    scenario is additionally simulated (every communicator's program
+    offset-concatenated into one DES run) as ``duration_all``.
     """
-    from repro.collectives.base import rounds_to_schedule
-    from repro.collectives.selector import rounds_for
     from repro.core.reorder import RankReordering
+    from repro.ir import collective_program, get_backend, placed_rounds
     from repro.netsim.fabric import Fabric
-    from repro.verify.differential import replay_rounds_des
 
     reordering = RankReordering(req.hierarchy, req.order, req.comm_size)
     cores = reordering.comm_members(0)
-    rounds = rounds_for(req.collective, req.comm_size, req.total_bytes, req.algorithm)
+    program = collective_program(
+        req.collective, req.comm_size, req.total_bytes, req.algorithm
+    )
     mode = req.extra("mode", "lockstep")
     incremental = bool(req.extra("incremental", True))
     audit_rates = bool(req.extra("audit_rates", False))
-    t_des, _timings, _records = replay_rounds_des(
-        req.topology, cores, rounds, mode=mode,
-        incremental=incremental, audit=audit_rates,
-    )
-    t_round = rounds_to_schedule(rounds, cores).total_time(Fabric(req.topology))
-    return {
+    backend = get_backend("des")
+    t_des = backend.run(
+        program, req.topology, [cores],
+        mode=mode, incremental=incremental, audit=audit_rates,
+    ).time
+    t_round = placed_rounds(program, cores).total_time(Fabric(req.topology))
+    out = {
         "duration_des": t_des,
         "duration_round": t_round,
-        "n_rounds": float(len(rounds)),
+        "duration_single": t_des,
+        "n_rounds": float(program.n_distinct_rounds),
     }
+    if req.extra("des_all", False):
+        members = reordering.all_comm_members()
+        out["duration_all"] = backend.run(
+            program, req.topology, list(members),
+            mode=mode, incremental=incremental, audit=audit_rates,
+        ).time
+    return out
 
 
 register_evaluator("des", _eval_des)

@@ -33,7 +33,12 @@ from repro.topology.machine import MachineTopology
 
 #: Bump when the canonical layout or any evaluator's semantics change in a
 #: way that should invalidate previously cached results.
-CACHE_SCHEMA = 1
+#: Schema history:
+#:   1 -> 2: the IR/backend refactor extended the ``des`` evaluator's
+#:           result keys (``duration_single``, optional ``duration_all``)
+#:           and added the ``logp`` model, so pre-IR cached documents are
+#:           missing keys the new consumers read.
+CACHE_SCHEMA = 2
 
 
 def _package_version() -> str:

@@ -1,0 +1,506 @@
+"""Execution backends: interchangeable cost models over one IR.
+
+An :class:`ExecutionBackend` consumes a :class:`~repro.ir.program.CommProgram`
+plus a *placement* (one ``member_cores`` array per concurrently-executing
+communicator instance) and produces an :class:`ExecutionResult`.  Three
+backends register at import time:
+
+``round``
+    The synchronized-round bottleneck fair-share model
+    (:mod:`repro.netsim.fabric`).  Bit-identical to the pre-IR
+    ``rounds_to_schedule`` + ``RoundSchedule`` pipeline.
+``des``
+    The flow-level discrete-event simulation
+    (:mod:`repro.simmpi.runtime` over :mod:`repro.netsim.flows`),
+    including fault schedules and the incremental max-min kernel.
+    Bit-identical to the pre-IR ``replay_rounds_des``.
+``logp``
+    A Hockney/LogGP-style analytical model: per round,
+    ``t = alpha + nbytes * rate_coeff`` where ``alpha`` is the slowest
+    crossing latency and ``rate_coeff`` is the worst per-flow inverse
+    fair share -- each flow's busiest up/down link (and the root
+    capacity) priced exactly as the round model prices it, but with the
+    latency and bandwidth maxima decoupled into a closed form.  Round
+    *structure* is analysed once per (placement, pattern) and reused
+    across payload sizes, so order sweeps run an order of magnitude
+    faster than ``round``, at advisory (ranking) fidelity.
+
+Backends are looked up by name through the registry
+(:func:`get_backend` for a shared per-process instance whose caches
+amortize across calls, :func:`create_backend` for a cold instance).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.ir.program import CommProgram, CommRound
+from repro.topology.machine import MachineTopology
+
+if TYPE_CHECKING:
+    from repro.netsim.fabric import Fabric
+    from repro.simmpi.communicator import Comm
+    from repro.simmpi.runtime import Simulator
+
+Placements = Sequence["np.ndarray"]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can model and how far its numbers can be trusted."""
+
+    faults: bool  # honours FaultSchedule injection
+    per_flow_contention: bool  # exact max-min per flow (vs bottleneck share)
+    tolerance: str  # "exact" (goldens hold bitwise) | "advisory" (rankings)
+
+    def describe(self) -> str:
+        flags = [
+            "faults" if self.faults else "no-faults",
+            "per-flow" if self.per_flow_contention else "bottleneck",
+            self.tolerance,
+        ]
+        return ",".join(flags)
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Per-round timing of one executed program.
+
+    ``seconds`` is the backend's duration of one round instance;
+    ``model_seconds`` is the round model's duration of the same instance
+    when the backend computes it for cross-checking (the DES does; the
+    analytical backends leave it ``None``).
+    """
+
+    index: int
+    repeat: int
+    n_flows: int
+    seconds: float
+    model_seconds: float | None = None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one program under one backend."""
+
+    backend: str
+    time: float
+    per_round: tuple[RoundCost, ...] = ()
+    records: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The pluggable cost-model interface.
+
+    ``placements`` holds one core array per concurrently-executing
+    communicator instance (``placements[k][comm_rank]`` = core); a
+    single-element list is the "one communicator" micro-benchmark, the
+    full list is the paper's "all subcommunicators at once" scenario.
+    """
+
+    name: str
+    capabilities: BackendCapabilities
+
+    def run(
+        self,
+        program: CommProgram,
+        topology: MachineTopology,
+        placements: Placements,
+        **options: Any,
+    ) -> ExecutionResult: ...
+
+
+def _as_placements(placements: Placements | np.ndarray) -> list[np.ndarray]:
+    if isinstance(placements, np.ndarray) and placements.ndim == 1:
+        placements = [placements]
+    out = [np.asarray(p, dtype=np.int64) for p in placements]
+    if not out:
+        raise ValueError("at least one placement is required")
+    return out
+
+
+# -- registry ----------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {}
+_INSTANCES: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend constructor under ``name`` (last wins)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(sorted(_FACTORIES))
+
+
+def create_backend(name: str) -> ExecutionBackend:
+    """A fresh instance with cold caches (benchmarking, isolation)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (available: {', '.join(backend_names())})"
+        ) from None
+    return factory()
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The shared per-process instance (warm pattern caches)."""
+    if name not in _INSTANCES:
+        _INSTANCES[name] = create_backend(name)
+    return _INSTANCES[name]
+
+
+def describe_backends() -> list[tuple[str, BackendCapabilities]]:
+    return [(name, create_backend(name).capabilities) for name in backend_names()]
+
+
+# -- round: synchronized-round bottleneck model ------------------------------
+
+
+class RoundBackend:
+    """The paper's round model, via placed :class:`RoundSchedule` merging."""
+
+    name = "round"
+    capabilities = BackendCapabilities(
+        faults=False, per_flow_contention=False, tolerance="exact"
+    )
+
+    def __init__(self) -> None:
+        self._fabrics: Dict[MachineTopology, Any] = {}
+
+    def fabric(self, topology: MachineTopology) -> Fabric:
+        """The per-topology :class:`~repro.netsim.fabric.Fabric` (shared
+        pattern cache across every call on this backend instance)."""
+        from repro.netsim.fabric import Fabric
+
+        fab = self._fabrics.get(topology)
+        if fab is None:
+            fab = self._fabrics[topology] = Fabric(topology)
+        return fab
+
+    def run(
+        self,
+        program: CommProgram,
+        topology: MachineTopology,
+        placements: Placements,
+        fabric: Any = None,
+        **options: Any,
+    ) -> ExecutionResult:
+        from repro.ir.lower import placed_rounds
+        from repro.netsim.fabric import RoundSchedule
+
+        cores = _as_placements(placements)
+        fab = fabric or self.fabric(topology)
+        schedule = RoundSchedule.merge([placed_rounds(program, c) for c in cores])
+        per_round = []
+        total = 0.0
+        for index, rnd in enumerate(schedule.rounds):
+            t = fab.round_time(rnd)
+            per_round.append(RoundCost(index, rnd.repeat, rnd.n_flows, t))
+            total += t * rnd.repeat
+        total += sum(r.compute * r.repeat for r in program.rounds)
+        return ExecutionResult(self.name, total, tuple(per_round))
+
+
+# -- des: flow-level discrete-event simulation -------------------------------
+
+
+class DESBackend:
+    """Exact max-min flow DES; the model of record for verification.
+
+    The lockstep loop is the pre-IR ``replay_rounds_des`` body, executed
+    from the IR's op-view posting order: each distinct round pattern runs
+    in a fresh simulator (clock restarting at zero, records shifted onto
+    the accumulated timeline) against one shared :class:`FlowNetwork`, so
+    rate-memo and path caches carry across patterns.
+    """
+
+    name = "des"
+    capabilities = BackendCapabilities(
+        faults=True, per_flow_contention=True, tolerance="exact"
+    )
+
+    def run(
+        self,
+        program: CommProgram,
+        topology: MachineTopology,
+        placements: Placements,
+        mode: str = "lockstep",
+        listeners: Sequence = (),
+        incremental: bool = True,
+        audit: bool = False,
+        network: Any = None,
+        fabric: Any = None,
+        fault_schedule: Any = None,
+        **options: Any,
+    ) -> ExecutionResult:
+        from repro.ir.lower import placed_rounds, rank_program, round_endpoints
+        from repro.netsim.fabric import Fabric
+        from repro.netsim.flows import FlowNetwork
+        from repro.simmpi.communicator import Comm
+        from repro.simmpi.runtime import FlowRecord, Simulator
+
+        cores_list = _as_placements(placements)
+        if len(cores_list) > 1:
+            program, cores = _concat_placements(program, cores_list)
+        else:
+            cores = cores_list[0]
+        rounds = program.rounds
+        p = int(cores.size)
+        records: list = []
+        collect = [records.append, *listeners]
+        fabric = fabric or Fabric(topology)
+        comms = Comm.world(p)
+        net = network or FlowNetwork(topology, incremental=incremental, audit=audit)
+
+        def simulator(round_listeners: list[Callable[[Any], None]]) -> Simulator:
+            return Simulator(
+                topology,
+                cores,
+                listeners=round_listeners,
+                network=net,
+                fault_schedule=fault_schedule,
+                backend=self.name,
+            )
+
+        if mode == "lockstep":
+            total = 0.0
+            per_round = []
+            for idx, spec in enumerate(rounds):
+                # Each round runs in a fresh simulator whose clock restarts
+                # at zero; shift its records onto the accumulated timeline
+                # so the concatenated trace stays a coherent execution.
+                offset = total
+                local: list = []
+                sends, recvs = round_endpoints(spec, 0)
+                sim = simulator([local.append])
+                sim.run(
+                    {r: rank_program(comms[r], sends, recvs) for r in range(p)}
+                )
+                for rec in local:
+                    shifted = FlowRecord(
+                        src_rank=rec.src_rank,
+                        dst_rank=rec.dst_rank,
+                        src_core=rec.src_core,
+                        dst_core=rec.dst_core,
+                        nbytes=rec.nbytes,
+                        start=rec.start + offset,
+                        end=rec.end + offset,
+                        key=rec.key,
+                    )
+                    for sink in collect:
+                        sink(shifted)
+                t_one = max(sim.finish_times.values(), default=0.0)
+                t_model = fabric.round_time(
+                    placed_rounds([spec], cores).rounds[0]
+                )
+                per_round.append(
+                    RoundCost(
+                        index=idx,
+                        repeat=spec.repeat,
+                        n_flows=spec.src.size,
+                        seconds=t_one,
+                        model_seconds=t_model,
+                    )
+                )
+                total += t_one * spec.repeat
+            return ExecutionResult(self.name, total, tuple(per_round), records)
+
+        if mode == "pipelined":
+            endpoints = [
+                round_endpoints(spec, idx * spec.src.size)
+                for idx, spec in enumerate(rounds)
+            ]
+
+            def full_program(comm: Comm) -> Iterator[Any]:
+                for spec, (sends, recvs) in zip(rounds, endpoints):
+                    for _ in range(spec.repeat):
+                        yield from rank_program(comm, sends, recvs)
+                return None
+
+            sim = simulator(collect)
+            sim.run({r: full_program(comms[r]) for r in range(p)})
+            total = max(sim.finish_times.values(), default=0.0)
+            return ExecutionResult(self.name, total, (), records)
+
+        raise ValueError(f"unknown replay mode {mode!r} (lockstep|pipelined)")
+
+
+def _concat_placements(
+    program: CommProgram, cores_list: list[np.ndarray]
+) -> tuple[CommProgram, np.ndarray]:
+    """Offset-concatenate one program over several communicator instances.
+
+    Instance ``k``'s ranks become ``k * p .. k * p + p - 1`` in a single
+    combined program (every instance runs the same rounds simultaneously,
+    the "all subcommunicators at once" scenario), bound to the
+    concatenation of the per-instance core arrays.
+    """
+    p = program.n_ranks
+    k = len(cores_list)
+    rounds = []
+    for rnd in program.rounds:
+        src = np.concatenate([rnd.src + i * p for i in range(k)])
+        dst = np.concatenate([rnd.dst + i * p for i in range(k)])
+        if isinstance(rnd.nbytes, np.ndarray):
+            nbytes: np.ndarray | float = np.concatenate([rnd.nbytes_per_flow()] * k)
+        else:
+            nbytes = rnd.nbytes
+        rounds.append(CommRound(src, dst, nbytes, rnd.repeat, rnd.compute))
+    combined = CommProgram(p * k, tuple(rounds), program.meta)
+    return combined, np.concatenate(cores_list)
+
+
+# -- logp: Hockney/LogGP-style analytical model ------------------------------
+
+
+class LogPBackend:
+    """Per-round ``alpha + nbytes * rate_coeff`` with structural caching.
+
+    For one placed round pattern the model derives, once:
+
+    - ``alpha``: the largest first-hop latency over live flows (the round
+      cannot finish before its farthest-reaching flow's latency);
+    - ``rate_coeff``: the reciprocal bandwidth of the round's binding
+      resource.  Per flow, the effective bandwidth is the bottleneck fair
+      share of the busiest link on its path -- at each crossed level, the
+      level's link bandwidth divided by how many of the round's flows use
+      the flow's up-link (source side) or down-link (destination side),
+      with flows meeting at the root additionally splitting ``root_bw``.
+      ``rate_coeff`` is the reciprocal of the worst such share.
+
+    The per-link counts are payload-independent, so one structural
+    analysis per (placement, pattern) serves every payload size: uniform
+    payloads (what round-structured collectives produce) then cost one
+    multiply per (round, size) -- the Hockney ``alpha + n * beta`` form --
+    and heterogeneous payloads one vector pass over the cached per-flow
+    shares.  Decoupling the latency and bandwidth maxima makes the model
+    an upper bound of the round model rather than a bit-identical clone;
+    its fidelity contract is order *rankings*, not absolute durations.
+    """
+
+    name = "logp"
+    capabilities = BackendCapabilities(
+        faults=False, per_flow_contention=False, tolerance="advisory"
+    )
+
+    #: Cached structures per backend instance; keys embed src/dst arrays.
+    CACHE_LIMIT = 4096
+
+    def __init__(self) -> None:
+        self._structures: OrderedDict[tuple, tuple] = OrderedDict()
+
+    def run(
+        self,
+        program: CommProgram,
+        topology: MachineTopology,
+        placements: Placements,
+        **options: Any,
+    ) -> ExecutionResult:
+        cores_list = _as_placements(placements)
+        placement_key = (topology, tuple(c.tobytes() for c in cores_list))
+        per_round = []
+        total = 0.0
+        for index, rnd in enumerate(program.rounds):
+            t = self._round_time(topology, placement_key, cores_list, rnd)
+            per_round.append(RoundCost(index, rnd.repeat, rnd.n_flows, t))
+            total += t * rnd.repeat
+            total += rnd.compute * rnd.repeat
+        return ExecutionResult(self.name, total, tuple(per_round))
+
+    def _round_time(
+        self,
+        topology: MachineTopology,
+        placement_key: tuple,
+        cores_list: list[np.ndarray],
+        rnd: CommRound,
+    ) -> float:
+        key = placement_key + rnd.structure_key()
+        struct = self._structures.get(key)
+        if struct is None:
+            struct = self._analyse(topology, cores_list, rnd)
+            self._structures[key] = struct
+            if len(self._structures) > self.CACHE_LIMIT:
+                self._structures.popitem(last=False)
+        else:
+            self._structures.move_to_end(key)
+        alpha, rate_coeff, lat, inv_share, live = struct
+        if not inv_share.size:
+            return 0.0
+        if not isinstance(rnd.nbytes, np.ndarray):
+            return alpha + float(rnd.nbytes) * rate_coeff
+        # Heterogeneous payloads: per-flow latency + serialization against
+        # the cached fair shares (one vector pass, no recount).
+        k = len(cores_list)
+        nb = np.concatenate(
+            [np.asarray(rnd.nbytes_per_flow(), dtype=float)] * k
+        )[live]
+        return float((lat + nb * inv_share).max())
+
+    def _analyse(
+        self,
+        topology: MachineTopology,
+        cores_list: list[np.ndarray],
+        rnd: CommRound,
+    ) -> tuple:
+        depth = topology.depth
+        src = np.concatenate([c[rnd.src] for c in cores_list])
+        dst = np.concatenate([c[rnd.dst] for c in cores_list])
+        lca = topology.lca_level(src, dst)
+        live = lca < depth
+        src, dst, lca = src[live], dst[live], lca[live]
+        if not lca.size:
+            empty = np.array([], dtype=float)
+            return (0.0, 0.0, empty, empty, live)
+        lat = topology.hop_latency(lca)
+        alpha = float(lat.max())
+        # Fair share per flow: at every crossed level, the level's link
+        # bandwidth splits over the flows sharing the flow's up-link
+        # (source component) and down-link (destination component).
+        strides = topology.strides
+        inv_share = np.zeros(lca.shape)
+        for level in range(depth):
+            crossing = lca <= level
+            if not crossing.any():
+                continue
+            up = src[crossing] // strides[level]
+            down = dst[crossing] // strides[level]
+            n_up = np.bincount(up)
+            n_down = np.bincount(down)
+            inv_bw = 1.0 / topology.link_bw[level]
+            inv_share[crossing] = np.maximum(
+                inv_share[crossing],
+                np.maximum(n_up[up], n_down[down]) * inv_bw,
+            )
+        if topology.root_bw > 0:
+            at_root = lca == 0
+            n_root = int(at_root.sum())
+            if n_root:
+                inv_share[at_root] = np.maximum(
+                    inv_share[at_root], n_root / topology.root_bw
+                )
+        rate_coeff = float(inv_share.max())
+        return (alpha, rate_coeff, lat, inv_share, live)
+
+
+register_backend("round", RoundBackend)
+register_backend("des", DESBackend)
+register_backend("logp", LogPBackend)

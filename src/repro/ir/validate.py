@@ -1,0 +1,159 @@
+"""Validation pass over :class:`~repro.ir.program.CommProgram`.
+
+Subsumes the scattered well-formedness checks that used to live in the
+converters (``rounds_to_schedule``'s rank-range check, the ad-hoc
+endpoint bucketing in ``repro.verify.differential``):
+
+- **rank range**: every endpoint names a rank inside the communicator;
+- **payload sanity**: finite, non-negative byte counts;
+- **matched send/recv pairs + byte conservation**: the per-rank op view
+  must contain exactly one :class:`~repro.ir.program.SendOp` and one
+  :class:`~repro.ir.program.RecvOp` per flow, agreeing on peers, tag and
+  byte count.  Flows are matched by ``(sender, receiver, tag)`` -- the
+  same identity the DES's FIFO channels use;
+- **no self-deadlock**: under round-barrier semantics all sends are
+  nonblocking, so a round deadlocks iff some posted receive never gets a
+  matching send (or a send is never drained) -- exactly an unmatched
+  half above.  A clean report therefore certifies lockstep
+  deadlock-freedom.  Self-flows (``src == dst``) are legal and complete
+  locally.
+
+``validate_program`` returns a structured :class:`ValidationReport`;
+``check_program`` raises :class:`IRValidationError` on the first report
+with problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.program import CommProgram, CommRound, RecvOp, SendOp
+
+
+class IRValidationError(ValueError):
+    """A program failed the IR validation pass."""
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One defect found in one round."""
+
+    round_index: int
+    kind: str  # rank_range | payload | unmatched | conservation
+    message: str
+
+    def __str__(self) -> str:
+        return f"round {self.round_index}: [{self.kind}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All defects found in a program."""
+
+    n_ranks: int
+    n_rounds: int
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        head = (
+            f"program: {self.n_ranks} rank(s), {self.n_rounds} distinct round(s), "
+            f"{len(self.issues)} issue(s)"
+        )
+        return "\n".join([head, *(str(i) for i in self.issues)])
+
+
+def validate_program(program: CommProgram) -> ValidationReport:
+    """Run every check; never raises."""
+    report = ValidationReport(
+        n_ranks=program.n_ranks, n_rounds=program.n_distinct_rounds
+    )
+    n = program.n_ranks
+    for index, rnd in enumerate(program.rounds):
+        src, dst = rnd.src, rnd.dst
+        if src.size and (
+            src.min() < 0 or dst.min() < 0 or src.max() >= n or dst.max() >= n
+        ):
+            report.issues.append(
+                ValidationIssue(
+                    index,
+                    "rank_range",
+                    "round refers to ranks outside the communicator "
+                    f"(0..{n - 1})",
+                )
+            )
+            continue  # endpoint checks below would index out of range
+        nb = rnd.nbytes_per_flow()
+        if nb.size and (not np.all(np.isfinite(nb)) or nb.min() < 0):
+            report.issues.append(
+                ValidationIssue(
+                    index, "payload", "payloads must be finite and >= 0"
+                )
+            )
+            continue
+        _check_endpoints(program, report, index, rnd)
+    return report
+
+
+def _check_endpoints(
+    program: CommProgram, report: ValidationReport, index: int, rnd: CommRound
+) -> None:
+    """Match the op view's send and receive halves flow for flow.
+
+    The op view is what the DES executes, so validating it (rather than
+    re-reading the vector arrays the ops were derived from) catches both
+    malformed rounds and any drift in the derivation itself.
+    """
+    sends: dict[tuple[int, int, int], float] = {}
+    recvs: dict[tuple[int, int, int], float] = {}
+    for rank in range(program.n_ranks):
+        for op in program._round_ops(rank, index, rnd):
+            if isinstance(op, SendOp):
+                sends[(rank, op.peer, op.tag)] = op.nbytes
+            elif isinstance(op, RecvOp):
+                recvs[(op.peer, rank, op.tag)] = op.nbytes
+    for key in sends.keys() - recvs.keys():
+        report.issues.append(
+            ValidationIssue(
+                index,
+                "unmatched",
+                f"send {key[0]}->{key[1]} tag {key[2]} has no matching "
+                "receive; the receiver blocks at the barrier",
+            )
+        )
+    for key in recvs.keys() - sends.keys():
+        report.issues.append(
+            ValidationIssue(
+                index,
+                "unmatched",
+                f"receive {key[0]}->{key[1]} tag {key[2]} has no matching "
+                f"send; rank {key[1]} blocks at the barrier",
+            )
+        )
+    for key in sends.keys() & recvs.keys():
+        if sends[key] != recvs[key]:
+            report.issues.append(
+                ValidationIssue(
+                    index,
+                    "conservation",
+                    f"flow {key[0]}->{key[1]} tag {key[2]}: sender moves "
+                    f"{sends[key]:g} bytes but receiver expects {recvs[key]:g}",
+                )
+            )
+
+
+def check_program(program: CommProgram) -> CommProgram:
+    """Validate and return the program; raise on any defect.
+
+    The raised message keeps the historical phrasing ("round refers to
+    ranks outside the communicator") that pre-IR callers matched on.
+    """
+    report = validate_program(program)
+    if not report.ok:
+        raise IRValidationError(report.summary())
+    return program

@@ -101,12 +101,17 @@ class EventQueue:
 
 
 def run_until_idle(
-    queue: EventQueue, handler: Callable[[float, Any], None], max_events: int = 10_000_000
+    queue: EventQueue,
+    handler: Callable[[float, Any], None],
+    max_events: int = 10_000_000,
+    backend: str | None = None,
 ) -> float:
     """Drain the queue, dispatching each event to ``handler``.
 
     Returns the time of the last event (0.0 for an empty queue).  The event
-    cap guards against runaway schedules in tests.
+    cap guards against runaway schedules in tests.  ``backend`` names the
+    execution backend driving the queue, so the cap error identifies which
+    of the registered backends livelocked.
     """
     t = 0.0
     for _ in range(max_events):
@@ -114,4 +119,7 @@ def run_until_idle(
             return t
         t, payload = queue.pop()
         handler(t, payload)
-    raise RuntimeError(f"event cap ({max_events}) exceeded; likely a livelock")
+    who = f" [{backend} backend]" if backend else ""
+    raise RuntimeError(
+        f"event cap ({max_events}) exceeded; likely a livelock{who}"
+    )

@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.netsim.fabric import Fabric, Round, RoundSchedule
+from repro.topology.machine import MachineTopology
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class TracingFabric(Fabric):
     """A fabric that records every evaluated round (cache disabled so
     repeats are visible in the trace)."""
 
-    def __init__(self, topology):
+    def __init__(self, topology: MachineTopology):
         super().__init__(topology)
         self.traces: list[RoundTrace] = []
         self._clock = 0.0

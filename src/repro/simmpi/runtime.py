@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Mapping
 import numpy as np
 
 from repro.netsim.engine import EventQueue
-from repro.netsim.flows import KERNEL_STATS, Flow, FlowNetwork
+from repro.netsim.flows import KERNEL_STATS, Flow, FlowNetwork, RateAuditError
 from repro.simmpi.errors import RankFailedError, SimTimeout
 from repro.simmpi.ops import Compute, Irecv, Isend, Recv, Request, Send, Sendrecv, Wait
 from repro.topology.machine import MachineTopology
@@ -146,7 +146,9 @@ class Simulator:
         incremental: bool = True,
         audit_rates: bool = False,
         network: FlowNetwork | None = None,
+        backend: str = "des",
     ):
+        self.backend = backend
         self.topology = topology
         self.rank_to_core = np.asarray(list(rank_to_core), dtype=np.int64)
         if self.rank_to_core.size and (
@@ -254,13 +256,19 @@ class Simulator:
         for rank in sorted(self._ranks):
             self._advance(rank, 0.0, None)
 
-        self._loop()
+        try:
+            self._loop()
+        except RateAuditError as exc:
+            # Identify which execution backend drove the diverging solve;
+            # the original "rates diverge" detail is preserved verbatim.
+            raise RateAuditError(f"[{self.backend} backend] {exc}") from exc
 
         unfinished = [
             r for r, s in self._ranks.items() if not s.finished and not s.failed
         ]
         if unfinished:
             raise DeadlockError(
+                f"[{self.backend} backend] "
                 f"{len(unfinished)} rank(s) blocked with no pending events:\n"
                 + self._blocked_report(unfinished)
             )

@@ -32,16 +32,16 @@ consistency (causality, conservation, capacity).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.collectives.base import RoundSpec
 from repro.netsim.fabric import Fabric
 from repro.netsim.flows import FlowNetwork
-from repro.simmpi.communicator import Comm
-from repro.simmpi.runtime import FlowRecord, Simulator
+from repro.simmpi.runtime import FlowRecord
 from repro.topology.machine import MachineTopology
 
 #: Default declared tolerance on |round - DES| / DES for lockstep replays.
@@ -133,40 +133,27 @@ class DifferentialReport:
 
 
 def _spec_endpoints(spec: RoundSpec, tag_base: int) -> tuple[dict, dict]:
-    """Bucket one round's flows by rank in a single pass.
+    """Deprecated: use :func:`repro.ir.lower.round_endpoints`."""
+    warnings.warn(
+        "_spec_endpoints is deprecated; use repro.ir.lower.round_endpoints",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.ir.lower import round_endpoints
 
-    Returns ``(sends, recvs)`` keyed by rank; per-rank lists keep the
-    spec's flow order, so the DES posts operations in the same sequence a
-    per-rank scan would (FIFO channel matching makes that order part of
-    the semantics).
-    """
-    nb = np.broadcast_to(np.asarray(spec.nbytes, dtype=float), spec.src.shape)
-    sends: dict[int, list] = {}
-    recvs: dict[int, list] = {}
-    src, dst = spec.src, spec.dst
-    for i in range(src.size):
-        s, d = int(src[i]), int(dst[i])
-        tag = tag_base + i
-        sends.setdefault(s, []).append((d, float(nb[i]), tag))
-        recvs.setdefault(d, []).append((s, tag))
-    return sends, recvs
+    return round_endpoints(spec, tag_base)
 
 
 def _round_flow_program(comm, sends: dict, recvs: dict):
-    """One rank's DES program for a single round instance."""
-    rank = comm.rank
+    """Deprecated: use :func:`repro.ir.lower.rank_program`."""
+    warnings.warn(
+        "_round_flow_program is deprecated; use repro.ir.lower.rank_program",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.ir.lower import rank_program
 
-    def program():
-        reqs = []
-        for src, tag in recvs.get(rank, ()):
-            reqs.append((yield comm.irecv(src, tag=tag)))
-        for dst, nbytes, tag in sends.get(rank, ()):
-            reqs.append((yield comm.isend(dst, nbytes, None, tag=tag)))
-        if reqs:
-            yield comm.wait(*reqs)
-        return None
-
-    return program()
+    return rank_program(comm, sends, recvs)
 
 
 def replay_rounds_des(
@@ -185,83 +172,45 @@ def replay_rounds_des(
     Returns ``(makespan, per_round_timings, flow_records)``; per-round
     timings are only populated in ``lockstep`` mode (``pipelined`` has no
     round boundaries to time).  ``member_cores[comm_rank]`` maps ranks to
-    cores exactly as :func:`repro.collectives.base.rounds_to_schedule`.
+    cores exactly as :func:`repro.ir.lower.placed_rounds`.
 
-    One :class:`FlowNetwork` (``network`` if given) serves every lockstep
-    round, so its path caches and rate memo carry across the repeated
-    patterns of a schedule; ``incremental=False`` forces the from-scratch
-    reference solver and ``audit=True`` cross-checks both on every solve.
-    A shared ``fabric`` likewise carries the round model's pattern cache
-    across calls.
+    Since the IR refactor this is a thin veneer over the ``des``
+    execution backend (:class:`repro.ir.backends.DESBackend`): the rounds
+    are lowered to a :class:`~repro.ir.program.CommProgram` and executed
+    by the registry's shared instance.  One :class:`FlowNetwork`
+    (``network`` if given) serves every lockstep round, so its path
+    caches and rate memo carry across the repeated patterns of a
+    schedule; ``incremental=False`` forces the from-scratch reference
+    solver and ``audit=True`` cross-checks both on every solve.  A shared
+    ``fabric`` likewise carries the round model's pattern cache across
+    calls.
     """
+    from repro.ir import from_rounds, get_backend
+
     cores = np.asarray(member_cores, dtype=np.int64)
-    p = cores.size
-    records: list[FlowRecord] = []
-    collect = [records.append, *listeners]
-    fabric = fabric or Fabric(topology)
-    comms = Comm.world(p)
-    net = network or FlowNetwork(topology, incremental=incremental, audit=audit)
-
-    if mode == "lockstep":
-        total = 0.0
-        timings = []
-        for idx, spec in enumerate(rounds):
-            # Each round runs in a fresh simulator whose clock restarts at
-            # zero; shift its records onto the accumulated timeline so the
-            # concatenated trace stays a coherent single execution.
-            offset = total
-            local: list[FlowRecord] = []
-            sends, recvs = _spec_endpoints(spec, 0)
-            sim = Simulator(topology, cores, listeners=[local.append], network=net)
-            sim.run(
-                {r: _round_flow_program(comms[r], sends, recvs) for r in range(p)}
-            )
-            for rec in local:
-                shifted = FlowRecord(
-                    src_rank=rec.src_rank,
-                    dst_rank=rec.dst_rank,
-                    src_core=rec.src_core,
-                    dst_core=rec.dst_core,
-                    nbytes=rec.nbytes,
-                    start=rec.start + offset,
-                    end=rec.end + offset,
-                    key=rec.key,
-                )
-                for sink in collect:
-                    sink(shifted)
-            t_one = max(sim.finish_times.values(), default=0.0)
-            t_model = fabric.round_time(
-                rounds_to_schedule([spec], cores).rounds[0]
-            )
-            timings.append(
-                RoundTiming(
-                    index=idx,
-                    repeat=spec.repeat,
-                    n_flows=spec.src.size,
-                    t_round=t_model,
-                    t_des=t_one,
-                )
-            )
-            total += t_one * spec.repeat
-        return total, timings, records
-
-    if mode == "pipelined":
-        endpoints = [
-            _spec_endpoints(spec, idx * spec.src.size)
-            for idx, spec in enumerate(rounds)
-        ]
-
-        def rank_program(comm):
-            for spec, (sends, recvs) in zip(rounds, endpoints):
-                for _ in range(spec.repeat):
-                    yield from _round_flow_program(comm, sends, recvs)
-            return None
-
-        sim = Simulator(topology, cores, listeners=collect, network=net)
-        sim.run({r: rank_program(comms[r]) for r in range(p)})
-        return max(sim.finish_times.values(), default=0.0), [], records
-
-    raise ValueError(f"unknown replay mode {mode!r} (lockstep|pipelined)")
+    program = from_rounds(rounds, n_ranks=max(int(cores.size), 1))
+    result = get_backend("des").run(
+        program,
+        topology,
+        [cores],
+        mode=mode,
+        listeners=listeners,
+        incremental=incremental,
+        audit=audit,
+        network=network,
+        fabric=fabric,
+    )
+    timings = [
+        RoundTiming(
+            index=c.index,
+            repeat=c.repeat,
+            n_flows=c.n_flows,
+            t_round=c.seconds if c.model_seconds is None else c.model_seconds,
+            t_des=c.seconds,
+        )
+        for c in result.per_round
+    ]
+    return result.time, timings, result.records
 
 
 def compare_schedule(
@@ -276,15 +225,38 @@ def compare_schedule(
     audit: bool = False,
     network: FlowNetwork | None = None,
     fabric: Fabric | None = None,
+    backend: str = "des",
 ) -> DifferentialCase:
-    """Round-model vs DES duration of one schedule on given cores."""
+    """Round-model vs reference-backend duration of one schedule.
+
+    ``backend`` names the registered execution backend the round model is
+    checked against (``des`` by default -- the model of record; ``logp``
+    gives a fast advisory comparison).
+    """
+    from repro.ir import from_rounds, get_backend, placed_rounds
+
     cores = np.asarray(member_cores, dtype=np.int64)
     fabric = fabric or Fabric(topology)
-    t_round = rounds_to_schedule(rounds, cores).total_time(fabric)
-    t_des, timings, _records = replay_rounds_des(
-        topology, cores, rounds, mode=mode,
-        incremental=incremental, audit=audit, network=network, fabric=fabric,
-    )
+    t_round = placed_rounds(rounds, cores).total_time(fabric)
+    if backend == "des":
+        t_des, timings, _records = replay_rounds_des(
+            topology, cores, rounds, mode=mode,
+            incremental=incremental, audit=audit, network=network, fabric=fabric,
+        )
+    else:
+        program = from_rounds(rounds, n_ranks=max(int(cores.size), 1))
+        result = get_backend(backend).run(program, topology, [cores])
+        t_des = result.time
+        timings = [
+            RoundTiming(
+                index=c.index,
+                repeat=c.repeat,
+                n_flows=c.n_flows,
+                t_round=c.seconds if c.model_seconds is None else c.model_seconds,
+                t_des=c.seconds,
+            )
+            for c in result.per_round
+        ]
     return DifferentialCase(
         label=label,
         p=int(cores.size),
@@ -309,6 +281,7 @@ def compare_collective(
     audit: bool = False,
     network: FlowNetwork | None = None,
     fabric: Fabric | None = None,
+    backend: str = "des",
 ) -> DifferentialCase:
     """Differential check of one collective on one communicator."""
     from repro.collectives.selector import rounds_for, select_algorithm
@@ -329,6 +302,7 @@ def compare_collective(
         audit=audit,
         network=network,
         fabric=fabric,
+        backend=backend,
     )
 
 
@@ -338,6 +312,7 @@ def seed_benchmark_suite(
     total_bytes: float = 1e6,
     incremental: bool = True,
     audit: bool = False,
+    backend: str = "des",
 ) -> DifferentialReport:
     """The seed benchmarks, cross-checked between both network models.
 
@@ -370,6 +345,7 @@ def seed_benchmark_suite(
                 topology, cores, collective, total_bytes,
                 algorithm=algorithm, tolerance=tolerance,
                 incremental=incremental, audit=audit, network=net, fabric=fabric,
+                backend=backend,
             )
             report.cases.append(
                 DifferentialCase(

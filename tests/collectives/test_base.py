@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.collectives.base import RoundSpec
+from repro.ir import placed_rounds
 
 
 def test_mismatched_shapes_rejected():
@@ -19,7 +20,7 @@ def test_nonpositive_repeat_rejected():
 def test_out_of_range_rank_rejected():
     spec = RoundSpec(np.array([0]), np.array([2]), 8.0)
     with pytest.raises(ValueError, match="outside the communicator"):
-        rounds_to_schedule([spec], np.array([4, 5]))
+        placed_rounds([spec], np.array([4, 5]))
 
 
 def test_negative_src_rank_rejected():
@@ -27,18 +28,18 @@ def test_negative_src_rank_rejected():
     # rank silently indexed member_cores from the end.
     spec = RoundSpec(np.array([-1]), np.array([1]), 8.0)
     with pytest.raises(ValueError, match="outside the communicator"):
-        rounds_to_schedule([spec], np.array([4, 5]))
+        placed_rounds([spec], np.array([4, 5]))
 
 
 def test_negative_dst_rank_rejected():
     spec = RoundSpec(np.array([0]), np.array([-2]), 8.0)
     with pytest.raises(ValueError, match="outside the communicator"):
-        rounds_to_schedule([spec], np.array([4, 5]))
+        placed_rounds([spec], np.array([4, 5]))
 
 
 def test_valid_rounds_map_to_cores():
     spec = RoundSpec(np.array([0, 1]), np.array([1, 0]), 8.0, repeat=3)
-    schedule = rounds_to_schedule([spec], np.array([7, 9]))
+    schedule = placed_rounds([spec], np.array([7, 9]))
     assert list(schedule.rounds[0].src) == [7, 9]
     assert list(schedule.rounds[0].dst) == [9, 7]
     assert schedule.rounds[0].repeat == 3
@@ -46,5 +47,5 @@ def test_valid_rounds_map_to_cores():
 
 def test_empty_round_passes_validation():
     spec = RoundSpec(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 0.0)
-    schedule = rounds_to_schedule([spec], np.array([0, 1]))
+    schedule = placed_rounds([spec], np.array([0, 1]))
     assert schedule.rounds[0].src.size == 0

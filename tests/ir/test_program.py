@@ -1,0 +1,95 @@
+"""Unit tests for the communication-program IR (repro.ir.program)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    BarrierOp,
+    CommProgram,
+    CommRound,
+    ComputeOp,
+    ProgramMeta,
+    RecvOp,
+    SendOp,
+)
+
+
+def ring_round(p=4, nbytes=100.0, repeat=1, compute=0.0):
+    src = np.arange(p)
+    return CommRound(src, (src + 1) % p, nbytes, repeat=repeat, compute=compute)
+
+
+class TestCommRound:
+    def test_endpoints_coerced_to_int64(self):
+        rnd = CommRound([0, 1], [1, 0], 8.0)
+        assert rnd.src.dtype == np.int64 and rnd.dst.dtype == np.int64
+        assert rnd.n_flows == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            CommRound([0, 1], [1], 8.0)
+
+    def test_repeat_and_compute_validated(self):
+        with pytest.raises(ValueError, match="repeat"):
+            ring_round(repeat=0)
+        with pytest.raises(ValueError, match="compute"):
+            ring_round(compute=-1.0)
+        with pytest.raises(ValueError, match="compute"):
+            ring_round(compute=float("inf"))
+
+    def test_nbytes_per_flow_broadcasts_scalars(self):
+        rnd = ring_round(p=3, nbytes=64.0)
+        np.testing.assert_array_equal(rnd.nbytes_per_flow(), [64.0, 64.0, 64.0])
+
+    def test_structure_key_ignores_payload(self):
+        a, b = ring_round(nbytes=1.0), ring_round(nbytes=2.0)
+        assert a.structure_key() == b.structure_key()
+        assert a.key() != b.key()
+
+
+class TestCommProgram:
+    def test_round_counting_and_bytes(self):
+        prog = CommProgram(4, (ring_round(repeat=3, nbytes=10.0), ring_round()))
+        assert prog.n_distinct_rounds == 2
+        assert prog.n_rounds == 4
+        # 4 flows x 10 B x 3 repeats + 4 flows x 100 B
+        assert prog.total_bytes == pytest.approx(520.0)
+
+    def test_needs_at_least_one_rank(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            CommProgram(0, ())
+
+    def test_meta_defaults_to_rounds_source(self):
+        assert CommProgram(2, ()).meta == ProgramMeta()
+
+    def test_rank_ops_posting_order(self):
+        """Per round: compute, receives (flow order), sends, barrier."""
+        prog = CommProgram(4, (ring_round(compute=1e-6),))
+        ops = prog.rank_ops(1)
+        assert ops == [
+            ComputeOp(1e-6),
+            RecvOp(peer=0, nbytes=100.0, tag=0),
+            SendOp(peer=2, nbytes=100.0, tag=1),
+            BarrierOp(0),
+        ]
+
+    def test_rank_ops_tags_are_flow_indices(self):
+        # rank 0 sends in flows 0 and 2, receives in flow 1
+        rnd = CommRound([0, 1, 0], [1, 0, 2], 5.0)
+        ops = CommProgram(3, (rnd,)).rank_ops(0)
+        assert ops == [
+            RecvOp(peer=1, nbytes=5.0, tag=1),
+            SendOp(peer=1, nbytes=5.0, tag=0),
+            SendOp(peer=2, nbytes=5.0, tag=2),
+            BarrierOp(0),
+        ]
+
+    def test_rank_ops_expand_repeats(self):
+        prog = CommProgram(4, (ring_round(repeat=3),))
+        assert len(prog.rank_ops(0)) == 3  # recv, send, barrier
+        assert len(prog.rank_ops(0, expand_repeats=True)) == 9
+
+    def test_rank_ops_range_checked(self):
+        prog = CommProgram(4, (ring_round(),))
+        with pytest.raises(ValueError, match="outside program"):
+            prog.rank_ops(4)

@@ -1,0 +1,111 @@
+"""Unit tests for the IR validation pass (repro.ir.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    CommProgram,
+    CommRound,
+    IRValidationError,
+    RecvOp,
+    SendOp,
+    check_program,
+    collective_program,
+    validate_program,
+)
+
+
+class _DriftingProgram(CommProgram):
+    """A program whose op view drifts from its vector view.
+
+    The endpoint check validates the derived per-rank ops (what the DES
+    executes) against each other, so injecting a defect there exercises
+    the unmatched/conservation detectors that well-formed vector rounds
+    can never trip.
+    """
+
+    def __init__(self, n_ranks, rounds, tamper):
+        super().__init__(n_ranks, rounds)
+        object.__setattr__(self, "_tamper", tamper)
+
+    def _round_ops(self, rank, index, rnd):
+        return self._tamper(rank, super()._round_ops(rank, index, rnd))
+
+
+def ring_program(p=4, nbytes=64.0):
+    src = np.arange(p)
+    return CommProgram(p, (CommRound(src, (src + 1) % p, nbytes),))
+
+
+class TestValidateProgram:
+    @pytest.mark.parametrize("collective", ["alltoall", "allgather", "allreduce"])
+    def test_lowered_collectives_are_clean(self, collective):
+        report = validate_program(collective_program(collective, 8, 1e5))
+        assert report.ok
+        assert "0 issue(s)" in report.summary()
+
+    def test_self_flows_are_legal(self):
+        prog = CommProgram(2, (CommRound([0, 1], [0, 1], 8.0),))
+        assert validate_program(prog).ok
+
+    def test_rank_range_issue(self):
+        prog = CommProgram(2, (CommRound([0, 1], [1, 2], 8.0),))
+        report = validate_program(prog)
+        assert not report.ok
+        assert report.issues[0].kind == "rank_range"
+        assert "outside the communicator" in report.issues[0].message
+
+    def test_payload_issue(self):
+        bad = CommRound([0], [1], np.array([-5.0]))
+        report = validate_program(CommProgram(2, (bad,)))
+        assert [i.kind for i in report.issues] == ["payload"]
+        inf = CommRound([0], [1], float("inf"))
+        assert not validate_program(CommProgram(2, (inf,))).ok
+
+    def test_unmatched_send_detected(self):
+        def drop_recvs(rank, ops):
+            return [op for op in ops if not isinstance(op, RecvOp)]
+
+        prog = _DriftingProgram(4, ring_program().rounds, drop_recvs)
+        report = validate_program(prog)
+        assert {i.kind for i in report.issues} == {"unmatched"}
+        assert any("no matching receive" in i.message for i in report.issues)
+
+    def test_unmatched_recv_detected(self):
+        def drop_sends(rank, ops):
+            return [op for op in ops if not isinstance(op, SendOp)]
+
+        prog = _DriftingProgram(4, ring_program().rounds, drop_sends)
+        report = validate_program(prog)
+        assert any("no matching send" in i.message for i in report.issues)
+
+    def test_byte_conservation_detected(self):
+        def shrink_recvs(rank, ops):
+            return [
+                RecvOp(op.peer, op.nbytes / 2, op.tag)
+                if isinstance(op, RecvOp)
+                else op
+                for op in ops
+            ]
+
+        prog = _DriftingProgram(4, ring_program().rounds, shrink_recvs)
+        report = validate_program(prog)
+        assert {i.kind for i in report.issues} == {"conservation"}
+
+    def test_issue_carries_round_index(self):
+        ok = CommRound([0], [1], 8.0)
+        bad = CommRound([0], [9], 8.0)
+        report = validate_program(CommProgram(2, (ok, bad)))
+        assert report.issues[0].round_index == 1
+        assert "round 1" in str(report.issues[0])
+
+
+class TestCheckProgram:
+    def test_returns_program_unchanged(self):
+        prog = ring_program()
+        assert check_program(prog) is prog
+
+    def test_raises_with_historical_phrasing(self):
+        prog = CommProgram(2, (CommRound([0], [5], 8.0),))
+        with pytest.raises(IRValidationError, match="outside the communicator"):
+            check_program(prog)

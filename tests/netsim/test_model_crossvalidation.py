@@ -15,7 +15,7 @@ from repro.collectives.allgather import ring_program, ring_rounds
 from repro.collectives.allreduce import ring_program as allreduce_ring_program
 from repro.collectives.allreduce import ring_rounds as allreduce_ring_rounds
 from repro.collectives.alltoall import pairwise_program, pairwise_rounds
-from repro.collectives.base import rounds_to_schedule
+from repro.ir import placed_rounds
 from repro.netsim.fabric import Fabric, Round
 from repro.netsim.flows import Flow, FlowNetwork
 from repro.simmpi import Comm, Simulator
@@ -77,7 +77,7 @@ def test_ring_allgather_des_vs_round_model(p, cores):
     block = np.zeros(int(total) // p // 8)
     sim.run({r: ring_program(comms[r], block) for r in range(p)})
     t_des = max(sim.finish_times.values())
-    t_fast = rounds_to_schedule(ring_rounds(p, total), np.array(cores)).total_time(
+    t_fast = placed_rounds(ring_rounds(p, total), np.array(cores)).total_time(
         Fabric(topo)
     )
     assert t_fast == pytest.approx(t_des, rel=0.3)
@@ -93,7 +93,7 @@ def test_pairwise_alltoall_des_vs_round_model():
     sendbuf = np.zeros((p, int(total) // p // p // 8))
     sim.run({r: pairwise_program(comms[r], sendbuf.copy()) for r in range(p)})
     t_des = max(sim.finish_times.values())
-    t_fast = rounds_to_schedule(
+    t_fast = placed_rounds(
         pairwise_rounds(p, total), np.array(cores)
     ).total_time(Fabric(topo))
     assert t_fast == pytest.approx(t_des, rel=0.3)
@@ -109,7 +109,7 @@ def test_ring_allreduce_des_vs_round_model():
     vec = np.zeros(int(total) // p // 8)
     sim.run({r: allreduce_ring_program(comms[r], vec.copy()) for r in range(p)})
     t_des = max(sim.finish_times.values())
-    t_fast = rounds_to_schedule(
+    t_fast = placed_rounds(
         allreduce_ring_rounds(p, total), np.array(cores)
     ).total_time(Fabric(topo))
     assert t_fast == pytest.approx(t_des, rel=0.3)

@@ -160,6 +160,51 @@ class TestAdvise:
             )
 
 
+class TestBackends:
+    def test_list_prints_capability_table(self, capsys):
+        rc, out = run_cli(capsys, "backends", "list")
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].split() == [
+            "backend", "faults", "per-flow", "contention", "tolerance"
+        ]
+        rows = {line.split()[0]: line.split()[1:] for line in lines[1:]}
+        assert set(rows) == {"des", "logp", "round"}
+        assert rows["des"] == ["yes", "yes", "exact"]
+        assert rows["logp"] == ["no", "no", "advisory"]
+        assert rows["round"] == ["no", "no", "exact"]
+
+    def test_sweep_accepts_logp_backend(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--comm-sizes", "4", "--sizes", "1e6",
+            "--orders", "0-1-2,2-1-0", "--backend", "logp",
+        )
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("machine,order,ring_cost")
+        assert len(lines) == 3
+
+    def test_advise_accepts_logp_backend(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "advise", "-H", "node:2 socket:2 core:4", "--comm-size", "4",
+            "--backend", "logp",
+        )
+        assert rc == 0
+        assert "advice for alltoall" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "-H", "[[2,2,4]]",
+                    "--comm-sizes", "4", "--sizes", "1e6", "--backend", "warp",
+                ]
+            )
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
