@@ -24,7 +24,7 @@ from typing import Sequence
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import signature
 from repro.core.orders import Order, all_orders, format_order
-from repro.engine import EvalRequest, SweepEngine
+from repro.engine import EvalRequest, SweepEngine, is_failure
 from repro.topology.machine import MachineTopology
 
 
@@ -115,6 +115,12 @@ def sweep(
     }
     records: list[SweepRecord] = []
     for (comm_size, order, collective, total), point in zip(grid, results):
+        if is_failure(point):
+            # Quarantined grid point: the engine retried and gave up.  The
+            # point is salvaged as a structured failure on engine.failures
+            # (and never cached, so a re-run retries it); every completed
+            # record below is still returned.
+            continue
         records.append(
             SweepRecord(
                 machine=topology.name,
@@ -251,6 +257,7 @@ def verify_sweep(
             n_violations=int(out["n_violations"]),
         )
         for (topo, p, collective, algorithm), out in zip(cells, results)
+        if not is_failure(out)  # quarantined cells stay on engine.failures
     ]
 
 
@@ -338,8 +345,14 @@ def chaos_sweep(
     healthy_of = {
         order: out["healthy_time"]
         for order, out in zip(orders, healthy_results)
+        if not is_failure(out)  # orders whose baseline failed are skipped
     }
-    cells = [(order, kind) for order in orders for kind in fault_kinds]
+    cells = [
+        (order, kind)
+        for order in orders
+        if order in healthy_of
+        for kind in fault_kinds
+    ]
     results = engine.evaluate_many(
         [
             EvalRequest(
@@ -373,6 +386,7 @@ def chaos_sweep(
             slowdown=out["slowdown"],
         )
         for (order, kind), out in zip(cells, results)
+        if not is_failure(out)  # quarantined cells stay on engine.failures
     ]
 
 

@@ -162,9 +162,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     orders = (
         [parse_order(o) for o in args.orders.split(",")] if args.orders else None
     )
+    if args.resume and not args.cache_dir:
+        raise SystemExit("--resume requires --cache-dir (the journal lives there)")
     engine = SweepEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir, prune=not args.no_prune
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        prune=not args.no_prune,
+        task_timeout=args.task_timeout,
+        max_attempts=args.max_attempts,
     )
+    if args.resume:
+        print(
+            f"# resume: {engine.stats.journal_replayed} completed key(s) "
+            f"journaled, {engine.stats.tmp_files_removed} stale tmp file(s) "
+            "removed; only incomplete keys will be evaluated",
+            file=sys.stderr,
+        )
     records = sweep(
         topology,
         h,
@@ -186,6 +199,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"hit rate {doc['cache_hit_rate']:.2f}",
             file=sys.stderr,
         )
+    s = engine.stats
+    if s.retries or s.cache_quarantined or s.degraded_serial:
+        print(
+            f"# recovered: {s.retries} retried attempt(s) "
+            f"({s.crashes} crash, {s.timeouts} timeout, "
+            f"{s.worker_exceptions} exception), "
+            f"{s.cache_quarantined} corrupt cache record(s) quarantined"
+            + (", pool died -> finished serially" if s.degraded_serial else ""),
+            file=sys.stderr,
+        )
+    if engine.failures:
+        print(f"# {engine.failure_summary()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -405,6 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bench-json", default=None, metavar="PATH",
         help="write the BENCH_sweep.json engine-statistics artifact",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from the journal in --cache-dir; "
+        "only keys not yet journaled as complete are re-evaluated",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any single evaluation exceeding this wall time",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per evaluation before it is quarantined (default: 3)",
     )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_sweep)

@@ -36,7 +36,14 @@ from repro.engine.evaluators import (
     evaluate_request,
     register_evaluator,
 )
+from repro.engine.journal import SweepJournal
 from repro.engine.keys import CACHE_SCHEMA, EvalRequest
+from repro.engine.supervisor import (
+    EvalFailure,
+    TaskAttempt,
+    TaskSupervisor,
+    is_failure,
+)
 
 __all__ = [
     "AUDIT_RTOL",
@@ -44,10 +51,15 @@ __all__ = [
     "EVALUATORS",
     "EngineAuditError",
     "EngineStats",
+    "EvalFailure",
     "EvalRequest",
     "PRUNABLE_MODELS",
     "ResultCache",
     "SweepEngine",
+    "SweepJournal",
+    "TaskAttempt",
+    "TaskSupervisor",
     "evaluate_request",
+    "is_failure",
     "register_evaluator",
 ]

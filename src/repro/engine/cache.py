@@ -7,20 +7,39 @@ fan-out directory (``ab/abcdef....json``) containing the full canonical
 request next to the result, so cache artifacts double as provenance
 records and survive across processes and sessions.
 
-Disk entries are trusted by key only: the key already hashes the package
-version and cache schema (see :mod:`repro.engine.keys`), so stale or
-foreign entries simply never match.  Corrupt files are treated as misses
-and overwritten on the next store.
+Disk records are **verified, never trusted**: every record carries the
+cache schema number and a SHA-256 checksum of its result payload, and a
+read validates key, schema, shape, and checksum before serving.  Records
+that fail any check -- truncated files, bit rot, stale layouts, foreign
+scribbles -- are moved into a ``quarantine/`` subdirectory (preserved
+for forensics, counted in :attr:`quarantined`) and reported as misses,
+so a corrupted entry is re-evaluated, never silently served.  Writers
+stage through ``mkstemp`` + atomic ``os.replace``; the ``*.tmp`` files a
+SIGKILLed writer strands are garbage-collected by
+:meth:`gc_tmp_files` at sweep startup.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
+
+from repro.engine.keys import CACHE_SCHEMA
+
+#: Subdirectory of the cache dir where corrupt records are preserved.
+QUARANTINE_DIR = "quarantine"
+
+
+def result_checksum(result: dict) -> str:
+    """Canonical SHA-256 of a result payload (the record's checksum field)."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class ResultCache:
@@ -35,6 +54,7 @@ class ResultCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -89,33 +109,98 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path) as fh:
-                doc = json.load(fh)
+                text = fh.read()
+        except OSError:
+            return None  # plain miss: no record
+        try:
+            doc = json.loads(text)
             result = doc["result"]
-            if not isinstance(result, dict):
-                return None
-            return {str(k): v for k, v in result.items()}
-        except (OSError, ValueError, KeyError, TypeError):
+            checksum = doc["checksum"]
+            schema = doc["schema"]
+            recorded_key = doc["key"]
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)  # truncated / torn / pre-schema-3 record
             return None
+        if (
+            recorded_key != key
+            or schema != CACHE_SCHEMA
+            or not isinstance(result, dict)
+            or checksum != result_checksum(result)
+        ):
+            self._quarantine(path)
+            return None
+        return {str(k): v for k, v in result.items()}
 
     def _write_disk(self, key: str, result: dict, request_doc: dict | None) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {"key": key, "result": result}
+        doc = {
+            "key": key,
+            "schema": CACHE_SCHEMA,
+            "checksum": result_checksum(result),
+            "result": result,
+        }
         if request_doc is not None:
             doc["request"] = request_doc
+        payload = json.dumps(doc)
+        from repro.engine import chaos  # corrupt-cache injection harness
+
+        payload = chaos.maybe_corrupt_payload(key, payload)
         # Atomic replace so concurrent runs sharing a cache dir never read
         # a torn file (last writer wins; results for one key are identical
         # by construction anyway).
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        replaced = False
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(doc, fh)
+                fh.write(payload)
             os.replace(tmp, path)
+            replaced = True
+        except OSError:
+            pass  # a failed store is a future miss, never an error
+        finally:
+            if not replaced:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    # -- integrity ---------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed record out of the lookup path, keeping the bytes."""
+        assert self.cache_dir is not None
+        qdir = self.cache_dir / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
         except OSError:
             try:
-                os.unlink(tmp)
+                os.unlink(path)  # can't preserve it: at least stop serving it
             except OSError:
                 pass
+        self.quarantined += 1
+
+    def gc_tmp_files(self, max_age_s: float = 0.0) -> int:
+        """Remove ``*.tmp`` files stranded by killed writers; returns count.
+
+        ``max_age_s`` spares files younger than the cutoff.  The default
+        collects everything: a concurrent writer's staging file lives for
+        milliseconds, and losing the race merely downgrades that writer's
+        store to a future cache miss (``_write_disk`` absorbs the error).
+        """
+        if self.cache_dir is None:
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for tmp in self.cache_dir.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # already gone (concurrent GC) or unreadable
+        return removed
 
     # -- stats -------------------------------------------------------------
 
@@ -126,5 +211,6 @@ class ResultCache:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
         }

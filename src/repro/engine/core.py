@@ -1,4 +1,4 @@
-"""The sweep-execution engine: memoize, prune, fan out.
+"""The sweep-execution engine: memoize, prune, fan out, survive.
 
 :class:`SweepEngine` turns batches of :class:`~repro.engine.keys.EvalRequest`
 into results while exploiting three independent sources of cheapness:
@@ -14,14 +14,24 @@ into results while exploiting three independent sources of cheapness:
    insight turned into compute savings, restricted to the provably sound
    subset.  The opt-in audit mode (``prune=False``) re-simulates every
    class member and asserts the broadcast would have been sound.
-3. **Parallel fan-out** -- independent evaluations are mapped over a
-   ``multiprocessing`` pool with deterministic result ordering and
-   per-request worker seeding, so ``jobs=1`` and ``jobs=N`` are bitwise
-   identical.
+3. **Parallel fan-out** -- independent evaluations run on a *supervised*
+   worker pool (:mod:`repro.engine.supervisor`): per-task dispatch with
+   deadlines, crash detection and worker respawn, retry with exponential
+   backoff, quarantine of tasks that exhaust their attempt budget, and
+   graceful degradation to in-process execution if the pool dies.
+   Results keep deterministic ordering and per-request worker seeding,
+   so ``jobs=1`` and ``jobs=N`` are bitwise identical -- on healthy
+   machines and through every recovery path.
+
+Execution is **crash-safe**: each completed evaluation is cached (and,
+with a ``cache_dir``, journaled to an append-only JSONL manifest,
+:mod:`repro.engine.journal`) the moment it finishes, so an interrupted
+sweep re-run over the same grid re-evaluates only the keys that never
+completed and produces bitwise-identical output.
 
 The engine keeps running statistics (wall clock, hit rate, evaluations
-saved) and renders them as the machine-readable ``BENCH_sweep.json``
-artifact later PRs track for perf trajectory.
+saved, recovery counters) and renders them as the machine-readable
+``BENCH_sweep.json`` artifact later PRs track for perf trajectory.
 """
 
 from __future__ import annotations
@@ -31,11 +41,19 @@ import math
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import repro.engine.evaluators as _evaluators
 from repro.engine.cache import ResultCache
+from repro.engine.journal import JOURNAL_NAME, SweepJournal
 from repro.engine.keys import EvalRequest
+from repro.engine.supervisor import (
+    EvalFailure,
+    TaskSupervisor,
+    is_failure,
+)
+from repro.util.retry import RetryPolicy
 
 #: Models whose results depend on the order only through its strict
 #: equivalence class, making class-broadcast sound.  ``logp`` qualifies:
@@ -48,6 +66,11 @@ PRUNABLE_MODELS = frozenset({"round", "des", "logp"})
 #: differ, so exact bitwise equality is not demanded -- but anything past
 #: a few ulps means the classes are wrong.
 AUDIT_RTOL = 1e-9
+
+#: Default wall-clock pause after a task's first failed attempt (seconds);
+#: doubles per retry.  Small: most engine failures are deterministic or
+#: crash-shaped, so waiting longer buys nothing.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 class EngineAuditError(AssertionError):
@@ -67,6 +90,18 @@ class EngineStats:
     audited: int = 0  # class members re-simulated in audit mode
     memory_hits: int = 0
     disk_hits: int = 0
+    # -- robustness counters (the supervised executor & cache integrity) --
+    retries: int = 0  # failed attempts that were re-dispatched
+    crashes: int = 0  # attempts lost to worker death
+    timeouts: int = 0  # attempts lost to the task deadline
+    worker_exceptions: int = 0  # attempts lost to evaluator exceptions
+    quarantined: int = 0  # tasks recorded as EvalFailure results
+    workers_respawned: int = 0
+    degraded_serial: bool = False  # a pool died; work continued in-process
+    cache_quarantined: int = 0  # corrupt disk records detected & set aside
+    tmp_files_removed: int = 0  # stale writer staging files GC'd at startup
+    journal_replayed: int = 0  # completed keys loaded from the journal
+    journal_missing: int = 0  # journaled keys whose cache record was gone
 
     @property
     def cache_hits(self) -> int:
@@ -93,6 +128,17 @@ class EngineStats:
             "cache_hit_rate": self.cache_hit_rate,
             "pruned_evaluations_saved": self.pruned,
             "audited": self.audited,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "worker_exceptions": self.worker_exceptions,
+            "quarantined": self.quarantined,
+            "workers_respawned": self.workers_respawned,
+            "degraded_serial": self.degraded_serial,
+            "cache_quarantined": self.cache_quarantined,
+            "tmp_files_removed": self.tmp_files_removed,
+            "journal_replayed": self.journal_replayed,
+            "journal_missing": self.journal_missing,
             # Round-pattern cache of the fast model (this process's
             # fabrics; workers accumulate their own and are not merged).
             "fabric_round_cache": FABRIC_CACHE_STATS.to_jsonable(),
@@ -107,20 +153,32 @@ class _Group:
 
 
 class SweepEngine:
-    """Memoized, pruned, parallel evaluation of sweep requests.
+    """Memoized, pruned, supervised-parallel evaluation of sweep requests.
 
     Parameters
     ----------
     jobs:
         Worker processes for independent evaluations; 1 evaluates inline.
     cache_dir:
-        Optional directory for the persistent JSON result cache.
+        Optional directory for the persistent JSON result cache.  Also
+        enables the crash-safe completion journal
+        (``<cache_dir>/sweep-journal.jsonl``) and startup GC of stale
+        ``*.tmp`` files from killed writers.
     prune:
         Evaluate one representative per equivalence class and broadcast
         (default).  ``False`` enables the audit mode: every class member
         is re-simulated and the results are asserted to agree.
     lru_size:
         In-process cache entries kept.
+    task_timeout:
+        Wall-clock seconds one evaluation may run before its worker is
+        killed and the task retried (None: no deadline).  Only enforced
+        with ``jobs > 1``.
+    max_attempts:
+        Times a task may run before being quarantined as a structured
+        :class:`~repro.engine.supervisor.EvalFailure` result.
+    retry_backoff:
+        Base wall-clock pause after a failed attempt; doubles per retry.
     """
 
     def __init__(
@@ -129,13 +187,27 @@ class SweepEngine:
         cache_dir: str | os.PathLike | None = None,
         prune: bool = True,
         lru_size: int = 4096,
+        task_timeout: float | None = None,
+        max_attempts: int = 3,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.prune = prune
         self.cache = ResultCache(maxsize=lru_size, cache_dir=cache_dir)
+        self.retry_policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_backoff=retry_backoff,
+            timeout=task_timeout,
+        )
         self.stats = EngineStats(jobs=jobs, prune=prune)
+        self.failures: list[EvalFailure] = []
+        self.journal: SweepJournal | None = None
+        if cache_dir is not None:
+            self.stats.tmp_files_removed = self.cache.gc_tmp_files()
+            self.journal = SweepJournal(Path(cache_dir) / JOURNAL_NAME)
+            self.stats.journal_replayed = self.journal.replayed
         self._class_keys: dict[tuple, tuple] = {}
 
     # -- public API --------------------------------------------------------
@@ -149,13 +221,26 @@ class SweepEngine:
 
         Duplicate and cached requests are recalled, equivalence classes
         are collapsed (or audited), and the remaining distinct
-        evaluations run on the worker pool in deterministic order.
+        evaluations run on the supervised worker pool in deterministic
+        order.  Tasks that exhaust their retry budget come back as
+        structured failure records (see
+        :func:`repro.engine.supervisor.is_failure`) instead of aborting
+        the batch; every successful result is cached -- and journaled,
+        with a ``cache_dir`` -- the moment it completes, so partial
+        progress survives crashes and interrupts.
         """
         t0 = time.perf_counter()
         requests = list(requests)
+        for r in requests:  # configuration errors fail fast, pre-dispatch
+            if r.model not in _evaluators.EVALUATORS:
+                raise ValueError(
+                    f"no evaluator registered for model {r.model!r}; "
+                    f"known models: {sorted(_evaluators.EVALUATORS)}"
+                )
         self.stats.requests += len(requests)
         results: list[dict | None] = [None] * len(requests)
         hits_before = (self.cache.memory_hits, self.cache.disk_hits)
+        quarantined_before = self.cache.quarantined
 
         # 1. Resolve duplicates and cache hits.
         keys = [r.key for r in requests]
@@ -169,6 +254,10 @@ class SweepEngine:
                 for i in idxs:
                     results[i] = hit
             else:
+                if self.journal is not None and key in self.journal:
+                    # The journal promised this key but the cache lost it
+                    # (corruption, deletion): surface and re-evaluate.
+                    self.stats.journal_missing += 1
                 unresolved.append(idxs[0])
 
         # 2. Group unresolved requests by equivalence class.
@@ -185,27 +274,45 @@ class SweepEngine:
                 to_run.extend(group.indices)
         to_run.sort()  # deterministic dispatch order
 
-        # 4. Fan out.
-        evaluated = self._run([requests[i] for i in to_run])
-        for i, result in zip(to_run, evaluated):
-            results[i] = result
-            self.cache.put(keys[i], result, requests[i].canonical())
+        # 4. Fan out under supervision, persisting each completion at once.
+        def on_complete(pos: int, outcome: dict | EvalFailure) -> None:
+            i = to_run[pos]
+            if isinstance(outcome, EvalFailure):
+                return  # never cache or journal a failure: re-evaluate later
+            self.cache.put(keys[i], outcome, requests[i].canonical())
+            self._journal_record(keys[i])
+
+        evaluated = self._run([requests[i] for i in to_run], on_complete)
+        for i, outcome in zip(to_run, evaluated):
+            if isinstance(outcome, EvalFailure):
+                self.failures.append(outcome)
+                results[i] = outcome.to_result()
+            else:
+                results[i] = outcome
         self.stats.evaluated += len(to_run)
 
         # 5. Broadcast (or audit) within each class group.
         for group in groups.values():
             rep = group.indices[0]
             rest = group.indices[1:]
+            rep_result = results[rep]
             if self.prune:
                 for i in rest:
-                    results[i] = results[rep]
+                    results[i] = rep_result
+                    if is_failure(rep_result):
+                        # The members share the representative's physics,
+                        # so its failure stands in for them -- but nothing
+                        # is cached, so a later run retries all of them.
+                        continue
                     # Store under the member's own key so later direct
                     # lookups (and other processes via the disk tier) hit.
-                    self.cache.put(keys[i], results[rep], requests[i].canonical())
+                    self.cache.put(keys[i], rep_result, requests[i].canonical())
+                    self._journal_record(keys[i])
                     self.stats.pruned += 1
             elif rest:
-                self._audit(requests, results, group.indices)
-                self.stats.audited += len(rest)
+                if not any(is_failure(results[i]) for i in group.indices):
+                    self._audit(requests, results, group.indices)
+                    self.stats.audited += len(rest)
 
         # 6. Fill remaining duplicates of now-resolved keys.
         for key, idxs in by_key.items():
@@ -214,6 +321,7 @@ class SweepEngine:
                 results[i] = done
         self.stats.memory_hits += self.cache.memory_hits - hits_before[0]
         self.stats.disk_hits += self.cache.disk_hits - hits_before[1]
+        self.stats.cache_quarantined += self.cache.quarantined - quarantined_before
         self.stats.wall_clock += time.perf_counter() - t0
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
@@ -230,7 +338,19 @@ class SweepEngine:
             fh.write("\n")
         return doc
 
+    def failure_summary(self) -> str:
+        """Human-readable digest of every quarantined task (or '')."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} task(s) quarantined:"]
+        lines += [f"  - {f.summary()}" for f in self.failures]
+        return "\n".join(lines)
+
     # -- internals ---------------------------------------------------------
+
+    def _journal_record(self, key: str) -> None:
+        if self.journal is not None:
+            self.journal.record(key)
 
     def _prune_key(self, request: EvalRequest) -> tuple:
         """Group key: everything but the order, plus the placement's
@@ -297,28 +417,24 @@ class SweepEngine:
                         f"({a!r} vs {b!r}, rtol={AUDIT_RTOL})"
                     )
 
-    def _run(self, requests: list[EvalRequest]) -> list[dict]:
-        """Evaluate distinct requests, in order, possibly in parallel."""
+    def _run(self, requests, on_complete) -> list[dict | EvalFailure]:
+        """Evaluate distinct requests under the task supervisor."""
         if not requests:
             return []
-        if self.jobs == 1 or len(requests) == 1:
-            return [_evaluators.evaluate_request(r) for r in requests]
-        import multiprocessing as mp
-
-        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        ctx = mp.get_context(method)
-        chunksize = max(1, len(requests) // (4 * self.jobs))
-        with ctx.Pool(
-            processes=min(self.jobs, len(requests)),
-            initializer=_worker_init,
-        ) as pool:
-            # Pool.map preserves input order -> deterministic results.
-            return pool.map(_evaluators.evaluate_request, requests, chunksize)
-
-
-def _worker_init() -> None:
-    """Make sure spawn-mode workers have every evaluator registered."""
-    import repro.engine.evaluators  # noqa: F401
+        supervisor = TaskSupervisor(jobs=self.jobs, policy=self.retry_policy)
+        try:
+            return supervisor.run(requests, on_complete=on_complete)
+        finally:
+            s = supervisor.stats
+            self.stats.retries += s.retries
+            self.stats.crashes += s.crashes
+            self.stats.timeouts += s.timeouts
+            self.stats.worker_exceptions += s.exceptions
+            self.stats.quarantined += s.quarantined
+            self.stats.workers_respawned += s.workers_respawned
+            self.stats.degraded_serial = (
+                self.stats.degraded_serial or s.degraded_serial
+            )
 
 
 def _close(a: float, b: float) -> bool:

@@ -1,0 +1,115 @@
+"""Crash-safe sweep manifest: an append-only JSONL journal of completions.
+
+The journal lives next to the on-disk result cache (one
+``sweep-journal.jsonl`` per cache directory) and records one line per
+*completed* content-address key, flushed and fsynced as soon as the
+result is durably cached.  An interrupted sweep therefore leaves a
+prefix of valid lines plus, at worst, one torn trailing line -- which
+replay tolerates and ignores -- so ``repro-mrd sweep --resume`` can
+trust the journal to say exactly which keys finished.
+
+The journal is deliberately *advisory on top of the content-addressed
+cache*: results are recalled by key from the cache (which validates
+checksums), never from the journal, so a lost or stale journal can only
+cause re-evaluation, never wrong results.  A journaled key whose cache
+record has gone missing or corrupt is surfaced to the engine as an
+integrity incident and re-evaluated.
+
+Lines carry the cache schema; replay skips lines from other schema
+versions (their keys could never match current requests anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+from repro.engine.keys import CACHE_SCHEMA
+
+#: File name used for a cache directory's journal.
+JOURNAL_NAME = "sweep-journal.jsonl"
+
+
+class SweepJournal:
+    """Append-only JSONL manifest of completed content-address keys."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self._seen: set[str] = set()
+        self._torn_tail = False  # file ends mid-line (no trailing newline)
+        self.corrupt_lines = 0
+        self.replayed = self._replay()
+
+    # -- replay ------------------------------------------------------------
+
+    def _replay(self) -> int:
+        """Load completed keys from an existing journal, tolerating a torn
+        tail (the line a killed writer never finished)."""
+        try:
+            with open(self.path) as fh:
+                text = fh.read()
+        except OSError:
+            return 0
+        self._torn_tail = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+                key = doc["key"]
+                schema = doc["schema"]
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1  # torn or scribbled line: skip
+                continue
+            if schema == CACHE_SCHEMA and isinstance(key, str):
+                self._seen.add(key)
+        return len(self._seen)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def completed(self) -> frozenset[str]:
+        """Keys journaled as completed (current schema only)."""
+        return frozenset(self._seen)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    # -- append ------------------------------------------------------------
+
+    def record(self, key: str) -> None:
+        """Durably append one completed key (idempotent per journal)."""
+        if key in self._seen:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+            if self._torn_tail:
+                # Terminate the line a killed writer never finished so the
+                # new record does not concatenate onto it.
+                self._fh.write("\n")
+                self._torn_tail = False
+        self._fh.write(
+            json.dumps({"key": key, "schema": CACHE_SCHEMA}, sort_keys=True)
+            + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._seen.add(key)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self):  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -38,7 +38,11 @@ from repro.topology.machine import MachineTopology
 #:           result keys (``duration_single``, optional ``duration_all``)
 #:           and added the ``logp`` model, so pre-IR cached documents are
 #:           missing keys the new consumers read.
-CACHE_SCHEMA = 2
+#:   2 -> 3: on-disk cache records gained mandatory integrity fields
+#:           (``schema`` + ``checksum`` of the result payload); pre-3
+#:           records would be quarantined as corrupt, so retire their
+#:           keys instead.
+CACHE_SCHEMA = 3
 
 
 def _package_version() -> str:

@@ -1,0 +1,518 @@
+"""Supervised task execution: the engine's crash-proof worker pool.
+
+Replaces the fire-and-forget ``multiprocessing.Pool.map`` the engine
+used to fan out with: that model loses *every* completed result in a
+batch when one worker raises, hangs forever on a SIGKILLed worker, and
+cannot retry anything.  :class:`TaskSupervisor` runs a libEnsemble-style
+manager/worker loop instead:
+
+- **per-task dispatch** over a dedicated pipe per worker, so the
+  supervisor always knows which task a worker holds;
+- **crash detection** -- a worker that dies (SIGKILL, segfault, OOM
+  kill) fails only its current task; the supervisor respawns the worker
+  and the task re-enters the queue;
+- **hang detection** -- a task that exceeds ``policy.timeout`` wall
+  seconds gets its worker killed and is treated as a failed attempt;
+- **retry with exponential backoff** via the shared
+  :class:`repro.util.retry.RetryPolicy`; a task is not redispatched
+  before its backoff expires, but other tasks keep flowing;
+- **quarantine** -- a task that fails ``max_attempts`` times yields a
+  structured :class:`EvalFailure` (cause, attempt history, traceback
+  digest) instead of an exception that aborts the sweep;
+- **graceful degradation** -- if workers cannot be (re)spawned at all,
+  the remaining tasks run serially in-process (no timeouts, but retries
+  and quarantine still apply).
+
+Completion order is nondeterministic; *results* are not: they are
+reported and returned by task index, and every evaluator is seeded from
+its request's content key, so a supervised run is bitwise identical to a
+serial one no matter which workers died along the way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Sequence
+
+from repro.engine import chaos
+from repro.engine.keys import EvalRequest
+from repro.util.retry import RetryPolicy
+
+#: Result-dict marker distinguishing quarantined failures from results.
+FAILURE_MARKER = "engine_failure"
+
+#: How long the dispatch loop waits on worker pipes before re-checking
+#: liveness and deadlines (seconds).
+_POLL_S = 0.02
+
+
+def is_failure(result: dict | None) -> bool:
+    """True when ``result`` is a quarantined :class:`EvalFailure` record."""
+    return bool(result) and FAILURE_MARKER in result  # type: ignore[operator]
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One failed (or final successful) try of a supervised task."""
+
+    attempt: int  # 0-based
+    cause: str  # "exception" | "crash" | "timeout"
+    detail: str  # exception repr / exit code / deadline
+    traceback_digest: str  # sha256[:16] of the worker traceback ("" if none)
+    elapsed: float  # wall seconds the attempt ran
+    backoff: float  # pause charged before the next attempt
+
+
+@dataclass(frozen=True)
+class EvalFailure:
+    """A task that exhausted its attempt budget, with full history."""
+
+    key: str
+    model: str
+    cause: str  # the final attempt's cause
+    attempts: tuple[TaskAttempt, ...]
+
+    def to_result(self) -> dict:
+        """The structured record stored in the task's result slot.
+
+        Marked by :data:`FAILURE_MARKER` so consumers can filter; never
+        written to the cache or the journal, so the key is re-evaluated
+        by the next run.
+        """
+        last = self.attempts[-1]
+        return {
+            FAILURE_MARKER: 1.0,
+            "failure_key": self.key,
+            "failure_model": self.model,
+            "failure_cause": self.cause,
+            "failure_detail": last.detail,
+            "failure_traceback_digest": last.traceback_digest,
+            "failure_attempts": float(len(self.attempts)),
+            "failure_history": [
+                {
+                    "attempt": a.attempt,
+                    "cause": a.cause,
+                    "detail": a.detail,
+                    "traceback_digest": a.traceback_digest,
+                    "elapsed_s": a.elapsed,
+                    "backoff_s": a.backoff,
+                }
+                for a in self.attempts
+            ],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.model} task {self.key[:12]} quarantined after "
+            f"{len(self.attempts)} attempt(s): {self.cause} ({self.attempts[-1].detail})"
+        )
+
+
+@dataclass
+class SupervisorStats:
+    """Counters one :meth:`TaskSupervisor.run` call accumulates."""
+
+    dispatched: int = 0  # task attempts sent to workers (or run inline)
+    retries: int = 0  # failed attempts that re-entered the queue
+    crashes: int = 0  # attempts lost to worker death
+    timeouts: int = 0  # attempts lost to the task deadline
+    exceptions: int = 0  # attempts lost to evaluator exceptions
+    quarantined: int = 0  # tasks that exhausted the attempt budget
+    workers_respawned: int = 0
+    degraded_serial: bool = False  # pool died; remainder ran in-process
+
+    def merge_into(self, doc: dict) -> None:
+        doc.update(
+            retries=self.retries,
+            crashes=self.crashes,
+            timeouts=self.timeouts,
+            worker_exceptions=self.exceptions,
+            quarantined=self.quarantined,
+            workers_respawned=self.workers_respawned,
+            degraded_serial=self.degraded_serial,
+        )
+
+
+def _traceback_digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (index, attempt, request), send back outcomes.
+
+    Messages out are ``(index, "ok", result)`` or ``(index, "error",
+    (detail, traceback_digest))``.  Importing the evaluator registry here
+    covers spawn-mode children; fork-mode children inherit it.
+    """
+    import repro.engine.evaluators as evaluators
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        if msg is None:
+            return
+        index, attempt, request = msg
+        try:
+            chaos.maybe_inject(request.key, attempt)
+            result = evaluators.evaluate_request(request)
+        except BaseException as err:  # noqa: BLE001 - anything must not kill the loop
+            payload = (repr(err), _traceback_digest(traceback.format_exc()))
+            try:
+                conn.send((index, "error", payload))
+            except (OSError, ValueError):
+                return
+        else:
+            try:
+                conn.send((index, "ok", result))
+            except (OSError, ValueError):
+                return
+
+
+class _Worker:
+    """A supervised child process plus its dispatch pipe and task state."""
+
+    __slots__ = ("proc", "conn", "task", "attempt", "deadline", "started")
+
+    def __init__(self, ctx):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        self.proc.start()
+        child_conn.close()  # parent keeps only its end
+        self.conn = parent_conn
+        self.task: int | None = None
+        self.attempt = 0
+        self.deadline: float | None = None
+        self.started = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def dispatch(self, index: int, attempt: int, request: EvalRequest,
+                 timeout: float | None) -> None:
+        self.conn.send((index, attempt, request))
+        self.task = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = self.started + timeout if timeout is not None else None
+
+    def finish(self) -> None:
+        self.task = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):
+            pass
+        self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Polite shutdown: sentinel, short join, then kill."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _TaskState:
+    request: EvalRequest
+    attempts: list[TaskAttempt] = field(default_factory=list)
+    not_before: float = 0.0  # monotonic time the next attempt may start
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+
+class TaskSupervisor:
+    """Run evaluation requests to completion under a retry policy.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 runs everything serially in-process (retries
+        and quarantine still apply, crash/hang supervision does not).
+    policy:
+        Shared :class:`~repro.util.retry.RetryPolicy`: attempt budget,
+        wall-clock backoff, and the per-task ``timeout`` deadline.
+    """
+
+    def __init__(self, jobs: int = 1, policy: RetryPolicy | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.policy = policy or RetryPolicy()
+        self.stats = SupervisorStats()
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[EvalRequest],
+        on_complete: Callable[[int, dict | EvalFailure], None] | None = None,
+    ) -> list[dict | EvalFailure]:
+        """Evaluate ``requests``; results align with the input order.
+
+        ``on_complete(index, outcome)`` fires from the supervising
+        process the moment each task finishes (success dict or
+        :class:`EvalFailure`) -- the engine uses it to cache and journal
+        incrementally, so completed work survives any later crash.
+        """
+        if not requests:
+            return []
+        if self.jobs == 1 or len(requests) == 1:
+            return self._run_serial(list(requests), on_complete, range(len(requests)))
+        return self._run_supervised(list(requests), on_complete)
+
+    # -- parallel path -----------------------------------------------------
+
+    def _run_supervised(
+        self,
+        requests: list[EvalRequest],
+        on_complete: Callable[[int, dict | EvalFailure], None] | None,
+    ) -> list[dict | EvalFailure]:
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+
+        results: dict[int, dict | EvalFailure] = {}
+        tasks = {i: _TaskState(r) for i, r in enumerate(requests)}
+        pending: list[int] = sorted(tasks)  # dispatch in index order
+        workers: list[_Worker] = []
+
+        def complete(index: int, outcome: dict | EvalFailure) -> None:
+            results[index] = outcome
+            if on_complete is not None:
+                on_complete(index, outcome)
+
+        def register_failure(index: int, cause: str, detail: str,
+                             digest: str, elapsed: float) -> None:
+            state = tasks[index]
+            attempt_no = state.n_attempts
+            if cause == "crash":
+                self.stats.crashes += 1
+            elif cause == "timeout":
+                self.stats.timeouts += 1
+            else:
+                self.stats.exceptions += 1
+            if attempt_no + 1 >= self.policy.max_attempts:
+                state.attempts.append(TaskAttempt(
+                    attempt_no, cause, detail, digest, elapsed, backoff=0.0))
+                failure = EvalFailure(
+                    key=state.request.key,
+                    model=state.request.model,
+                    cause=cause,
+                    attempts=tuple(state.attempts),
+                )
+                self.stats.quarantined += 1
+                complete(index, failure)
+            else:
+                backoff = self.policy.backoff(attempt_no)
+                state.attempts.append(TaskAttempt(
+                    attempt_no, cause, detail, digest, elapsed, backoff))
+                state.not_before = time.monotonic() + backoff
+                self.stats.retries += 1
+                pending.append(index)
+                pending.sort()  # keep deterministic-ish dispatch order
+
+        def spawn() -> _Worker | None:
+            try:
+                worker = _Worker(ctx)
+            except (OSError, RuntimeError, ValueError):
+                return None
+            return worker
+
+        try:
+            for _ in range(min(self.jobs, len(requests))):
+                worker = spawn()
+                if worker is None:
+                    break
+                workers.append(worker)
+            if not workers:
+                # Could not start a single worker: the pool is gone before
+                # it existed.  Run everything in-process instead.
+                self.stats.degraded_serial = True
+                remaining = [i for i in pending if i not in results]
+                self._run_serial(requests, on_complete, remaining,
+                                 results=results, tasks=tasks)
+                return [results[i] for i in range(len(requests))]
+
+            while len(results) < len(requests):
+                now = time.monotonic()
+                # 1. Feed idle workers every ready task.
+                ready = [i for i in pending if tasks[i].not_before <= now]
+                for worker in workers:
+                    if not ready:
+                        break
+                    if worker.idle:
+                        index = ready.pop(0)
+                        pending.remove(index)
+                        worker.dispatch(
+                            index, tasks[index].n_attempts,
+                            tasks[index].request, self.policy.timeout,
+                        )
+                        self.stats.dispatched += 1
+
+                busy = [w for w in workers if not w.idle]
+                if not busy:
+                    if pending:
+                        # Everything is backing off; sleep to the earliest.
+                        wake = min(tasks[i].not_before for i in pending)
+                        time.sleep(max(0.0, min(wake - now, 1.0)) or 1e-4)
+                        continue
+                    break  # nothing pending, nothing busy: done
+
+                # 2. Wait for any outcome (bounded so liveness checks run).
+                timeout = _POLL_S
+                deadlines = [w.deadline for w in busy if w.deadline is not None]
+                if deadlines:
+                    timeout = min(timeout, max(1e-4, min(deadlines) - now))
+                for conn in _conn_wait([w.conn for w in busy], timeout=timeout):
+                    worker = next(w for w in busy if w.conn is conn)
+                    try:
+                        index, status, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        continue  # died mid-send: the liveness check handles it
+                    if worker.task != index:
+                        continue  # stale reply from a task we already failed
+                    elapsed = time.monotonic() - worker.started
+                    worker.finish()
+                    if status == "ok":
+                        complete(index, payload)
+                    else:
+                        detail, digest = payload
+                        register_failure(index, "exception", detail, digest, elapsed)
+
+                # 3. Liveness and deadline supervision.
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.idle:
+                        continue
+                    crashed = not worker.proc.is_alive()
+                    timed_out = worker.deadline is not None and now > worker.deadline
+                    if not crashed and not timed_out:
+                        continue
+                    index = worker.task
+                    elapsed = now - worker.started
+                    worker.finish()
+                    worker.kill()
+                    workers.remove(worker)
+                    if crashed:
+                        register_failure(
+                            index, "crash",
+                            f"worker died (exit code {worker.proc.exitcode})",
+                            "", elapsed,
+                        )
+                    else:
+                        register_failure(
+                            index, "timeout",
+                            f"task exceeded {self.policy.timeout}s deadline",
+                            "", elapsed,
+                        )
+                    replacement = spawn()
+                    if replacement is not None:
+                        workers.append(replacement)
+                        self.stats.workers_respawned += 1
+
+                if not workers and len(results) < len(requests):
+                    # The pool died and could not be respawned: degrade to
+                    # serial in-process execution for whatever remains.
+                    self.stats.degraded_serial = True
+                    remaining = [i for i in pending if i not in results]
+                    pending.clear()
+                    self._run_serial(requests, on_complete, remaining,
+                                     results=results, tasks=tasks)
+        finally:
+            for worker in workers:
+                worker.stop()
+        return [results[i] for i in range(len(requests))]
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial(
+        self,
+        requests: list[EvalRequest],
+        on_complete: Callable[[int, dict | EvalFailure], None] | None,
+        indices,
+        results: dict[int, dict | EvalFailure] | None = None,
+        tasks: dict[int, _TaskState] | None = None,
+    ) -> list[dict | EvalFailure]:
+        """In-process execution with retries and quarantine (no deadlines)."""
+        import repro.engine.evaluators as evaluators
+
+        out = results if results is not None else {}
+        for index in indices:
+            state = tasks[index] if tasks is not None else _TaskState(requests[index])
+            while True:
+                attempt_no = state.n_attempts
+                t0 = time.monotonic()
+                try:
+                    self.stats.dispatched += 1
+                    chaos.maybe_inject(state.request.key, attempt_no, serial=True)
+                    result = evaluators.evaluate_request(state.request)
+                except Exception as err:
+                    elapsed = time.monotonic() - t0
+                    digest = _traceback_digest(traceback.format_exc())
+                    self.stats.exceptions += 1
+                    if attempt_no + 1 >= self.policy.max_attempts:
+                        state.attempts.append(TaskAttempt(
+                            attempt_no, "exception", repr(err), digest,
+                            elapsed, backoff=0.0))
+                        failure = EvalFailure(
+                            key=state.request.key,
+                            model=state.request.model,
+                            cause="exception",
+                            attempts=tuple(state.attempts),
+                        )
+                        self.stats.quarantined += 1
+                        out[index] = failure
+                        if on_complete is not None:
+                            on_complete(index, failure)
+                        break
+                    backoff = self.policy.backoff(attempt_no)
+                    state.attempts.append(TaskAttempt(
+                        attempt_no, "exception", repr(err), digest,
+                        elapsed, backoff))
+                    self.stats.retries += 1
+                    if backoff > 0:
+                        time.sleep(backoff)
+                else:
+                    out[index] = result
+                    if on_complete is not None:
+                        on_complete(index, result)
+                    break
+        if results is not None:
+            return []
+        return [out[i] for i in sorted(out)]
+
+
+def evaluate_supervised(
+    requests: Sequence[EvalRequest],
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    on_complete: Callable[[int, dict | EvalFailure], None] | None = None,
+) -> tuple[list[Any], SupervisorStats]:
+    """One-shot convenience wrapper: run, return (results, stats)."""
+    sup = TaskSupervisor(jobs=jobs, policy=policy)
+    return sup.run(requests, on_complete=on_complete), sup.stats

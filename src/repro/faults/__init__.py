@@ -21,13 +21,15 @@ from repro.faults.model import (
     FaultSpec,
 )
 from repro.faults.retry import (
-    AttemptRecord,
     RetryExhaustedError,
-    RetryPolicy,
     RetryResult,
     run_with_retry,
 )
 from repro.faults.topology import DegradedTopology
+
+# RetryPolicy/AttemptRecord live in repro.util.retry now (shared with the
+# sweep engine's supervisor); re-exported here for compatibility.
+from repro.util.retry import AttemptRecord, RetryPolicy
 
 __all__ = [
     "EMPTY_SCHEDULE",

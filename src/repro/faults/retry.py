@@ -12,6 +12,7 @@ survivors, and try again -- up to a bounded attempt budget.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -22,53 +23,41 @@ from repro.simmpi.communicator import Comm
 from repro.simmpi.errors import RankFailedError, SimTimeout
 from repro.simmpi.runtime import RankProgram, Simulator
 from repro.topology.machine import MachineTopology
+from repro.util.retry import AttemptRecord as _AttemptRecord
+from repro.util.retry import RetryPolicy as _RetryPolicy
 
 #: Builds the per-rank generators for one attempt.  Receives the world
 #: communicator handles of the current (possibly shrunk) world.
 ProgramFactory = Callable[[Sequence[Comm]], Mapping[int, RankProgram]]
 
+#: ``RetryPolicy`` and ``AttemptRecord`` moved to :mod:`repro.util.retry`
+#: so the sweep engine can share them without importing the simulated
+#: fault subsystem.  Accessing them through this module still works but
+#: warns; import from ``repro.util.retry`` (or ``repro.faults``) instead.
+_MOVED_TO_UTIL = {"RetryPolicy": _RetryPolicy, "AttemptRecord": _AttemptRecord}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_UTIL:
+        warnings.warn(
+            f"repro.faults.retry.{name} has moved to repro.util.retry; "
+            "this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_UTIL[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 class RetryExhaustedError(RuntimeError):
     """Every attempt of the retry budget failed."""
 
-    def __init__(self, attempts: "list[AttemptRecord]"):
+    def __init__(self, attempts: "list[_AttemptRecord]"):
         self.attempts = attempts
         last = attempts[-1].error if attempts else None
         super().__init__(
             f"all {len(attempts)} attempt(s) failed; last error: {last!r}"
         )
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff for :func:`run_with_retry`."""
-
-    max_attempts: int = 3
-    base_backoff: float = 1e-3  # seconds added to the fault clock, attempt 1
-    backoff_factor: float = 2.0
-    timeout: float | None = None  # per-op Simulator timeout
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        if self.base_backoff < 0 or self.backoff_factor < 1:
-            raise ValueError("backoff must be non-negative and non-shrinking")
-
-    def backoff(self, attempt: int) -> float:
-        """Backoff after the ``attempt``-th failure (0-based)."""
-        return self.base_backoff * self.backoff_factor**attempt
-
-
-@dataclass(frozen=True)
-class AttemptRecord:
-    """What happened in one attempt of the retry loop."""
-
-    attempt: int
-    n_ranks: int
-    sim_time: float  # virtual seconds the attempt ran
-    failed_ranks: frozenset[int]  # world ranks dead after the attempt
-    error: BaseException | None  # None on success
-    backoff: float  # wall-clock penalty charged before the next attempt
 
 
 @dataclass
@@ -78,7 +67,7 @@ class RetryResult:
     results: dict[int, Any]  # per-rank return values of the last attempt
     mapping: ProcessMapping  # placement the last attempt ran with
     comms: list[Comm]  # world handles of the last attempt
-    attempts: list[AttemptRecord] = field(default_factory=list)
+    attempts: list[_AttemptRecord] = field(default_factory=list)
 
     @property
     def n_attempts(self) -> int:
@@ -99,7 +88,7 @@ def run_with_retry(
     program_factory: ProgramFactory,
     schedule: FaultSchedule | None = None,
     n_ranks: int | None = None,
-    policy: RetryPolicy = RetryPolicy(),
+    policy: _RetryPolicy = _RetryPolicy(),
 ) -> RetryResult:
     """Run rank programs under faults, shrinking and retrying on failure.
 
@@ -118,7 +107,7 @@ def run_with_retry(
         n_ranks = topology.n_cores
     dead_cores: set[int] = set()
     n_current = n_ranks
-    attempts: list[AttemptRecord] = []
+    attempts: list[_AttemptRecord] = []
 
     for attempt in range(policy.max_attempts):
         degraded = DegradedTopology(topology, schedule, time=0.0)
@@ -146,7 +135,7 @@ def run_with_retry(
             failed = sim.failed_ranks
             backoff = policy.backoff(attempt)
             attempts.append(
-                AttemptRecord(
+                _AttemptRecord(
                     attempt=attempt,
                     n_ranks=n_current,
                     sim_time=sim.now,
@@ -161,7 +150,7 @@ def run_with_retry(
             schedule = schedule.shifted(sim.now + backoff)
             continue
         attempts.append(
-            AttemptRecord(
+            _AttemptRecord(
                 attempt=attempt,
                 n_ranks=n_current,
                 sim_time=sim.now,

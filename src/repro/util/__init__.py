@@ -1,0 +1,17 @@
+"""Small shared utilities with no simulation dependencies.
+
+Home of machinery that multiple subsystems need but that belongs to none
+of them.  :mod:`repro.util.retry` holds the bounded-exponential-backoff
+:class:`RetryPolicy` (and the :class:`AttemptRecord` bookkeeping type)
+shared by the simulated-fault recovery loop (:mod:`repro.faults.retry`)
+and the sweep engine's task supervisor
+(:mod:`repro.engine.supervisor`) -- the engine must not import the
+simulated-fault subsystem just to describe its own resilience.
+"""
+
+from repro.util.retry import AttemptRecord, RetryPolicy
+
+__all__ = [
+    "AttemptRecord",
+    "RetryPolicy",
+]

@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.engine import ResultCache
+from repro.engine import CACHE_SCHEMA, ResultCache
+from repro.engine.cache import QUARANTINE_DIR, result_checksum
 
 
 KEY = "ab" + "0" * 62  # fan-out dir "ab"
@@ -85,6 +86,75 @@ class TestDiskTier:
         c = ResultCache()
         c.put(KEY, {"v": 1.0})
         assert list(tmp_path.iterdir()) == []
+
+
+class TestIntegrity:
+    """Schema-3 hardening: checksums, quarantine, tmp-file GC."""
+
+    def _store(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        c.put(KEY, {"duration": 2.5})
+        return tmp_path / KEY[:2] / f"{KEY}.json"
+
+    def test_record_carries_schema_and_checksum(self, tmp_path):
+        doc = json.loads(self._store(tmp_path).read_text())
+        assert doc["schema"] == CACHE_SCHEMA
+        assert doc["checksum"] == result_checksum({"duration": 2.5})
+
+    def test_truncated_record_quarantined_not_served(self, tmp_path):
+        path = self._store(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.get(KEY) is None
+        assert c.quarantined == 1
+        assert not path.exists()  # moved out of the lookup path
+        assert (tmp_path / QUARANTINE_DIR / path.name).exists()
+
+    def test_bit_rot_fails_the_checksum(self, tmp_path):
+        path = self._store(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["result"]["duration"] = 99.0  # silent payload mutation
+        path.write_text(json.dumps(doc))
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.get(KEY) is None
+        assert c.quarantined == 1
+
+    def test_wrong_key_or_schema_quarantined(self, tmp_path):
+        path = self._store(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["schema"] = CACHE_SCHEMA - 1
+        path.write_text(json.dumps(doc))
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.get(KEY) is None
+        assert c.stats()["quarantined"] == 1
+
+    def test_quarantined_key_reevaluates_and_restores(self, tmp_path):
+        path = self._store(tmp_path)
+        path.write_text("{torn")
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.get(KEY) is None
+        c.put(KEY, {"duration": 2.5})  # the re-evaluation
+        assert ResultCache(cache_dir=tmp_path).get(KEY) == {"duration": 2.5}
+
+    def test_gc_removes_stranded_tmp_files(self, tmp_path):
+        self._store(tmp_path)
+        stranded = tmp_path / KEY[:2] / "tmpdead01.tmp"
+        stranded.write_text('{"key": "half a rec')
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.gc_tmp_files() == 1
+        assert not stranded.exists()
+        assert c.get(KEY) is not None  # real records untouched
+
+    def test_gc_age_cutoff_spares_young_files(self, tmp_path):
+        self._store(tmp_path)
+        young = tmp_path / KEY[:2] / "tmplive01.tmp"
+        young.write_text("in flight")
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.gc_tmp_files(max_age_s=3600.0) == 0
+        assert young.exists()
+
+    def test_gc_without_cache_dir_is_noop(self):
+        assert ResultCache().gc_tmp_files() == 0
 
 
 class TestStats:

@@ -11,6 +11,7 @@ from repro.engine import (
     EngineAuditError,
     EvalRequest,
     SweepEngine,
+    is_failure,
     register_evaluator,
 )
 from repro.engine.evaluators import EVALUATORS
@@ -200,6 +201,105 @@ class TestBenchJson:
         assert on_disk["requests"] == 2
         assert on_disk["evaluated"] == 1
         assert on_disk["pruned_evaluations_saved"] == 1
+
+
+class TestRobustness:
+    """Quarantine, crash-safe journaling, and resume at the engine level."""
+
+    def _boom_on(self, total):
+        def eval_or_boom(req: EvalRequest) -> dict:
+            if req.total_bytes == total:
+                raise RuntimeError("permanently broken cell")
+            return _order_blind_eval(req)
+
+        return eval_or_boom
+
+    def test_bad_task_salvages_rest_of_batch(self, monkeypatch):
+        monkeypatch.setitem(EVALUATORS, "round", self._boom_on(2e6))
+        eng = SweepEngine(max_attempts=2, retry_backoff=0.0)
+        reqs = [_round_req(total=t) for t in (1e6, 2e6, 3e6)]
+        out = eng.evaluate_many(reqs)
+        assert out[0] == {"value": 1e6} and out[2] == {"value": 3e6}
+        assert is_failure(out[1])
+        assert out[1]["failure_cause"] == "exception"
+        assert len(eng.failures) == 1
+        assert eng.stats.quarantined == 1
+        assert eng.stats.worker_exceptions == 2  # both attempts
+        assert "quarantined" in eng.failure_summary()
+
+    def test_failures_never_cached_so_fix_reruns_them(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(EVALUATORS, "round", self._boom_on(2e6))
+        eng = SweepEngine(cache_dir=tmp_path, max_attempts=1)
+        reqs = [_round_req(total=t) for t in (1e6, 2e6)]
+        eng.evaluate_many(reqs)
+        # The evaluator is "fixed"; a resumed engine retries only the
+        # failed key and serves the journaled one from cache.
+        monkeypatch.setitem(EVALUATORS, "round", _order_blind_eval)
+        eng2 = SweepEngine(cache_dir=tmp_path)
+        out = eng2.evaluate_many(reqs)
+        assert out == [{"value": 1e6}, {"value": 2e6}]
+        assert eng2.stats.evaluated == 1
+        assert eng2.stats.journal_replayed == 1
+        assert not eng2.failures
+
+    def test_class_members_share_representative_failure(self, monkeypatch):
+        def always_boom(req: EvalRequest) -> dict:
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(EVALUATORS, "round", always_boom)
+        eng = SweepEngine(max_attempts=1)
+        a, b = eng.evaluate_many([_round_req(o) for o in EQUIV_ORDERS])
+        assert is_failure(a) and b is a  # broadcast, not re-evaluated
+        assert eng.stats.pruned == 0  # a failure saves nothing
+        assert len(eng.failures) == 1
+
+    def test_interrupted_sweep_resumes_incrementally(self, fake_round, tmp_path):
+        reqs = [_round_req(total=float(t)) for t in (1e6, 2e6, 3e6, 4e6)]
+        interrupted = SweepEngine(cache_dir=tmp_path)
+        interrupted.evaluate_many(reqs[:2])  # then the process "dies"
+        resumed = SweepEngine(cache_dir=tmp_path)
+        out = resumed.evaluate_many(reqs)
+        assert out == [{"value": float(t)} for t in (1e6, 2e6, 3e6, 4e6)]
+        assert resumed.stats.journal_replayed == 2
+        assert resumed.stats.evaluated == 2  # only the incomplete keys
+
+    def test_journaled_but_lost_record_reevaluates(self, fake_round, tmp_path):
+        req = _round_req()
+        first = SweepEngine(cache_dir=tmp_path)
+        first.evaluate(req)
+        # The cache record rots; the journal still promises the key.
+        record = tmp_path / req.key[:2] / f"{req.key}.json"
+        record.write_text(record.read_text()[:30])
+        again = SweepEngine(cache_dir=tmp_path)
+        assert again.evaluate(req) == {"value": 1e6}
+        assert again.stats.cache_quarantined == 1
+        assert again.stats.journal_missing == 1
+        assert again.stats.evaluated == 1
+
+    def test_startup_gc_counts_stale_tmp_files(self, fake_round, tmp_path):
+        (tmp_path / "ab").mkdir()
+        (tmp_path / "ab" / "tmpstranded.tmp").write_text("half a record")
+        eng = SweepEngine(cache_dir=tmp_path)
+        assert eng.stats.tmp_files_removed == 1
+
+    def test_bench_json_reports_robustness_counters(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(EVALUATORS, "round", self._boom_on(1e6))
+        eng = SweepEngine(max_attempts=1)
+        eng.evaluate(_round_req())
+        doc = eng.write_bench_json(tmp_path / "BENCH_sweep.json")
+        assert doc["quarantined"] == 1
+        for field in (
+            "retries",
+            "crashes",
+            "timeouts",
+            "worker_exceptions",
+            "degraded_serial",
+            "cache_quarantined",
+            "journal_replayed",
+            "journal_missing",
+            "tmp_files_removed",
+        ):
+            assert field in doc
 
 
 class TestRegistry:

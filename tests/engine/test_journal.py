@@ -1,0 +1,83 @@
+"""SweepJournal: durable replay, torn-tail tolerance, schema filtering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import SweepJournal
+from repro.engine.keys import CACHE_SCHEMA
+
+
+K1 = "a" * 64
+K2 = "b" * 64
+K3 = "c" * 64
+
+
+class TestRoundTrip:
+    def test_record_then_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        assert j.replayed == 0 and len(j) == 0
+        j.record(K1)
+        j.record(K2)
+        j.close()
+        j2 = SweepJournal(path)
+        assert j2.replayed == 2
+        assert j2.completed == {K1, K2}
+        assert K1 in j2 and K3 not in j2
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record(K1)
+        j.record(K1)
+        j.close()
+        assert len(path.read_text().splitlines()) == 1
+        assert SweepJournal(path).replayed == 1
+
+    def test_resume_appends_not_rewrites(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record(K1)
+        j.close()
+        j2 = SweepJournal(path)
+        j2.record(K2)
+        j2.record(K1)  # already journaled: no duplicate line
+        j2.close()
+        assert len(path.read_text().splitlines()) == 2
+        assert SweepJournal(path).completed == {K1, K2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        j = SweepJournal(tmp_path / "nope.jsonl")
+        assert j.replayed == 0 and j.corrupt_lines == 0
+
+
+class TestCorruption:
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record(K1)
+        j.record(K2)
+        j.close()
+        # A writer killed mid-append leaves a torn final line.
+        with open(path, "a") as fh:
+            fh.write('{"key": "dddddd')
+        j2 = SweepJournal(path)
+        assert j2.completed == {K1, K2}
+        assert j2.corrupt_lines == 1
+        # Recording after a torn tail still round-trips.
+        j2.record(K3)
+        j2.close()
+        assert K3 in SweepJournal(path).completed
+
+    def test_other_schema_lines_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        lines = [
+            {"key": K1, "schema": CACHE_SCHEMA},
+            {"key": K2, "schema": CACHE_SCHEMA - 1},  # stale layout
+            {"schema": CACHE_SCHEMA},  # no key
+        ]
+        path.write_text("\n".join(json.dumps(d) for d in lines) + "\n")
+        j = SweepJournal(path)
+        assert j.completed == {K1}
+        assert j.corrupt_lines == 1  # only the key-less line is corrupt

@@ -1,0 +1,57 @@
+"""Shared RetryPolicy/AttemptRecord: behavior and relocation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import AttemptRecord, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 3
+        assert p.timeout is None
+
+    def test_backoff_grows_geometrically(self):
+        p = RetryPolicy(base_backoff=0.5, backoff_factor=3.0)
+        assert p.backoff(0) == 0.5
+        assert p.backoff(1) == 1.5
+        assert p.backoff(2) == 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().max_attempts = 5  # type: ignore[misc]
+
+
+class TestRelocationShims:
+    """The classes moved from repro.faults.retry to repro.util.retry."""
+
+    def test_faults_package_still_exports_them(self):
+        from repro import faults
+
+        assert faults.RetryPolicy is RetryPolicy
+        assert faults.AttemptRecord is AttemptRecord
+
+    def test_old_module_path_warns_but_works(self):
+        import repro.faults.retry as old
+
+        with pytest.warns(DeprecationWarning, match="repro.util.retry"):
+            shimmed = old.RetryPolicy
+        assert shimmed is RetryPolicy
+        with pytest.warns(DeprecationWarning):
+            assert old.AttemptRecord is AttemptRecord
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.faults.retry as old
+
+        with pytest.raises(AttributeError):
+            old.DoesNotExist
