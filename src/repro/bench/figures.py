@@ -100,7 +100,7 @@ def fig2_enumerations(comm_size: int = 4) -> list[Fig2Enumeration]:
 
 def _sweep_figure(
     topology, hierarchy, orders, comm_size, collective, sizes, algorithm=None,
-    engine=None, backend="round",
+    engine=None, backend="round", batch=False,
 ) -> list[MicrobenchSeries]:
     """Evaluate one figure's (order x size) grid.
 
@@ -111,7 +111,9 @@ def _sweep_figure(
     identical series.  ``backend`` names the execution backend for every
     grid point (``round`` reproduces the paper figures bit-identically;
     ``logp`` trades absolute fidelity for speed; ``des`` replays every
-    point on the flow-level simulator).
+    point on the flow-level simulator).  ``batch`` routes the grid
+    through the engine's vectorized evaluators (bitwise identical; a
+    private serial engine is created when none was passed).
     """
     from repro.collectives.selector import select_algorithm
     from repro.ir import backend_names
@@ -120,6 +122,10 @@ def _sweep_figure(
         raise ValueError(
             f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
         )
+    if engine is None and batch:
+        from repro.engine import SweepEngine
+
+        engine = SweepEngine()
     if engine is None:
         fabric = Fabric(topology) if backend == "round" else None
         return [
@@ -137,7 +143,8 @@ def _sweep_figure(
     sizes = list(sizes)
     grid = [(order, s) for order in orders for s in sizes]
     extras = (("des_all", True),) if backend == "des" else ()
-    results = engine.evaluate_many(
+    evaluate = engine.evaluate_batch if batch else engine.evaluate_many
+    results = evaluate(
         [
             EvalRequest(
                 model=backend,
@@ -175,12 +182,13 @@ def _sweep_figure(
 
 
 def fig3_data(
-    sizes: Sequence[float] | None = None, engine=None, backend: str = "round"
+    sizes: Sequence[float] | None = None, engine=None, backend: str = "round",
+    batch: bool = False,
 ) -> list[MicrobenchSeries]:
     """Figure 3: Alltoall, 16 Hydra nodes, 512 ranks, 16 per communicator."""
     return _sweep_figure(
         hydra(16), HYDRA16, FIG3_ORDERS, 16, "alltoall",
-        sizes or paper_sizes(n=9), engine=engine, backend=backend,
+        sizes or paper_sizes(n=9), engine=engine, backend=backend, batch=batch,
     )
 
 

@@ -24,6 +24,7 @@ divided by the average duration of one collective call.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -94,6 +95,24 @@ def collective_schedule(
     return placed_rounds(rounds, cores)
 
 
+@lru_cache(maxsize=512)
+def comm_members(
+    hierarchy: Hierarchy, order: tuple[int, ...], comm_size: int
+) -> np.ndarray:
+    """Memoized ``(n_comms, comm_size)`` member table for one reordering.
+
+    The communicator structure depends only on (hierarchy, order,
+    comm_size) -- not on the payload size -- yet a size sweep used to
+    re-derive it per point.  One cached read-only table serves every
+    payload size (and every scenario) of the sweep; the returned array is
+    write-protected so cached rows can be handed to backends directly.
+    """
+    reordering = RankReordering(hierarchy, tuple(order), comm_size)
+    members = reordering.all_comm_members()  # canonical ranks == core IDs
+    members.setflags(write=False)
+    return members
+
+
 def run_microbench(
     topology: MachineTopology,
     hierarchy: Hierarchy,
@@ -122,8 +141,7 @@ def run_microbench(
     from repro.ir import collective_program, get_backend
 
     hierarchy.check_process_count(topology.n_cores)
-    reordering = RankReordering(hierarchy, tuple(order), comm_size)
-    members = reordering.all_comm_members()  # canonical ranks == core IDs
+    members = comm_members(hierarchy, tuple(order), comm_size)
 
     program = collective_program(collective, comm_size, total_bytes, algorithm)
     engine = get_backend(backend)

@@ -59,6 +59,7 @@ def sweep(
     cache_dir=None,
     prune: bool = True,
     backend: str = "round",
+    batch: bool = False,
 ) -> list[SweepRecord]:
     """Evaluate the full cross product; returns one record per point.
 
@@ -70,6 +71,12 @@ def sweep(
     default, bit-identical to pre-IR sweeps), ``logp`` (fast advisory
     rankings) or ``des`` (exact flow simulation; the all-communicators
     scenario is simulated too, so expect DES-scale runtimes).
+
+    ``batch`` routes the grid through the vectorized batch evaluators
+    (:meth:`~repro.engine.core.SweepEngine.evaluate_batch`): ``round``
+    and ``logp`` points are scored as stacked array passes in-process,
+    bitwise identical to the scalar path and hitting the same cache
+    keys; other models transparently fall back to the worker pool.
     """
     from repro.collectives.selector import select_algorithm
     from repro.ir import backend_names
@@ -93,7 +100,8 @@ def sweep(
                 for total in sizes:
                     grid.append((comm_size, tuple(order), collective, total))
     extras = (("des_all", True),) if backend == "des" else ()
-    results = engine.evaluate_many(
+    evaluate = engine.evaluate_batch if batch else engine.evaluate_many
+    results = evaluate(
         [
             EvalRequest(
                 model=backend,

@@ -188,6 +188,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         engine=engine,
         backend=args.backend,
+        batch=args.batch,
     )
     sys.stdout.write(to_csv(records))
     if args.bench_json:
@@ -444,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-attempts", type=int, default=3,
         help="attempts per evaluation before it is quarantined (default: 3)",
+    )
+    p.add_argument(
+        "--batch", action="store_true",
+        help="score the grid through the vectorized batch evaluators "
+        "(round/logp run as stacked array passes, bitwise identical to "
+        "the scalar path and sharing its cache keys)",
     )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_sweep)

@@ -95,6 +95,8 @@ def advise(
     algorithm: str | None = None,
     orders: Sequence[Order] | None = None,
     backend: str = "round",
+    batch: bool = False,
+    engine=None,
 ) -> Advice:
     """Rank order equivalence classes by predicted collective duration.
 
@@ -105,6 +107,13 @@ def advise(
     execution backend that scores each representative: ``round`` (the
     default contention model), ``logp`` (faster, rankings-only fidelity)
     or ``des`` (slowest, per-flow exact).
+
+    ``batch`` scores the whole representative frontier through the sweep
+    engine's vectorized batch path (round/logp run as stacked array
+    passes; other backends fall back to the engine's pool) — bitwise
+    identical durations and rankings, order-of-magnitude faster frontier
+    scoring.  Pass ``engine`` (a :class:`~repro.engine.SweepEngine`) to
+    share its cache across calls; otherwise a private serial one is used.
     """
     from repro.ir import backend_names
 
@@ -117,18 +126,54 @@ def advise(
     hierarchy.check_process_count(topology.n_cores)
     fabric = Fabric(topology) if backend == "round" else None
     classes = equivalence_classes(hierarchy, comm_size, orders=orders)
+    key = "duration_all" if scenario == "all" else "duration_single"
+    scored: dict[Order, float] = {}
+    if batch:
+        from repro.engine import EvalRequest, SweepEngine
+
+        engine = engine or SweepEngine()
+        reps = [sigs[0] for sigs in classes.values()]
+        extras = (("des_all", True),) if backend == "des" else ()
+        flat = engine.evaluate_batch(
+            [
+                EvalRequest(
+                    model=backend,
+                    topology=topology,
+                    hierarchy=hierarchy,
+                    order=tuple(rep.order),
+                    comm_size=comm_size,
+                    collective=collective,
+                    algorithm=algorithm,
+                    total_bytes=float(nbytes),
+                    extras=extras,
+                )
+                for rep in reps
+                for nbytes in total_bytes
+            ]
+        )
+        n_sizes = len(total_bytes)
+        for i, rep in enumerate(reps):
+            total = 0.0
+            for j in range(n_sizes):
+                total += float(flat[i * n_sizes + j][key])
+            scored[rep.order] = total
     recs = []
     for sigs in classes.values():
         rep = sigs[0]
-        total = 0.0
-        for nbytes in total_bytes:
-            point = run_microbench(
-                topology, hierarchy, rep.order, comm_size, collective,
-                nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
-            )
-            total += (
-                point.duration_all if scenario == "all" else point.duration_single
-            )
+        if batch:
+            total = scored[rep.order]
+        else:
+            total = 0.0
+            for nbytes in total_bytes:
+                point = run_microbench(
+                    topology, hierarchy, rep.order, comm_size, collective,
+                    nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
+                )
+                total += (
+                    point.duration_all
+                    if scenario == "all"
+                    else point.duration_single
+                )
         recs.append(
             Recommendation(
                 order=rep.order,

@@ -23,6 +23,7 @@ Quick start::
     engine.stats.cache_hit_rate
 """
 
+from repro.engine.batch import BatchEvalRequest, evaluate_batch
 from repro.engine.cache import ResultCache
 from repro.engine.core import (
     AUDIT_RTOL,
@@ -32,8 +33,11 @@ from repro.engine.core import (
     SweepEngine,
 )
 from repro.engine.evaluators import (
+    BATCH_EVALUATORS,
     EVALUATORS,
     evaluate_request,
+    evaluate_requests_batch,
+    register_batch_evaluator,
     register_evaluator,
 )
 from repro.engine.journal import SweepJournal
@@ -47,6 +51,8 @@ from repro.engine.supervisor import (
 
 __all__ = [
     "AUDIT_RTOL",
+    "BATCH_EVALUATORS",
+    "BatchEvalRequest",
     "CACHE_SCHEMA",
     "EVALUATORS",
     "EngineAuditError",
@@ -59,7 +65,10 @@ __all__ = [
     "SweepJournal",
     "TaskAttempt",
     "TaskSupervisor",
+    "evaluate_batch",
     "evaluate_request",
+    "evaluate_requests_batch",
     "is_failure",
+    "register_batch_evaluator",
     "register_evaluator",
 ]

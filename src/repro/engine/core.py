@@ -88,6 +88,8 @@ class EngineStats:
     evaluated: int = 0
     pruned: int = 0  # evaluations skipped via class broadcast
     audited: int = 0  # class members re-simulated in audit mode
+    batched: int = 0  # evaluations served by a vectorized batch pass
+    batch_fallbacks: int = 0  # batch passes that fell back to the pool
     memory_hits: int = 0
     disk_hits: int = 0
     # -- robustness counters (the supervised executor & cache integrity) --
@@ -128,6 +130,8 @@ class EngineStats:
             "cache_hit_rate": self.cache_hit_rate,
             "pruned_evaluations_saved": self.pruned,
             "audited": self.audited,
+            "batched": self.batched,
+            "batch_fallbacks": self.batch_fallbacks,
             "retries": self.retries,
             "crashes": self.crashes,
             "timeouts": self.timeouts,
@@ -229,6 +233,26 @@ class SweepEngine:
         with a ``cache_dir`` -- the moment it completes, so partial
         progress survives crashes and interrupts.
         """
+        return self._evaluate(requests, batched=False)
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[dict]:
+        """:meth:`evaluate_many` through the vectorized batch evaluators.
+
+        Identical pipeline and bitwise-identical results: the same
+        content keys consult and populate the same two-tier cache
+        record by record (so a warm batch run after a scalar run -- or
+        vice versa -- evaluates nothing), the same equivalence pruning
+        and journaling apply, and requests whose model has no batch
+        evaluator (or whose batch pass raises) fall back to the
+        supervised pool.  Only the inner loop changes: batchable
+        evaluations run in-process as stacked array passes instead of
+        one task per request.
+        """
+        return self._evaluate(requests, batched=True)
+
+    def _evaluate(
+        self, requests: Sequence[EvalRequest], batched: bool
+    ) -> list[dict]:
         t0 = time.perf_counter()
         requests = list(requests)
         for r in requests:  # configuration errors fail fast, pre-dispatch
@@ -282,7 +306,11 @@ class SweepEngine:
             self.cache.put(keys[i], outcome, requests[i].canonical())
             self._journal_record(keys[i])
 
-        evaluated = self._run([requests[i] for i in to_run], on_complete)
+        run_requests = [requests[i] for i in to_run]
+        if batched:
+            evaluated = self._run_batched(run_requests, on_complete)
+        else:
+            evaluated = self._run(run_requests, on_complete)
         for i, outcome in zip(to_run, evaluated):
             if isinstance(outcome, EvalFailure):
                 self.failures.append(outcome)
@@ -416,6 +444,54 @@ class SweepEngine:
                         f"keyed equivalent but {name} differs "
                         f"({a!r} vs {b!r}, rtol={AUDIT_RTOL})"
                     )
+
+    def _run_batched(self, requests, on_complete) -> list[dict | EvalFailure]:
+        """Evaluate distinct requests through the batch evaluators.
+
+        Batchable models run in-process as one vectorized pass (each
+        completion persisted through ``on_complete`` exactly as the
+        supervised path does); non-batchable models -- and the whole
+        batchable slice, should its vectorized pass raise -- fall back
+        to :meth:`_run`.
+        """
+        if not requests:
+            return []
+        results: list[dict | EvalFailure | None] = [None] * len(requests)
+        vec = [
+            pos
+            for pos, r in enumerate(requests)
+            if r.model in _evaluators.BATCH_EVALUATORS
+        ]
+        rest = [
+            pos
+            for pos, r in enumerate(requests)
+            if r.model not in _evaluators.BATCH_EVALUATORS
+        ]
+        if vec:
+            try:
+                outcomes = _evaluators.evaluate_requests_batch(
+                    [requests[pos] for pos in vec]
+                )
+            except Exception:
+                self.stats.batch_fallbacks += 1
+                rest = sorted(rest + vec)
+            else:
+                for pos, outcome in zip(vec, outcomes):
+                    on_complete(pos, outcome)
+                    results[pos] = outcome
+                self.stats.batched += len(vec)
+        if rest:
+
+            def sub_complete(
+                sub_pos: int, outcome, _map: list[int] = rest
+            ) -> None:
+                on_complete(_map[sub_pos], outcome)
+
+            outcomes = self._run([requests[pos] for pos in rest], sub_complete)
+            for pos, outcome in zip(rest, outcomes):
+                results[pos] = outcome
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
 
     def _run(self, requests, on_complete) -> list[dict | EvalFailure]:
         """Evaluate distinct requests under the task supervisor."""

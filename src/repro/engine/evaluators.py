@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from functools import partial
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -27,6 +27,17 @@ from repro.engine.keys import EvalRequest
 #: pool workers both import this module, so the registry is always ready.
 EVALUATORS: dict[str, Callable[[EvalRequest], dict]] = {}
 
+#: model name -> batch evaluator (list of requests -> list of results,
+#: aligned).  Only models whose backend offers a vectorized ``run_batch``
+#: register here; the bitwise contract is that the returned dicts equal
+#: what N scalar :func:`evaluate_request` calls would produce.  That
+#: contract implies batch evaluators are RNG-free pure functions of their
+#: requests (ambient randomness could never reproduce N independently
+#: seeded scalar calls), so the batch path skips per-request seeding.
+BATCH_EVALUATORS: dict[
+    str, Callable[[list[EvalRequest]], list[dict]]
+] = {}
+
 
 def register_evaluator(
     model: str, fn: Callable[[EvalRequest], dict]
@@ -34,6 +45,17 @@ def register_evaluator(
     if model in EVALUATORS:
         raise ValueError(f"evaluator for model {model!r} already registered")
     EVALUATORS[model] = fn
+    return fn
+
+
+def register_batch_evaluator(
+    model: str, fn: Callable[[list[EvalRequest]], list[dict]]
+) -> Callable[[list[EvalRequest]], list[dict]]:
+    if model in BATCH_EVALUATORS:
+        raise ValueError(
+            f"batch evaluator for model {model!r} already registered"
+        )
+    BATCH_EVALUATORS[model] = fn
     return fn
 
 
@@ -55,6 +77,39 @@ def evaluate_request(request: EvalRequest) -> dict:
         ) from None
     seed_worker(request)
     return fn(request)
+
+
+def evaluate_requests_batch(requests: Sequence[EvalRequest]) -> list[dict]:
+    """Vectorized counterpart of N :func:`evaluate_request` calls.
+
+    Requests are grouped by model and dispatched to the registered batch
+    evaluator; the returned dicts align with the input order and are
+    bitwise equal to what the scalar path would produce.  No per-request
+    seeding happens here: the bitwise contract already requires batch
+    evaluators to ignore ambient RNG state (see ``BATCH_EVALUATORS``), so
+    the per-request key derivation :func:`seed_worker` needs is pure
+    scalar-path overhead the batch path gets to skip.  Raises
+    ``ValueError`` for any model without a batch evaluator -- callers
+    (the engine) are expected to partition first.
+    """
+    requests = list(requests)
+    out: list[dict | None] = [None] * len(requests)
+    by_model: dict[str, list[int]] = {}
+    for i, r in enumerate(requests):
+        by_model.setdefault(r.model, []).append(i)
+    for model, idxs in by_model.items():
+        try:
+            fn = BATCH_EVALUATORS[model]
+        except KeyError:
+            raise ValueError(
+                f"no batch evaluator registered for model {model!r}; "
+                f"batchable models: {sorted(BATCH_EVALUATORS)}"
+            ) from None
+        sub = [requests[i] for i in idxs]
+        for i, res in zip(idxs, fn(sub)):
+            out[i] = res
+    assert all(r is not None for r in out)
+    return out  # type: ignore[return-value]
 
 
 # -- round model --------------------------------------------------------------
@@ -112,6 +167,71 @@ def _eval_logp(req: EvalRequest) -> dict:
 
 
 register_evaluator("logp", _eval_logp)
+
+
+# -- batch microbench (round + logp) ------------------------------------------
+
+
+def _eval_microbench_batch(
+    backend_name: str, reqs: list[EvalRequest]
+) -> list[dict]:
+    """One vectorized pass over a frontier of microbench requests.
+
+    Requests sharing (topology, hierarchy, order, comm_size) share a
+    placement, so their programs stack into one ``run_batch`` call per
+    scenario; the backend's structure memo persists across groups, so
+    orders whose placements coincide (unpruned equivalence classes)
+    analyse each round pattern exactly once for the whole frontier.
+    Bitwise contract: entry ``i`` equals ``_eval_{round,logp}(reqs[i])``.
+    """
+    from repro.bench.microbench import comm_members
+    from repro.ir import collective_program, get_backend
+
+    engine = get_backend(backend_name)
+    out: list[dict | None] = [None] * len(reqs)
+    groups: dict[tuple, list[int]] = {}
+    for i, r in enumerate(reqs):
+        groups.setdefault(
+            (r.topology, r.hierarchy, r.order, r.comm_size), []
+        ).append(i)
+    for (topology, hierarchy, order, comm_size), idxs in groups.items():
+        hierarchy.check_process_count(topology.n_cores)
+        members = comm_members(hierarchy, order, comm_size)
+        programs = [
+            collective_program(
+                reqs[i].collective,
+                comm_size,
+                reqs[i].total_bytes,
+                reqs[i].algorithm,
+            )
+            for i in idxs
+        ]
+        # Microbench points only read total times; skip the per-round
+        # RoundCost breakdown (``detail=False`` leaves times bit-exact).
+        options = {"detail": False}
+        if backend_name == "round":
+            options["fabric"] = engine.fabric(topology)
+        single = engine.run_batch(programs, topology, [members[0]], **options)
+        both = engine.run_batch(programs, topology, list(members), **options)
+        for j, i in enumerate(idxs):
+            out[i] = {
+                "duration_single": single[j].time,
+                "duration_all": both[j].time,
+            }
+    assert all(r is not None for r in out)
+    return out  # type: ignore[return-value]
+
+
+def _eval_round_batch(reqs: list[EvalRequest]) -> list[dict]:
+    return _eval_microbench_batch("round", reqs)
+
+
+def _eval_logp_batch(reqs: list[EvalRequest]) -> list[dict]:
+    return _eval_microbench_batch("logp", reqs)
+
+
+register_batch_evaluator("round", _eval_round_batch)
+register_batch_evaluator("logp", _eval_logp_batch)
 
 
 # -- discrete-event simulation ------------------------------------------------

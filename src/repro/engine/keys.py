@@ -181,11 +181,20 @@ class EvalRequest:
 
     @property
     def key(self) -> str:
-        """SHA-256 hex digest of the canonical document."""
-        blob = json.dumps(
-            self.canonical(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(blob.encode()).hexdigest()
+        """SHA-256 hex digest of the canonical document (memoized).
+
+        Every field is frozen, so the digest is computed once per
+        instance; the engine, the journal and :meth:`worker_seed` all
+        read the same cached string instead of re-canonicalising.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            blob = json.dumps(
+                self.canonical(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(blob.encode()).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def worker_seed(self) -> int:
         """Deterministic per-request RNG seed for pool workers.

@@ -20,6 +20,7 @@ from repro.ir.backends import (
     describe_backends,
     get_backend,
     register_backend,
+    supports_batch,
 )
 from repro.ir.lower import (
     collective_program,
@@ -82,5 +83,6 @@ __all__ = [
     "round_endpoints",
     "splatt_mode_program",
     "stencil_program",
+    "supports_batch",
     "validate_program",
 ]

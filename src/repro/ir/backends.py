@@ -65,6 +65,7 @@ class BackendCapabilities:
     faults: bool  # honours FaultSchedule injection
     per_flow_contention: bool  # exact max-min per flow (vs bottleneck share)
     tolerance: str  # "exact" (goldens hold bitwise) | "advisory" (rankings)
+    batch: bool = False  # offers run_batch (stacked multi-program scoring)
 
     def describe(self) -> str:
         flags = [
@@ -72,6 +73,8 @@ class BackendCapabilities:
             "per-flow" if self.per_flow_contention else "bottleneck",
             self.tolerance,
         ]
+        if self.batch:
+            flags.append("batch")
         return ",".join(flags)
 
 
@@ -134,6 +137,67 @@ def _as_placements(placements: Placements | np.ndarray) -> list[np.ndarray]:
     return out
 
 
+def _alignment_key(program: CommProgram) -> tuple:
+    """Hashable round-structure signature used to align batched programs.
+
+    Two programs are *payload-aligned* when they span the same rank count
+    and, round for round, share src/dst patterns and repeat counts --
+    only payloads and per-round compute may differ.  The batch kernels
+    vectorize the payload axis within an alignment group, so a batch
+    whose auto-selected algorithm switches across the size sweep (bruck
+    below the threshold, pairwise above) simply splits into one stacked
+    pass per group instead of falling back to scalar evaluation.
+
+    Memoized on the (frozen) program, so repeated batches over a cached
+    program pay one signature construction total.
+    """
+    cached = program.__dict__.get("_alignment_key")
+    if cached is None:
+        cached = (
+            program.n_ranks,
+            tuple((r.structure_key(), r.repeat) for r in program.rounds),
+        )
+        object.__setattr__(program, "_alignment_key", cached)
+    return cached
+
+
+def _aligned_groups(programs: Sequence[CommProgram]) -> list[list[int]]:
+    """Indices of ``programs`` grouped by :func:`_alignment_key`."""
+    groups: Dict[tuple, list[int]] = {}
+    for i, program in enumerate(programs):
+        groups.setdefault(_alignment_key(program), []).append(i)
+    return list(groups.values())
+
+
+_NO_PAYLOAD_ROW = object()
+
+
+def _uniform_payload_row(program: CommProgram) -> np.ndarray | None:
+    """Per-round payload vector of a uniform, compute-free program.
+
+    ``None`` when any round carries a per-flow payload array or local
+    compute -- those need the general per-round pricing path.  Memoized
+    on the (frozen) program: one extraction serves every scenario and
+    every batch the cached program appears in.
+    """
+    row = program.__dict__.get("_uniform_payload_row", _NO_PAYLOAD_ROW)
+    if row is _NO_PAYLOAD_ROW:
+        if any(
+            isinstance(r.nbytes, np.ndarray) or r.compute
+            for r in program.rounds
+        ):
+            row = None
+        else:
+            row = np.array([r.nbytes for r in program.rounds], dtype=float)
+        object.__setattr__(program, "_uniform_payload_row", row)
+    return row
+
+
+def supports_batch(backend: ExecutionBackend) -> bool:
+    """Whether ``backend`` implements the stacked ``run_batch`` protocol."""
+    return callable(getattr(backend, "run_batch", None))
+
+
 # -- registry ----------------------------------------------------------------
 
 _FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {}
@@ -180,7 +244,7 @@ class RoundBackend:
 
     name = "round"
     capabilities = BackendCapabilities(
-        faults=False, per_flow_contention=False, tolerance="exact"
+        faults=False, per_flow_contention=False, tolerance="exact", batch=True
     )
 
     def __init__(self) -> None:
@@ -218,6 +282,89 @@ class RoundBackend:
             total += t * rnd.repeat
         total += sum(r.compute * r.repeat for r in program.rounds)
         return ExecutionResult(self.name, total, tuple(per_round))
+
+    def run_batch(
+        self,
+        programs: Sequence[CommProgram],
+        topology: MachineTopology,
+        placements: Placements,
+        fabric: Any = None,
+        **options: Any,
+    ) -> list[ExecutionResult]:
+        """Score a stack of payload-aligned programs in vectorized passes.
+
+        Bitwise contract: ``run_batch(programs, ...)[j]`` carries exactly
+        the time and per-round costs ``run(programs[j], ...)`` would
+        produce -- the placed merge and per-flow fair-share structure are
+        resolved once per alignment group (one placed lowering instead of
+        one per payload size), and the per-round cost loop collapses to
+        one ``(payload, flow)`` matrix pass per round with the identical
+        float64 expression tree, elementwise (see
+        :meth:`~repro.netsim.fabric.Fabric.round_times_batch`).
+
+        ``detail=False`` skips the per-round :class:`RoundCost`
+        breakdown (``per_round`` comes back empty); total times are
+        unaffected.
+        """
+        from repro.ir.lower import placed_rounds
+        from repro.netsim.fabric import RoundSchedule
+
+        detail = bool(options.get("detail", True))
+        programs = list(programs)
+        if not programs:
+            return []
+        cores = _as_placements(placements)
+        fab = fabric or self.fabric(topology)
+        results: list[ExecutionResult | None] = [None] * len(programs)
+        for idxs in _aligned_groups(programs):
+            ref = programs[idxs[0]]
+            # One placed lowering per group: src/dst patterns are shared,
+            # so the merged schedule's structure stands in for every
+            # program; only per-round payloads differ across the group.
+            schedule = RoundSchedule.merge([placed_rounds(ref, c) for c in cores])
+            k = len(cores)
+            n = len(idxs)
+            totals = np.zeros(n)
+            round_costs: list[list[RoundCost]] = []
+            for rindex, merged in enumerate(schedule.rounds):
+                nbytes_rows = [
+                    _merged_nbytes(programs[j].rounds[rindex], k) for j in idxs
+                ]
+                t = fab.round_times_batch(merged.src, merged.dst, nbytes_rows)
+                totals += t * merged.repeat
+                if detail:
+                    rep, nf = merged.repeat, merged.n_flows
+                    round_costs.append(
+                        [RoundCost(rindex, rep, nf, tv) for tv in t.tolist()]
+                    )
+            totals += np.array(
+                [
+                    sum(r.compute * r.repeat for r in programs[j].rounds)
+                    for j in idxs
+                ]
+            )
+            totals_list = totals.tolist()
+            for jj, j in enumerate(idxs):
+                results[j] = ExecutionResult(
+                    self.name,
+                    totals_list[jj],
+                    tuple(rc[jj] for rc in round_costs) if detail else (),
+                )
+        return [r for r in results if r is not None]
+
+
+def _merged_nbytes(rnd: CommRound, k: int) -> np.ndarray | float:
+    """Payload of ``rnd`` merged over ``k`` concurrent instances.
+
+    Mirrors :func:`repro.netsim.fabric._concat_nbytes` on ``k`` copies of
+    the placed round: uniform scalars stay scalar, per-flow arrays are
+    tiled once per instance.
+    """
+    if not isinstance(rnd.nbytes, np.ndarray):
+        return float(rnd.nbytes)
+    if k == 1:
+        return rnd.nbytes
+    return np.concatenate([rnd.nbytes_per_flow()] * k)
 
 
 # -- des: flow-level discrete-event simulation -------------------------------
@@ -399,7 +546,7 @@ class LogPBackend:
 
     name = "logp"
     capabilities = BackendCapabilities(
-        faults=False, per_flow_contention=False, tolerance="advisory"
+        faults=False, per_flow_contention=False, tolerance="advisory", batch=True
     )
 
     #: Cached structures per backend instance; keys embed src/dst arrays.
@@ -426,13 +573,112 @@ class LogPBackend:
             total += rnd.compute * rnd.repeat
         return ExecutionResult(self.name, total, tuple(per_round))
 
-    def _round_time(
+    def run_batch(
+        self,
+        programs: Sequence[CommProgram],
+        topology: MachineTopology,
+        placements: Placements,
+        **options: Any,
+    ) -> list[ExecutionResult]:
+        """Score a stack of payload-aligned programs in vectorized passes.
+
+        Bitwise contract: ``run_batch(programs, ...)[j]`` equals
+        ``run(programs[j], ...)`` exactly.  Each alignment group resolves
+        the per-round fair-share structure once through the same memo the
+        scalar path uses (one structural analysis per pattern serves
+        every *order and size* in the frontier), then prices all N
+        payload rows per round with the identical float64 expression
+        tree -- ``alpha + nbytes * rate_coeff`` for uniform rows,
+        ``max(lat + nbytes * inv_share)`` for heterogeneous rows --
+        applied elementwise, so IEEE-754 results match the scalar loop
+        bit for bit.
+
+        ``detail=False`` skips materializing the per-round
+        :class:`RoundCost` breakdown (``per_round`` comes back empty);
+        the total times are unaffected.  Consumers that only read
+        ``.time`` -- the sweep evaluators -- use it to drop the one
+        remaining per-(program, round) object loop.
+        """
+        detail = bool(options.get("detail", True))
+        programs = list(programs)
+        if not programs:
+            return []
+        cores_list = _as_placements(placements)
+        placement_key = (topology, tuple(c.tobytes() for c in cores_list))
+        k = len(cores_list)
+        results: list[ExecutionResult | None] = [None] * len(programs)
+        for idxs in _aligned_groups(programs):
+            ref = programs[idxs[0]]
+            n = len(idxs)
+            rows = (
+                None
+                if detail
+                else [_uniform_payload_row(programs[j]) for j in idxs]
+            )
+            if rows is not None and all(r is not None for r in rows):
+                # Uniform compute-free group (the collective sweep common
+                # case): one cached ``(program, round)`` payload matrix,
+                # one closed-form vector op per round, no per-program
+                # Python loop at all.  ``alpha + nb * rate_coeff`` is the
+                # scalar path's exact expression tree, applied
+                # elementwise; skipped zero terms are ``+ 0.0``
+                # identities on these non-negative accumulators.
+                nb_mat = np.stack(rows)
+                totals = np.zeros(n)
+                for rindex, ref_rnd in enumerate(ref.rounds):
+                    struct = self._structure(
+                        topology, placement_key, cores_list, ref_rnd
+                    )
+                    alpha, rate_coeff, _lat, inv_share, _live = struct
+                    if inv_share.size:
+                        totals += (
+                            alpha + nb_mat[:, rindex] * rate_coeff
+                        ) * ref_rnd.repeat
+                totals_list = totals.tolist()
+                for jj, j in enumerate(idxs):
+                    results[j] = ExecutionResult(
+                        self.name, totals_list[jj], ()
+                    )
+                continue
+            totals = np.zeros(n)
+            round_costs: list[list[RoundCost]] = []
+            for rindex, ref_rnd in enumerate(ref.rounds):
+                struct = self._structure(
+                    topology, placement_key, cores_list, ref_rnd
+                )
+                rounds_j = [programs[j].rounds[rindex] for j in idxs]
+                t = self._round_times(struct, rounds_j, k)
+                totals += t * ref_rnd.repeat
+                computes = [r.compute for r in rounds_j]
+                if any(computes):
+                    # ``+ 0.0`` is the identity on these non-negative
+                    # accumulators, so all-zero compute rounds skip the
+                    # array round-trip without perturbing a single bit.
+                    totals += np.array(computes) * ref_rnd.repeat
+                if detail:
+                    rep, nf = ref_rnd.repeat, ref_rnd.n_flows
+                    round_costs.append(
+                        [RoundCost(rindex, rep, nf, tv) for tv in t.tolist()]
+                    )
+            totals_list = totals.tolist()
+            for jj, j in enumerate(idxs):
+                results[j] = ExecutionResult(
+                    self.name,
+                    totals_list[jj],
+                    tuple(rc[jj] for rc in round_costs) if detail else (),
+                )
+        return [r for r in results if r is not None]
+
+    def _structure(
         self,
         topology: MachineTopology,
         placement_key: tuple,
         cores_list: list[np.ndarray],
         rnd: CommRound,
-    ) -> float:
+    ) -> tuple:
+        """The memoized ``(alpha, rate_coeff, lat, inv_share, live)`` for
+        ``rnd``'s pattern under ``placement_key`` (LRU, shared by the
+        scalar and batch paths)."""
         key = placement_key + rnd.structure_key()
         struct = self._structures.get(key)
         if struct is None:
@@ -442,6 +688,16 @@ class LogPBackend:
                 self._structures.popitem(last=False)
         else:
             self._structures.move_to_end(key)
+        return struct
+
+    def _round_time(
+        self,
+        topology: MachineTopology,
+        placement_key: tuple,
+        cores_list: list[np.ndarray],
+        rnd: CommRound,
+    ) -> float:
+        struct = self._structure(topology, placement_key, cores_list, rnd)
         alpha, rate_coeff, lat, inv_share, live = struct
         if not inv_share.size:
             return 0.0
@@ -455,6 +711,52 @@ class LogPBackend:
         )[live]
         return float((lat + nb * inv_share).max())
 
+    def _round_times(
+        self, struct: tuple, rounds: Sequence[CommRound], k: int
+    ) -> np.ndarray:
+        """Vector of :meth:`_round_time` results for aligned ``rounds``.
+
+        Uniform payloads collapse to one ``alpha + nb * rate_coeff``
+        vector op; heterogeneous payloads stack into one
+        ``(payload, flow)`` matrix priced against the cached per-flow
+        shares.  Both reproduce the scalar expressions elementwise.
+        """
+        alpha, rate_coeff, lat, inv_share, live = struct
+        n = len(rounds)
+        if not inv_share.size:
+            return np.zeros(n)
+        nbytes = [r.nbytes for r in rounds]
+        if not any(isinstance(b, np.ndarray) for b in nbytes):
+            # Uniform payloads everywhere (the collective sweep common
+            # case): one closed-form vector op, no row partitioning.
+            return alpha + np.array(nbytes, dtype=float) * rate_coeff
+        t = np.empty(n)
+        scalar_rows = [
+            i
+            for i, r in enumerate(rounds)
+            if not isinstance(r.nbytes, np.ndarray)
+        ]
+        array_rows = [
+            i for i, r in enumerate(rounds) if isinstance(r.nbytes, np.ndarray)
+        ]
+        if scalar_rows:
+            nb = np.array([float(rounds[i].nbytes) for i in scalar_rows])
+            t[scalar_rows] = alpha + nb * rate_coeff
+        if array_rows:
+            nb_mat = np.stack(
+                [
+                    np.concatenate(
+                        [np.asarray(rounds[i].nbytes_per_flow(), dtype=float)]
+                        * k
+                    )[live]
+                    for i in array_rows
+                ]
+            )
+            t[array_rows] = (lat[None, :] + nb_mat * inv_share[None, :]).max(
+                axis=1
+            )
+        return t
+
     def _analyse(
         self,
         topology: MachineTopology,
@@ -462,8 +764,19 @@ class LogPBackend:
         rnd: CommRound,
     ) -> tuple:
         depth = topology.depth
-        src = np.concatenate([c[rnd.src] for c in cores_list])
-        dst = np.concatenate([c[rnd.dst] for c in cores_list])
+        if len(cores_list) > 1 and all(
+            c.size == cores_list[0].size for c in cores_list
+        ):
+            # Equal-sized placements (every subcommunicator scenario):
+            # one stacked fancy-index instead of k gather+concatenate
+            # passes.  Row-major ravel preserves the placement-major
+            # flow order of the concatenate form exactly.
+            cores_mat = np.stack(cores_list)
+            src = cores_mat[:, rnd.src].ravel()
+            dst = cores_mat[:, rnd.dst].ravel()
+        else:
+            src = np.concatenate([c[rnd.src] for c in cores_list])
+            dst = np.concatenate([c[rnd.dst] for c in cores_list])
         lca = topology.lca_level(src, dst)
         live = lca < depth
         src, dst, lca = src[live], dst[live], lca[live]
@@ -475,28 +788,42 @@ class LogPBackend:
         # Fair share per flow: at every crossed level, the level's link
         # bandwidth splits over the flows sharing the flow's up-link
         # (source component) and down-link (destination component).
+        # The level-``L`` crossing sets nest (``lca <= 0`` within
+        # ``lca <= 1`` within ...), so one stable sort by ``lca`` turns
+        # every per-level boolean mask into a prefix slice: the loop
+        # below runs on contiguous views and scatters back once.  Each
+        # flow's share is built from the same counts and products as the
+        # masked form, so the result is bit-identical.
         strides = topology.strides
-        inv_share = np.zeros(lca.shape)
+        order = np.argsort(lca, kind="stable")
+        src_s = src[order]
+        dst_s = dst[order]
+        bounds = np.searchsorted(lca[order], np.arange(depth), side="right")
+        inv_share_s = np.zeros(lca.shape)
         for level in range(depth):
-            crossing = lca <= level
-            if not crossing.any():
+            m = int(bounds[level])
+            if not m:
                 continue
-            up = src[crossing] // strides[level]
-            down = dst[crossing] // strides[level]
+            up = src_s[:m] // strides[level]
+            down = dst_s[:m] // strides[level]
             n_up = np.bincount(up)
             n_down = np.bincount(down)
             inv_bw = 1.0 / topology.link_bw[level]
-            inv_share[crossing] = np.maximum(
-                inv_share[crossing],
+            np.maximum(
+                inv_share_s[:m],
                 np.maximum(n_up[up], n_down[down]) * inv_bw,
+                out=inv_share_s[:m],
             )
         if topology.root_bw > 0:
-            at_root = lca == 0
-            n_root = int(at_root.sum())
+            n_root = int(bounds[0])
             if n_root:
-                inv_share[at_root] = np.maximum(
-                    inv_share[at_root], n_root / topology.root_bw
+                np.maximum(
+                    inv_share_s[:n_root],
+                    n_root / topology.root_bw,
+                    out=inv_share_s[:n_root],
                 )
+        inv_share = np.empty(lca.shape)
+        inv_share[order] = inv_share_s
         rate_coeff = float(inv_share.max())
         return (alpha, rate_coeff, lat, inv_share, live)
 

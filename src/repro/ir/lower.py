@@ -19,6 +19,7 @@ here; those entry points survive as deprecated wrappers.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Sequence, Tuple
 
 import numpy as np
@@ -73,7 +74,23 @@ def collective_program(
     total_bytes: float,
     algorithm: str | None = None,
 ) -> CommProgram:
-    """Lower one collective (auto-selecting the algorithm) to the IR."""
+    """Lower one collective (auto-selecting the algorithm) to the IR.
+
+    Memoized: the lowered program depends only on the four arguments, and
+    a sweep revisits the same ``(collective, p, total_bytes, algorithm)``
+    cell once per order and scenario, so every caller past the first gets
+    the cached (write-protected) program instead of re-running the
+    algorithm's round constructor.
+    """
+    return _collective_program(
+        str(collective), int(p), float(total_bytes), algorithm
+    )
+
+
+@lru_cache(maxsize=1024)
+def _collective_program(
+    collective: str, p: int, total_bytes: float, algorithm: str | None
+) -> CommProgram:
     from repro.collectives.selector import rounds_for, select_algorithm
 
     name = algorithm or select_algorithm(collective, p, total_bytes)
@@ -85,7 +102,15 @@ def collective_program(
         total_bytes=float(total_bytes),
         label=f"{collective}/{name}",
     )
-    return from_rounds(rounds, n_ranks=p, meta=meta)
+    program = from_rounds(rounds, n_ranks=p, meta=meta)
+    for r in program.rounds:
+        # Shared across callers: freeze the arrays so no consumer can
+        # mutate another's rounds through the cache.
+        r.src.setflags(write=False)
+        r.dst.setflags(write=False)
+        if isinstance(r.nbytes, np.ndarray) and r.nbytes.flags.writeable:
+            r.nbytes.setflags(write=False)
+    return program
 
 
 def stencil_program(model: "StencilModel", cart: "CartTopology") -> CommProgram:

@@ -123,8 +123,15 @@ class CommRound:
         The analytical backends key their per-pattern caches on this, so
         one pattern evaluated at many payload sizes pays for one
         structural analysis (the payload-dependent part is O(depth)).
+        The byte serialization is memoized on the (frozen) round, so the
+        per-lookup cost of a warm structure cache is two dict probes, not
+        two array copies.
         """
-        return (self.src.tobytes(), self.dst.tobytes())
+        cached = self.__dict__.get("_structure_key")
+        if cached is None:
+            cached = (self.src.tobytes(), self.dst.tobytes())
+            object.__setattr__(self, "_structure_key", cached)
+        return cached
 
     def key(self) -> tuple:
         """Hashable identity of the full round (pattern + payload)."""

@@ -103,6 +103,13 @@ class Round:
         return (self.src.tobytes(), self.dst.tobytes(), nb_key)
 
 
+#: Payload-independent part of one round pattern's fair-share pricing:
+#: ``(live, lat, share)`` with ``live`` the kept-flow mask over the input
+#: arrays and ``lat``/``share`` per live flow.  ``(None, None, None)``
+#: marks a pattern with no live flows (all self-flows).
+RoundStructure = tuple["np.ndarray | None", "np.ndarray | None", "np.ndarray | None"]
+
+
 class Fabric:
     """Vectorized round-time evaluation on one machine topology."""
 
@@ -114,6 +121,7 @@ class Fabric:
     def __init__(self, topology: MachineTopology):
         self.topology = topology
         self._cache: OrderedDict[tuple, float] = OrderedDict()
+        self._structures: OrderedDict[tuple, RoundStructure] = OrderedDict()
         self.cache_stats = FabricCacheStats()
 
     @cached_property
@@ -174,14 +182,41 @@ class Fabric:
         return t
 
     def _round_time_impl(self, rnd: Round) -> float:
+        live, lat, share = self.round_structure(rnd.src, rnd.dst)
+        if live is None or lat is None or share is None:
+            return 0.0
+        nb = np.broadcast_to(np.asarray(rnd.nbytes, dtype=float), rnd.src.shape)[live]
+        times = lat + nb / share
+        return float(times.max())
+
+    def round_structure(self, src: np.ndarray, dst: np.ndarray) -> RoundStructure:
+        """Payload-independent fair-share structure of one flow pattern.
+
+        Per live flow (self-flows dropped), the first-hop latency and the
+        bottleneck fair share of the busiest link on its path.  The link
+        counts depend only on ``src``/``dst``, so one structure serves
+        every payload size the pattern is evaluated at -- this is what
+        the batch evaluation path stacks across whole size sweeps.
+        Structures are cached per fabric with LRU eviction.
+        """
+        key = (src.tobytes(), dst.tobytes())
+        hit = self._structures.get(key)
+        if hit is not None:
+            self._structures.move_to_end(key)
+            return hit
+        struct = self._round_structure_impl(src, dst)
+        self._structures[key] = struct
+        if len(self._structures) > self.CACHE_LIMIT:
+            self._structures.popitem(last=False)
+        return struct
+
+    def _round_structure_impl(self, src: np.ndarray, dst: np.ndarray) -> RoundStructure:
         topo = self.topology
-        src, dst = rnd.src, rnd.dst
         lca = topo.lca_level(src, dst)
         live = lca < topo.depth  # drop self-flows
         if not live.any():
-            return 0.0
+            return (None, None, None)
         src, dst, lca = src[live], dst[live], lca[live]
-        nb = np.broadcast_to(np.asarray(rnd.nbytes, dtype=float), rnd.src.shape)[live]
 
         counts = np.zeros(2 * self._n_edges, dtype=np.int64)
         offsets = self._edge_offsets
@@ -212,8 +247,33 @@ class Fabric:
                 share[at_root] = np.minimum(share[at_root], topo.root_bw / n_root)
 
         lat = topo.hop_latency(lca)
-        times = lat + nb / share
-        return float(times.max())
+        return (live, lat, share)
+
+    def round_times_batch(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes_rows: Sequence[np.ndarray | float],
+    ) -> np.ndarray:
+        """One pattern priced at many payloads in a single stacked pass.
+
+        Row ``j`` of the result is bitwise equal to
+        ``round_time(Round(src, dst, nbytes_rows[j]))``: the structure is
+        resolved once and the scalar path's ``lat + nb / share`` per-flow
+        evaluation runs as one (payload, flow) matrix operation -- the
+        identical float64 expression tree, elementwise.
+        """
+        live, lat, share = self.round_structure(src, dst)
+        if live is None or lat is None or share is None:
+            return np.zeros(len(nbytes_rows))
+        rows = np.stack(
+            [
+                np.broadcast_to(np.asarray(nb, dtype=float), src.shape)[live]
+                for nb in nbytes_rows
+            ]
+        )
+        times = lat[None, :] + rows / share[None, :]
+        return times.max(axis=1)
 
 
 @dataclass

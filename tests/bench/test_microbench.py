@@ -5,6 +5,7 @@ import pytest
 
 from repro.bench.microbench import (
     collective_schedule,
+    comm_members,
     paper_sizes,
     run_microbench,
     size_sweep,
@@ -93,6 +94,37 @@ class TestSweep:
     def test_legend_format(self):
         s = size_sweep(TOPO, H, (0, 1, 2, 3), 16, "alltoall", [1e6])
         assert s.legend().startswith("0-1-2-3 (")
+
+
+class TestCommMembersMemo:
+    """Regression: a size sweep derives the comm structure once, not per
+    payload size (the members table depends only on hierarchy/order/
+    comm_size, so every size after the first must be a memo hit)."""
+
+    def test_size_sweep_hits_memo_after_first_point(self):
+        comm_members.cache_clear()
+        sizes = paper_sizes(n=5)
+        size_sweep(TOPO, H, (0, 1, 2, 3), 16, "alltoall", sizes)
+        info = comm_members.cache_info()
+        assert info.misses == 1  # one structural derivation for the sweep
+        assert info.hits == len(sizes) - 1
+
+    def test_distinct_orders_get_distinct_entries(self):
+        comm_members.cache_clear()
+        run_microbench(TOPO, H, (0, 1, 2, 3), 16, "alltoall", 1e6)
+        run_microbench(TOPO, H, (3, 2, 1, 0), 16, "alltoall", 1e6)
+        info = comm_members.cache_info()
+        assert info.misses == 2 and info.hits == 0
+
+    def test_members_table_is_read_only_and_correct(self):
+        from repro.core.reorder import RankReordering
+
+        members = comm_members(H, (1, 3, 2, 0), 16)
+        assert not members.flags.writeable
+        with pytest.raises(ValueError):
+            members[0, 0] = 99
+        fresh = RankReordering(H, (1, 3, 2, 0), 16).all_comm_members()
+        assert np.array_equal(members, fresh)
 
 
 def test_paper_sizes_span_axis():

@@ -1,0 +1,121 @@
+"""Differential properties: the batch path never diverges from scalar.
+
+The bitwise contract of the vectorized evaluation path is that batching
+changes *cost*, never *results*: for any sampled frontier of (hierarchy,
+communicator, collective, payload sizes, orders), driving it through
+``evaluate_batch()`` must reproduce N scalar ``evaluate()`` calls bit for
+bit -- equal ``repr`` on every duration, hence identical order rankings
+-- for both the ``logp`` and ``round`` backends.  A second property pins
+the same contract one layer down, on ``run_batch`` vs ``run`` of the
+backend instances themselves, with size pools chosen to straddle the
+bruck/pairwise auto-selection threshold so alignment-group splitting is
+exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.bench.microbench import comm_members  # noqa: E402
+from repro.core.hierarchy import Hierarchy  # noqa: E402
+from repro.core.orders import all_orders  # noqa: E402
+from repro.engine import (  # noqa: E402
+    BatchEvalRequest,
+    SweepEngine,
+    evaluate_batch,
+)
+from repro.ir import collective_program, create_backend  # noqa: E402
+from repro.topology.machines import generic_cluster  # noqa: E402
+
+RADICES = [(2, 2, 4), (4, 2, 2), (2, 4, 2), (2, 2, 2, 2)]
+#: Payload pool straddling the alltoall bruck/pairwise threshold
+#: (per-rank 4096 bytes) at the sampled communicator sizes, so one
+#: frontier can mix auto-selected algorithms across its size axis.
+SIZE_POOL = [2e3, 16e3, 1e5, 1e6, 8e6]
+BACKENDS = ["logp", "round"]
+
+
+@st.composite
+def frontiers(draw):
+    radices = draw(st.sampled_from(RADICES))
+    h = Hierarchy(radices)
+    divisors = [d for d in range(2, h.size + 1) if h.size % d == 0]
+    comm_size = draw(st.sampled_from(divisors))
+    collective = draw(
+        st.sampled_from(["alltoall", "allgather", "allreduce"])
+    )
+    orders = draw(
+        st.lists(
+            st.sampled_from(all_orders(len(radices))),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    sizes = draw(
+        st.lists(
+            st.sampled_from(SIZE_POOL), min_size=1, max_size=3, unique=True
+        )
+    )
+    return {
+        "radices": radices,
+        "hierarchy": h,
+        "comm_size": comm_size,
+        "collective": collective,
+        "orders": tuple(orders),
+        "sizes": tuple(sizes),
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEvaluateBatchDifferential:
+    @given(cfg=frontiers())
+    @settings(max_examples=25)
+    def test_bitwise_equal_and_same_ranking(self, backend, cfg):
+        topo = generic_cluster(cfg["radices"])
+        batch = BatchEvalRequest(
+            model=backend,
+            topology=topo,
+            hierarchy=cfg["hierarchy"],
+            orders=cfg["orders"],
+            comm_size=cfg["comm_size"],
+            collective=cfg["collective"],
+            total_bytes=cfg["sizes"],
+        )
+        batched = evaluate_batch(batch, SweepEngine())
+        scalar_engine = SweepEngine()
+        scalar = [scalar_engine.evaluate(r) for r in batch.requests()]
+        assert [repr(r) for r in batched] == [repr(r) for r in scalar]
+        for key in ("duration_all", "duration_single"):
+            assert batch.rank_orders(batched, key) == batch.rank_orders(
+                scalar, key
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRunBatchDifferential:
+    @given(cfg=frontiers())
+    @settings(max_examples=25)
+    def test_kernel_bitwise_equal(self, backend, cfg):
+        topo = generic_cluster(cfg["radices"])
+        be = create_backend(backend)
+        members = comm_members(
+            cfg["hierarchy"], cfg["orders"][0], cfg["comm_size"]
+        )
+        programs = [
+            collective_program(
+                cfg["collective"], cfg["comm_size"], total_bytes
+            )
+            for total_bytes in cfg["sizes"]
+        ]
+        for placements in ([members[0]], list(members)):
+            batched = be.run_batch(programs, topo, placements)
+            assert len(batched) == len(programs)
+            for program, got in zip(programs, batched):
+                ref = be.run(program, topo, placements)
+                assert repr(ref.time) == repr(got.time)
+                assert ref.per_round == got.per_round

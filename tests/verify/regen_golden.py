@@ -10,10 +10,16 @@ Two golden families exist:
 - The healthy-path timing constants in
   ``tests/faults/test_golden_timing.py`` (``GOLDEN_ALLTOALL`` /
   ``GOLDEN_ALLREDUCE``), locked by that test.
+- ``tests/ir/golden_fig3.json`` -- the fig3 grid's round-model durations
+  (6 orders x 9 sizes, both scenarios) as ``repr`` strings, locked
+  bitwise by ``tests/ir/test_golden_fig3.py`` (scalar path) and
+  ``tests/ir/test_golden_batch.py`` (batch path).  Regenerated only with
+  the ``--fig3`` flag: it is the seed fixture, so rewriting it is rarer
+  than the differential families above.
 
 Run after an *intentional* change to the network models::
 
-    PYTHONPATH=src python tests/verify/regen_golden.py
+    PYTHONPATH=src python tests/verify/regen_golden.py [--fig3]
 
 The differential fixture is rewritten in place; the fault-timing
 constants are printed for manual pasting (they live in test source so the
@@ -29,6 +35,7 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 GOLDEN_PATH = HERE / "golden_differential.json"
+FIG3_PATH = HERE.parent / "ir" / "golden_fig3.json"
 
 
 def differential_golden() -> dict:
@@ -63,10 +70,39 @@ def fault_timing_golden() -> tuple[dict, float]:
     return alltoall, times.pop()
 
 
+def fig3_golden() -> dict:
+    """The fig3 grid's round-model durations as ``repr`` strings.
+
+    Generated from the *scalar* round path (the model of record);
+    ``tests/ir/test_golden_fig3.py`` then locks the scalar paths to it
+    and ``tests/ir/test_golden_batch.py`` locks the batch path, so both
+    evaluation modes stay pinned to one fixture.
+    """
+    from repro.bench.figures import fig3_data
+    from repro.core.orders import format_order
+
+    return {
+        "figure": "fig3",
+        "orders": {
+            format_order(s.order): {
+                "sizes": [repr(p.total_bytes) for p in s.points],
+                "duration_single": [repr(p.duration_single) for p in s.points],
+                "duration_all": [repr(p.duration_all) for p in s.points],
+            }
+            for s in fig3_data()
+        },
+    }
+
+
 def main() -> int:
     golden = differential_golden()
     GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(golden['cases'])} cases)")
+
+    if "--fig3" in sys.argv[1:]:
+        fig3 = fig3_golden()
+        FIG3_PATH.write_text(json.dumps(fig3, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {FIG3_PATH} ({len(fig3['orders'])} orders)")
 
     alltoall, allreduce = fault_timing_golden()
     print("\nConstants for tests/faults/test_golden_timing.py (paste if an")
