@@ -323,6 +323,31 @@ def _cmd_verify_differential(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import build_service, default_specs, run_server
+
+    prewarm = ()
+    if args.prewarm and args.prewarm.lower() != "none":
+        machines = [m.strip() for m in args.prewarm.split(",") if m.strip()]
+        try:
+            prewarm = default_specs(machines)
+        except ValueError as err:
+            raise SystemExit(str(err)) from None
+    service = build_service(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        lru_size=args.lru_size,
+    )
+    run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        prewarm=prewarm,
+        prewarm_idle_s=args.prewarm_idle,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mrd",
@@ -454,6 +479,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the placement-advisor HTTP service (POST /advise)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port (default: 8787)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache shared with sweeps and other "
+        "service processes; also enables the completion journal",
+    )
+    p.add_argument(
+        "--lru-size", type=int, default=65536,
+        help="in-memory cache entries kept (the serving tier)",
+    )
+    p.add_argument(
+        "--prewarm", default="hydra,lumi", metavar="MACHINES",
+        help="comma-separated machines to pre-warm into the cache on "
+        "idle, or 'none' (default: hydra,lumi)",
+    )
+    p.add_argument(
+        "--prewarm-idle", type=float, default=1.0, metavar="SECONDS",
+        help="idle time before pre-warm work runs (default: 1.0)",
+    )
+    _add_backend_arg(p, default="logp")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "backends", help="the pluggable execution-backend registry"

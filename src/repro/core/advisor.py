@@ -16,6 +16,17 @@ library already has:
 Scoring a representative costs milliseconds, so exhaustive scoring of the
 pruned space is practical even for 6-level hierarchies (720 orders, a few
 dozen classes).
+
+The query pipeline is split in two so other front-ends (notably the
+placement-advisor service, :mod:`repro.service`) can interpose their own
+evaluation step without forking the ranking logic: :func:`plan_query`
+lowers a placement question to a :class:`QueryPlan` — the equivalence
+classes plus the flattened ``(representative, payload size)``
+:class:`~repro.engine.keys.EvalRequest` grid — and
+:func:`advice_from_results` assembles the grid's results back into an
+:class:`Advice`.  Any evaluator that returns the grid's results aligned
+with ``plan.requests`` therefore produces rankings bitwise-identical to
+:func:`advise` by construction.
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from repro.bench.microbench import run_microbench
 from repro.core.equivalence import equivalence_classes
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import OrderSignature
-from repro.core.orders import Order
+from repro.core.orders import Order, format_order
 from repro.launcher.slurm import order_to_distribution
 from repro.netsim.fabric import Fabric
 from repro.topology.machine import MachineTopology
@@ -49,6 +60,17 @@ class Recommendation:
             f"{self.signature.legend()}{slurm} "
             f"-> {self.predicted_seconds * 1e3:.3f} ms"
         )
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe form (floats round-trip exactly through ``json``)."""
+        return {
+            "order": list(self.order),
+            "order_name": format_order(self.order),
+            "equivalent_orders": [format_order(o) for o in self.equivalent_orders],
+            "predicted_seconds": self.predicted_seconds,
+            "slurm_distribution": self.slurm_distribution,
+            "legend": self.legend(),
+        }
 
 
 @dataclass(frozen=True)
@@ -84,6 +106,173 @@ class Advice:
         lines.append(f"worst/best factor: {self.spread_factor():.2f}x")
         return "\n".join(lines)
 
+    def to_jsonable(self) -> dict:
+        return {
+            "collective": self.collective,
+            "comm_size": self.comm_size,
+            "scenario": self.scenario,
+            "recommendations": [r.to_jsonable() for r in self.recommendations],
+            "spread_factor": self.spread_factor(),
+        }
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A placement query lowered to its evaluable request grid.
+
+    ``classes`` holds the order equivalence classes (representative
+    first); ``requests`` is the flattened representative-major
+    ``(representative, payload size)`` grid whose results — aligned with
+    ``requests`` — :func:`advice_from_results` assembles into an
+    :class:`Advice`.  Index arithmetic: request ``i`` scores class
+    ``i // n_sizes`` at payload ``total_bytes[i % n_sizes]``.
+    """
+
+    topology: MachineTopology
+    hierarchy: Hierarchy
+    comm_size: int
+    collective: str
+    scenario: str
+    backend: str
+    algorithm: str | None
+    total_bytes: tuple[float, ...]
+    classes: tuple[tuple[OrderSignature, ...], ...]
+    requests: tuple = ()
+
+    @property
+    def duration_key(self) -> str:
+        return "duration_all" if self.scenario == "all" else "duration_single"
+
+    @property
+    def n_sizes(self) -> int:
+        return len(self.total_bytes)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def plan_query(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    comm_size: int,
+    collective: str = "alltoall",
+    total_bytes: Sequence[float] = (1e6, 64e6),
+    scenario: str = "all",
+    algorithm: str | None = None,
+    orders: Sequence[Order] | None = None,
+    backend: str = "round",
+) -> QueryPlan:
+    """Validate a placement query and lower it to a :class:`QueryPlan`."""
+    from repro.engine import EvalRequest
+    from repro.ir import backend_names
+
+    if scenario not in ("all", "single"):
+        raise ValueError("scenario must be 'all' or 'single'")
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
+    sizes = tuple(float(s) for s in total_bytes)
+    if not sizes:
+        raise ValueError("total_bytes must name at least one payload size")
+    hierarchy.check_process_count(topology.n_cores)
+    classes = tuple(
+        tuple(sigs)
+        for sigs in equivalence_classes(hierarchy, comm_size, orders=orders).values()
+    )
+    extras = (("des_all", True),) if backend == "des" else ()
+    requests = tuple(
+        EvalRequest(
+            model=backend,
+            topology=topology,
+            hierarchy=hierarchy,
+            order=tuple(sigs[0].order),
+            comm_size=comm_size,
+            collective=collective,
+            algorithm=algorithm,
+            total_bytes=nbytes,
+            extras=extras,
+        )
+        for sigs in classes
+        for nbytes in sizes
+    )
+    return QueryPlan(
+        topology=topology,
+        hierarchy=hierarchy,
+        comm_size=comm_size,
+        collective=collective,
+        scenario=scenario,
+        backend=backend,
+        algorithm=algorithm,
+        total_bytes=sizes,
+        classes=classes,
+        requests=requests,
+    )
+
+
+def advice_from_results(plan: QueryPlan, results: Sequence[dict]) -> Advice:
+    """Assemble a plan's evaluated grid (aligned with ``plan.requests``)
+    into ranked :class:`Advice`.
+
+    Quarantined :class:`~repro.engine.supervisor.EvalFailure` records in
+    the grid raise a structured
+    :class:`~repro.engine.batch.BatchEvaluationError` naming the failed
+    (order, payload) points instead of a bare ``KeyError``.
+    """
+    from repro.engine.batch import BatchEvaluationError, failed_point
+    from repro.engine.supervisor import is_failure
+
+    if len(results) != len(plan.requests):
+        raise ValueError(
+            f"expected {len(plan.requests)} results for the plan's grid, "
+            f"got {len(results)}"
+        )
+    n_sizes = plan.n_sizes
+    failed = [
+        failed_point(
+            results[i],
+            order=tuple(plan.classes[i // n_sizes][0].order),
+            total_bytes=plan.total_bytes[i % n_sizes],
+        )
+        for i in range(len(results))
+        if is_failure(results[i])
+    ]
+    if failed:
+        raise BatchEvaluationError(
+            failed, context=f"{plan.backend} advice grid for {plan.collective}"
+        )
+    key = plan.duration_key
+    totals = []
+    for c in range(len(plan.classes)):
+        total = 0.0
+        for j in range(n_sizes):
+            total += float(results[c * n_sizes + j][key])
+        totals.append(total)
+    return _assemble(plan, totals)
+
+
+def _assemble(plan: QueryPlan, totals: Sequence[float]) -> Advice:
+    """Ranked advice from one summed duration per equivalence class."""
+    recs = []
+    for sigs, total in zip(plan.classes, totals):
+        rep = sigs[0]
+        recs.append(
+            Recommendation(
+                order=rep.order,
+                equivalent_orders=tuple(s.order for s in sigs),
+                signature=rep,
+                predicted_seconds=total,
+                slurm_distribution=order_to_distribution(plan.hierarchy, rep.order),
+            )
+        )
+    recs.sort(key=lambda r: r.predicted_seconds)
+    return Advice(
+        recommendations=tuple(recs),
+        collective=plan.collective,
+        comm_size=plan.comm_size,
+        scenario=plan.scenario,
+    )
+
 
 def advise(
     topology: MachineTopology,
@@ -115,78 +304,37 @@ def advise(
     scoring.  Pass ``engine`` (a :class:`~repro.engine.SweepEngine`) to
     share its cache across calls; otherwise a private serial one is used.
     """
-    from repro.ir import backend_names
-
-    if scenario not in ("all", "single"):
-        raise ValueError("scenario must be 'all' or 'single'")
-    if backend not in backend_names():
-        raise ValueError(
-            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
-        )
-    hierarchy.check_process_count(topology.n_cores)
-    fabric = Fabric(topology) if backend == "round" else None
-    classes = equivalence_classes(hierarchy, comm_size, orders=orders)
-    key = "duration_all" if scenario == "all" else "duration_single"
-    scored: dict[Order, float] = {}
+    plan = plan_query(
+        topology,
+        hierarchy,
+        comm_size,
+        collective=collective,
+        total_bytes=total_bytes,
+        scenario=scenario,
+        algorithm=algorithm,
+        orders=orders,
+        backend=backend,
+    )
     if batch:
-        from repro.engine import EvalRequest, SweepEngine
+        from repro.engine import SweepEngine
 
         engine = engine or SweepEngine()
-        reps = [sigs[0] for sigs in classes.values()]
-        extras = (("des_all", True),) if backend == "des" else ()
-        flat = engine.evaluate_batch(
-            [
-                EvalRequest(
-                    model=backend,
-                    topology=topology,
-                    hierarchy=hierarchy,
-                    order=tuple(rep.order),
-                    comm_size=comm_size,
-                    collective=collective,
-                    algorithm=algorithm,
-                    total_bytes=float(nbytes),
-                    extras=extras,
-                )
-                for rep in reps
-                for nbytes in total_bytes
-            ]
-        )
-        n_sizes = len(total_bytes)
-        for i, rep in enumerate(reps):
-            total = 0.0
-            for j in range(n_sizes):
-                total += float(flat[i * n_sizes + j][key])
-            scored[rep.order] = total
-    recs = []
-    for sigs in classes.values():
+        flat = engine.evaluate_batch(list(plan.requests))
+        return advice_from_results(plan, flat)
+    fabric = Fabric(topology) if backend == "round" else None
+    totals = []
+    for sigs in plan.classes:
         rep = sigs[0]
-        if batch:
-            total = scored[rep.order]
-        else:
-            total = 0.0
-            for nbytes in total_bytes:
-                point = run_microbench(
-                    topology, hierarchy, rep.order, comm_size, collective,
-                    nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
-                )
-                total += (
-                    point.duration_all
-                    if scenario == "all"
-                    else point.duration_single
-                )
-        recs.append(
-            Recommendation(
-                order=rep.order,
-                equivalent_orders=tuple(s.order for s in sigs),
-                signature=rep,
-                predicted_seconds=total,
-                slurm_distribution=order_to_distribution(hierarchy, rep.order),
+        total = 0.0
+        for nbytes in plan.total_bytes:
+            point = run_microbench(
+                topology, hierarchy, rep.order, comm_size, collective,
+                nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
             )
-        )
-    recs.sort(key=lambda r: r.predicted_seconds)
-    return Advice(
-        recommendations=tuple(recs),
-        collective=collective,
-        comm_size=comm_size,
-        scenario=scenario,
-    )
+            total += (
+                point.duration_all
+                if scenario == "all"
+                else point.duration_single
+            )
+        totals.append(total)
+    return _assemble(plan, totals)

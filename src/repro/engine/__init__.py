@@ -23,7 +23,13 @@ Quick start::
     engine.stats.cache_hit_rate
 """
 
-from repro.engine.batch import BatchEvalRequest, evaluate_batch
+from repro.engine.batch import (
+    BatchEvalRequest,
+    BatchEvaluationError,
+    FailedPoint,
+    evaluate_batch,
+    failed_point,
+)
 from repro.engine.cache import ResultCache
 from repro.engine.core import (
     AUDIT_RTOL,
@@ -53,7 +59,9 @@ __all__ = [
     "AUDIT_RTOL",
     "BATCH_EVALUATORS",
     "BatchEvalRequest",
+    "BatchEvaluationError",
     "CACHE_SCHEMA",
+    "FailedPoint",
     "EVALUATORS",
     "EngineAuditError",
     "EngineStats",
@@ -68,6 +76,7 @@ __all__ = [
     "evaluate_batch",
     "evaluate_request",
     "evaluate_requests_batch",
+    "failed_point",
     "is_failure",
     "register_batch_evaluator",
     "register_evaluator",

@@ -19,9 +19,69 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.hierarchy import Hierarchy
+from repro.core.orders import format_order
 from repro.engine.core import SweepEngine
 from repro.engine.keys import EvalRequest
+from repro.engine.supervisor import is_failure
 from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class FailedPoint:
+    """One grid point whose evaluation was quarantined as a failure."""
+
+    order: tuple[int, ...] | None
+    total_bytes: float | None
+    cause: str
+    detail: str
+    key: str
+
+    def describe(self) -> str:
+        order = format_order(self.order) if self.order is not None else "?"
+        size = f"{self.total_bytes:g} B" if self.total_bytes is not None else "? B"
+        return f"order {order} @ {size}: {self.cause} ({self.detail})"
+
+
+def failed_point(
+    record: dict,
+    order: tuple[int, ...] | None = None,
+    total_bytes: float | None = None,
+) -> FailedPoint:
+    """Lift a salvaged :class:`~repro.engine.supervisor.EvalFailure`
+    result record into a :class:`FailedPoint` at known grid coordinates."""
+    return FailedPoint(
+        order=order,
+        total_bytes=total_bytes,
+        cause=str(record.get("failure_cause", "unknown")),
+        detail=str(record.get("failure_detail", "")),
+        key=str(record.get("failure_key", "")),
+    )
+
+
+class BatchEvaluationError(RuntimeError):
+    """A result grid contains quarantined evaluation failures.
+
+    The supervised fallback path salvages a batch by recording tasks that
+    exhausted their attempt budget as structured
+    :class:`~repro.engine.supervisor.EvalFailure` result dicts instead of
+    aborting the sweep.  Consumers that need every grid point (stacking,
+    ranking, advice assembly) raise this instead of an opaque
+    ``KeyError``/``TypeError``: :attr:`points` names each failed
+    ``(order, payload)`` coordinate with its cause.  Failures are never
+    cached or journaled, so re-running the same grid retries exactly
+    these points.
+    """
+
+    def __init__(self, points: Sequence[FailedPoint], context: str = ""):
+        self.points = tuple(points)
+        head = context or "batch evaluation"
+        shown = "; ".join(p.describe() for p in self.points[:8])
+        more = f" (+{len(self.points) - 8} more)" if len(self.points) > 8 else ""
+        super().__init__(
+            f"{head}: {len(self.points)} grid point(s) failed evaluation -- "
+            f"{shown}{more}; failures are never cached, so re-running the "
+            "grid retries exactly these points"
+        )
 
 
 @dataclass(frozen=True)
@@ -78,11 +138,30 @@ class BatchEvalRequest:
         ]
 
     def stack(self, results: Sequence[dict], key: str) -> np.ndarray:
-        """Results field ``key`` as an ``(n_orders, n_sizes)`` array."""
+        """Results field ``key`` as an ``(n_orders, n_sizes)`` array.
+
+        Raises :class:`BatchEvaluationError` (naming the failed
+        ``(order, payload)`` grid points) when the sequence contains
+        salvaged :class:`~repro.engine.supervisor.EvalFailure` records
+        from the supervised fallback path.
+        """
         n_sizes = len(self.total_bytes)
         if len(results) != len(self):
             raise ValueError(
                 f"expected {len(self)} results, got {len(results)}"
+            )
+        failed = [
+            failed_point(
+                r,
+                order=self.orders[i // n_sizes],
+                total_bytes=self.total_bytes[i % n_sizes],
+            )
+            for i, r in enumerate(results)
+            if is_failure(r)
+        ]
+        if failed:
+            raise BatchEvaluationError(
+                failed, context=f"{self.model} frontier stack({key!r})"
             )
         return np.array(
             [float(r[key]) for r in results], dtype=float

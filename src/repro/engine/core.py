@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -213,6 +214,12 @@ class SweepEngine:
             self.journal = SweepJournal(Path(cache_dir) / JOURNAL_NAME)
             self.stats.journal_replayed = self.journal.replayed
         self._class_keys: dict[tuple, tuple] = {}
+        # Engine internals (cache bookkeeping, stats, journal handle) are
+        # not thread-safe; the advisor service shares one engine across
+        # request handlers and pre-warm workers, so the whole pipeline
+        # runs under one reentrant lock.  Single-threaded callers (CLI
+        # sweeps) pay one uncontended acquire per batch.
+        self._lock = threading.RLock()
 
     # -- public API --------------------------------------------------------
 
@@ -251,6 +258,12 @@ class SweepEngine:
         return self._evaluate(requests, batched=True)
 
     def _evaluate(
+        self, requests: Sequence[EvalRequest], batched: bool
+    ) -> list[dict]:
+        with self._lock:
+            return self._evaluate_locked(requests, batched)
+
+    def _evaluate_locked(
         self, requests: Sequence[EvalRequest], batched: bool
     ) -> list[dict]:
         t0 = time.perf_counter()

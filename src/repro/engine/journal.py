@@ -17,6 +17,18 @@ integrity incident and re-evaluated.
 
 Lines carry the cache schema; replay skips lines from other schema
 versions (their keys could never match current requests anyway).
+
+Several engine processes may share one cache directory (parallel CLI
+sweeps, the advisor service's pre-warm workers): each opens the journal
+in append mode and dedupes ``record()`` only against the keys *it* has
+seen, so the file may legitimately contain duplicate lines for one key.
+Replay is dedupe-tolerant by construction (completed keys are a set),
+and each append is serialized under an advisory ``flock`` and issued as
+a single ``O_APPEND`` write, so concurrent writers never interleave
+partial lines.  Creating a fresh journal also fsyncs the parent
+directory: the per-line fsync makes the *data* durable, but without the
+directory fsync a crash right after the first ``record()`` could lose
+the file's directory entry — and with it the whole journal.
 """
 
 from __future__ import annotations
@@ -28,8 +40,45 @@ from typing import IO
 
 from repro.engine.keys import CACHE_SCHEMA
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: appends stay atomic
+    fcntl = None  # type: ignore[assignment]
+
 #: File name used for a cache directory's journal.
 JOURNAL_NAME = "sweep-journal.jsonl"
+
+
+def fsync_dir(path: str | os.PathLike) -> bool:
+    """Best-effort fsync of a directory, making its entries durable.
+
+    Returns True when the fsync was issued.  Failures are swallowed:
+    some filesystems (and non-POSIX platforms) reject opening or
+    syncing directories, and a journal on such a filesystem degrades to
+    exactly the pre-fsync durability, never an error.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
+def _flock(fh: IO[str], lock: bool) -> None:
+    """Take or drop an advisory exclusive lock on an open journal."""
+    if fcntl is None:
+        return
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX if lock else fcntl.LOCK_UN)
+    except OSError:  # pragma: no cover - e.g. NFS without lockd
+        pass
 
 
 class SweepJournal:
@@ -84,23 +133,38 @@ class SweepJournal:
     # -- append ------------------------------------------------------------
 
     def record(self, key: str) -> None:
-        """Durably append one completed key (idempotent per journal)."""
+        """Durably append one completed key (idempotent per journal).
+
+        Concurrent journals on the same path may each record a key once,
+        so the file can carry duplicate lines; replay tolerates them.
+        """
         if key in self._seen:
             return
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            created = not self.path.exists()
             self._fh = open(self.path, "a")
-            if self._torn_tail:
-                # Terminate the line a killed writer never finished so the
-                # new record does not concatenate onto it.
-                self._fh.write("\n")
-                self._torn_tail = False
-        self._fh.write(
-            json.dumps({"key": key, "schema": CACHE_SCHEMA}, sort_keys=True)
-            + "\n"
-        )
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+            if created:
+                # The line fsync below makes the data durable, but a
+                # crash before the *directory entry* reaches disk would
+                # lose the freshly created file itself.
+                fsync_dir(self.path.parent)
+        text = json.dumps({"key": key, "schema": CACHE_SCHEMA}, sort_keys=True) + "\n"
+        if self._torn_tail:
+            # Terminate the line a killed writer never finished so this
+            # record does not concatenate onto it.
+            text = "\n" + text
+            self._torn_tail = False
+        # One buffered write per record (a single O_APPEND syscall for
+        # these line sizes), serialized with an advisory lock so journals
+        # shared across processes never interleave partial lines.
+        _flock(self._fh, True)
+        try:
+            self._fh.write(text)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        finally:
+            _flock(self._fh, False)
         self._seen.add(key)
 
     def close(self) -> None:

@@ -1,0 +1,83 @@
+"""Regression: frontier stacking over results containing salvaged
+EvalFailure records must raise a structured BatchEvaluationError naming
+the failed (order, payload) grid points -- not an opaque KeyError."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchEvalRequest,
+    BatchEvaluationError,
+    SweepEngine,
+    is_failure,
+)
+from repro.engine.chaos import CHAOS_ENV
+from repro.topology.hwloc import parse_synthetic
+from repro.topology.machines import generic_cluster
+
+H = parse_synthetic("node:2 socket:2 core:2")
+TOPO = generic_cluster(H.radices, H.names)
+
+
+def _frontier() -> BatchEvalRequest:
+    return BatchEvalRequest(
+        model="round",
+        topology=TOPO,
+        hierarchy=H,
+        orders=((0, 1, 2), (2, 1, 0), (1, 0, 2)),
+        comm_size=4,
+        collective="alltoall",
+        total_bytes=(1e5, 1e6),
+    )
+
+
+class TestStackWithFailures:
+    def test_all_failures_raise_structured_error(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "flaky=1.0,attempts=5")
+        engine = SweepEngine(max_attempts=1)
+        batch = _frontier()
+        results = engine.evaluate_many(batch.requests())
+        assert all(is_failure(r) for r in results)
+        with pytest.raises(BatchEvaluationError) as exc:
+            batch.stack(results, "duration_all")
+        err = exc.value
+        assert len(err.points) == len(batch)
+        # Every grid coordinate is named, with its quarantine cause.
+        assert {p.order for p in err.points} == set(batch.orders)
+        assert {p.total_bytes for p in err.points} == set(batch.total_bytes)
+        assert all(p.cause == "exception" for p in err.points)
+        assert "2-1-0" in str(err) and "100000" in str(err)
+
+    def test_partial_failures_name_only_failed_points(self, monkeypatch):
+        # Injection is a pure hash of (key, mode, attempt): some points
+        # fail, some succeed, deterministically.
+        monkeypatch.setenv(CHAOS_ENV, "flaky=0.5,attempts=5")
+        engine = SweepEngine(max_attempts=1, prune=False)
+        batch = _frontier()
+        results = engine.evaluate_many(batch.requests())
+        failed_idx = {i for i, r in enumerate(results) if is_failure(r)}
+        if not failed_idx or len(failed_idx) == len(results):
+            pytest.skip("chaos draw left no mixed outcome for this grid")
+        n_sizes = len(batch.total_bytes)
+        with pytest.raises(BatchEvaluationError) as exc:
+            batch.rank_orders(results)
+        named = {
+            (p.order, p.total_bytes) for p in exc.value.points
+        }
+        expected = {
+            (batch.orders[i // n_sizes], batch.total_bytes[i % n_sizes])
+            for i in failed_idx
+        }
+        assert named == expected
+
+    def test_clean_grid_still_stacks(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        engine = SweepEngine()
+        batch = _frontier()
+        results = engine.evaluate_many(batch.requests())
+        stacked = batch.stack(results, "duration_all")
+        assert stacked.shape == (len(batch.orders), len(batch.total_bytes))
+        assert np.isfinite(stacked).all()
+        assert len(batch.rank_orders(results)) == len(batch.orders)

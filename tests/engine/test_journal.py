@@ -1,10 +1,15 @@
-"""SweepJournal: durable replay, torn-tail tolerance, schema filtering."""
+"""SweepJournal: durable replay, torn-tail tolerance, schema filtering,
+directory-entry durability, and multi-writer append safety."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import subprocess
+import sys
 
 from repro.engine import SweepJournal
+from repro.engine import journal as journal_mod
 from repro.engine.keys import CACHE_SCHEMA
 
 
@@ -81,3 +86,111 @@ class TestCorruption:
         j = SweepJournal(path)
         assert j.completed == {K1}
         assert j.corrupt_lines == 1  # only the key-less line is corrupt
+
+
+class TestDirectoryDurability:
+    def test_fresh_journal_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        synced: list[str] = []
+        real = journal_mod.fsync_dir
+        monkeypatch.setattr(
+            journal_mod,
+            "fsync_dir",
+            lambda path: synced.append(str(path)) or real(path),
+        )
+        j = SweepJournal(tmp_path / "journal.jsonl")
+        assert synced == []  # construction alone creates nothing
+        j.record(K1)
+        assert synced == [str(tmp_path)]
+        j.record(K2)  # file handle already open: no second directory fsync
+        j.close()
+        assert synced == [str(tmp_path)]
+
+    def test_existing_journal_skips_directory_fsync(self, tmp_path, monkeypatch):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record(K1)
+        j.close()
+        synced: list[str] = []
+        monkeypatch.setattr(
+            journal_mod, "fsync_dir", lambda p: synced.append(str(p))
+        )
+        j2 = SweepJournal(path)
+        j2.record(K2)
+        j2.close()
+        assert synced == []  # the directory entry already exists
+
+    def test_fsync_dir_succeeds_on_real_directory(self, tmp_path):
+        assert journal_mod.fsync_dir(tmp_path) is True
+        assert journal_mod.fsync_dir(tmp_path / "missing") is False
+
+    def test_crash_replay_after_first_record(self, tmp_path):
+        """A writer SIGKILLed right after its first record() leaves a
+        replayable journal: the file exists and holds the key."""
+        path = tmp_path / "cache" / "sweep-journal.jsonl"
+        script = (
+            "import os, signal, sys\n"
+            "from repro.engine import SweepJournal\n"
+            f"j = SweepJournal({str(path)!r})\n"
+            f"j.record({K1!r})\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", script])
+        assert proc.returncode == -9  # killed, never exited cleanly
+        replayed = SweepJournal(path)
+        assert replayed.completed == {K1}
+        assert replayed.corrupt_lines == 0
+
+
+def _journal_writer(path, keys) -> None:
+    j = SweepJournal(path)
+    for key in keys:
+        j.record(key)
+    j.close()
+
+
+class TestConcurrentWriters:
+    def test_duplicate_lines_from_two_journals_tolerated(self, tmp_path):
+        """Two engine processes sharing a cache dir dedupe record() only
+        per-instance; replay must absorb the resulting duplicate lines."""
+        path = tmp_path / "journal.jsonl"
+        a = SweepJournal(path)
+        b = SweepJournal(path)  # opened before a's appends: sees nothing
+        a.record(K1)
+        b.record(K1)  # duplicate line for K1, legitimately
+        a.record(K2)
+        b.record(K3)
+        a.close()
+        b.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4  # the duplicate is really on disk
+        replayed = SweepJournal(path)
+        assert replayed.completed == {K1, K2, K3}
+        assert replayed.replayed == 3
+        assert replayed.corrupt_lines == 0
+
+    def test_parallel_processes_never_interleave_lines(self, tmp_path):
+        """Concurrent appends from real processes (flock + single-write
+        appends) produce only whole, parseable lines."""
+        path = tmp_path / "journal.jsonl"
+        shared = [f"{i:064x}" for i in range(8)]  # every process records these
+        ctx = multiprocessing.get_context("fork")
+        procs = []
+        for p in range(4):
+            own = [f"{p:02d}{i:062x}" for i in range(32)]
+            procs.append(
+                ctx.Process(target=_journal_writer, args=(path, shared + own))
+            )
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        for line in path.read_text().splitlines():
+            doc = json.loads(line)  # no torn or interleaved lines
+            assert doc["schema"] == CACHE_SCHEMA
+        replayed = SweepJournal(path)
+        assert replayed.corrupt_lines == 0
+        expected = set(shared)
+        for p in range(4):
+            expected |= {f"{p:02d}{i:062x}" for i in range(32)}
+        assert replayed.completed == expected
