@@ -149,6 +149,173 @@ def sweep(
     return records
 
 
+def top_k_records(
+    records: Sequence[SweepRecord],
+    k: int,
+    scenario: str = "all",
+) -> list[SweepRecord]:
+    """The records of the ``k`` fastest orders, rank-major.
+
+    An order's rank score is its summed duration across every grid cell
+    (the same aggregation the advisor and the fidelity ladder use), ties
+    broken by the order name, so the selection is deterministic.  Within
+    an order the original record order is preserved -- the output is a
+    stable, byte-reproducible top-k table for CSV comparison.
+    """
+    key_attr = "duration_all" if scenario == "all" else "duration_single"
+    totals: dict[str, float] = {}
+    groups: dict[str, list[SweepRecord]] = {}
+    for rec in records:
+        totals[rec.order] = totals.get(rec.order, 0.0) + getattr(rec, key_attr)
+        groups.setdefault(rec.order, []).append(rec)
+    ranked = sorted(totals, key=lambda o: (totals[o], o))[:k]
+    out: list[SweepRecord] = []
+    for order in ranked:
+        out.extend(groups[order])
+    return out
+
+
+def ladder_sweep(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    comm_sizes: Sequence[int],
+    collectives: Sequence[str] = ("alltoall",),
+    sizes: Sequence[float] = (1e6, 64e6),
+    orders: Sequence[Order] | None = None,
+    algorithm: str | None = None,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
+    backend: str = "round",
+    scenario: str = "all",
+    rungs: Sequence[str] | None = None,
+    eta: float = 4.0,
+    top_k: int = 10,
+    probe: int = 16,
+    tau_floor: float = 0.9,
+    seed: int = 0,
+    batch: bool | None = None,
+    exhaustive_audit: bool = False,
+):
+    """Multi-fidelity order search over the sweep grid.
+
+    Instead of evaluating every order at full fidelity like
+    :func:`sweep`, runs the error-calibrated successive-halving ladder
+    (:class:`~repro.engine.fidelity.FidelityLadder`): orders are scored
+    on the free analytic metric first, survivors promoted through
+    progressively costlier models until ``backend`` ranks the finalists.
+    A candidate's score at any rung is its summed scenario duration over
+    the full ``comm_sizes x collectives x sizes`` grid -- exactly the
+    aggregation :func:`top_k_records` applies to plain sweep output, and
+    the engine requests carry the same content keys :func:`sweep`
+    issues, so ladder and sweep share every cache record.
+
+    Returns ``(records, result)``: the finalists' sweep records trimmed
+    to the ``top_k`` fastest orders (rank-major, byte-comparable to
+    ``top_k_records(sweep(...), top_k, scenario)``), and the
+    :class:`~repro.engine.fidelity.LadderResult` audit trail (per-rung
+    promotion counts, probe Kendall taus, request totals).
+
+    ``batch`` routes engine rungs through the vectorized batch path;
+    default: batch unless the engine has a distributed ``dispatcher``
+    attached, in which case rung grids fan out to the workers.
+    ``exhaustive_audit`` additionally evaluates *every* order at the
+    final rung and asserts the ladder's top-k matches -- the opt-in
+    correctness gate, at full-sweep cost.
+    """
+    from repro.engine.fidelity import (
+        FidelityLadder,
+        LadderConfig,
+        analytic_order_score,
+        default_rungs,
+    )
+    from repro.ir import backend_names
+
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
+    if scenario not in ("all", "single"):
+        raise ValueError("scenario must be 'all' or 'single'")
+    hierarchy.check_process_count(topology.n_cores)
+    for comm_size in comm_sizes:
+        if hierarchy.size % comm_size:
+            raise ValueError(
+                f"comm size {comm_size} does not divide {hierarchy.size}"
+            )
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir)
+    if orders is None:
+        orders = all_orders(hierarchy.depth)
+    candidates = [tuple(order) for order in orders]
+    config = LadderConfig(
+        rungs=tuple(rungs) if rungs is not None else default_rungs(backend),
+        eta=eta,
+        top_k=top_k,
+        probe=probe,
+        tau_floor=tau_floor,
+        seed=seed,
+        duration_key="duration_all" if scenario == "all" else "duration_single",
+    )
+    if config.rungs[-1] != backend:
+        raise ValueError(
+            f"the final rung {config.rungs[-1]!r} must match backend "
+            f"{backend!r}: the finalists' records are materialized at the "
+            "sweep backend's fidelity"
+        )
+
+    def requests_for(model: str, order: Order) -> list[EvalRequest]:
+        # One candidate's grid, in sweep()'s nested-loop shape and with
+        # sweep()'s extras, so the content keys are shared with plain
+        # full-fidelity sweeps over the same space.
+        extras = (("des_all", True),) if model == "des" else ()
+        return [
+            EvalRequest(
+                model=model,
+                topology=topology,
+                hierarchy=hierarchy,
+                order=order,
+                comm_size=comm_size,
+                collective=collective,
+                algorithm=algorithm,
+                total_bytes=total,
+                extras=extras,
+            )
+            for comm_size in comm_sizes
+            for collective in collectives
+            for total in sizes
+        ]
+
+    def metric_score(order: Order) -> float:
+        return sum(
+            analytic_order_score(topology, hierarchy, order, comm_size, total)
+            for comm_size in comm_sizes
+            for total in sizes
+        )
+
+    ladder = FidelityLadder(engine, config, batch=batch)
+    result = ladder.search(
+        candidates,
+        requests_for,
+        metric_score=metric_score if "metric" in config.rungs else None,
+        exhaustive_audit=exhaustive_audit,
+    )
+    # Re-run the finalists through the plain sweep (pure cache hits: the
+    # final rung already evaluated these keys) to materialize records.
+    records = sweep(
+        topology,
+        hierarchy,
+        comm_sizes,
+        collectives=collectives,
+        sizes=sizes,
+        orders=list(result.ranking),
+        algorithm=algorithm,
+        engine=engine,
+        backend=backend,
+        batch=ladder.batch,
+    )
+    return top_k_records(records, top_k, scenario), result
+
+
 def to_csv(records: Sequence) -> str:
     """Render dataclass records as CSV (header + one row per record)."""
     if not records:

@@ -13,7 +13,11 @@ Operational front-end for the two use cases of Section 3:
   simulated machine (``hydra``/``lumi`` presets or a generic model)
 - ``sweep``        memoized, parallel parameter sweep over orders /
   communicator sizes / collectives / data sizes (``--jobs``,
-  ``--cache-dir``, ``--no-prune``, ``--bench-json``) with CSV output
+  ``--cache-dir``, ``--no-prune``, ``--bench-json``) with CSV output;
+  ``--ladder`` switches to the error-calibrated multi-fidelity search
+  and ``--workers``/``--listen`` dispatch evaluations to socket workers
+- ``worker``       serve evaluations to a ``sweep --listen`` dispatcher
+  (``--connect HOST:PORT``), locally or from another host
 - ``backends``     the execution-backend registry: ``list`` prints every
   registered backend with its capability flags
 - ``verify``       conformance checks: ``fuzz`` (seeded campaigns with
@@ -150,8 +154,45 @@ def _machine_topology(machine: str, h):
     return topology
 
 
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"bad port in {spec!r}") from None
+
+
+def _sweep_dispatcher(args: argparse.Namespace, engine):
+    """The distributed dispatcher for ``sweep``, or None for local pools."""
+    if not args.workers and not args.listen:
+        return None
+    from repro.engine import DistributedSupervisor
+
+    host, port = (
+        _parse_endpoint(args.listen) if args.listen else ("127.0.0.1", 0)
+    )
+    dispatcher = DistributedSupervisor(
+        host=host,
+        port=port,
+        spawn=args.workers,
+        policy=engine.retry_policy,
+        min_workers=args.min_workers,
+        worker_wait=args.worker_wait,
+    )
+    bound_host, bound_port = dispatcher.address
+    print(
+        f"# dispatcher listening on {bound_host}:{bound_port} "
+        f"({args.workers} spawned worker(s); connect more with "
+        f"'repro-mrd worker --connect {bound_host}:{bound_port}')",
+        file=sys.stderr,
+    )
+    return dispatcher
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.bench.sweeps import sweep, to_csv
+    from repro.bench.sweeps import ladder_sweep, sweep, to_csv, top_k_records
     from repro.engine import SweepEngine
 
     h = parse_synthetic(args.hierarchy)
@@ -171,6 +212,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         max_attempts=args.max_attempts,
     )
+    engine.dispatcher = _sweep_dispatcher(args, engine)
     if args.resume:
         print(
             f"# resume: {engine.stats.journal_replayed} completed key(s) "
@@ -178,21 +220,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "removed; only incomplete keys will be evaluated",
             file=sys.stderr,
         )
-    records = sweep(
-        topology,
-        h,
-        comm_sizes,
-        collectives=collectives,
-        sizes=sizes,
-        orders=orders,
-        algorithm=args.algorithm,
-        engine=engine,
-        backend=args.backend,
-        batch=args.batch,
-    )
+    ladder_extra = {}
+    top_k = args.top_k if args.top_k is not None else 10
+    try:
+        if args.ladder:
+            records, result = ladder_sweep(
+                topology,
+                h,
+                comm_sizes,
+                collectives=collectives,
+                sizes=sizes,
+                orders=orders,
+                algorithm=args.algorithm,
+                engine=engine,
+                backend=args.backend,
+                scenario=args.scenario,
+                rungs=tuple(args.rungs.split(",")) if args.rungs else None,
+                eta=args.eta,
+                top_k=top_k,
+                probe=args.probe,
+                tau_floor=args.tau_floor,
+                seed=args.seed,
+                exhaustive_audit=args.exhaustive_audit,
+            )
+            ladder_extra = {"ladder": result.to_jsonable()}
+            for rung in result.rungs:
+                tau = "-" if rung.tau is None else f"{rung.tau:.3f}"
+                widened = " (widened)" if rung.widened else ""
+                print(
+                    f"# ladder {rung.rung}: {rung.n_candidates} -> "
+                    f"{rung.n_promoted} promoted, tau={tau}{widened}, "
+                    f"{rung.n_requests} request(s), {rung.wall_s:.2f}s",
+                    file=sys.stderr,
+                )
+            if result.audit:
+                print(
+                    f"# exhaustive audit: top-{result.audit['checked_top_k']} "
+                    f"agrees across {result.audit['n_candidates']} candidates",
+                    file=sys.stderr,
+                )
+        else:
+            records = sweep(
+                topology,
+                h,
+                comm_sizes,
+                collectives=collectives,
+                sizes=sizes,
+                orders=orders,
+                algorithm=args.algorithm,
+                engine=engine,
+                backend=args.backend,
+                batch=args.batch,
+            )
+            if args.top_k is not None:
+                records = top_k_records(records, top_k, args.scenario)
+    finally:
+        if engine.dispatcher is not None:
+            engine.dispatcher.close()
     sys.stdout.write(to_csv(records))
     if args.bench_json:
-        doc = engine.write_bench_json(args.bench_json, extra={"records": len(records)})
+        doc = engine.write_bench_json(
+            args.bench_json, extra={"records": len(records), **ladder_extra}
+        )
         print(
             f"# wrote {args.bench_json}: {doc['requests']} requests, "
             f"{doc['evaluated']} evaluated, "
@@ -237,6 +326,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         collective=args.collective,
         scenario=args.scenario,
         backend=args.backend,
+        ladder=args.ladder,
     )
     print(advice.report())
     return 0
@@ -323,6 +413,13 @@ def _cmd_verify_differential(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.distributed import run_worker
+
+    host, port = _parse_endpoint(args.connect)
+    return run_worker(host, port, connect_timeout=args.connect_timeout)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import build_service, default_specs, run_server
 
@@ -333,6 +430,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             prewarm = default_specs(machines)
         except ValueError as err:
             raise SystemExit(str(err)) from None
+        if args.prewarm_ladder:
+            import dataclasses
+
+            prewarm = tuple(
+                dataclasses.replace(s, ladder=True) for s in prewarm
+            )
     service = build_service(
         backend=args.backend,
         cache_dir=args.cache_dir,
@@ -411,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibrated preset (level 0 must be the node count) or a "
         "generic gradient model",
     )
+    p.add_argument(
+        "--ladder", action="store_true",
+        help="rank through the multi-fidelity ladder (finalist classes "
+        "only) instead of scoring every class at --backend",
+    )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_advise)
 
@@ -477,8 +585,85 @@ def build_parser() -> argparse.ArgumentParser:
         "(round/logp run as stacked array passes, bitwise identical to "
         "the scalar path and sharing its cache keys)",
     )
+    p.add_argument(
+        "--scenario", default="all", choices=["all", "single"],
+        help="duration column used for ranking (--ladder / --top-k)",
+    )
+    p.add_argument(
+        "--ladder", action="store_true",
+        help="multi-fidelity search: rank orders on the error-calibrated "
+        "successive-halving ladder instead of sweeping every order at "
+        "full fidelity; prints the top-k finalists' records",
+    )
+    p.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="with --ladder, finalists reported (default: 10); without, "
+        "trim the CSV to the K fastest orders (rank-major, byte-"
+        "comparable to the ladder's output)",
+    )
+    p.add_argument(
+        "--eta", type=float, default=4.0,
+        help="ladder elimination factor per rung; 1 disables elimination "
+        "(default: 4)",
+    )
+    p.add_argument(
+        "--rungs", default=None,
+        help="comma-separated ladder rungs, cheapest first, e.g. "
+        "metric,logp,round (default: the stock ladder toward --backend)",
+    )
+    p.add_argument(
+        "--probe", type=int, default=16,
+        help="calibration probe size per rung (default: 16)",
+    )
+    p.add_argument(
+        "--tau-floor", type=float, default=0.9,
+        help="Kendall tau below which a rung's promotion fraction is "
+        "widened (default: 0.9)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="probe-subset selection seed (default: 0)",
+    )
+    p.add_argument(
+        "--exhaustive-audit", action="store_true",
+        help="audit mode: also evaluate every order at the final rung and "
+        "assert the ladder's top-k matches the exhaustive sweep",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="spawn N local socket workers and dispatch evaluations to "
+        "them (an alternative to the --jobs fork pool)",
+    )
+    p.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="accept remote 'repro-mrd worker --connect' workers on this "
+        "endpoint (port 0 picks an ephemeral port, printed to stderr)",
+    )
+    p.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help="wait for N connected workers before dispatching (default: "
+        "1 when only --listen is given, else 0)",
+    )
+    p.add_argument(
+        "--worker-wait", type=float, default=30.0, metavar="SECONDS",
+        help="max wait for --min-workers before degrading (default: 30)",
+    )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve evaluations to a 'sweep --listen' dispatcher",
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="dispatcher endpoint printed by 'repro-mrd sweep --listen'",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="retry connecting for this long before giving up (default: 10)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "serve",
@@ -506,6 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--prewarm-idle", type=float, default=1.0, metavar="SECONDS",
         help="idle time before pre-warm work runs (default: 1.0)",
+    )
+    p.add_argument(
+        "--prewarm-ladder", action="store_true",
+        help="pre-warm through the multi-fidelity ladder (screening rungs "
+        "plus finalist keys) instead of the full advice grids",
     )
     _add_backend_arg(p, default="logp")
     p.set_defaults(func=_cmd_serve)

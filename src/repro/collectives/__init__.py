@@ -26,12 +26,11 @@ paper lets the MPI library pick and notes fixed algorithms show the same
 trends, which the ablation benchmark verifies.
 """
 
-from repro.collectives.base import RoundSpec, rounds_to_schedule
+from repro.collectives.base import RoundSpec
 from repro.collectives.selector import get_algorithm, select_algorithm, list_algorithms
 
 __all__ = [
     "RoundSpec",
-    "rounds_to_schedule",
     "get_algorithm",
     "select_algorithm",
     "list_algorithms",

@@ -2,13 +2,9 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
-
-from repro.netsim.fabric import RoundSchedule
 
 
 @dataclass(frozen=True)
@@ -32,24 +28,6 @@ class RoundSpec:
             raise ValueError("src and dst must have the same shape")
         if self.repeat < 1:
             raise ValueError("repeat must be >= 1")
-
-
-def rounds_to_schedule(
-    rounds: Sequence[RoundSpec], member_cores: np.ndarray | Sequence[int]
-) -> RoundSchedule:
-    """Deprecated: use :func:`repro.ir.lower.placed_rounds`.
-
-    The IR lowering is the single conversion path now; this wrapper stays
-    importable for one release and produces the identical schedule.
-    """
-    warnings.warn(
-        "rounds_to_schedule is deprecated; use repro.ir.lower.placed_rounds",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.ir.lower import placed_rounds
-
-    return placed_rounds(rounds, member_cores)
 
 
 def check_power_of_two(p: int, algorithm: str) -> None:

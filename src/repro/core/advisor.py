@@ -274,6 +274,111 @@ def _assemble(plan: QueryPlan, totals: Sequence[float]) -> Advice:
     )
 
 
+def ladder_advise(
+    plan: QueryPlan,
+    engine=None,
+    config=None,
+    exhaustive_audit: bool = False,
+):
+    """Rank a plan's equivalence classes through the fidelity ladder.
+
+    Instead of scoring every class representative at the plan's backend
+    like :func:`advice_from_results`, runs the error-calibrated
+    successive-halving search
+    (:class:`~repro.engine.fidelity.FidelityLadder`): classes are scored
+    on the free analytic metric first and survivors promoted through
+    progressively costlier models until the plan's backend ranks the
+    finalists.  Returns ``(advice, result)`` — the :class:`Advice` over
+    the *finalist* classes only (eliminated classes carry no duration to
+    report) and the :class:`~repro.engine.fidelity.LadderResult` audit
+    trail.  Finalist durations are bitwise-identical to a full
+    :func:`advise` at the same backend: the final rung issues the exact
+    request keys ``plan.requests`` holds.
+
+    ``config`` defaults to the stock ladder toward ``plan.backend`` with
+    the plan's scenario duration key; a custom config must agree with
+    the plan on both.
+    """
+    import dataclasses
+
+    from repro.engine import EvalRequest, SweepEngine
+    from repro.engine.fidelity import (
+        FidelityLadder,
+        LadderConfig,
+        analytic_order_score,
+        default_rungs,
+    )
+
+    engine = engine or SweepEngine()
+    if config is None:
+        config = LadderConfig(
+            rungs=default_rungs(plan.backend),
+            duration_key=plan.duration_key,
+        )
+    if config.rungs[-1] != plan.backend:
+        raise ValueError(
+            f"ladder final rung {config.rungs[-1]!r} must match the plan's "
+            f"backend {plan.backend!r}"
+        )
+    if config.duration_key != plan.duration_key:
+        raise ValueError(
+            f"ladder duration_key {config.duration_key!r} must match the "
+            f"plan's scenario key {plan.duration_key!r}"
+        )
+    n_sizes = plan.n_sizes
+
+    def requests_for(model: str, ci: int) -> Sequence:
+        if model == plan.backend:
+            # The plan's own grid slice: identical objects, identical keys.
+            return plan.requests[ci * n_sizes : (ci + 1) * n_sizes]
+        rep = tuple(plan.classes[ci][0].order)
+        extras = (("des_all", True),) if model == "des" else ()
+        return [
+            EvalRequest(
+                model=model,
+                topology=plan.topology,
+                hierarchy=plan.hierarchy,
+                order=rep,
+                comm_size=plan.comm_size,
+                collective=plan.collective,
+                algorithm=plan.algorithm,
+                total_bytes=nbytes,
+                extras=extras,
+            )
+            for nbytes in plan.total_bytes
+        ]
+
+    def metric_score(ci: int) -> float:
+        rep = tuple(plan.classes[ci][0].order)
+        return sum(
+            analytic_order_score(
+                plan.topology, plan.hierarchy, rep, plan.comm_size, nbytes
+            )
+            for nbytes in plan.total_bytes
+        )
+
+    ladder = FidelityLadder(engine, config)
+    result = ladder.search(
+        range(len(plan.classes)),
+        requests_for,
+        metric_score=metric_score,
+        exhaustive_audit=exhaustive_audit,
+    )
+    if not result.ranking:
+        raise ValueError(
+            "ladder search produced no finalists (every class evaluation "
+            "failed)"
+        )
+    finalists = tuple(result.ranking)
+    reduced = dataclasses.replace(
+        plan,
+        classes=tuple(plan.classes[ci] for ci in finalists),
+        requests=(),
+    )
+    totals = [result.scores[ci] for ci in finalists]
+    return _assemble(reduced, totals), result
+
+
 def advise(
     topology: MachineTopology,
     hierarchy: Hierarchy,
@@ -286,6 +391,7 @@ def advise(
     backend: str = "round",
     batch: bool = False,
     engine=None,
+    ladder=False,
 ) -> Advice:
     """Rank order equivalence classes by predicted collective duration.
 
@@ -303,6 +409,12 @@ def advise(
     identical durations and rankings, order-of-magnitude faster frontier
     scoring.  Pass ``engine`` (a :class:`~repro.engine.SweepEngine`) to
     share its cache across calls; otherwise a private serial one is used.
+
+    ``ladder`` routes the ranking through the multi-fidelity search
+    instead (``True`` for the stock ladder toward ``backend``, or a
+    :class:`~repro.engine.fidelity.LadderConfig`); the returned advice
+    then covers only the ladder's finalist classes — see
+    :func:`ladder_advise` for the audit trail.
     """
     plan = plan_query(
         topology,
@@ -315,6 +427,12 @@ def advise(
         orders=orders,
         backend=backend,
     )
+    if ladder:
+        from repro.engine.fidelity import LadderConfig
+
+        config = ladder if isinstance(ladder, LadderConfig) else None
+        advice, _ = ladder_advise(plan, engine=engine, config=config)
+        return advice
     if batch:
         from repro.engine import SweepEngine
 

@@ -38,6 +38,12 @@ from repro.engine.core import (
     PRUNABLE_MODELS,
     SweepEngine,
 )
+from repro.engine.distributed import (
+    DistributedSupervisor,
+    request_from_wire,
+    request_to_wire,
+    run_worker,
+)
 from repro.engine.evaluators import (
     BATCH_EVALUATORS,
     EVALUATORS,
@@ -45,6 +51,16 @@ from repro.engine.evaluators import (
     evaluate_requests_batch,
     register_batch_evaluator,
     register_evaluator,
+)
+from repro.engine.fidelity import (
+    FidelityLadder,
+    LadderAuditError,
+    LadderConfig,
+    LadderConfigError,
+    LadderResult,
+    RungOutcome,
+    analytic_order_score,
+    default_rungs,
 )
 from repro.engine.journal import SweepJournal
 from repro.engine.keys import CACHE_SCHEMA, EvalRequest
@@ -61,18 +77,27 @@ __all__ = [
     "BatchEvalRequest",
     "BatchEvaluationError",
     "CACHE_SCHEMA",
+    "DistributedSupervisor",
     "FailedPoint",
+    "FidelityLadder",
     "EVALUATORS",
     "EngineAuditError",
     "EngineStats",
     "EvalFailure",
     "EvalRequest",
+    "LadderAuditError",
+    "LadderConfig",
+    "LadderConfigError",
+    "LadderResult",
     "PRUNABLE_MODELS",
     "ResultCache",
+    "RungOutcome",
     "SweepEngine",
     "SweepJournal",
     "TaskAttempt",
     "TaskSupervisor",
+    "analytic_order_score",
+    "default_rungs",
     "evaluate_batch",
     "evaluate_request",
     "evaluate_requests_batch",
@@ -80,4 +105,7 @@ __all__ = [
     "is_failure",
     "register_batch_evaluator",
     "register_evaluator",
+    "request_from_wire",
+    "request_to_wire",
+    "run_worker",
 ]

@@ -81,6 +81,20 @@ class ResultCache:
         self.misses += 1
         return None
 
+    def warm(self, key: str) -> bool:
+        """Whether ``key`` is already satisfiable without evaluation.
+
+        True when the key sits in the in-memory LRU or has a record in
+        the disk tier (which includes everything the journal replayed).
+        A peek, not a lookup: hit/miss statistics are untouched, LRU
+        recency is not bumped, and the disk record is not read or
+        validated (a corrupt record surfaces through :meth:`get`'s
+        quarantine path as usual).
+        """
+        if key in self._lru:
+            return True
+        return self.cache_dir is not None and self._path(key).exists()
+
     # -- store -------------------------------------------------------------
 
     def put(self, key: str, result: dict, request_doc: dict | None = None) -> None:

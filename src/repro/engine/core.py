@@ -184,6 +184,13 @@ class SweepEngine:
         :class:`~repro.engine.supervisor.EvalFailure` result.
     retry_backoff:
         Base wall-clock pause after a failed attempt; doubles per retry.
+    dispatcher:
+        Optional persistent executor with the supervisor's
+        ``run(requests, on_complete)``/``stats`` shape (notably
+        :class:`~repro.engine.distributed.DistributedSupervisor`).  When
+        set, non-batched evaluation fans out through it instead of a
+        per-batch fork pool; its lifecycle (``close()``) belongs to the
+        caller.
     """
 
     def __init__(
@@ -195,10 +202,12 @@ class SweepEngine:
         task_timeout: float | None = None,
         max_attempts: int = 3,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        dispatcher=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self.dispatcher = dispatcher
         self.prune = prune
         self.cache = ResultCache(maxsize=lru_size, cache_dir=cache_dir)
         self.retry_policy = RetryPolicy(
@@ -507,10 +516,18 @@ class SweepEngine:
         return results  # type: ignore[return-value]
 
     def _run(self, requests, on_complete) -> list[dict | EvalFailure]:
-        """Evaluate distinct requests under the task supervisor."""
+        """Evaluate distinct requests under the task supervisor.
+
+        With a ``dispatcher`` configured, the batch runs on it (e.g. a
+        socket worker pool) instead of a per-batch fork pool; either way
+        the per-run stats deltas are merged into the engine's.
+        """
         if not requests:
             return []
-        supervisor = TaskSupervisor(jobs=self.jobs, policy=self.retry_policy)
+        if self.dispatcher is not None:
+            supervisor = self.dispatcher
+        else:
+            supervisor = TaskSupervisor(jobs=self.jobs, policy=self.retry_policy)
         try:
             return supervisor.run(requests, on_complete=on_complete)
         finally:

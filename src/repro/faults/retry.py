@@ -12,7 +12,6 @@ survivors, and try again -- up to a bounded attempt budget.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -29,25 +28,6 @@ from repro.util.retry import RetryPolicy as _RetryPolicy
 #: Builds the per-rank generators for one attempt.  Receives the world
 #: communicator handles of the current (possibly shrunk) world.
 ProgramFactory = Callable[[Sequence[Comm]], Mapping[int, RankProgram]]
-
-#: ``RetryPolicy`` and ``AttemptRecord`` moved to :mod:`repro.util.retry`
-#: so the sweep engine can share them without importing the simulated
-#: fault subsystem.  Accessing them through this module still works but
-#: warns; import from ``repro.util.retry`` (or ``repro.faults``) instead.
-_MOVED_TO_UTIL = {"RetryPolicy": _RetryPolicy, "AttemptRecord": _AttemptRecord}
-
-
-def __getattr__(name: str) -> Any:
-    if name in _MOVED_TO_UTIL:
-        warnings.warn(
-            f"repro.faults.retry.{name} has moved to repro.util.retry; "
-            "this alias will be removed in a future release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _MOVED_TO_UTIL[name]
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 
 class RetryExhaustedError(RuntimeError):
     """Every attempt of the retry budget failed."""

@@ -49,3 +49,33 @@ def spearman(x: Sequence[float], y: Sequence[float]) -> float:
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
     return pearson(_ranks(x), _ranks(y))
+
+
+def kendall(x: Sequence[float], y: Sequence[float]) -> float:
+    """Kendall rank correlation over the untied pairs.
+
+    ``(concordant - discordant) / untied`` where a pair is *untied* when
+    it is ordered (not equal) in both sequences.  Pairs tied in either
+    sequence are excluded from the denominator: a tie carries no ranking
+    claim to agree or disagree with.  When every pair is tied -- the
+    degenerate constant case, common on equivalence-pruned score vectors
+    -- the rankings are trivially consistent and the correlation is 1.0.
+
+    This is the statistic the fidelity ladder's calibration pass gates
+    on: 1.0 means the cheap rung orders the probe exactly like the next
+    rung, -1.0 means it inverts it.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D and equally long")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    dx = np.sign(x[:, None] - x[None, :])
+    dy = np.sign(y[:, None] - y[None, :])
+    upper = np.triu_indices(x.size, k=1)
+    prod = dx[upper] * dy[upper]
+    untied = int(np.count_nonzero(prod))
+    if untied == 0:
+        return 1.0
+    return float(prod.sum() / untied)

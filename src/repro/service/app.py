@@ -207,6 +207,7 @@ class AdvisorService:
         self.coalescer = KeyCoalescer(
             evaluate if evaluate is not None else self.engine.evaluate_batch,
             executor=self._executor,
+            probe=self.engine.cache.warm,
         )
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
         self._plan_cache_size = plan_cache_size
@@ -309,6 +310,23 @@ class AdvisorService:
     ) -> tuple[list[dict], CallStats]:
         """Evaluate a plan's grid through the coalescer (pre-warm path)."""
         return await self.coalescer.evaluate(plan.requests)
+
+    async def evaluate_plan_ladder(self, plan: QueryPlan):
+        """Warm a plan through the multi-fidelity ladder (pre-warm path).
+
+        Runs :func:`repro.core.advisor.ladder_advise` on the engine
+        executor: the screening rungs and the finalists' full-fidelity
+        keys land in the shared cache without evaluating every class at
+        the plan's backend.  Returns ``(advice, ladder_result)``.
+        """
+        import asyncio
+
+        from repro.core.advisor import ladder_advise
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: ladder_advise(plan, engine=self.engine)
+        )
 
     def _provenance(self, query: PlacementQuery, plan: QueryPlan) -> dict:
         from repro import __version__

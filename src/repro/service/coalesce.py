@@ -11,12 +11,14 @@ registered under its :attr:`EvalRequest.key <repro.engine.keys.EvalRequest.key>`
 — the same SHA-256 content key the engine's two-tier cache and journal
 use — in a single-threaded (event-loop owned) in-flight table:
 
-- a key nobody is computing is **submitted** (the caller ships it to the
-  engine, which still consults the cache first, so already-warm keys
-  cost one lookup);
+- a key nobody is computing and not already warm is **submitted** (the
+  caller ships it to the engine for fresh evaluation);
 - a key some other query is already computing is **coalesced** (the
   caller awaits the in-flight future instead of re-submitting);
-- a key appearing twice in one query is **deduped** locally.
+- a key appearing twice in one query, or one the ``probe`` reports as
+  already satisfied by the engine's cache/journal, is **deduped** — no
+  fresh evaluation happens for it (warm keys still ride the engine
+  batch to fetch their cached values, costing one lookup each).
 
 Engine evaluation is synchronous, so submitted slices run in an executor
 (the service passes a single-threaded one, serializing engine access);
@@ -42,8 +44,8 @@ class CoalesceStats:
 
     calls: int = 0  # evaluate() invocations (one per advise/prewarm grid)
     keys: int = 0  # grid points requested, including duplicates
-    deduped: int = 0  # duplicate keys within a single call
-    submitted: int = 0  # keys actually shipped to the engine
+    deduped: int = 0  # keys needing no evaluation: in-call duplicates + cache/journal-warm
+    submitted: int = 0  # cold keys shipped to the engine for fresh evaluation
     coalesced: int = 0  # keys that awaited another call's in-flight work
     peak_inflight: int = 0  # widest concurrent in-flight table
 
@@ -74,17 +76,23 @@ class KeyCoalescer:
     ``evaluate`` is the blocking batch evaluator (normally
     :meth:`SweepEngine.evaluate_batch <repro.engine.core.SweepEngine.evaluate_batch>`);
     ``executor`` is where submitted slices run (None: the loop's default
-    thread pool).  All bookkeeping happens on the event loop, so no
-    locks are needed; the executor only ever runs the evaluator.
+    thread pool).  ``probe`` (normally :meth:`ResultCache.warm
+    <repro.engine.cache.ResultCache.warm>`) reports, per content key,
+    whether the engine can satisfy it from its cache/journal without
+    evaluating — such keys count as *deduped*, not *submitted*.  All
+    bookkeeping happens on the event loop, so no locks are needed; the
+    executor only ever runs the evaluator.
     """
 
     def __init__(
         self,
         evaluate: Callable[[list[EvalRequest]], list[dict]],
         executor: Executor | None = None,
+        probe: Callable[[str], bool] | None = None,
     ):
         self._evaluate_fn = evaluate
         self._executor = executor
+        self._probe = probe
         self._inflight: dict[str, asyncio.Future] = {}
         self.stats = CoalesceStats()
 
@@ -105,7 +113,7 @@ class KeyCoalescer:
         loop = asyncio.get_running_loop()
         submit: list[EvalRequest] = []
         waits: dict[str, asyncio.Future] = {}
-        coalesced = deduped = 0
+        coalesced = deduped = warm = 0
         for r in requests:
             key = r.key
             if key in waits:
@@ -116,13 +124,20 @@ class KeyCoalescer:
                 fut = loop.create_future()
                 self._inflight[key] = fut
                 submit.append(r)
+                # Already-warm keys ride the engine batch (to fetch their
+                # cached values) but count as deduped: no fresh evaluation
+                # happens for them.
+                if self._probe is not None and self._probe(key):
+                    warm += 1
             else:
                 coalesced += 1
             waits[key] = fut
+        deduped += warm
+        submitted = len(submit) - warm
         self.stats.calls += 1
         self.stats.keys += len(requests)
         self.stats.deduped += deduped
-        self.stats.submitted += len(submit)
+        self.stats.submitted += submitted
         self.stats.coalesced += coalesced
         self.stats.peak_inflight = max(self.stats.peak_inflight, len(self._inflight))
         if submit:
@@ -145,7 +160,7 @@ class KeyCoalescer:
         call = CallStats(
             keys=len(requests),
             deduped=deduped,
-            submitted=len(submit),
+            submitted=submitted,
             coalesced=coalesced,
         )
         return [by_key[r.key] for r in requests], call

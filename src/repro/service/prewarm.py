@@ -48,6 +48,11 @@ class PrewarmSpec:
     collective: str = "alltoall"
     total_bytes: tuple[float, ...] = DEFAULT_SIZES
     backend: str | None = None  # None: the service default
+    #: Warm through the multi-fidelity ladder instead of the full grid:
+    #: the screening rungs plus the finalist keys get hot (what ladder
+    #: queries and sweeps sharing the cache dir will ask for) without
+    #: paying full fidelity for classes the ladder would eliminate.
+    ladder: bool = False
 
     @property
     def label(self) -> str:
@@ -125,6 +130,9 @@ async def prewarm_once(service: "AdvisorService", spec: PrewarmSpec) -> int:
 
     query = PlacementQuery.from_doc(spec.query_doc())
     plan = service.plan(query)
+    if spec.ladder:
+        _, result = await service.evaluate_plan_ladder(plan)
+        return result.n_requests
     _, call = await service.evaluate_plan(plan)
     return call.submitted
 

@@ -32,7 +32,6 @@ consistency (causality, conservation, capacity).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -130,30 +129,6 @@ class DifferentialReport:
         for case in self.cases:
             lines.append(case.mismatch_report())
         return "\n".join(lines)
-
-
-def _spec_endpoints(spec: RoundSpec, tag_base: int) -> tuple[dict, dict]:
-    """Deprecated: use :func:`repro.ir.lower.round_endpoints`."""
-    warnings.warn(
-        "_spec_endpoints is deprecated; use repro.ir.lower.round_endpoints",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.ir.lower import round_endpoints
-
-    return round_endpoints(spec, tag_base)
-
-
-def _round_flow_program(comm, sends: dict, recvs: dict):
-    """Deprecated: use :func:`repro.ir.lower.rank_program`."""
-    warnings.warn(
-        "_round_flow_program is deprecated; use repro.ir.lower.rank_program",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.ir.lower import rank_program
-
-    return rank_program(comm, sends, recvs)
 
 
 def replay_rounds_des(

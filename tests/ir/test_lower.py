@@ -106,28 +106,18 @@ class TestRoundEndpoints:
         assert recvs[2] == [(0, 102)]
 
 
-class TestDeprecatedShims:
-    def test_rounds_to_schedule_warns_and_delegates(self):
-        from repro.collectives.base import rounds_to_schedule
+class TestShimRemoval:
+    """The pre-IR conversion shims are gone; the IR is the only path."""
 
-        cores = np.arange(8)
-        rounds = rounds_for("alltoall", 8, 1e4, "pairwise")
-        with pytest.warns(DeprecationWarning, match="placed_rounds"):
-            old = rounds_to_schedule(rounds, cores)
-        new = placed_rounds(rounds, cores)
-        assert len(old.rounds) == len(new.rounds)
-        for ra, rb in zip(old.rounds, new.rounds):
-            assert ra.key() == rb.key()
+    def test_rounds_to_schedule_shim_removed(self):
+        import repro.collectives
+        import repro.collectives.base as base
 
-    def test_differential_helpers_warn(self):
-        from repro.verify.differential import _round_flow_program, _spec_endpoints
+        assert not hasattr(base, "rounds_to_schedule")
+        assert not hasattr(repro.collectives, "rounds_to_schedule")
 
-        rnd = rounds_for("allgather", 4, 1e4, "ring")[0]
-        with pytest.warns(DeprecationWarning):
-            sends, recvs = _spec_endpoints(rnd, 0)
-        assert set(sends) == {0, 1, 2, 3}
-        from repro.simmpi.communicator import Comm
+    def test_differential_helper_shims_removed(self):
+        import repro.verify.differential as differential
 
-        with pytest.warns(DeprecationWarning):
-            gen = _round_flow_program(Comm.world(4)[0], sends, recvs)
-        assert hasattr(gen, "send")  # a live generator
+        assert not hasattr(differential, "_spec_endpoints")
+        assert not hasattr(differential, "_round_flow_program")

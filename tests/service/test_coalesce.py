@@ -127,6 +127,79 @@ class TestCoalescing:
         run(main())
 
 
+class TestWarmProbe:
+    """deduped counts cache/journal-satisfied keys, not just in-call
+    duplicates (which advise grids never contain)."""
+
+    def test_warm_keys_count_as_deduped_not_submitted(self):
+        async def main():
+            ev = GatedEvaluator()
+            ev.release.set()
+            warm_keys = {"k1", "k3"}
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                coal = KeyCoalescer(
+                    ev, executor=pool, probe=lambda key: key in warm_keys
+                )
+                grid = [FakeRequest("k1"), FakeRequest("k2"), FakeRequest("k3")]
+                results, call = await coal.evaluate(grid)
+            # Warm keys still ride the engine batch (they need their
+            # cached values fetched) but are not fresh evaluations.
+            assert ev.calls == [["k1", "k2", "k3"]]
+            assert call.deduped == 2
+            assert call.submitted == 1
+            assert call.keys == 3
+            assert coal.stats.deduped == 2
+            assert coal.stats.submitted == 1
+            assert [r["key"] for r in results] == ["k1", "k2", "k3"]
+
+        run(main())
+
+    def test_warm_and_duplicate_keys_accumulate(self):
+        async def main():
+            ev = GatedEvaluator()
+            ev.release.set()
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                coal = KeyCoalescer(ev, executor=pool, probe=lambda key: key == "k1")
+                grid = [FakeRequest("k1"), FakeRequest("k1"), FakeRequest("k2")]
+                _, call = await coal.evaluate(grid)
+            assert call.deduped == 2  # one in-call duplicate + one warm key
+            assert call.submitted == 1
+
+        run(main())
+
+    def test_engine_cache_warm_drives_the_probe(self):
+        """End-to-end: an AdvisorService-style wiring reports previously
+        evaluated keys as deduped on the second pass."""
+
+        async def main():
+            from repro.engine import SweepEngine
+            from repro.topology.machines import generic_cluster
+
+            engine = SweepEngine()
+            topo = generic_cluster((2, 2), names=("node", "core"))
+            from repro.engine import EvalRequest
+
+            grid = [
+                EvalRequest(
+                    model="logp", topology=topo, hierarchy=topo.hierarchy,
+                    order=(0, 1), comm_size=2, collective="alltoall",
+                    total_bytes=nbytes,
+                )
+                for nbytes in (1e5, 1e6)
+            ]
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                coal = KeyCoalescer(
+                    engine.evaluate_batch, executor=pool,
+                    probe=engine.cache.warm,
+                )
+                _, cold = await coal.evaluate(grid)
+                _, hot = await coal.evaluate(grid)
+            assert cold.submitted == 2 and cold.deduped == 0
+            assert hot.submitted == 0 and hot.deduped == 2
+
+        run(main())
+
+
 class TestFailures:
     def test_failure_propagates_to_every_waiter_then_clears(self):
         async def main():

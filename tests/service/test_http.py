@@ -244,9 +244,12 @@ class TestPrewarm:
         async def main():
             submitted = await prewarm_once(svc, self.SPEC)
             assert submitted > 0
-            # The matching client query is now fully warm.
+            # The matching client query is now fully warm: every key is
+            # reported deduped (cache-satisfied), none submitted, and the
+            # engine evaluates nothing new.
             response = await svc.advise(dict(QUERY))
-            assert response["stats"]["submitted"] == submitted
+            assert response["stats"]["submitted"] == 0
+            assert response["stats"]["deduped"] == submitted
             assert svc.engine.stats.evaluated == submitted
 
         try:

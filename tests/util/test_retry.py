@@ -1,4 +1,4 @@
-"""Shared RetryPolicy/AttemptRecord: behavior and relocation shims."""
+"""Shared RetryPolicy/AttemptRecord behavior and canonical import paths."""
 
 from __future__ import annotations
 
@@ -32,8 +32,9 @@ class TestRetryPolicy:
             RetryPolicy().max_attempts = 5  # type: ignore[misc]
 
 
-class TestRelocationShims:
-    """The classes moved from repro.faults.retry to repro.util.retry."""
+class TestRelocation:
+    """The classes live in repro.util.retry; the old module-path shim
+    (repro.faults.retry.RetryPolicy warning on access) is removed."""
 
     def test_faults_package_still_exports_them(self):
         from repro import faults
@@ -41,17 +42,8 @@ class TestRelocationShims:
         assert faults.RetryPolicy is RetryPolicy
         assert faults.AttemptRecord is AttemptRecord
 
-    def test_old_module_path_warns_but_works(self):
-        import repro.faults.retry as old
-
-        with pytest.warns(DeprecationWarning, match="repro.util.retry"):
-            shimmed = old.RetryPolicy
-        assert shimmed is RetryPolicy
-        with pytest.warns(DeprecationWarning):
-            assert old.AttemptRecord is AttemptRecord
-
-    def test_unknown_attribute_still_raises(self):
+    def test_old_module_path_shim_removed(self):
         import repro.faults.retry as old
 
         with pytest.raises(AttributeError):
-            old.DoesNotExist
+            old.RetryPolicy
