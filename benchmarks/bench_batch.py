@@ -42,7 +42,7 @@ from repro.core.orders import format_order
 from repro.engine import EvalRequest
 from repro.engine.evaluators import evaluate_request, evaluate_requests_batch
 from repro.ir import LogPBackend, register_backend
-from repro.ir.lower import _collective_program
+from repro.workloads.base import _lower_cached
 from repro.topology.machines import hydra
 
 #: Where CI picks the perf artifact up (repo root; see .github/workflows).
@@ -67,7 +67,7 @@ def _cold() -> None:
     """Reset every cache either pass could inherit state from."""
     register_backend("logp", LogPBackend)
     comm_members.cache_clear()
-    _collective_program.cache_clear()
+    _lower_cached.cache_clear()
 
 
 def _requests() -> list[EvalRequest]:

@@ -1,0 +1,23 @@
+"""Transformer training-step graphs under a DP x TP x PP decomposition.
+
+The fourth application class: distributed DNN training, where the
+data/tensor/pipeline parallel axes of a training step form a mixed-radix
+rank decomposition whose placement onto the machine tree is exactly the
+paper's enumeration question -- at thousands of ranks.
+
+- :class:`~repro.apps.dnn.config.DnnConfig` -- the axis decomposition
+  and model shape;
+- :func:`~repro.apps.dnn.lower.training_step_program` -- one training
+  step (forward/backward pipeline wavefronts with tensor-parallel
+  collectives and interleaved compute, then the data-parallel gradient
+  sync) lowered to :class:`~repro.ir.program.CommProgram` IR;
+- :func:`~repro.apps.dnn.lower.conformance_reports` -- the embedded
+  collectives checked group-locally by the symbolic data-flow verifier.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dnn.config import DnnConfig
+from repro.apps.dnn.lower import conformance_reports, training_step_program
+
+__all__ = ["DnnConfig", "conformance_reports", "training_step_program"]

@@ -1,0 +1,105 @@
+"""The DNN training-step configuration: axis decomposition + model shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Parameters per transformer layer, in units of ``hidden^2`` (QKV + output
+#: projections = 4, the two 4x MLP matrices = 8).
+_PARAMS_PER_LAYER_H2 = 12
+
+#: Supported gradient-synchronization strategies for the DP axis.
+GRAD_SYNC_MODES = ("allreduce", "rs_ag")
+
+
+@dataclass(frozen=True)
+class DnnConfig:
+    """One transformer training step's parallel decomposition.
+
+    ``dp x tp x pp`` must factorize the rank count; ranks are laid out
+    with the tensor-parallel axis innermost (contiguous), then data
+    parallel, then pipeline stages outermost -- the conventional layout
+    whose *placement* onto the machine hierarchy is the open question the
+    sweep answers.  ``layers`` must divide evenly among the ``pp``
+    stages; ``microbatches`` defaults to ``pp`` (a full pipeline fill).
+    """
+
+    dp: int = 1
+    tp: int = 1
+    pp: int = 1
+    layers: int | None = None
+    hidden: int = 1024
+    seq: int = 512
+    microbatches: int | None = None
+    dtype_bytes: int = 2
+    grad_sync: str = "allreduce"
+    flop_rate: float = 16e9
+
+    def __post_init__(self) -> None:
+        if min(self.dp, self.tp, self.pp) < 1:
+            raise ValueError(
+                f"parallel degrees must be >= 1, got dp={self.dp} "
+                f"tp={self.tp} pp={self.pp}"
+            )
+        if self.n_ranks < 2:
+            raise ValueError("a training step needs at least two ranks")
+        if self.layers is None:
+            object.__setattr__(self, "layers", self.pp)
+        if self.layers % self.pp:
+            raise ValueError(
+                f"{self.layers} layers do not divide into {self.pp} "
+                f"pipeline stages"
+            )
+        if self.microbatches is None:
+            object.__setattr__(self, "microbatches", self.pp)
+        if self.microbatches < 1:
+            raise ValueError("microbatches must be >= 1")
+        if min(self.hidden, self.seq, self.dtype_bytes) < 1:
+            raise ValueError("hidden, seq and dtype_bytes must be >= 1")
+        if self.grad_sync not in GRAD_SYNC_MODES:
+            raise ValueError(
+                f"unknown grad_sync {self.grad_sync!r} "
+                f"(known: {', '.join(GRAD_SYNC_MODES)})"
+            )
+        if not self.flop_rate > 0:
+            raise ValueError("flop_rate must be > 0")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.dp * self.tp * self.pp
+
+    @property
+    def layers_per_stage(self) -> int:
+        assert self.layers is not None
+        return self.layers // self.pp
+
+    @property
+    def act_bytes(self) -> float:
+        """One microbatch's activations at a layer boundary (unsharded)."""
+        return float(self.seq * self.hidden * self.dtype_bytes)
+
+    @property
+    def grad_bytes(self) -> float:
+        """One stage's gradient bytes per rank (TP-sharded)."""
+        return (
+            self.layers_per_stage
+            * _PARAMS_PER_LAYER_H2
+            * float(self.hidden) ** 2
+            * self.dtype_bytes
+            / self.tp
+        )
+
+    @property
+    def attn_seconds(self) -> float:
+        """Attention-block compute per layer per microbatch, TP-sharded."""
+        flops = 8.0 * self.seq * self.hidden**2 + 4.0 * self.seq**2 * self.hidden
+        return flops / (self.tp * self.flop_rate)
+
+    @property
+    def mlp_seconds(self) -> float:
+        """MLP-block compute per layer per microbatch, TP-sharded."""
+        return 16.0 * self.seq * self.hidden**2 / (self.tp * self.flop_rate)
+
+    def rank(self, stage: int, dp_index: int, tp_index: int) -> int:
+        """Global rank of ``(pipeline stage, dp replica, tp shard)``."""
+        return stage * self.dp * self.tp + dp_index * self.tp + tp_index

@@ -1,0 +1,302 @@
+"""Lower one transformer training step to CommProgram IR.
+
+The step is modeled as a GPipe-style schedule.  Forward and backward
+phases advance in pipeline *wavefront ticks*: at tick ``t`` of the
+forward phase, stage ``s`` is active iff ``0 <= t - s < microbatches``
+(the backward phase mirrors this from the last stage).  Per tick, every
+active stage pushes one microbatch through its layers:
+
+- each layer's attention and MLP blocks are tensor-parallel: an
+  allgather of the (TP-sharded) activations in, block compute, and a
+  reduce-scatter of the partial outputs -- lowered by merging the
+  group-local collective rounds of every concurrently active TP group
+  into global-rank rounds, with the block's compute seconds attached to
+  the round the compute precedes;
+- at the tick's end, active non-terminal stages send the boundary
+  activations (TP-sharded point-to-point) to their pipeline neighbour.
+
+After the backward wavefront drains, the data-parallel gradient sync
+runs on every ``(stage, tp shard)`` group: a single allreduce or a
+reduce-scatter + allgather pair (``grad_sync="rs_ag"``).
+
+Collectives pin deterministic algorithms (recursive doubling / halving
+on power-of-two groups, rings otherwise) so the lowered structure -- and
+therefore engine content keys -- depend only on the configuration, never
+on payload-size selection heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.dnn.config import DnnConfig
+from repro.collectives.base import RoundSpec
+from repro.ir.program import CommProgram, CommRound, ProgramMeta
+
+#: Backward passes cost roughly twice the forward flops (dgrad + wgrad).
+_BWD_COMPUTE_FACTOR = 2.0
+
+
+def _is_pow2(p: int) -> bool:
+    return p >= 1 and not p & (p - 1)
+
+
+def pinned_algorithm(collective: str, p: int) -> str:
+    """The deterministic algorithm the dnn lowering uses for a group of
+    ``p`` ranks (power-of-two log-round algorithms, rings otherwise)."""
+    if collective == "allgather":
+        return "recursive_doubling" if _is_pow2(p) else "ring"
+    if collective == "reduce_scatter":
+        return "halving" if _is_pow2(p) else "ring"
+    if collective == "allreduce":
+        return "recursive_doubling" if _is_pow2(p) else "ring"
+    raise KeyError(f"dnn lowering does not embed {collective!r}")
+
+
+class _StepBuilder:
+    """Accumulates global-rank rounds; carries compute forward until a
+    communication round exists to attach it to (IR compute semantics:
+    every rank performs a round's compute *before* its communication)."""
+
+    def __init__(self) -> None:
+        self.rounds: list[CommRound] = []
+        self.pending_compute = 0.0
+
+    def add_compute(self, seconds: float) -> None:
+        self.pending_compute += seconds
+
+    def _take_compute(self, n_instances: int) -> float:
+        per_instance = self.pending_compute / n_instances
+        self.pending_compute = 0.0
+        return per_instance
+
+    def add_collective(
+        self,
+        members: np.ndarray,
+        collective: str,
+        total_bytes: float,
+        mult: int = 1,
+    ) -> None:
+        """Merge one collective, run concurrently by every group in
+        ``members`` (shape ``(n_groups, p_sub)``), into global rounds.
+
+        ``total_bytes`` follows the repo convention (group size x
+        per-rank count); ``mult`` repeats the whole collective (e.g. once
+        per layer in the stage) by scaling each round's ``repeat``.
+        """
+        from repro.collectives.selector import rounds_for
+
+        p_sub = members.shape[1]
+        if p_sub < 2:
+            return
+        specs = rounds_for(
+            collective, p_sub, total_bytes, pinned_algorithm(collective, p_sub)
+        )
+        for i, spec in enumerate(specs):
+            compute = (
+                self._take_compute(spec.repeat * mult)
+                if i == 0 and self.pending_compute > 0.0
+                else 0.0
+            )
+            nbytes = spec.nbytes
+            if isinstance(nbytes, np.ndarray):
+                nbytes = np.tile(np.asarray(nbytes, dtype=float), members.shape[0])
+            self.rounds.append(
+                CommRound(
+                    members[:, spec.src].reshape(-1),
+                    members[:, spec.dst].reshape(-1),
+                    nbytes,
+                    repeat=spec.repeat * mult,
+                    compute=compute,
+                )
+            )
+
+    def add_p2p(self, src: np.ndarray, dst: np.ndarray, nbytes: float) -> None:
+        compute = self._take_compute(1) if self.pending_compute > 0.0 else 0.0
+        self.rounds.append(CommRound(src, dst, nbytes, compute=compute))
+
+    def flush_compute(self) -> None:
+        """Attach any still-pending compute to the last round (a step
+        whose tail has compute but no further communication)."""
+        if self.pending_compute > 0.0 and self.rounds:
+            last = self.rounds[-1]
+            self.rounds[-1] = CommRound(
+                last.src,
+                last.dst,
+                last.nbytes,
+                repeat=last.repeat,
+                compute=last.compute + self._take_compute(last.repeat),
+            )
+
+
+def _tp_groups(config: DnnConfig) -> np.ndarray:
+    """``(pp * dp, tp)`` member matrix; row ``s * dp + d`` is the TP
+    group of stage ``s``, replica ``d`` (contiguous global ranks)."""
+    base = (
+        np.arange(config.pp, dtype=np.int64)[:, None] * (config.dp * config.tp)
+        + np.arange(config.dp, dtype=np.int64)[None, :] * config.tp
+    ).reshape(-1)
+    return base[:, None] + np.arange(config.tp, dtype=np.int64)[None, :]
+
+
+def _dp_groups(config: DnnConfig) -> np.ndarray:
+    """``(pp * tp, dp)`` member matrix; one gradient-sync group per
+    ``(stage, tp shard)`` pair."""
+    base = (
+        np.arange(config.pp, dtype=np.int64)[:, None] * (config.dp * config.tp)
+        + np.arange(config.tp, dtype=np.int64)[None, :]
+    ).reshape(-1)
+    return base[:, None] + np.arange(config.dp, dtype=np.int64)[None, :] * config.tp
+
+
+def _stage_ranks(config: DnnConfig, stage: int) -> np.ndarray:
+    width = config.dp * config.tp
+    return stage * width + np.arange(width, dtype=np.int64)
+
+
+def _tp_layer_block(
+    builder: _StepBuilder,
+    config: DnnConfig,
+    tp_members: np.ndarray,
+    compute_factor: float,
+) -> None:
+    """One tick's layer work for the active TP groups: per layer,
+    allgather in, attention, reduce-scatter out, allgather in, MLP,
+    reduce-scatter out (compute rides on the round it precedes)."""
+    mult = config.layers_per_stage
+    builder.add_collective(tp_members, "allgather", config.act_bytes, mult)
+    builder.add_compute(compute_factor * config.attn_seconds * mult)
+    builder.add_collective(
+        tp_members, "reduce_scatter", config.tp * config.act_bytes, mult
+    )
+    builder.add_collective(tp_members, "allgather", config.act_bytes, mult)
+    builder.add_compute(compute_factor * config.mlp_seconds * mult)
+    builder.add_collective(
+        tp_members, "reduce_scatter", config.tp * config.act_bytes, mult
+    )
+    # When tp < 2 no TP communication exists: the compute stays pending
+    # and rides on the tick's pipeline send (or the gradient sync).
+
+
+def training_step_program(config: DnnConfig) -> CommProgram:
+    """One full training step (forward + backward + gradient sync)."""
+    assert config.microbatches is not None
+    pp, m = config.pp, config.microbatches
+    width = config.dp * config.tp
+    tp_members = _tp_groups(config)
+    builder = _StepBuilder()
+
+    def tick(active: list[int], compute_factor: float, backward: bool) -> None:
+        rows = np.concatenate(
+            [np.arange(s * config.dp, (s + 1) * config.dp) for s in active]
+        )
+        _tp_layer_block(builder, config, tp_members[rows], compute_factor)
+        senders = [s for s in active if (s > 0 if backward else s < pp - 1)]
+        if senders:
+            src = np.concatenate([_stage_ranks(config, s) for s in senders])
+            dst = src - width if backward else src + width
+            builder.add_p2p(src, dst, config.act_bytes / config.tp)
+
+    for t in range(pp + m - 1):
+        tick([s for s in range(pp) if 0 <= t - s < m], 1.0, backward=False)
+    for t in range(pp + m - 1):
+        tick(
+            [s for s in range(pp) if 0 <= t - (pp - 1 - s) < m],
+            _BWD_COMPUTE_FACTOR,
+            backward=True,
+        )
+
+    dp_members = _dp_groups(config)
+    if config.grad_sync == "allreduce":
+        builder.add_collective(
+            dp_members, "allreduce", config.dp * config.grad_bytes
+        )
+    else:
+        builder.add_collective(
+            dp_members, "reduce_scatter", config.dp * config.grad_bytes
+        )
+        builder.add_collective(dp_members, "allgather", config.grad_bytes)
+    builder.flush_compute()
+
+    meta = ProgramMeta(
+        source="dnn",
+        label=(
+            f"dnn-dp{config.dp}xtp{config.tp}xpp{config.pp}"
+            f"/L{config.layers}h{config.hidden}"
+        ),
+    )
+    return CommProgram(config.n_ranks, tuple(builder.rounds), meta)
+
+
+def embedded_collectives(config: DnnConfig) -> list[tuple[str, int, float, str]]:
+    """The distinct ``(collective, group size, total_bytes, algorithm)``
+    instances the lowering embeds (group-local view)."""
+    out: list[tuple[str, int, float, str]] = []
+    if config.tp >= 2:
+        out.append(
+            (
+                "allgather",
+                config.tp,
+                config.act_bytes,
+                pinned_algorithm("allgather", config.tp),
+            )
+        )
+        out.append(
+            (
+                "reduce_scatter",
+                config.tp,
+                config.tp * config.act_bytes,
+                pinned_algorithm("reduce_scatter", config.tp),
+            )
+        )
+    if config.dp >= 2:
+        if config.grad_sync == "allreduce":
+            out.append(
+                (
+                    "allreduce",
+                    config.dp,
+                    config.dp * config.grad_bytes,
+                    pinned_algorithm("allreduce", config.dp),
+                )
+            )
+        else:
+            out.append(
+                (
+                    "reduce_scatter",
+                    config.dp,
+                    config.dp * config.grad_bytes,
+                    pinned_algorithm("reduce_scatter", config.dp),
+                )
+            )
+            out.append(
+                (
+                    "allgather",
+                    config.dp,
+                    config.grad_bytes,
+                    pinned_algorithm("allgather", config.dp),
+                )
+            )
+    return out
+
+
+def conformance_reports(config: DnnConfig) -> list:
+    """Symbolic data-flow checks for every embedded collective.
+
+    Each embedded collective is checked *group-locally* (the groups are
+    disjoint and the merged global rounds are their exact union, so the
+    group-local schedule is what the verifier's token models describe).
+    The point-to-point pipeline sends are not a named collective; their
+    flow consistency is covered by the IR validation pass.
+    """
+    from repro.collectives.selector import rounds_for
+    from repro.verify.semantic import check_schedule
+
+    reports = []
+    for collective, p_sub, total_bytes, algorithm in embedded_collectives(config):
+        rounds = rounds_for(collective, p_sub, total_bytes, algorithm)
+        reports.append(
+            check_schedule(
+                collective, rounds, p_sub, total_bytes, algorithm=algorithm
+            )
+        )
+    return reports

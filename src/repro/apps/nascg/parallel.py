@@ -57,6 +57,43 @@ def grid_shape(p: int) -> tuple[int, int]:
     return nprows, npcols
 
 
+def cg_comm_rounds(klass: CGClass, p: int) -> list[RoundSpec]:
+    """The NAS CG exchange pattern for one iteration, in rank space.
+
+    Rank layout follows NPB: ``row = rank // npcols``,
+    ``col = rank % npcols``.  A pure function of the class parameters
+    and the process count, so the ``nascg`` workload frontend can lower
+    it without constructing a :class:`CGTimeModel`.
+    """
+    nprows, npcols = grid_shape(p)
+    ranks = np.arange(p, dtype=np.int64)
+    col = ranks % npcols
+    rounds: list[RoundSpec] = []
+    # Row-wise sum reduction of the SpMV partials (pairwise exchanges).
+    row_vec_bytes = 8.0 * klass.n / nprows
+    step = 1
+    while step < npcols:
+        rounds.append(RoundSpec(ranks, ranks ^ step, row_vec_bytes))
+        step <<= 1
+    # Transpose exchange (square grids swap (i,j) <-> (j,i); the 2:1
+    # grid's equivalent exchange moves the same volume to the partner
+    # offset half the row, which we use for both cases).
+    if p > 1:
+        if nprows == npcols:
+            row = ranks // npcols
+            partner = col * npcols + row
+        else:
+            partner = ranks ^ (npcols // 2)
+        rounds.append(RoundSpec(ranks, partner, 8.0 * klass.n / npcols))
+    # Two scalar reductions across each row (rho and p.q).
+    step = 1
+    while step < npcols:
+        rounds.append(RoundSpec(ranks, ranks ^ step, 16.0))
+        rounds.append(RoundSpec(ranks, ranks ^ step, 16.0))
+        step <<= 1
+    return rounds
+
+
 @dataclass(frozen=True)
 class CGRun:
     """Result of one modeled CG execution."""
@@ -100,39 +137,8 @@ class CGTimeModel:
         return float(times.max())
 
     def comm_rounds_per_iteration(self, p: int) -> list[RoundSpec]:
-        """The NAS CG exchange pattern for one iteration, in rank space.
-
-        Rank layout follows NPB: ``row = rank // npcols``,
-        ``col = rank % npcols``.
-        """
-        nprows, npcols = grid_shape(p)
-        k = self.klass
-        ranks = np.arange(p, dtype=np.int64)
-        col = ranks % npcols
-        rounds: list[RoundSpec] = []
-        # Row-wise sum reduction of the SpMV partials (pairwise exchanges).
-        row_vec_bytes = 8.0 * k.n / nprows
-        step = 1
-        while step < npcols:
-            rounds.append(RoundSpec(ranks, ranks ^ step, row_vec_bytes))
-            step <<= 1
-        # Transpose exchange (square grids swap (i,j) <-> (j,i); the 2:1
-        # grid's equivalent exchange moves the same volume to the partner
-        # offset half the row, which we use for both cases).
-        if p > 1:
-            if nprows == npcols:
-                row = ranks // npcols
-                partner = col * npcols + row
-            else:
-                partner = ranks ^ (npcols // 2)
-            rounds.append(RoundSpec(ranks, partner, 8.0 * k.n / npcols))
-        # Two scalar reductions across each row (rho and p.q).
-        step = 1
-        while step < npcols:
-            rounds.append(RoundSpec(ranks, ranks ^ step, 16.0))
-            rounds.append(RoundSpec(ranks, ranks ^ step, 16.0))
-            step <<= 1
-        return rounds
+        """One iteration's exchange pattern (see :func:`cg_comm_rounds`)."""
+        return cg_comm_rounds(self.klass, p)
 
     def comm_time_per_iteration(self, cores: np.ndarray) -> float:
         rounds = self.comm_rounds_per_iteration(cores.size)

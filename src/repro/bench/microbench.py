@@ -25,9 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.ir.program import CommProgram
 
 from repro.ir.lower import placed_rounds
 from repro.collectives.selector import rounds_for
@@ -113,6 +116,47 @@ def comm_members(
     return members
 
 
+def run_program(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    order: Sequence[int],
+    program: "CommProgram",
+    fabric: Fabric | None = None,
+    backend: str = "round",
+) -> MicrobenchPoint:
+    """Steps 1-4 of the protocol for one already-lowered program.
+
+    The communicator size is the program's rank count: step 2 carves the
+    reordered world into ``hierarchy.size // program.n_ranks``
+    subcommunicators and the program runs on the first (``single``) and on
+    all of them simultaneously (``all``).  This is the workload-frontend
+    entry point -- :func:`run_microbench` is the collective-shaped shim
+    over it -- so dnn training steps, stencil halos and raw round programs
+    all measure through the identical placement/backend plumbing.
+
+    The reported ``total_bytes`` prefers the producer's declared volume
+    (``program.meta.total_bytes``, the figure-axis size for collectives)
+    and falls back to the program's summed flow bytes.
+    """
+    from repro.ir import get_backend
+
+    hierarchy.check_process_count(topology.n_cores)
+    members = comm_members(hierarchy, tuple(order), program.n_ranks)
+
+    engine = get_backend(backend)
+    options = {}
+    if backend == "round":
+        options["fabric"] = fabric or engine.fabric(topology)
+    duration_single = engine.run(topology=topology, program=program,
+                                 placements=[members[0]], **options).time
+    duration_all = engine.run(topology=topology, program=program,
+                              placements=list(members), **options).time
+    total = program.meta.total_bytes
+    if total is None:
+        total = program.total_bytes
+    return MicrobenchPoint(float(total), duration_single, duration_all)
+
+
 def run_microbench(
     topology: MachineTopology,
     hierarchy: Hierarchy,
@@ -138,21 +182,17 @@ def run_microbench(
     ``fabric`` carries the round model's pattern cache across calls; other
     backends ignore it.
     """
-    from repro.ir import collective_program, get_backend
-
-    hierarchy.check_process_count(topology.n_cores)
-    members = comm_members(hierarchy, tuple(order), comm_size)
+    from repro.ir import collective_program
 
     program = collective_program(collective, comm_size, total_bytes, algorithm)
-    engine = get_backend(backend)
-    options = {}
-    if backend == "round":
-        options["fabric"] = fabric or engine.fabric(topology)
-    duration_single = engine.run(topology=topology, program=program,
-                                 placements=[members[0]], **options).time
-    duration_all = engine.run(topology=topology, program=program,
-                              placements=list(members), **options).time
-    return MicrobenchPoint(total_bytes, duration_single, duration_all)
+    point = run_program(
+        topology, hierarchy, order, program, fabric=fabric, backend=backend
+    )
+    # Report the requested figure-axis size verbatim (bit-identical to the
+    # historical signature even if a producer ever rounds its meta volume).
+    return MicrobenchPoint(
+        total_bytes, point.duration_single, point.duration_all
+    )
 
 
 def size_sweep(

@@ -342,6 +342,234 @@ def best_per_group(
     return best
 
 
+# -- workload sweeps ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadRecord:
+    """One (order, workload) measurement of a workload sweep."""
+
+    machine: str
+    order: str
+    ring_cost: int
+    workload: str
+    label: str
+    comm_size: int
+    n_comms: int
+    total_bytes: float
+    duration_single: float
+    duration_all: float
+
+
+def workload_sweep(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    workload: str,
+    params: dict | None = None,
+    orders: Sequence[Order] | None = None,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
+    prune: bool = True,
+    backend: str = "round",
+    batch: bool = False,
+) -> list[WorkloadRecord]:
+    """Score every enumeration order against one lowered workload.
+
+    The workload is lowered once through the registry (validated and
+    memoized); its rank count is the communicator size, so the protocol's
+    ``n_comms = hierarchy.size // n_ranks`` concurrent instances measure
+    the ``all`` scenario.  Unknown workload names raise
+    :class:`~repro.workloads.UnknownWorkloadError` (naming the registered
+    set) before any request is issued.  Points run through the same
+    engine plumbing as :func:`sweep` -- memoization, equivalence pruning,
+    worker fan-out, and the vectorized ``batch`` path all apply.
+    """
+    from repro.ir import backend_names
+    from repro.workloads import canonical_params, lower_workload
+
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
+    hierarchy.check_process_count(topology.n_cores)
+    wl_params = canonical_params(workload, params or {})
+    program = lower_workload(workload, dict(wl_params))
+    n_ranks = program.n_ranks
+    if hierarchy.size % n_ranks:
+        raise ValueError(
+            f"workload {workload!r} needs {n_ranks} ranks, which does not "
+            f"divide the machine's {hierarchy.size} processes"
+        )
+    total = program.meta.total_bytes
+    if total is None:
+        total = program.total_bytes
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir, prune=prune)
+    if orders is None:
+        orders = all_orders(hierarchy.depth)
+    orders = [tuple(order) for order in orders]
+    extras = (("des_all", True),) if backend == "des" else ()
+    evaluate = engine.evaluate_batch if batch else engine.evaluate_many
+    results = evaluate(
+        [
+            EvalRequest(
+                model=backend,
+                topology=topology,
+                hierarchy=hierarchy,
+                order=order,
+                comm_size=n_ranks,
+                workload=workload,
+                workload_params=wl_params,
+                extras=extras,
+            )
+            for order in orders
+        ]
+    )
+    records: list[WorkloadRecord] = []
+    for order, point in zip(orders, results):
+        if is_failure(point):
+            continue  # quarantined point; salvage stays on engine.failures
+        records.append(
+            WorkloadRecord(
+                machine=topology.name,
+                order=format_order(order),
+                ring_cost=signature(hierarchy, order, n_ranks).ring_cost,
+                workload=workload,
+                label=program.meta.label or workload,
+                comm_size=n_ranks,
+                n_comms=hierarchy.size // n_ranks,
+                total_bytes=float(total),
+                duration_single=point["duration_single"],
+                duration_all=point["duration_all"],
+            )
+        )
+    return records
+
+
+def workload_ladder_sweep(
+    topology: MachineTopology,
+    hierarchy: Hierarchy,
+    workload: str,
+    params: dict | None = None,
+    orders: Sequence[Order] | None = None,
+    engine: SweepEngine | None = None,
+    jobs: int = 1,
+    cache_dir=None,
+    backend: str = "round",
+    scenario: str = "all",
+    rungs: Sequence[str] | None = None,
+    eta: float = 4.0,
+    top_k: int = 10,
+    probe: int = 16,
+    tau_floor: float = 0.9,
+    seed: int = 0,
+    batch: bool | None = None,
+    exhaustive_audit: bool = False,
+):
+    """Multi-fidelity order search for one workload.
+
+    The workload counterpart of :func:`ladder_sweep`: orders are scored
+    on the free analytic metric (using the workload's declared traffic
+    volume), survivors promoted through progressively costlier backends
+    until ``backend`` ranks the finalists.  Returns ``(records, result)``
+    with the finalists' :class:`WorkloadRecord` rows (rank-major, the
+    ``top_k`` fastest) and the ladder's audit trail.  Requests carry the
+    same content keys :func:`workload_sweep` issues, so ladder and plain
+    sweeps share every cache record.
+    """
+    from repro.engine.fidelity import (
+        FidelityLadder,
+        LadderConfig,
+        analytic_order_score,
+        default_rungs,
+    )
+    from repro.ir import backend_names
+    from repro.workloads import canonical_params, lower_workload
+
+    if backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
+        )
+    if scenario not in ("all", "single"):
+        raise ValueError("scenario must be 'all' or 'single'")
+    hierarchy.check_process_count(topology.n_cores)
+    wl_params = canonical_params(workload, params or {})
+    program = lower_workload(workload, dict(wl_params))
+    n_ranks = program.n_ranks
+    if hierarchy.size % n_ranks:
+        raise ValueError(
+            f"workload {workload!r} needs {n_ranks} ranks, which does not "
+            f"divide the machine's {hierarchy.size} processes"
+        )
+    total = program.meta.total_bytes
+    if total is None:
+        total = program.total_bytes
+    engine = engine or SweepEngine(jobs=jobs, cache_dir=cache_dir)
+    if orders is None:
+        orders = all_orders(hierarchy.depth)
+    candidates = [tuple(order) for order in orders]
+    config = LadderConfig(
+        rungs=tuple(rungs) if rungs is not None else default_rungs(backend),
+        eta=eta,
+        top_k=top_k,
+        probe=probe,
+        tau_floor=tau_floor,
+        seed=seed,
+        duration_key="duration_all" if scenario == "all" else "duration_single",
+    )
+    if config.rungs[-1] != backend:
+        raise ValueError(
+            f"the final rung {config.rungs[-1]!r} must match backend "
+            f"{backend!r}: the finalists' records are materialized at the "
+            "sweep backend's fidelity"
+        )
+
+    def requests_for(model: str, order: Order) -> list[EvalRequest]:
+        extras = (("des_all", True),) if model == "des" else ()
+        return [
+            EvalRequest(
+                model=model,
+                topology=topology,
+                hierarchy=hierarchy,
+                order=order,
+                comm_size=n_ranks,
+                workload=workload,
+                workload_params=wl_params,
+                extras=extras,
+            )
+        ]
+
+    def metric_score(order: Order) -> float:
+        # The workload's summed flow volume through the analytic proxy:
+        # one aggregate number per order, same units as the sweep rungs.
+        return analytic_order_score(
+            topology, hierarchy, order, n_ranks, float(total)
+        )
+
+    ladder = FidelityLadder(engine, config, batch=batch)
+    result = ladder.search(
+        candidates,
+        requests_for,
+        metric_score=metric_score if "metric" in config.rungs else None,
+        exhaustive_audit=exhaustive_audit,
+    )
+    records = workload_sweep(
+        topology,
+        hierarchy,
+        workload,
+        params=dict(wl_params),
+        orders=list(result.ranking),
+        engine=engine,
+        backend=backend,
+        batch=ladder.batch,
+    )
+    key_attr = "duration_all" if scenario == "all" else "duration_single"
+    totals = {rec.order: getattr(rec, key_attr) for rec in records}
+    ranked = sorted(totals, key=lambda o: (totals[o], o))[:top_k]
+    by_order = {rec.order: rec for rec in records}
+    return [by_order[o] for o in ranked], result
+
+
 # -- verification sweeps -----------------------------------------------------
 
 

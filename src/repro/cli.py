@@ -20,6 +20,11 @@ Operational front-end for the two use cases of Section 3:
   (``--connect HOST:PORT``), locally or from another host
 - ``backends``     the execution-backend registry: ``list`` prints every
   registered backend with its capability flags
+- ``workloads``    the workload-frontend registry: ``list`` prints every
+  registered workload with its parameter schema; ``sweep``/``advise``
+  take ``--workload NAME`` (+ ``--param k=v`` or the dnn shorthand
+  flags ``--dp/--tp/--pp/...``) to score a lowered workload instead of
+  a bare collective
 - ``verify``       conformance checks: ``fuzz`` (seeded campaigns with
   shrinking), ``semantic`` (symbolic schedule checks), ``differential``
   (round model vs DES on the seed benchmarks)
@@ -192,12 +197,31 @@ def _sweep_dispatcher(args: argparse.Namespace, engine):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.bench.sweeps import ladder_sweep, sweep, to_csv, top_k_records
+    from repro.bench.sweeps import (
+        ladder_sweep,
+        sweep,
+        to_csv,
+        top_k_records,
+        workload_ladder_sweep,
+        workload_sweep,
+    )
     from repro.engine import SweepEngine
+    from repro.workloads import WorkloadError
 
     h = parse_synthetic(args.hierarchy)
     topology = _machine_topology(args.machine, h)
-    comm_sizes = [int(s) for s in args.comm_sizes.split(",")]
+    workload, wl_params = _workload_query(args)
+    if workload is None:
+        if not args.comm_sizes:
+            raise SystemExit(
+                "--comm-sizes is required (or name a --workload instead)"
+            )
+        comm_sizes = [int(s) for s in args.comm_sizes.split(",")]
+    elif args.comm_sizes:
+        raise SystemExit(
+            "--comm-sizes conflicts with --workload: the lowered workload "
+            "defines the communicator size"
+        )
     collectives = tuple(args.collectives.split(","))
     sizes = [float(s) for s in args.sizes.split(",")]
     orders = (
@@ -222,8 +246,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     ladder_extra = {}
     top_k = args.top_k if args.top_k is not None else 10
+    result = None
     try:
-        if args.ladder:
+        if args.ladder and workload is not None:
+            try:
+                records, result = workload_ladder_sweep(
+                    topology,
+                    h,
+                    workload,
+                    params=wl_params,
+                    orders=orders,
+                    engine=engine,
+                    backend=args.backend,
+                    scenario=args.scenario,
+                    rungs=tuple(args.rungs.split(",")) if args.rungs else None,
+                    eta=args.eta,
+                    top_k=top_k,
+                    probe=args.probe,
+                    tau_floor=args.tau_floor,
+                    seed=args.seed,
+                    exhaustive_audit=args.exhaustive_audit,
+                )
+            except WorkloadError as err:
+                raise SystemExit(str(err)) from None
+        elif args.ladder:
             records, result = ladder_sweep(
                 topology,
                 h,
@@ -243,6 +289,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 exhaustive_audit=args.exhaustive_audit,
             )
+        if result is not None:
             ladder_extra = {"ladder": result.to_jsonable()}
             for rung in result.rungs:
                 tau = "-" if rung.tau is None else f"{rung.tau:.3f}"
@@ -259,6 +306,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     f"agrees across {result.audit['n_candidates']} candidates",
                     file=sys.stderr,
                 )
+        elif workload is not None:
+            try:
+                records = workload_sweep(
+                    topology,
+                    h,
+                    workload,
+                    params=wl_params,
+                    orders=orders,
+                    engine=engine,
+                    backend=args.backend,
+                    batch=args.batch,
+                )
+            except WorkloadError as err:
+                raise SystemExit(str(err)) from None
+            if args.top_k is not None:
+                records = top_k_records(records, top_k, args.scenario)
         else:
             records = sweep(
                 topology,
@@ -316,20 +379,112 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import advise
+    from repro.workloads import WorkloadError
 
     h = parse_synthetic(args.hierarchy)
     topology = _machine_topology(args.machine, h)
-    advice = advise(
-        topology,
-        h,
-        args.comm_size,
-        collective=args.collective,
-        scenario=args.scenario,
-        backend=args.backend,
-        ladder=args.ladder,
-    )
+    workload, wl_params = _workload_query(args)
+    if workload is None and args.comm_size is None:
+        raise SystemExit(
+            "--comm-size is required (or name a --workload instead)"
+        )
+    if workload is not None and args.comm_size is not None:
+        raise SystemExit(
+            "--comm-size conflicts with --workload: the lowered workload "
+            "defines the communicator size"
+        )
+    try:
+        advice = advise(
+            topology,
+            h,
+            args.comm_size,
+            collective=args.collective,
+            scenario=args.scenario,
+            backend=args.backend,
+            ladder=args.ladder,
+            workload=workload,
+            workload_params=wl_params,
+        )
+    except WorkloadError as err:
+        raise SystemExit(str(err)) from None
     print(advice.report())
     return 0
+
+
+def _cmd_workloads_list(args: argparse.Namespace) -> int:
+    from repro.workloads import REQUIRED, describe_workloads
+
+    rows = []
+    for name, wl in describe_workloads():
+        params = ", ".join(
+            p.name if p.default is REQUIRED else f"{p.name}={p.default!r}"
+            for p in wl.params
+        )
+        rows.append((name, params or "-", wl.description))
+    header = ("workload", "parameters", "description")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(3)]
+    for row in (header, *rows):
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    """``--workload`` + parameter flags shared by ``sweep`` and ``advise``."""
+    p.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="score a registered workload frontend instead of a bare "
+        "collective ('repro-mrd workloads list' prints the registry); "
+        "the lowered program defines the communicator size",
+    )
+    p.add_argument(
+        "--param", action="append", default=None, metavar="NAME=VALUE",
+        help="one workload parameter (repeatable); VALUE is parsed as "
+        "JSON, falling back to a plain string",
+    )
+    for flag, kind, doc in (
+        ("--dp", int, "dnn: data-parallel degree"),
+        ("--tp", int, "dnn: tensor-parallel degree"),
+        ("--pp", int, "dnn: pipeline-parallel degree"),
+        ("--layers", int, "dnn: transformer layers (default: pp)"),
+        ("--hidden", int, "dnn: hidden dimension"),
+        ("--seq", int, "dnn: sequence length (tokens per microbatch)"),
+        ("--microbatches", int, "dnn: pipeline microbatches (default: pp)"),
+        ("--grad-sync", str, "dnn: gradient sync mode (allreduce|rs_ag)"),
+    ):
+        p.add_argument(flag, type=kind, default=None, help=doc)
+
+
+def _workload_query(args: argparse.Namespace):
+    """``(workload, params)`` from the CLI flags, or ``(None, None)``."""
+    import json
+
+    workload = getattr(args, "workload", None)
+    if workload is None:
+        return None, None
+    from repro.workloads import workload_names
+
+    if workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {workload!r} "
+            f"(registered: {', '.join(workload_names())})"
+        )
+    params: dict = {}
+    for spec in args.param or ():
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--param expects NAME=VALUE, got {spec!r}")
+        try:
+            params[name] = json.loads(value)
+        except json.JSONDecodeError:
+            params[name] = value
+    for flag in (
+        "dp", "tp", "pp", "layers", "hidden", "seq", "microbatches",
+        "grad_sync",
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            params[flag] = value
+    return workload, params
 
 
 def _cmd_backends_list(args: argparse.Namespace) -> int:
@@ -503,11 +658,15 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", help="rank orders by predicted collective performance"
     )
     _add_hierarchy_arg(p)
-    p.add_argument("--comm-size", type=int, required=True)
+    p.add_argument(
+        "--comm-size", type=int, default=None,
+        help="communicator size (required unless --workload is given)",
+    )
     p.add_argument(
         "--collective", default="alltoall",
         choices=["alltoall", "allgather", "allreduce"],
     )
+    _add_workload_args(p)
     p.add_argument("--scenario", default="all", choices=["all", "single"])
     p.add_argument(
         "--machine", default="generic", choices=["generic", "hydra", "lumi"],
@@ -533,13 +692,15 @@ def build_parser() -> argparse.ArgumentParser:
         "generic gradient model",
     )
     p.add_argument(
-        "--comm-sizes", required=True,
-        help="comma-separated communicator sizes, e.g. 16,128",
+        "--comm-sizes", default=None,
+        help="comma-separated communicator sizes, e.g. 16,128 (required "
+        "unless --workload is given)",
     )
     p.add_argument(
         "--collectives", default="alltoall",
         help="comma-separated collectives (alltoall,allgather,allreduce)",
     )
+    _add_workload_args(p)
     p.add_argument(
         "--sizes", default="1e6,64e6",
         help="comma-separated data sizes in bytes",
@@ -708,6 +869,15 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="registered backends and their capability flags"
     )
     b.set_defaults(func=_cmd_backends_list)
+
+    p = sub.add_parser(
+        "workloads", help="the workload-frontend registry"
+    )
+    wsub = p.add_subparsers(dest="workloads_command", required=True)
+    w = wsub.add_parser(
+        "list", help="registered workloads with their parameter schemas"
+    )
+    w.set_defaults(func=_cmd_workloads_list)
 
     p = sub.add_parser(
         "verify", help="conformance and differential verification (repro.verify)"

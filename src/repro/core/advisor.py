@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.bench.microbench import run_microbench
+from repro.bench.microbench import run_microbench, run_program
 from repro.core.equivalence import equivalence_classes
 from repro.core.hierarchy import Hierarchy
 from repro.core.metrics import OrderSignature
@@ -138,6 +138,13 @@ class QueryPlan:
     total_bytes: tuple[float, ...]
     classes: tuple[tuple[OrderSignature, ...], ...]
     requests: tuple = ()
+    #: Workload-frontend plans: the registered workload name plus its
+    #: canonical parameter pairs.  ``collective`` then carries the
+    #: workload name purely as the report label, ``comm_size`` the
+    #: lowered program's rank count, and ``total_bytes`` the single
+    #: aggregate traffic volume (so ``n_sizes == 1``).
+    workload: str | None = None
+    workload_params: tuple = ()
 
     @property
     def duration_key(self) -> str:
@@ -154,15 +161,27 @@ class QueryPlan:
 def plan_query(
     topology: MachineTopology,
     hierarchy: Hierarchy,
-    comm_size: int,
+    comm_size: int | None = None,
     collective: str = "alltoall",
     total_bytes: Sequence[float] = (1e6, 64e6),
     scenario: str = "all",
     algorithm: str | None = None,
     orders: Sequence[Order] | None = None,
     backend: str = "round",
+    workload: str | None = None,
+    workload_params: dict | None = None,
 ) -> QueryPlan:
-    """Validate a placement query and lower it to a :class:`QueryPlan`."""
+    """Validate a placement query and lower it to a :class:`QueryPlan`.
+
+    Two query shapes share the pipeline: collective-shaped queries name
+    ``(collective, comm_size, total_bytes)`` as before, and
+    workload-shaped queries name a registered workload frontend instead
+    -- the workload is lowered once through the registry, its rank count
+    becomes the communicator size, and its aggregate traffic volume is
+    the plan's single payload size.  Either way the request grid carries
+    the same content keys the sweep layer issues, so advisor and sweeps
+    share every cache record.
+    """
     from repro.engine import EvalRequest
     from repro.ir import backend_names
 
@@ -172,9 +191,37 @@ def plan_query(
         raise ValueError(
             f"unknown backend {backend!r} (available: {', '.join(backend_names())})"
         )
-    sizes = tuple(float(s) for s in total_bytes)
-    if not sizes:
-        raise ValueError("total_bytes must name at least one payload size")
+    wl_params: tuple = ()
+    if workload is not None:
+        from repro.workloads import canonical_params, lower_workload
+
+        wl_params = canonical_params(workload, workload_params or {})
+        program = lower_workload(workload, dict(wl_params))
+        if comm_size is not None and comm_size != program.n_ranks:
+            raise ValueError(
+                f"workload {workload!r} lowers to {program.n_ranks} ranks "
+                f"but the query names comm_size={comm_size}; omit comm_size "
+                "for workload queries"
+            )
+        comm_size = program.n_ranks
+        if hierarchy.size % comm_size:
+            raise ValueError(
+                f"workload {workload!r} needs {comm_size} ranks, which does "
+                f"not divide the machine's {hierarchy.size} processes"
+            )
+        total = program.meta.total_bytes
+        if total is None:
+            total = program.total_bytes
+        sizes = (float(total),)
+        collective = workload  # the report label for workload advice
+    else:
+        if comm_size is None:
+            raise ValueError(
+                "comm_size is required for collective-shaped queries"
+            )
+        sizes = tuple(float(s) for s in total_bytes)
+        if not sizes:
+            raise ValueError("total_bytes must name at least one payload size")
     hierarchy.check_process_count(topology.n_cores)
     classes = tuple(
         tuple(sigs)
@@ -188,9 +235,11 @@ def plan_query(
             hierarchy=hierarchy,
             order=tuple(sigs[0].order),
             comm_size=comm_size,
-            collective=collective,
-            algorithm=algorithm,
-            total_bytes=nbytes,
+            collective=None if workload is not None else collective,
+            algorithm=None if workload is not None else algorithm,
+            total_bytes=None if workload is not None else nbytes,
+            workload=workload,
+            workload_params=wl_params,
             extras=extras,
         )
         for sigs in classes
@@ -207,6 +256,8 @@ def plan_query(
         total_bytes=sizes,
         classes=classes,
         requests=requests,
+        workload=workload,
+        workload_params=wl_params,
     )
 
 
@@ -333,6 +384,7 @@ def ladder_advise(
             return plan.requests[ci * n_sizes : (ci + 1) * n_sizes]
         rep = tuple(plan.classes[ci][0].order)
         extras = (("des_all", True),) if model == "des" else ()
+        workload = plan.workload
         return [
             EvalRequest(
                 model=model,
@@ -340,9 +392,11 @@ def ladder_advise(
                 hierarchy=plan.hierarchy,
                 order=rep,
                 comm_size=plan.comm_size,
-                collective=plan.collective,
-                algorithm=plan.algorithm,
-                total_bytes=nbytes,
+                collective=None if workload is not None else plan.collective,
+                algorithm=None if workload is not None else plan.algorithm,
+                total_bytes=None if workload is not None else nbytes,
+                workload=workload,
+                workload_params=plan.workload_params,
                 extras=extras,
             )
             for nbytes in plan.total_bytes
@@ -382,7 +436,7 @@ def ladder_advise(
 def advise(
     topology: MachineTopology,
     hierarchy: Hierarchy,
-    comm_size: int,
+    comm_size: int | None = None,
     collective: str = "alltoall",
     total_bytes: Sequence[float] = (1e6, 64e6),
     scenario: str = "all",
@@ -392,6 +446,8 @@ def advise(
     batch: bool = False,
     engine=None,
     ladder=False,
+    workload: str | None = None,
+    workload_params: dict | None = None,
 ) -> Advice:
     """Rank order equivalence classes by predicted collective duration.
 
@@ -415,6 +471,11 @@ def advise(
     :class:`~repro.engine.fidelity.LadderConfig`); the returned advice
     then covers only the ladder's finalist classes — see
     :func:`ladder_advise` for the audit trail.
+
+    ``workload`` asks for advice on a registered workload frontend
+    instead of a single collective (``comm_size`` is then derived from
+    the lowered program -- omit it); the score is the workload's
+    scenario duration per equivalence class.
     """
     plan = plan_query(
         topology,
@@ -426,6 +487,8 @@ def advise(
         algorithm=algorithm,
         orders=orders,
         backend=backend,
+        workload=workload,
+        workload_params=workload_params,
     )
     if ladder:
         from repro.engine.fidelity import LadderConfig
@@ -440,19 +503,35 @@ def advise(
         flat = engine.evaluate_batch(list(plan.requests))
         return advice_from_results(plan, flat)
     fabric = Fabric(topology) if backend == "round" else None
+    program = None
+    if plan.workload is not None:
+        from repro.workloads import lower_workload
+
+        program = lower_workload(plan.workload, dict(plan.workload_params))
     totals = []
     for sigs in plan.classes:
         rep = sigs[0]
         total = 0.0
-        for nbytes in plan.total_bytes:
-            point = run_microbench(
-                topology, hierarchy, rep.order, comm_size, collective,
-                nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
+        if program is not None:
+            point = run_program(
+                topology, hierarchy, rep.order, program,
+                fabric=fabric, backend=backend,
             )
-            total += (
+            total = (
                 point.duration_all
                 if scenario == "all"
                 else point.duration_single
             )
+        else:
+            for nbytes in plan.total_bytes:
+                point = run_microbench(
+                    topology, hierarchy, rep.order, plan.comm_size, collective,
+                    nbytes, algorithm=algorithm, fabric=fabric, backend=backend,
+                )
+                total += (
+                    point.duration_all
+                    if scenario == "all"
+                    else point.duration_single
+                )
         totals.append(total)
     return _assemble(plan, totals)

@@ -112,14 +112,35 @@ def evaluate_requests_batch(requests: Sequence[EvalRequest]) -> list[dict]:
     return out  # type: ignore[return-value]
 
 
-# -- round model --------------------------------------------------------------
+# -- workload frontends -------------------------------------------------------
 
 
-def _eval_round(req: EvalRequest) -> dict:
-    """Section 4.1 micro-benchmark point on the synchronized-round model."""
-    from repro.bench.microbench import run_microbench
+def _workload_program(req: EvalRequest):
+    """Lower a workload-bearing request through the registry.
 
-    point = run_microbench(
+    Contract: requests carrying a workload set ``comm_size`` to the
+    lowered program's rank count (their constructors read the same
+    registry), so placement derivation and the batch path's grouping key
+    agree with the collective-shaped requests they ride alongside.
+    """
+    from repro.workloads import lower_workload
+
+    return lower_workload(req.workload, dict(req.workload_params))
+
+
+def _microbench_point(req: EvalRequest, backend: str):
+    """One protocol point for either request shape (collective/workload)."""
+    from repro.bench.microbench import run_microbench, run_program
+
+    if req.workload is not None:
+        return run_program(
+            req.topology,
+            req.hierarchy,
+            req.order,
+            _workload_program(req),
+            backend=backend,
+        )
+    return run_microbench(
         req.topology,
         req.hierarchy,
         req.order,
@@ -127,8 +148,16 @@ def _eval_round(req: EvalRequest) -> dict:
         req.collective,
         req.total_bytes,
         algorithm=req.algorithm,
-        backend="round",
+        backend=backend,
     )
+
+
+# -- round model --------------------------------------------------------------
+
+
+def _eval_round(req: EvalRequest) -> dict:
+    """Section 4.1 micro-benchmark point on the synchronized-round model."""
+    point = _microbench_point(req, "round")
     return {
         "duration_single": point.duration_single,
         "duration_all": point.duration_all,
@@ -148,18 +177,7 @@ def _eval_logp(req: EvalRequest) -> dict:
     the advisor consume either interchangeably; fidelity is advisory
     (order rankings, not absolute durations).
     """
-    from repro.bench.microbench import run_microbench
-
-    point = run_microbench(
-        req.topology,
-        req.hierarchy,
-        req.order,
-        req.comm_size,
-        req.collective,
-        req.total_bytes,
-        algorithm=req.algorithm,
-        backend="logp",
-    )
+    point = _microbench_point(req, "logp")
     return {
         "duration_single": point.duration_single,
         "duration_all": point.duration_all,
@@ -198,7 +216,9 @@ def _eval_microbench_batch(
         hierarchy.check_process_count(topology.n_cores)
         members = comm_members(hierarchy, order, comm_size)
         programs = [
-            collective_program(
+            _workload_program(reqs[i])
+            if reqs[i].workload is not None
+            else collective_program(
                 reqs[i].collective,
                 comm_size,
                 reqs[i].total_bytes,
@@ -254,9 +274,12 @@ def _eval_des(req: EvalRequest) -> dict:
 
     reordering = RankReordering(req.hierarchy, req.order, req.comm_size)
     cores = reordering.comm_members(0)
-    program = collective_program(
-        req.collective, req.comm_size, req.total_bytes, req.algorithm
-    )
+    if req.workload is not None:
+        program = _workload_program(req)
+    else:
+        program = collective_program(
+            req.collective, req.comm_size, req.total_bytes, req.algorithm
+        )
     mode = req.extra("mode", "lockstep")
     incremental = bool(req.extra("incremental", True))
     audit_rates = bool(req.extra("audit_rates", False))

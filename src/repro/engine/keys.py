@@ -138,12 +138,23 @@ class EvalRequest:
     seed: int = 0
     schedule: Any = None  # FaultSchedule | None (kept loose to avoid a cycle)
     extras: tuple[tuple[str, Any], ...] = field(default=())
+    #: Workload-frontend requests: the registered workload name plus its
+    #: canonical parameter pairs (see ``repro.workloads.canonical_params``).
+    #: ``None``/``()`` on collective-style requests, so legacy canonical
+    #: documents -- and therefore cached keys -- are untouched.
+    workload: str | None = None
+    workload_params: tuple[tuple[str, Any], ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.order is not None:
             object.__setattr__(self, "order", tuple(int(i) for i in self.order))
         object.__setattr__(
             self, "extras", tuple(sorted((str(k), v) for k, v in self.extras))
+        )
+        object.__setattr__(
+            self,
+            "workload_params",
+            tuple(sorted((str(k), v) for k, v in self.workload_params)),
         )
 
     def extra(self, name: str, default: Any = None) -> Any:
@@ -177,6 +188,11 @@ class EvalRequest:
             doc["schedule"] = schedule_fingerprint(self.schedule)
         if self.extras:
             doc["extras"] = {k: _jsonify(v) for k, v in self.extras}
+        if self.workload is not None:
+            doc["workload"] = self.workload
+            doc["workload_params"] = {
+                k: _jsonify(v) for k, v in self.workload_params
+            }
         return doc
 
     @property

@@ -440,7 +440,10 @@ class DESBackend:
                 sends, recvs = round_endpoints(spec, 0)
                 sim = simulator([local.append])
                 sim.run(
-                    {r: rank_program(comms[r], sends, recvs) for r in range(p)}
+                    {
+                        r: rank_program(comms[r], sends, recvs, spec.compute)
+                        for r in range(p)
+                    }
                 )
                 for rec in local:
                     shifted = FlowRecord(
@@ -480,7 +483,7 @@ class DESBackend:
             def full_program(comm: Comm) -> Iterator[Any]:
                 for spec, (sends, recvs) in zip(rounds, endpoints):
                     for _ in range(spec.repeat):
-                        yield from rank_program(comm, sends, recvs)
+                        yield from rank_program(comm, sends, recvs, spec.compute)
                 return None
 
             sim = simulator(collect)

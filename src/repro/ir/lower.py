@@ -19,7 +19,6 @@ here; those entry points survive as deprecated wrappers.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Sequence, Tuple
 
 import numpy as np
@@ -76,54 +75,49 @@ def collective_program(
 ) -> CommProgram:
     """Lower one collective (auto-selecting the algorithm) to the IR.
 
-    Memoized: the lowered program depends only on the four arguments, and
-    a sweep revisits the same ``(collective, p, total_bytes, algorithm)``
-    cell once per order and scenario, so every caller past the first gets
-    the cached (write-protected) program instead of re-running the
-    algorithm's round constructor.
+    A thin shim over the ``collective`` workload frontend
+    (:func:`repro.workloads.lower_workload`): the lowered program depends
+    only on the four arguments and is memoized, validated, and
+    write-protected by the registry's single lowering path.
     """
-    return _collective_program(
-        str(collective), int(p), float(total_bytes), algorithm
+    from repro.workloads import lower_workload
+
+    return lower_workload(
+        "collective",
+        {
+            "collective": str(collective),
+            "p": int(p),
+            "total_bytes": float(total_bytes),
+            "algorithm": algorithm,
+        },
     )
-
-
-@lru_cache(maxsize=1024)
-def _collective_program(
-    collective: str, p: int, total_bytes: float, algorithm: str | None
-) -> CommProgram:
-    from repro.collectives.selector import rounds_for, select_algorithm
-
-    name = algorithm or select_algorithm(collective, p, total_bytes)
-    rounds = rounds_for(collective, p, total_bytes, name)
-    meta = ProgramMeta(
-        source="collective",
-        collective=collective,
-        algorithm=name,
-        total_bytes=float(total_bytes),
-        label=f"{collective}/{name}",
-    )
-    program = from_rounds(rounds, n_ranks=p, meta=meta)
-    for r in program.rounds:
-        # Shared across callers: freeze the arrays so no consumer can
-        # mutate another's rounds through the cache.
-        r.src.setflags(write=False)
-        r.dst.setflags(write=False)
-        if isinstance(r.nbytes, np.ndarray) and r.nbytes.flags.writeable:
-            r.nbytes.setflags(write=False)
-    return program
 
 
 def stencil_program(model: "StencilModel", cart: "CartTopology") -> CommProgram:
-    """One halo exchange of a :class:`~repro.apps.stencil.StencilModel`."""
-    p = int(np.prod(model.dims))
-    meta = ProgramMeta(source="stencil", label=f"stencil{tuple(model.dims)}")
-    return from_rounds(model.exchange_rounds(cart), n_ranks=p, meta=meta)
+    """One halo exchange of a :class:`~repro.apps.stencil.StencilModel`.
+
+    Shim over the ``stencil`` workload (halo traffic depends only on the
+    grid shape and periodicity, never on the Cartesian placement).
+    """
+    from repro.workloads import lower_workload
+
+    return lower_workload(
+        "stencil",
+        {
+            "dims": tuple(model.dims),
+            "periodic": tuple(int(f) for f in getattr(cart, "periodic", ())),
+            "cell_bytes": float(model.cell_bytes),
+            "local_extent": int(model.local_extent),
+        },
+    )
 
 
 def nascg_program(model: "CGTimeModel", p: int) -> CommProgram:
-    """One CG iteration's exchange pattern on ``p`` ranks."""
-    meta = ProgramMeta(source="nascg", label=f"nascg-{model.klass.name}/p{p}")
-    return from_rounds(model.comm_rounds_per_iteration(p), n_ranks=p, meta=meta)
+    """One CG iteration's exchange pattern on ``p`` ranks (shim over the
+    ``nascg`` workload)."""
+    from repro.workloads import lower_workload
+
+    return lower_workload("nascg", {"klass": model.klass.name, "p": int(p)})
 
 
 def splatt_mode_program(per_pair_bytes: float, p: int, mode: int = 0) -> CommProgram:
@@ -131,19 +125,18 @@ def splatt_mode_program(per_pair_bytes: float, p: int, mode: int = 0) -> CommPro
 
     ``per_pair_bytes`` is the uniform pairwise volume
     (``alltoallv_volume_per_rank(mode) / (p - 1)`` in the Splatt model).
+    Shim over the ``splatt`` workload.
     """
-    from repro.collectives.misc import alltoallv_pairwise_rounds
+    from repro.workloads import lower_workload
 
-    sizes = np.full((p, p), float(per_pair_bytes))
-    np.fill_diagonal(sizes, 0.0)
-    meta = ProgramMeta(
-        source="splatt",
-        collective="alltoallv",
-        algorithm="pairwise",
-        total_bytes=float(per_pair_bytes) * p * max(p - 1, 0),
-        label=f"splatt-mode{mode}/p{p}",
+    return lower_workload(
+        "splatt",
+        {
+            "p": int(p),
+            "per_pair_bytes": float(per_pair_bytes),
+            "mode": int(mode),
+        },
     )
-    return from_rounds(alltoallv_pairwise_rounds(sizes), n_ranks=p, meta=meta)
 
 
 # -- IR -> placed flow schedules (round / logp analytics) --------------------
@@ -204,17 +197,22 @@ def round_endpoints(rnd: Any, tag_base: int) -> tuple[SendMap, RecvMap]:
 
 
 def rank_program(
-    comm: "Comm", sends: SendMap, recvs: RecvMap
+    comm: "Comm", sends: SendMap, recvs: RecvMap, compute: float = 0.0
 ) -> Generator[Any, Any, None]:
     """One rank's DES program for a single round instance.
 
-    Receives post first (in flow order), then sends, then one waitall --
-    the op-view order :meth:`repro.ir.program.CommProgram.rank_ops`
-    documents.
+    An optional local compute block runs first (the op-view's
+    :class:`~repro.ir.program.ComputeOp`), then receives post (in flow
+    order), then sends, then one waitall -- the op-view order
+    :meth:`repro.ir.program.CommProgram.rank_ops` documents.
     """
+    from repro.simmpi.ops import Compute
+
     rank = comm.rank
 
     def program() -> Generator[Any, Any, None]:
+        if compute > 0.0:
+            yield Compute(compute)
         reqs = []
         for src, tag in recvs.get(rank, ()):
             reqs.append((yield comm.irecv(src, tag=tag)))

@@ -10,13 +10,24 @@ endpoint bucketing in ``repro.verify.differential``):
   must contain exactly one :class:`~repro.ir.program.SendOp` and one
   :class:`~repro.ir.program.RecvOp` per flow, agreeing on peers, tag and
   byte count.  Flows are matched by ``(sender, receiver, tag)`` -- the
-  same identity the DES's FIFO channels use;
+  same identity the DES's FIFO channels use.  Failures carry per-op
+  diagnostics (the rank and the op's index in that rank's round
+  program), so a hand-built lowering can be debugged flow by flow;
 - **no self-deadlock**: under round-barrier semantics all sends are
   nonblocking, so a round deadlocks iff some posted receive never gets a
   matching send (or a send is never drained) -- exactly an unmatched
   half above.  A clean report therefore certifies lockstep
   deadlock-freedom.  Self-flows (``src == dst``) are legal and complete
   locally.
+
+For a plain :class:`CommProgram` the op view is *derived* from the
+vector arrays with per-flow tags, so every send half pairs with its
+receive half by construction -- the endpoint scan can never find a
+defect the array checks missed, and ``validate_program`` skips it (the
+pass stays O(flows) in vectorized NumPy, which keeps the registry's
+validate-on-lower policy cheap at thousands of ranks).  Subclasses that
+override ``_round_ops`` (drift injection, instrumented views) get the
+full op-view scan.
 
 ``validate_program`` returns a structured :class:`ValidationReport`;
 ``check_program`` raises :class:`IRValidationError` on the first report
@@ -38,14 +49,25 @@ class IRValidationError(ValueError):
 
 @dataclass(frozen=True)
 class ValidationIssue:
-    """One defect found in one round."""
+    """One defect found in one round.
+
+    ``rank`` and ``op_index`` locate the defect in the per-rank op view
+    (the rank whose program holds the offending half, and the op's index
+    within that rank's round program); ``None`` for defects of the whole
+    round (rank range, payload sanity).
+    """
 
     round_index: int
     kind: str  # rank_range | payload | unmatched | conservation
     message: str
+    rank: int | None = None
+    op_index: int | None = None
 
     def __str__(self) -> str:
-        return f"round {self.round_index}: [{self.kind}] {self.message}"
+        where = ""
+        if self.rank is not None:
+            where = f" (rank {self.rank}, op {self.op_index})"
+        return f"round {self.round_index}: [{self.kind}] {self.message}{where}"
 
 
 @dataclass
@@ -74,6 +96,11 @@ def validate_program(program: CommProgram) -> ValidationReport:
         n_ranks=program.n_ranks, n_rounds=program.n_distinct_rounds
     )
     n = program.n_ranks
+    # Programs whose op view is the canonical derivation pair each send
+    # with its receive by construction (unique per-flow tags), so only
+    # the vectorized array checks can fail; overridden op views get the
+    # full endpoint scan.
+    derived_ops = type(program)._round_ops is CommProgram._round_ops
     for index, rnd in enumerate(program.rounds):
         src, dst = rnd.src, rnd.dst
         if src.size and (
@@ -96,7 +123,8 @@ def validate_program(program: CommProgram) -> ValidationReport:
                 )
             )
             continue
-        _check_endpoints(program, report, index, rnd)
+        if not derived_ops:
+            _check_endpoints(program, report, index, rnd)
     return report
 
 
@@ -107,42 +135,54 @@ def _check_endpoints(
 
     The op view is what the DES executes, so validating it (rather than
     re-reading the vector arrays the ops were derived from) catches both
-    malformed rounds and any drift in the derivation itself.
+    malformed rounds and any drift in the derivation itself.  Each half
+    remembers which rank posted it at which op index, so failures name
+    the exact op to look at.
     """
-    sends: dict[tuple[int, int, int], float] = {}
-    recvs: dict[tuple[int, int, int], float] = {}
+    sends: dict[tuple[int, int, int], tuple[float, int, int]] = {}
+    recvs: dict[tuple[int, int, int], tuple[float, int, int]] = {}
     for rank in range(program.n_ranks):
-        for op in program._round_ops(rank, index, rnd):
+        for pos, op in enumerate(program._round_ops(rank, index, rnd)):
             if isinstance(op, SendOp):
-                sends[(rank, op.peer, op.tag)] = op.nbytes
+                sends[(rank, op.peer, op.tag)] = (op.nbytes, rank, pos)
             elif isinstance(op, RecvOp):
-                recvs[(op.peer, rank, op.tag)] = op.nbytes
+                recvs[(op.peer, rank, op.tag)] = (op.nbytes, rank, pos)
     for key in sends.keys() - recvs.keys():
+        _, rank, pos = sends[key]
         report.issues.append(
             ValidationIssue(
                 index,
                 "unmatched",
                 f"send {key[0]}->{key[1]} tag {key[2]} has no matching "
                 "receive; the receiver blocks at the barrier",
+                rank=rank,
+                op_index=pos,
             )
         )
     for key in recvs.keys() - sends.keys():
+        _, rank, pos = recvs[key]
         report.issues.append(
             ValidationIssue(
                 index,
                 "unmatched",
                 f"receive {key[0]}->{key[1]} tag {key[2]} has no matching "
                 f"send; rank {key[1]} blocks at the barrier",
+                rank=rank,
+                op_index=pos,
             )
         )
     for key in sends.keys() & recvs.keys():
-        if sends[key] != recvs[key]:
+        sent, _, _ = sends[key]
+        expected, rank, pos = recvs[key]
+        if sent != expected:
             report.issues.append(
                 ValidationIssue(
                     index,
                     "conservation",
                     f"flow {key[0]}->{key[1]} tag {key[2]}: sender moves "
-                    f"{sends[key]:g} bytes but receiver expects {recvs[key]:g}",
+                    f"{sent:g} bytes but receiver expects {expected:g}",
+                    rank=rank,
+                    op_index=pos,
                 )
             )
 

@@ -75,16 +75,27 @@ def topology_for(machine: str, hierarchy: Hierarchy) -> MachineTopology:
 
 @dataclass(frozen=True)
 class PlacementQuery:
-    """One parsed ``/advise`` request body."""
+    """One parsed ``/advise`` request body.
+
+    Two shapes: collective queries name ``comm_size`` (+ ``collective``,
+    ``total_bytes``, ``algorithm``); workload queries name a registered
+    workload frontend and its parameters instead -- the lowered program
+    then defines the communicator size and traffic volume, so those
+    fields are mutually exclusive with ``workload``.
+    """
 
     hierarchy: str
-    comm_size: int
+    comm_size: int | None = None
     machine: str = "generic"
     collective: str = "alltoall"
     total_bytes: tuple[float, ...] = (1e6, 64e6)
     scenario: str = "all"
     backend: str | None = None  # None: the service default
     algorithm: str | None = None
+    workload: str | None = None
+    #: Canonical ``(name, value)`` parameter pairs (hashable: the plan
+    #: memo and provenance both key on them).
+    workload_params: tuple = ()
 
     FIELDS = frozenset(
         {
@@ -96,6 +107,8 @@ class PlacementQuery:
             "scenario",
             "backend",
             "algorithm",
+            "workload",
+            "workload_params",
         }
     )
 
@@ -110,23 +123,78 @@ class PlacementQuery:
                 f"unknown query field(s) {sorted(unknown)} "
                 f"(known: {sorted(cls.FIELDS)})"
             )
-        missing = [f for f in ("hierarchy", "comm_size") if f not in doc]
+        missing = [f for f in ("hierarchy",) if f not in doc]
+        if "workload" not in doc and "comm_size" not in doc:
+            missing.append("comm_size")
         if missing:
             raise QueryError(f"missing required field(s) {missing}")
         hierarchy = doc["hierarchy"]
         if not isinstance(hierarchy, str) or not hierarchy.strip():
             raise QueryError("hierarchy must be a non-empty string")
+        machine = str(doc.get("machine", "generic"))
+        if machine not in MACHINES:
+            raise QueryError(
+                f"unknown machine {machine!r} (available: {', '.join(MACHINES)})"
+            )
+        scenario = str(doc.get("scenario", "all"))
+        if scenario not in ("all", "single"):
+            raise QueryError("scenario must be 'all' or 'single'")
+        backend = doc.get("backend")
+        if backend is not None:
+            backend = str(backend)
+
+        workload = doc.get("workload")
+        if workload is not None:
+            from repro.workloads import (
+                WorkloadError,
+                canonical_params,
+                workload_names,
+            )
+
+            workload = str(workload)
+            if workload not in workload_names():
+                raise QueryError(
+                    f"unknown workload {workload!r} "
+                    f"(registered: {', '.join(workload_names())})"
+                )
+            conflicting = sorted(
+                f
+                for f in ("collective", "algorithm", "total_bytes", "comm_size")
+                if f in doc
+            )
+            if conflicting:
+                raise QueryError(
+                    f"workload queries must not name {conflicting}: the "
+                    "lowered workload defines the communicator size and "
+                    "traffic volume"
+                )
+            raw_params = doc.get("workload_params", {})
+            if not isinstance(raw_params, dict):
+                raise QueryError(
+                    "workload_params must be a JSON object of parameter "
+                    "name/value pairs"
+                )
+            try:
+                wl_params = canonical_params(workload, raw_params)
+            except WorkloadError as err:
+                raise QueryError(str(err)) from None
+            return cls(
+                hierarchy=hierarchy,
+                machine=machine,
+                scenario=scenario,
+                backend=backend,
+                workload=workload,
+                workload_params=wl_params,
+            )
+        if "workload_params" in doc:
+            raise QueryError("workload_params requires a workload")
+
         try:
             comm_size = int(doc["comm_size"])
         except (TypeError, ValueError):
             raise QueryError("comm_size must be an integer") from None
         if comm_size < 1:
             raise QueryError("comm_size must be >= 1")
-        machine = str(doc.get("machine", "generic"))
-        if machine not in MACHINES:
-            raise QueryError(
-                f"unknown machine {machine!r} (available: {', '.join(MACHINES)})"
-            )
         collective = str(doc.get("collective", "alltoall"))
         if collective not in known_collectives():
             raise QueryError(
@@ -144,12 +212,6 @@ class PlacementQuery:
             raise QueryError("total_bytes entries must be numbers") from None
         if any(s <= 0 for s in sizes):
             raise QueryError("total_bytes entries must be positive")
-        scenario = str(doc.get("scenario", "all"))
-        if scenario not in ("all", "single"):
-            raise QueryError("scenario must be 'all' or 'single'")
-        backend = doc.get("backend")
-        if backend is not None:
-            backend = str(backend)
         algorithm = doc.get("algorithm")
         if algorithm is not None:
             algorithm = str(algorithm)
@@ -248,6 +310,8 @@ class AdvisorService:
             query.scenario,
             query.algorithm,
             backend,
+            query.workload,
+            query.workload_params,
         )
         plan = self._plans.get(key)
         if plan is not None:
@@ -269,6 +333,10 @@ class AdvisorService:
                 scenario=query.scenario,
                 algorithm=query.algorithm,
                 backend=backend,
+                workload=query.workload,
+                workload_params=dict(query.workload_params)
+                if query.workload is not None
+                else None,
             )
         except ValueError as err:
             raise QueryError(str(err)) from None
@@ -332,7 +400,7 @@ class AdvisorService:
         from repro import __version__
         from repro.engine.keys import CACHE_SCHEMA
 
-        return {
+        doc = {
             "backend": plan.backend,
             "machine": query.machine,
             "topology": plan.topology.name,
@@ -343,6 +411,10 @@ class AdvisorService:
             "n_classes": len(plan.classes),
             "n_requests": len(plan.requests),
         }
+        if plan.workload is not None:
+            doc["workload"] = plan.workload
+            doc["workload_params"] = dict(plan.workload_params)
+        return doc
 
     # -- introspection endpoints -------------------------------------------
 

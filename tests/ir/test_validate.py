@@ -100,6 +100,89 @@ class TestValidateProgram:
         assert "round 1" in str(report.issues[0])
 
 
+class TestPerOpDiagnostics:
+    """Endpoint failures name the rank and op index, not a bare assert."""
+
+    def test_conservation_issue_locates_the_receiving_op(self):
+        def shrink_recvs(rank, ops):
+            return [
+                RecvOp(op.peer, op.nbytes / 2, op.tag)
+                if isinstance(op, RecvOp)
+                else op
+                for op in ops
+            ]
+
+        prog = _DriftingProgram(4, ring_program(nbytes=64.0).rounds, shrink_recvs)
+        report = validate_program(prog)
+        assert not report.ok
+        for issue in report.issues:
+            assert issue.kind == "conservation"
+            assert issue.rank is not None and 0 <= issue.rank < 4
+            assert issue.op_index is not None and issue.op_index >= 0
+            assert "sender moves 64 bytes but receiver expects 32" in issue.message
+            assert f"(rank {issue.rank}, op {issue.op_index})" in str(issue)
+
+    def test_unmatched_issues_locate_the_posted_half(self):
+        def drop_recvs(rank, ops):
+            return [op for op in ops if not isinstance(op, RecvOp)]
+
+        prog = _DriftingProgram(4, ring_program().rounds, drop_recvs)
+        report = validate_program(prog)
+        assert not report.ok
+        for issue in report.issues:
+            assert issue.rank is not None
+            assert issue.op_index is not None
+
+    def test_whole_round_issues_carry_no_op_location(self):
+        prog = CommProgram(2, (CommRound([0], [5], 8.0),))
+        issue = validate_program(prog).issues[0]
+        assert issue.rank is None and issue.op_index is None
+        assert "(rank" not in str(issue)
+
+    def test_check_program_summary_names_the_op(self):
+        def shrink_recvs(rank, ops):
+            return [
+                RecvOp(op.peer, op.nbytes / 2, op.tag)
+                if isinstance(op, RecvOp)
+                else op
+                for op in ops
+            ]
+
+        prog = _DriftingProgram(4, ring_program().rounds, shrink_recvs)
+        with pytest.raises(IRValidationError, match=r"rank \d+, op \d+"):
+            check_program(prog)
+
+
+class TestDerivedOpFastPath:
+    """Plain programs skip the endpoint scan; overridden op views do not."""
+
+    def test_plain_program_skips_endpoint_scan(self, monkeypatch):
+        import repro.ir.validate as validate_mod
+
+        called = []
+        monkeypatch.setattr(
+            validate_mod,
+            "_check_endpoints",
+            lambda *a, **k: called.append(True),
+        )
+        assert validate_mod.validate_program(ring_program()).ok
+        assert not called
+
+    def test_subclass_gets_the_full_scan(self, monkeypatch):
+        import repro.ir.validate as validate_mod
+
+        called = []
+        real = validate_mod._check_endpoints
+        monkeypatch.setattr(
+            validate_mod,
+            "_check_endpoints",
+            lambda *a, **k: (called.append(True), real(*a, **k))[1],
+        )
+        prog = _DriftingProgram(4, ring_program().rounds, lambda r, ops: ops)
+        assert validate_mod.validate_program(prog).ok
+        assert called
+
+
 class TestCheckProgram:
     def test_returns_program_unchanged(self):
         prog = ring_program()

@@ -55,6 +55,57 @@ class TestQueryParsing:
         with pytest.raises(QueryError, match=match):
             PlacementQuery.from_doc(doc)
 
+    def test_workload_query_parses(self):
+        q = PlacementQuery.from_doc(
+            {
+                "hierarchy": "node:2 core:8",
+                "workload": "dnn",
+                "workload_params": {"dp": 2, "tp": 4},
+            }
+        )
+        assert q.workload == "dnn"
+        assert q.comm_size is None
+        assert dict(q.workload_params)["dp"] == 2
+        assert dict(q.workload_params)["tp"] == 4
+
+    @pytest.mark.parametrize(
+        "doc, match",
+        [
+            (
+                {"hierarchy": "node:2 core:8", "workload": "hpcg"},
+                r"unknown workload 'hpcg' \(registered: collective, dnn",
+            ),
+            (
+                {"hierarchy": "node:2 core:8", "workload": "dnn",
+                 "comm_size": 8},
+                r"workload queries must not name \['comm_size'\]",
+            ),
+            (
+                {"hierarchy": "node:2 core:8", "workload": "dnn",
+                 "collective": "alltoall", "total_bytes": 1e5},
+                r"must not name \['collective', 'total_bytes'\]",
+            ),
+            (
+                {"hierarchy": "node:2 core:8", "workload": "dnn",
+                 "workload_params": [1, 2]},
+                "JSON object",
+            ),
+            (
+                {"hierarchy": "node:2 core:8", "workload": "dnn",
+                 "workload_params": {"warp": 9}},
+                r"unknown parameter\(s\) \['warp'\]",
+            ),
+            (
+                {"hierarchy": "node:2 core:8", "comm_size": 8,
+                 "workload_params": {"dp": 2}},
+                "workload_params requires a workload",
+            ),
+        ],
+    )
+    def test_rejects_bad_workload_docs(self, doc, match):
+        with pytest.raises(QueryError, match=match):
+            PlacementQuery.from_doc(doc)
+
 
 class TestTopologyFor:
     def test_presets(self):
@@ -141,6 +192,33 @@ class TestAdvise:
             second = asyncio.run(svc.advise(dict(GOOD)))
             assert svc.engine.stats.evaluated == evaluated  # all cached
             assert second["advice"] == first["advice"]
+        finally:
+            svc.close()
+
+    def test_served_dnn_advice_is_bitwise_identical_to_offline(self):
+        from repro.topology.machines import generic_cluster
+
+        svc = AdvisorService()
+        try:
+            params = {"dp": 2, "tp": 2, "pp": 2, "hidden": 32, "seq": 16}
+            doc = {
+                "hierarchy": "node:2 socket:2 core:4",
+                "workload": "dnn",
+                "workload_params": dict(params),
+            }
+            response = asyncio.run(svc.advise(doc))
+            h = parse_synthetic(doc["hierarchy"])
+            offline = advise(
+                generic_cluster(h.radices, h.names),
+                h,
+                workload="dnn",
+                workload_params=dict(params),
+                backend="logp",
+                batch=True,
+            )
+            assert response["advice"] == offline.to_jsonable()
+            assert response["provenance"]["workload"] == "dnn"
+            assert response["provenance"]["workload_params"]["dp"] == 2
         finally:
             svc.close()
 

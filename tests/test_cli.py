@@ -205,6 +205,87 @@ class TestBackends:
             )
 
 
+class TestWorkloads:
+    def test_list_prints_schema_table(self, capsys):
+        rc, out = run_cli(capsys, "workloads", "list")
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].split()[:2] == ["workload", "parameters"]
+        names = [line.split()[0] for line in lines[1:]]
+        assert names == [
+            "collective", "dnn", "nascg", "rounds", "splatt", "stencil"
+        ]
+        dnn_row = next(line for line in lines if line.startswith("dnn"))
+        assert "dp=1" in dnn_row and "grad_sync='allreduce'" in dnn_row
+
+    def test_sweep_with_dnn_workload(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--workload", "dnn", "--dp", "2", "--tp", "2", "--pp", "2",
+            "--hidden", "32", "--seq", "16",
+            "--orders", "0-1-2,2-1-0",
+        )
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("machine,order,ring_cost,workload")
+        assert len(lines) == 3
+        assert lines[1].split(",")[3] == "dnn"
+
+    def test_sweep_with_generic_params(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "sweep", "-H", "[[2,2,4]]",
+            "--workload", "stencil", "--param", "dims=[4,4]",
+            "--orders", "0-1-2",
+        )
+        assert rc == 0
+        assert "stencil(4, 4)" in out
+
+    def test_advise_with_dnn_workload(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "advise", "-H", "node:2 socket:2 core:4",
+            "--workload", "dnn", "--dp", "2", "--tp", "2", "--pp", "2",
+            "--hidden", "32", "--seq", "16",
+        )
+        assert rc == 0
+        assert "dnn" in out
+
+    def test_unknown_workload_names_registered_set(self, capsys):
+        with pytest.raises(SystemExit, match="unknown workload 'hpcg'") as err:
+            main(
+                [
+                    "sweep", "-H", "[[2,2,4]]",
+                    "--workload", "hpcg", "--orders", "0-1-2",
+                ]
+            )
+        assert "registered: collective, dnn" in str(err.value)
+
+    def test_comm_sizes_and_workload_conflict(self):
+        with pytest.raises(SystemExit, match="--comm-sizes conflicts"):
+            main(
+                [
+                    "sweep", "-H", "[[2,2,4]]", "--comm-sizes", "4",
+                    "--workload", "stencil", "--param", "dims=[4,4]",
+                ]
+            )
+
+    def test_sweep_requires_sizes_or_workload(self):
+        with pytest.raises(SystemExit, match="--comm-sizes is required"):
+            main(["sweep", "-H", "[[2,2,4]]"])
+
+    def test_invalid_workload_config_is_one_line(self):
+        with pytest.raises(SystemExit, match="invalid dnn configuration"):
+            main(
+                [
+                    "sweep", "-H", "[[2,2,4]]",
+                    "--workload", "dnn", "--dp", "2", "--pp", "2",
+                    "--layers", "3",
+                ]
+            )
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -16,10 +16,15 @@ Two golden families exist:
   ``tests/ir/test_golden_batch.py`` (batch path).  Regenerated only with
   the ``--fig3`` flag: it is the seed fixture, so rewriting it is rarer
   than the differential families above.
+- ``tests/workloads/golden_dnn.json`` -- one small transformer
+  training step (dnn workload) on hydra-16, scored across the
+  ``round``/``des``/``logp`` backends for four representative orders,
+  locked bitwise by ``tests/workloads/test_dnn.py``.  Regenerated with
+  the ``--dnn`` flag.
 
 Run after an *intentional* change to the network models::
 
-    PYTHONPATH=src python tests/verify/regen_golden.py [--fig3]
+    PYTHONPATH=src python tests/verify/regen_golden.py [--fig3] [--dnn]
 
 The differential fixture is rewritten in place; the fault-timing
 constants are printed for manual pasting (they live in test source so the
@@ -36,6 +41,11 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 GOLDEN_PATH = HERE / "golden_differential.json"
 FIG3_PATH = HERE.parent / "ir" / "golden_fig3.json"
+DNN_PATH = HERE.parent / "workloads" / "golden_dnn.json"
+
+#: The dnn golden's configuration (shared with tests/workloads/test_dnn.py).
+DNN_PARAMS = {"dp": 4, "tp": 4, "pp": 2, "layers": 2, "hidden": 128, "seq": 64}
+DNN_ORDERS = ((0, 1, 2, 3), (3, 2, 1, 0), (1, 0, 3, 2), (2, 3, 0, 1))
 
 
 def differential_golden() -> dict:
@@ -94,6 +104,50 @@ def fig3_golden() -> dict:
     }
 
 
+def dnn_golden() -> dict:
+    """The dnn workload's training-step durations as ``repr`` strings.
+
+    One small DP=4 x TP=4 x PP=2 transformer step on hydra-16 (32 ranks,
+    16 concurrent instances), scored through :func:`workload_sweep` on
+    every registered execution backend so the whole engine path -- not
+    just the lowering -- is pinned.
+    """
+    from repro.bench.sweeps import workload_sweep
+    from repro.topology.machines import hydra
+
+    topology = hydra(16)
+    hierarchy = topology.hierarchy
+    backends = {}
+    sample = None
+    for backend in ("round", "des", "logp"):
+        records = workload_sweep(
+            topology,
+            hierarchy,
+            "dnn",
+            params=dict(DNN_PARAMS),
+            orders=DNN_ORDERS,
+            backend=backend,
+            prune=False,
+        )
+        sample = records[0]
+        backends[backend] = {
+            rec.order: {
+                "duration_single": repr(rec.duration_single),
+                "duration_all": repr(rec.duration_all),
+            }
+            for rec in records
+        }
+    return {
+        "workload": "dnn",
+        "machine": topology.name,
+        "params": dict(DNN_PARAMS),
+        "comm_size": sample.comm_size,
+        "n_comms": sample.n_comms,
+        "total_bytes": repr(sample.total_bytes),
+        "backends": backends,
+    }
+
+
 def main() -> int:
     golden = differential_golden()
     GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
@@ -103,6 +157,11 @@ def main() -> int:
         fig3 = fig3_golden()
         FIG3_PATH.write_text(json.dumps(fig3, indent=2, sort_keys=True) + "\n")
         print(f"wrote {FIG3_PATH} ({len(fig3['orders'])} orders)")
+
+    if "--dnn" in sys.argv[1:]:
+        dnn = dnn_golden()
+        DNN_PATH.write_text(json.dumps(dnn, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {DNN_PATH} ({len(dnn['backends'])} backends)")
 
     alltoall, allreduce = fault_timing_golden()
     print("\nConstants for tests/faults/test_golden_timing.py (paste if an")
